@@ -1,0 +1,125 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each BenchmarkFigN_/BenchmarkTableN_ target runs the
+// corresponding experiment once per iteration at the Quick scale and
+// reports the headline values as custom metrics, so
+//
+//	go test -bench=Fig5 -benchtime=1x
+//
+// regenerates Figure 5's series. cmd/pepcbench prints the same results
+// as readable tables, at Quick or Full scale.
+package pepc_test
+
+import (
+	"strings"
+	"testing"
+
+	"pepc"
+)
+
+// benchScale trims Quick further so a default `go test -bench=.` pass
+// over all figures completes in minutes.
+var benchScale = pepc.ExperimentScale{
+	MaxUsers:        100_000,
+	PacketsPerPoint: 100_000,
+	EventsPerPoint:  1_000,
+}
+
+// runFigure executes an experiment b.N times and publishes each series'
+// headline point (the last X) as a custom metric.
+func runFigure(b *testing.B, name string) {
+	b.Helper()
+	var res pepc.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = pepc.RunExperiment(name, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range res.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		last := s.Points[len(s.Points)-1]
+		metric := sanitizeMetric(s.Name) + "_" + res.YLabel
+		b.ReportMetric(last.Y, sanitizeMetric(metric))
+	}
+	if testing.Verbose() {
+		b.Log("\n" + res.Render())
+	}
+}
+
+func sanitizeMetric(s string) string {
+	r := strings.NewReplacer(" ", "_", "(", "", ")", "", "#", "", "%", "pct", "/", "_per_", ":", "_")
+	return r.Replace(s)
+}
+
+func BenchmarkTable1_StateTaxonomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pepc.RunExperiment("table1", benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Notes) != 7 {
+			b.Fatal("taxonomy rows missing")
+		}
+	}
+}
+
+func BenchmarkTable2_DefaultParameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := pepc.RunExperiment("table2", benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_DataPlaneComparison(b *testing.B)       { runFigure(b, "fig4") }
+func BenchmarkFig5_ThroughputVsUsers(b *testing.B)         { runFigure(b, "fig5") }
+func BenchmarkFig6_ThroughputVsSignaling(b *testing.B)     { runFigure(b, "fig6") }
+func BenchmarkFig7_ScalingWithDataCores(b *testing.B)      { runFigure(b, "fig7") }
+func BenchmarkFig8_MigrationThroughput(b *testing.B)       { runFigure(b, "fig8") }
+func BenchmarkFig9_MigrationLatency(b *testing.B)          { runFigure(b, "fig9") }
+func BenchmarkFig10_CoresVsSignalingRatio(b *testing.B)    { runFigure(b, "fig10") }
+func BenchmarkFig11_AttachRateVsControlCores(b *testing.B) { runFigure(b, "fig11") }
+func BenchmarkFig12_SharedStateDesigns(b *testing.B)       { runFigure(b, "fig12") }
+func BenchmarkFig13_UpdateBatching(b *testing.B)           { runFigure(b, "fig13") }
+func BenchmarkFig14_TwoLevelTables(b *testing.B)           { runFigure(b, "fig14") }
+func BenchmarkFig15_IoTCustomization(b *testing.B)         { runFigure(b, "fig15") }
+
+// BenchmarkPipelineUplink measures the PEPC uplink fast path per packet:
+// decap, lookup, classify, counters, forward. This is the per-core
+// per-packet budget behind every throughput figure.
+func BenchmarkPipelineUplink(b *testing.B) {
+	s := pepc.NewSlice(pepc.SliceConfig{ID: 1, UserHint: 1 << 16})
+	users := make([]pepc.User, 1<<14)
+	for i := range users {
+		res, err := s.Control().Attach(pepc.AttachSpec{
+			IMSI: uint64(i + 1), ENBAddr: 1, DownlinkTEID: uint32(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		users[i] = pepc.User{IMSI: uint64(i + 1), UplinkTEID: res.UplinkTEID, UEAddr: res.UEAddr}
+	}
+	s.Data().SyncUpdates()
+	gen := pepc.NewTrafficGen(pepc.TrafficConfig{CoreAddr: s.Config().CoreAddr}, users)
+	batch := make([]*pepc.Buf, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch[0] = gen.NextUplink()
+		s.Data().ProcessUplinkBatch(batch, 0)
+		drainOne(s)
+	}
+}
+
+func drainOne(s *pepc.Slice) {
+	for {
+		buf, ok := s.Egress.Dequeue()
+		if !ok {
+			return
+		}
+		buf.Free()
+	}
+}

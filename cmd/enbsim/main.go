@@ -1,0 +1,87 @@
+// Command enbsim emulates an eNodeB against a running pepcd: it
+// establishes an S1AP-over-SCTP association over UDP, attaches a batch of
+// UEs through the full authentication procedure, then sources GTP-U
+// uplink traffic for them at a configurable rate.
+//
+// Usage:
+//
+//	enbsim -core 127.0.0.1:36412 -gtpu 127.0.0.1:2152 -ues 100 -rate 10000 -duration 10s
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"pepc"
+	"pepc/internal/pkt"
+	"pepc/internal/sctp"
+	"pepc/internal/sim"
+	"pepc/internal/workload"
+)
+
+func main() {
+	coreAddr := flag.String("core", "127.0.0.1:36412", "pepcd S1AP address")
+	gtpuAddr := flag.String("gtpu", "127.0.0.1:2152", "pepcd GTP-U address")
+	ues := flag.Int("ues", 100, "UEs to attach (IMSIs from -imsi)")
+	imsiBase := flag.Uint64("imsi", 1, "first IMSI")
+	rate := flag.Float64("rate", 10_000, "uplink packets/s after attach (0 = attach only)")
+	duration := flag.Duration("duration", 10*time.Second, "traffic duration")
+	flag.Parse()
+
+	// Signaling association.
+	conn, err := net.Dial("udp", *coreAddr)
+	if err != nil {
+		log.Fatalf("enbsim: dial s1ap: %v", err)
+	}
+	assoc, err := pepc.SCTPDial(sctp.NewUDPWire(conn), pepc.SCTPConfig{Tag: 0x11})
+	if err != nil {
+		log.Fatalf("enbsim: sctp: %v", err)
+	}
+	defer assoc.Close()
+
+	base := pepc.NewENB(pkt.IPv4Addr(192, 168, 50, 1), 1, 0x100, assoc)
+	users := make([]workload.User, 0, *ues)
+	start := time.Now()
+	for i := 0; i < *ues; i++ {
+		ue := pepc.NewUE(*imsiBase + uint64(i))
+		if err := base.Attach(ue); err != nil {
+			log.Fatalf("enbsim: attach imsi %d: %v", ue.IMSI, err)
+		}
+		users = append(users, workload.User{IMSI: ue.IMSI, UplinkTEID: ue.UplinkTEID, UEAddr: ue.UEAddr})
+	}
+	elapsed := time.Since(start)
+	log.Printf("enbsim: attached %d UEs in %.2fs (%.0f attach/s)",
+		*ues, elapsed.Seconds(), float64(*ues)/elapsed.Seconds())
+
+	if *rate <= 0 {
+		return
+	}
+
+	// User traffic.
+	dconn, err := net.Dial("udp", *gtpuAddr)
+	if err != nil {
+		log.Fatalf("enbsim: dial gtpu: %v", err)
+	}
+	gen := workload.NewTrafficGen(workload.TrafficConfig{ENBAddr: base.Addr}, users)
+	pacer := sim.NewPacer(*rate, 256)
+	deadline := time.Now().Add(*duration)
+	sent := 0
+	for time.Now().Before(deadline) {
+		n := pacer.Take(sim.Now(), 64)
+		if n == 0 {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		for i := 0; i < n; i++ {
+			b := gen.NextUplink()
+			if _, err := dconn.Write(b.Bytes()); err != nil {
+				log.Fatalf("enbsim: send: %v", err)
+			}
+			b.Free()
+			sent++
+		}
+	}
+	log.Printf("enbsim: sent %d uplink packets over %s", sent, *duration)
+}

@@ -1,0 +1,209 @@
+// Command epcctl exercises and inspects a PEPC node in-process: it
+// builds a node from flags, performs the requested operation, and prints
+// the observable state. It is a demonstration and debugging surface for
+// the library — each subcommand corresponds to an operator action the
+// paper describes (attach users, trigger signaling storms, migrate
+// users, dump charging records, print the state taxonomy).
+//
+// Usage:
+//
+//	epcctl attach   -users 1000                 # attach and show identifiers
+//	epcctl storm    -users 1000 -events 100000  # synthetic signaling storm
+//	epcctl migrate  -users 100 -migrations 50   # migrate users between slices
+//	epcctl usage    -users 10 -packets 10000    # traffic + CDR collection
+//	epcctl failover -users 1000                 # checkpoint/restore round trip
+//	epcctl taxonomy                             # print Table 1
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pepc"
+	"pepc/internal/experiments"
+	"pepc/internal/pkt"
+	"pepc/internal/sim"
+	"pepc/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	users := fs.Int("users", 100, "user population")
+	events := fs.Int("events", 1000, "signaling events (storm)")
+	migrations := fs.Int("migrations", 10, "migrations to run (migrate)")
+	packets := fs.Int("packets", 10000, "packets to pass (usage)")
+	fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "taxonomy":
+		for _, line := range experiments.Table1().Notes {
+			fmt.Println(line)
+		}
+	case "attach":
+		runAttach(*users)
+	case "storm":
+		runStorm(*users, *events)
+	case "migrate":
+		runMigrate(*users, *migrations)
+	case "usage":
+		runUsage(*users, *packets)
+	case "failover":
+		runFailover(*users)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: epcctl {attach|storm|migrate|usage|failover|taxonomy} [flags]")
+	os.Exit(2)
+}
+
+func setup(users, slices int) (*pepc.Node, []workload.User) {
+	cfgs := make([]pepc.SliceConfig, slices)
+	for i := range cfgs {
+		cfgs[i] = pepc.SliceConfig{ID: i + 1, UserHint: users}
+	}
+	node := pepc.NewNode(cfgs...)
+	hss := pepc.NewHSS()
+	hss.ProvisionRange(1, users, 10e6, 50e6)
+	node.AttachProxy(pepc.NewProxy(hss, pepc.NewPCRF()))
+	pop := make([]workload.User, users)
+	for i := 0; i < users; i++ {
+		res, err := node.AttachUser(i%slices, pepc.AttachSpec{
+			IMSI: uint64(i + 1), ENBAddr: pkt.IPv4Addr(192, 168, 0, 1), DownlinkTEID: uint32(i + 1),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epcctl: attach %d: %v\n", i+1, err)
+			os.Exit(1)
+		}
+		pop[i] = workload.User{IMSI: uint64(i + 1), UplinkTEID: res.UplinkTEID, UEAddr: res.UEAddr}
+	}
+	for i := 0; i < slices; i++ {
+		node.Slice(i).Data().SyncUpdates()
+	}
+	return node, pop
+}
+
+func runAttach(users int) {
+	start := time.Now()
+	node, pop := setup(users, 1)
+	fmt.Printf("attached %d users in %.3fs (full HSS auth + Gx session each)\n",
+		users, time.Since(start).Seconds())
+	show := 5
+	if users < show {
+		show = users
+	}
+	for _, u := range pop[:show] {
+		fmt.Printf("  imsi=%d uplink-teid=%#x ue-addr=%s\n", u.IMSI, u.UplinkTEID, pkt.FormatIPv4(u.UEAddr))
+	}
+	fmt.Printf("slice now holds %d users\n", node.Slice(0).Users())
+}
+
+func runStorm(users, events int) {
+	node, pop := setup(users, 1)
+	cp := node.Slice(0).Control()
+	sg := workload.NewSignalingGen(workload.EventS1Handover, pop)
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		ev := sg.Next()
+		addr, teid, ecgi := sg.NextHandoverTarget()
+		if err := cp.S1Handover(ev.IMSI, addr, teid, ecgi); err != nil {
+			fmt.Fprintf(os.Stderr, "epcctl: handover: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("processed %d handover events in %.3fs (%.0f events/s)\n",
+		events, elapsed.Seconds(), float64(events)/elapsed.Seconds())
+}
+
+func runMigrate(users, migrations int) {
+	node, pop := setup(users, 2)
+	start := time.Now()
+	for i := 0; i < migrations; i++ {
+		u := pop[i%len(pop)]
+		from := 0
+		if i%2 == 1 {
+			from = 1
+		}
+		src, _ := node.Demux().LookupSliceByIMSI(u.IMSI)
+		_ = from
+		dst := 1 - src
+		if err := node.Scheduler().MigrateUser(u.IMSI, src, dst); err != nil {
+			fmt.Fprintf(os.Stderr, "epcctl: migrate %d: %v\n", u.IMSI, err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("migrated %d users in %.3fs (%.0f migrations/s)\n",
+		migrations, elapsed.Seconds(), float64(migrations)/elapsed.Seconds())
+	fmt.Printf("slice 0: %d users, slice 1: %d users\n",
+		node.Slice(0).Users(), node.Slice(1).Users())
+}
+
+func runFailover(users int) {
+	node, _ := setup(users, 1)
+	var buf bytes.Buffer
+	start := time.Now()
+	n, err := node.Slice(0).Checkpoint(&buf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epcctl: checkpoint: %v\n", err)
+		os.Exit(1)
+	}
+	ckptTime := time.Since(start)
+	recovery := pepc.NewNode(pepc.SliceConfig{ID: 1, UserHint: users})
+	start = time.Now()
+	restored, err := recovery.Slice(0).RestoreCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epcctl: restore: %v\n", err)
+		os.Exit(1)
+	}
+	registered, _ := recovery.RegisterRestored(0)
+	fmt.Printf("checkpointed %d users (%d bytes) in %v; restored %d and registered %d in %v\n",
+		n, buf.Len(), ckptTime.Round(time.Microsecond), restored, registered,
+		time.Since(start).Round(time.Microsecond))
+}
+
+func runUsage(users, packets int) {
+	node, pop := setup(users, 1)
+	s := node.Slice(0)
+	gen := pepc.NewTrafficGen(pepc.TrafficConfig{CoreAddr: s.Config().CoreAddr}, pop)
+	batch := make([]*pepc.Buf, 0, 32)
+	for sent := 0; sent < packets; {
+		batch = batch[:0]
+		for i := 0; i < 32 && sent+len(batch) < packets; i++ {
+			batch = append(batch, gen.NextUplink())
+		}
+		s.Data().ProcessUplinkBatch(batch, sim.Now())
+		sent += len(batch)
+		for {
+			b, ok := s.Egress.Dequeue()
+			if !ok {
+				break
+			}
+			b.Free()
+		}
+	}
+	fmt.Printf("passed %d uplink packets (forwarded=%d dropped=%d)\n",
+		packets, s.Data().Forwarded.Load(), s.Data().Dropped.Load())
+	show := 5
+	if users < show {
+		show = users
+	}
+	for _, u := range pop[:show] {
+		cdr, err := s.Control().CollectUsage(u.IMSI, sim.Now())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epcctl: usage: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %v\n", cdr)
+	}
+}

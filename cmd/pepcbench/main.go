@@ -1,0 +1,80 @@
+// Command pepcbench regenerates the tables and figures of the paper's
+// evaluation (§5–§7) and prints the measured series.
+//
+// Usage:
+//
+//	pepcbench -fig 5              # regenerate Figure 5
+//	pepcbench -table 1            # print Table 1
+//	pepcbench -all                # every table and figure
+//	pepcbench -all -scale full    # paper-scale populations (slow, GBs)
+//	pepcbench -fig 12 -users 500000 -packets 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pepc"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (4-15)")
+	table := flag.Int("table", 0, "table number to print (1-2)")
+	all := flag.Bool("all", false, "run every table and figure")
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	users := flag.Int("users", 0, "override max user population")
+	packets := flag.Int("packets", 0, "override measured packets per point")
+	events := flag.Int("events", 0, "override measured signaling events per point")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, n := range pepc.ExperimentNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	sc := pepc.QuickScale
+	if *scale == "full" {
+		sc = pepc.FullScale
+	} else if *scale != "quick" {
+		fmt.Fprintf(os.Stderr, "pepcbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *users > 0 {
+		sc.MaxUsers = *users
+	}
+	if *packets > 0 {
+		sc.PacketsPerPoint = *packets
+	}
+	if *events > 0 {
+		sc.EventsPerPoint = *events
+	}
+
+	var names []string
+	switch {
+	case *all:
+		names = pepc.ExperimentNames()
+	case *fig != 0:
+		names = []string{fmt.Sprintf("fig%d", *fig)}
+	case *table != 0:
+		names = []string{fmt.Sprintf("table%d", *table)}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		res, err := pepc.RunExperiment(name, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pepcbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,247 @@
+// Command pepcd runs a PEPC node: it instantiates slices, wires the
+// in-process HSS/PCRF backends through the node proxy, listens for
+// S1AP-over-SCTP signaling on a UDP socket (one association per eNodeB),
+// and forwards GTP-U user traffic received on a second UDP socket.
+//
+// Usage:
+//
+//	pepcd -slices 2 -s1ap :36412 -gtpu :2152 -subscribers 100000
+//	pepcd -config operator.json            # slices + PCC rules from file
+//
+// Pair it with cmd/enbsim, which attaches UEs over the same wire format
+// and sources uplink traffic.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"pepc"
+	"pepc/internal/core"
+	"pepc/internal/gtp"
+	"pepc/internal/pkt"
+	"pepc/internal/sctp"
+)
+
+func main() {
+	slices := flag.Int("slices", 1, "number of PEPC slices")
+	s1apAddr := flag.String("s1ap", ":36412", "UDP listen address for S1AP-over-SCTP signaling")
+	gtpuAddr := flag.String("gtpu", ":2152", "UDP listen address for GTP-U user traffic")
+	subscribers := flag.Int("subscribers", 100_000, "subscribers to provision in the HSS (IMSIs from 1)")
+	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
+	configPath := flag.String("config", "", "operator configuration file (JSON); overrides -slices")
+	flag.Parse()
+
+	var node *pepc.Node
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			log.Fatalf("pepcd: %v", err)
+		}
+		opCfg, err := core.LoadOperatorConfig(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("pepcd: %v", err)
+		}
+		node, err = core.BuildNode(opCfg)
+		if err != nil {
+			log.Fatalf("pepcd: %v", err)
+		}
+	} else {
+		cfgs := make([]pepc.SliceConfig, *slices)
+		for i := range cfgs {
+			cfgs[i] = pepc.SliceConfig{ID: i + 1, UserHint: *subscribers / *slices}
+		}
+		node = pepc.NewNode(cfgs...)
+	}
+
+	hss := pepc.NewHSS()
+	hss.ProvisionRange(1, *subscribers, 50e6, 100e6)
+	pcrf := pepc.NewPCRF()
+	node.AttachProxy(pepc.NewProxy(hss, pcrf))
+
+	stop := make(chan struct{})
+
+	// Data planes.
+	for i := 0; i < node.NumSlices(); i++ {
+		go node.Slice(i).RunData(stop)
+		go drainEgress(node.Slice(i), stop)
+	}
+
+	// Signaling listener: each new peer address becomes one SCTP
+	// association served by an S1AP server bound round-robin to a slice.
+	s1apConn, err := net.ListenPacket("udp", *s1apAddr)
+	if err != nil {
+		log.Fatalf("pepcd: s1ap listen: %v", err)
+	}
+	go serveS1AP(node, s1apConn, stop)
+
+	// User traffic listener.
+	gtpuConn, err := net.ListenPacket("udp", *gtpuAddr)
+	if err != nil {
+		log.Fatalf("pepcd: gtpu listen: %v", err)
+	}
+	go serveGTPU(node, gtpuConn, stop)
+
+	log.Printf("pepcd: %d slices, %d subscribers, S1AP on %s, GTP-U on %s",
+		*slices, *subscribers, *s1apAddr, *gtpuAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(*statsEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			close(stop)
+			log.Print("pepcd: shutting down")
+			return
+		case <-tick.C:
+			for i := 0; i < node.NumSlices(); i++ {
+				s := node.Slice(i)
+				log.Printf("slice %d: users=%d forwarded=%d dropped=%d missed=%d",
+					i, s.Users(), s.Data().Forwarded.Load(), s.Data().Dropped.Load(), s.Data().Missed.Load())
+			}
+		}
+	}
+}
+
+func drainEgress(s *pepc.Slice, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		b, ok := s.Egress.Dequeue()
+		if !ok {
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		// A production node would transmit toward the SGi/S1-U networks;
+		// the reference daemon accounts and releases.
+		b.Free()
+	}
+}
+
+// serveS1AP accepts one association per remote address over UDP.
+func serveS1AP(node *pepc.Node, pc net.PacketConn, stop <-chan struct{}) {
+	type peer struct{ wire *demuxWire }
+	peers := make(map[string]*peer)
+	next := 0
+	buf := make([]byte, 64*1024)
+	for {
+		select {
+		case <-stop:
+			pc.Close()
+			return
+		default:
+		}
+		pc.SetReadDeadline(time.Now().Add(time.Second))
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			continue
+		}
+		key := from.String()
+		p, ok := peers[key]
+		if !ok {
+			w := newDemuxWire(pc, from)
+			p = &peer{wire: w}
+			peers[key] = p
+			sliceIdx := next % node.NumSlices()
+			next++
+			go func() {
+				assoc, err := pepc.SCTPAccept(w, pepc.SCTPConfig{Tag: uint32(next + 1)})
+				if err != nil {
+					log.Printf("pepcd: accept from %s: %v", key, err)
+					return
+				}
+				srv, err := node.ServeS1AP(sliceIdx, assoc)
+				if err != nil {
+					log.Printf("pepcd: bind slice %d: %v", sliceIdx, err)
+					return
+				}
+				log.Printf("pepcd: eNodeB %s -> slice %d", key, sliceIdx)
+				if err := srv.Serve(stop); err != nil {
+					log.Printf("pepcd: association %s closed: %v", key, err)
+				}
+			}()
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		p.wire.deliver(pkt)
+	}
+}
+
+// demuxWire adapts one remote address of a shared PacketConn to the SCTP
+// Wire interface.
+type demuxWire struct {
+	pc   net.PacketConn
+	to   net.Addr
+	inCh chan []byte
+}
+
+func newDemuxWire(pc net.PacketConn, to net.Addr) *demuxWire {
+	return &demuxWire{pc: pc, to: to, inCh: make(chan []byte, 1024)}
+}
+
+func (w *demuxWire) deliver(b []byte) {
+	select {
+	case w.inCh <- b:
+	default: // drop on overflow; SCTP retransmission recovers
+	}
+}
+
+// Send implements sctp.Wire.
+func (w *demuxWire) Send(b []byte) error {
+	_, err := w.pc.WriteTo(b, w.to)
+	return err
+}
+
+// Recv implements sctp.Wire.
+func (w *demuxWire) Recv() ([]byte, error) {
+	b, ok := <-w.inCh
+	if !ok {
+		return nil, sctp.ErrWireClosed
+	}
+	return b, nil
+}
+
+// Close implements sctp.Wire.
+func (w *demuxWire) Close() error { return nil }
+
+// serveGTPU reads user packets off the wire and steers them through the
+// node demux.
+func serveGTPU(node *pepc.Node, pc net.PacketConn, stop <-chan struct{}) {
+	pool := pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	raw := make([]byte, 64*1024)
+	for {
+		select {
+		case <-stop:
+			pc.Close()
+			return
+		default:
+		}
+		pc.SetReadDeadline(time.Now().Add(time.Second))
+		n, _, err := pc.ReadFrom(raw)
+		if err != nil {
+			continue
+		}
+		b := pool.Get()
+		if err := b.SetBytes(raw[:n]); err != nil {
+			b.Free()
+			continue
+		}
+		// The wire carries the outer IP/UDP/GTP-U stack for uplink and
+		// plain IP for downlink; distinguish by a GTP-U peek.
+		if _, err := gtp.PeekTEID(b.Bytes()); err == nil {
+			node.SteerUplink(b)
+		} else {
+			node.SteerDownlink(b)
+		}
+	}
+}

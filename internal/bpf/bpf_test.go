@@ -1,0 +1,306 @@
+package bpf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pepc/internal/pkt"
+)
+
+// buildIPv4 constructs an IPv4/transport packet for classifier tests.
+func buildIPv4(f pkt.Flow, payload int) []byte {
+	hl := pkt.TCPHeaderLen
+	if f.Proto == pkt.ProtoUDP {
+		hl = pkt.UDPHeaderLen
+	}
+	total := pkt.IPv4HeaderLen + hl + payload
+	buf := make([]byte, total)
+	ip := pkt.IPv4{Length: uint16(total), TTL: 64, Protocol: f.Proto, Src: f.Src, Dst: f.Dst}
+	ip.SerializeTo(buf)
+	switch f.Proto {
+	case pkt.ProtoUDP:
+		u := pkt.UDP{SrcPort: f.SrcPort, DstPort: f.DstPort, Length: uint16(hl + payload)}
+		u.SerializeTo(buf[pkt.IPv4HeaderLen:])
+	case pkt.ProtoTCP:
+		tc := pkt.TCP{SrcPort: f.SrcPort, DstPort: f.DstPort}
+		tc.SerializeTo(buf[pkt.IPv4HeaderLen:])
+	}
+	return buf
+}
+
+func TestAssembleRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name  string
+		insns []Insn
+		err   error
+	}{
+		{"empty", nil, ErrEmptyProgram},
+		{"no return", []Insn{{Op: LdImm, K: 1}}, ErrNoReturn},
+		{"jump past end", []Insn{{Op: JEq, K: 1, Jt: 5, Jf: 0}, {Op: RetImm}}, ErrJumpRange},
+		{"bad op", []Insn{{Op: Op(200)}, {Op: RetImm}}, ErrBadOp},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.insns)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			// error may be wrapped with pc info
+			if tc.err != nil && !containsErr(err, tc.err) {
+				t.Fatalf("got %v, want %v", err, tc.err)
+			}
+		})
+	}
+}
+
+func containsErr(err, target error) bool {
+	return err == target || (err != nil && target != nil && (errorIs(err, target)))
+}
+
+func errorIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestVMBasicOps(t *testing.T) {
+	// Program: return be16(pkt[2:]) + 1
+	p := MustAssemble([]Insn{
+		{Op: LdAbsH, K: 2},
+		{Op: AddImm, K: 1},
+		{Op: RetA},
+	})
+	got := p.Run([]byte{0, 0, 0x12, 0x34})
+	if got != 0x1235 {
+		t.Fatalf("Run = %#x, want 0x1235", got)
+	}
+}
+
+func TestVMOutOfBoundsLoadReturnsZero(t *testing.T) {
+	p := MustAssemble([]Insn{
+		{Op: LdAbsW, K: 100},
+		{Op: RetImm, K: 7},
+	})
+	if got := p.Run([]byte{1, 2, 3}); got != 0 {
+		t.Fatalf("oob load: Run = %d, want 0", got)
+	}
+}
+
+func TestVMIndirectLoads(t *testing.T) {
+	// X = 4*(pkt[0]&0x0f); A = be16(pkt[X+2:]) -> dst port of transport
+	p := MustAssemble([]Insn{
+		{Op: LdxIPLen, K: 0},
+		{Op: IndH, K: 2},
+		{Op: RetA},
+	})
+	f := pkt.Flow{Src: 1, Dst: 2, SrcPort: 1000, DstPort: 53, Proto: pkt.ProtoUDP}
+	data := buildIPv4(f, 0)
+	if got := p.Run(data); got != 53 {
+		t.Fatalf("dst port = %d, want 53", got)
+	}
+}
+
+func TestVMConditionals(t *testing.T) {
+	// if pkt[0] == 5 return 100 else return 200
+	p := MustAssemble([]Insn{
+		{Op: LdAbsB, K: 0},
+		{Op: JEq, K: 5, Jt: 0, Jf: 1},
+		{Op: RetImm, K: 100},
+		{Op: RetImm, K: 200},
+	})
+	if got := p.Run([]byte{5}); got != 100 {
+		t.Fatalf("match: %d", got)
+	}
+	if got := p.Run([]byte{6}); got != 200 {
+		t.Fatalf("no match: %d", got)
+	}
+}
+
+func TestCompileWildcardMatchesEverything(t *testing.T) {
+	p := MustCompile(FilterSpec{Ret: 42})
+	f := pkt.Flow{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: pkt.ProtoTCP}
+	if got := p.Run(buildIPv4(f, 10)); got != 42 {
+		t.Fatalf("wildcard: %d, want 42", got)
+	}
+}
+
+func TestCompileRejectsNonIPv4(t *testing.T) {
+	p := MustCompile(FilterSpec{Ret: 1})
+	bad := make([]byte, 40)
+	bad[0] = 0x60 // version 6
+	if got := p.Run(bad); got != 0 {
+		t.Fatalf("v6 packet matched: %d", got)
+	}
+}
+
+func TestCompileProtoFilter(t *testing.T) {
+	p := MustCompile(FilterSpec{Proto: pkt.ProtoUDP, Ret: 9})
+	udp := pkt.Flow{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: pkt.ProtoUDP}
+	tcp := udp
+	tcp.Proto = pkt.ProtoTCP
+	if got := p.Run(buildIPv4(udp, 0)); got != 9 {
+		t.Fatalf("udp: %d", got)
+	}
+	if got := p.Run(buildIPv4(tcp, 0)); got != 0 {
+		t.Fatalf("tcp should not match: %d", got)
+	}
+}
+
+func TestCompilePrefixFilter(t *testing.T) {
+	spec := FilterSpec{DstAddr: pkt.IPv4Addr(10, 1, 0, 0), DstPrefix: 16, Ret: 3}
+	p := MustCompile(spec)
+	in := pkt.Flow{Src: 1, Dst: pkt.IPv4Addr(10, 1, 200, 5), Proto: pkt.ProtoTCP, SrcPort: 1, DstPort: 2}
+	out := in
+	out.Dst = pkt.IPv4Addr(10, 2, 0, 5)
+	if got := p.Run(buildIPv4(in, 0)); got != 3 {
+		t.Fatalf("in-prefix: %d", got)
+	}
+	if got := p.Run(buildIPv4(out, 0)); got != 0 {
+		t.Fatalf("out-of-prefix matched: %d", got)
+	}
+}
+
+func TestCompilePortRange(t *testing.T) {
+	spec := FilterSpec{DstPortLo: 80, DstPortHi: 90, Ret: 5}
+	p := MustCompile(spec)
+	for port, want := range map[uint16]uint32{79: 0, 80: 5, 85: 5, 90: 5, 91: 0} {
+		f := pkt.Flow{Src: 1, Dst: 2, SrcPort: 1000, DstPort: port, Proto: pkt.ProtoTCP}
+		if got := p.Run(buildIPv4(f, 0)); got != want {
+			t.Fatalf("port %d: got %d want %d", port, got, want)
+		}
+	}
+	// Port filters must not match non-TCP/UDP protocols.
+	icmp := pkt.Flow{Src: 1, Dst: 2, Proto: pkt.ProtoICMP}
+	data := buildIPv4(icmp, 4)
+	if got := p.Run(data); got != 0 {
+		t.Fatalf("icmp matched port filter: %d", got)
+	}
+}
+
+func TestCompileBadSpecs(t *testing.T) {
+	if _, err := Compile(FilterSpec{SrcPrefix: 33}); err != ErrBadPrefix {
+		t.Fatalf("prefix: %v", err)
+	}
+	if _, err := Compile(FilterSpec{DstPortLo: 10, DstPortHi: 5}); err != ErrBadPortRange {
+		t.Fatalf("range: %v", err)
+	}
+}
+
+// Property: the compiled BPF program and the direct MatchFlow evaluation
+// agree on every (spec, flow) pair. This is the contract that lets the
+// PEPC fast path skip the VM once the flow is parsed.
+func TestCompiledProgramAgreesWithMatchFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	protos := []uint8{pkt.ProtoTCP, pkt.ProtoUDP, pkt.ProtoICMP}
+	for i := 0; i < 2000; i++ {
+		spec := FilterSpec{
+			SrcAddr:   rng.Uint32(),
+			SrcPrefix: uint8(rng.Intn(33)),
+			DstAddr:   rng.Uint32(),
+			DstPrefix: uint8(rng.Intn(33)),
+			Ret:       1,
+		}
+		if rng.Intn(2) == 0 {
+			spec.Proto = protos[rng.Intn(len(protos))]
+		}
+		if rng.Intn(2) == 0 {
+			lo := uint16(rng.Intn(1000)) + 1
+			spec.DstPortLo, spec.DstPortHi = lo, lo+uint16(rng.Intn(100))
+		}
+		if rng.Intn(3) == 0 {
+			lo := uint16(rng.Intn(1000)) + 1
+			spec.SrcPortLo, spec.SrcPortHi = lo, lo+uint16(rng.Intn(100))
+		}
+		p, err := Compile(spec)
+		if err != nil {
+			t.Fatalf("compile %v: %v", spec, err)
+		}
+		f := pkt.Flow{
+			Src:     rng.Uint32(),
+			Dst:     rng.Uint32(),
+			SrcPort: uint16(rng.Intn(1200)),
+			DstPort: uint16(rng.Intn(1200)),
+			Proto:   protos[rng.Intn(len(protos))],
+		}
+		// Bias half the flows toward matching the spec's prefixes.
+		if rng.Intn(2) == 0 {
+			f.Src = spec.SrcAddr
+			f.Dst = spec.DstAddr
+			if spec.Proto != 0 {
+				f.Proto = spec.Proto
+			}
+			if spec.DstPortLo != 0 {
+				f.DstPort = spec.DstPortLo
+			}
+			if spec.SrcPortLo != 0 {
+				f.SrcPort = spec.SrcPortLo
+			}
+		}
+		data := buildIPv4(f, 8)
+		vm := p.Run(data) != 0
+		direct := spec.MatchFlow(f)
+		if vm != direct {
+			t.Fatalf("disagreement on spec{%v} flow{%v}: vm=%v direct=%v\n%v",
+				spec, f, vm, direct, p.Disassemble())
+		}
+	}
+}
+
+// Property: validated programs always terminate (implicitly tested by the
+// fuzz above) and Run never panics on arbitrary packet bytes.
+func TestRunNeverPanics(t *testing.T) {
+	p := MustCompile(FilterSpec{Proto: pkt.ProtoTCP, DstPortLo: 1, DstPortHi: 100, Ret: 1})
+	f := func(data []byte) bool {
+		_ = p.Run(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	p := MustCompile(FilterSpec{Proto: pkt.ProtoUDP, Ret: 2})
+	lines := p.Disassemble()
+	if len(lines) != p.Len() {
+		t.Fatalf("disassembly has %d lines for %d insns", len(lines), p.Len())
+	}
+}
+
+func BenchmarkVMClassify(b *testing.B) {
+	p := MustCompile(FilterSpec{
+		Proto:     pkt.ProtoTCP,
+		DstAddr:   pkt.IPv4Addr(10, 0, 0, 0),
+		DstPrefix: 8,
+		DstPortLo: 80, DstPortHi: 80,
+		Ret: 1,
+	})
+	f := pkt.Flow{Src: pkt.IPv4Addr(192, 168, 0, 1), Dst: pkt.IPv4Addr(10, 1, 2, 3), SrcPort: 40000, DstPort: 80, Proto: pkt.ProtoTCP}
+	data := buildIPv4(f, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if p.Run(data) == 0 {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkMatchFlow(b *testing.B) {
+	spec := FilterSpec{Proto: pkt.ProtoTCP, DstAddr: pkt.IPv4Addr(10, 0, 0, 0), DstPrefix: 8, DstPortLo: 80, DstPortHi: 80, Ret: 1}
+	f := pkt.Flow{Src: pkt.IPv4Addr(192, 168, 0, 1), Dst: pkt.IPv4Addr(10, 1, 2, 3), SrcPort: 40000, DstPort: 80, Proto: pkt.ProtoTCP}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !spec.MatchFlow(f) {
+			b.Fatal("no match")
+		}
+	}
+}

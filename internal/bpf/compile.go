@@ -1,0 +1,222 @@
+package bpf
+
+import (
+	"errors"
+	"fmt"
+
+	"pepc/internal/pkt"
+)
+
+// FilterSpec describes a 5-tuple match over an inner IPv4 packet (the
+// packet as seen after GTP-U decapsulation, starting at the IPv4 header).
+// Zero-valued fields are wildcards. Addresses use CIDR-style prefix
+// lengths; ports use inclusive ranges.
+type FilterSpec struct {
+	// SrcAddr/DstAddr with prefix lengths; a prefix length of 0 matches
+	// any address.
+	SrcAddr   uint32
+	SrcPrefix uint8
+	DstAddr   uint32
+	DstPrefix uint8
+
+	// Proto of 0 matches any protocol.
+	Proto uint8
+
+	// Port ranges; a range of [0,0] matches any port. Only meaningful for
+	// TCP/UDP and automatically guards the protocol accordingly.
+	SrcPortLo, SrcPortHi uint16
+	DstPortLo, DstPortHi uint16
+
+	// Ret is the accept value the program returns on match; zero is
+	// replaced by 1 so matches are distinguishable from drops.
+	Ret uint32
+}
+
+// Compile errors.
+var (
+	ErrBadPrefix    = errors.New("bpf: prefix length must be 0..32")
+	ErrBadPortRange = errors.New("bpf: port range lo > hi")
+)
+
+// Offsets within an IPv4 packet.
+const (
+	offIPProto = 9
+	offIPSrc   = 12
+	offIPDst   = 16
+	offIHL     = 0
+)
+
+// Compile translates a FilterSpec into a validated BPF program that
+// classifies an IPv4 packet (starting at the IP header). The generated
+// program checks, in order: IP version, protocol, source and destination
+// prefixes, then loads the header length into X to locate the transport
+// ports for the range checks.
+func Compile(spec FilterSpec) (*Program, error) {
+	if spec.SrcPrefix > 32 || spec.DstPrefix > 32 {
+		return nil, ErrBadPrefix
+	}
+	if spec.SrcPortLo > spec.SrcPortHi || spec.DstPortLo > spec.DstPortHi {
+		return nil, ErrBadPortRange
+	}
+	ret := spec.Ret
+	if ret == 0 {
+		ret = 1
+	}
+	b := &builder{}
+
+	// Version must be 4.
+	b.emit(Insn{Op: LdAbsB, K: offIHL})
+	b.emit(Insn{Op: AndImm, K: 0xf0})
+	b.jumpUnlessEq(0x40)
+
+	needsPorts := spec.SrcPortLo != 0 || spec.SrcPortHi != 0 || spec.DstPortLo != 0 || spec.DstPortHi != 0
+	if spec.Proto != 0 {
+		b.emit(Insn{Op: LdAbsB, K: offIPProto})
+		b.jumpUnlessEq(uint32(spec.Proto))
+	} else if needsPorts {
+		// Port matching only makes sense for TCP or UDP; accept either.
+		b.emit(Insn{Op: LdAbsB, K: offIPProto})
+		// if A == TCP skip the UDP check
+		b.emitProtoEither()
+	}
+	if spec.SrcPrefix > 0 {
+		mask := prefixMask(spec.SrcPrefix)
+		b.emit(Insn{Op: LdAbsW, K: offIPSrc})
+		b.emit(Insn{Op: AndImm, K: mask})
+		b.jumpUnlessEq(spec.SrcAddr & mask)
+	}
+	if spec.DstPrefix > 0 {
+		mask := prefixMask(spec.DstPrefix)
+		b.emit(Insn{Op: LdAbsW, K: offIPDst})
+		b.emit(Insn{Op: AndImm, K: mask})
+		b.jumpUnlessEq(spec.DstAddr & mask)
+	}
+	if needsPorts {
+		// X = IP header length, so ports live at X+0 (src) and X+2 (dst).
+		b.emit(Insn{Op: LdxIPLen, K: offIHL})
+		if spec.SrcPortLo != 0 || spec.SrcPortHi != 0 {
+			b.emit(Insn{Op: IndH, K: 0})
+			b.jumpUnlessInRange(uint32(spec.SrcPortLo), uint32(spec.SrcPortHi))
+		}
+		if spec.DstPortLo != 0 || spec.DstPortHi != 0 {
+			b.emit(Insn{Op: IndH, K: 2})
+			b.jumpUnlessInRange(uint32(spec.DstPortLo), uint32(spec.DstPortHi))
+		}
+	}
+	b.emit(Insn{Op: RetImm, K: ret}) // match
+	rejectPC := len(b.insns)
+	b.emit(Insn{Op: RetImm, K: 0}) // reject
+	b.patchRejects(rejectPC)
+	return Assemble(b.insns)
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(spec FilterSpec) *Program {
+	p, err := Compile(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MatchFlow evaluates the spec directly against a parsed 5-tuple. The PEPC
+// fast path uses this when the parse stage has already extracted the flow;
+// the BPF program and MatchFlow must agree (tested by property test).
+func (spec FilterSpec) MatchFlow(f pkt.Flow) bool {
+	if spec.Proto != 0 && f.Proto != spec.Proto {
+		return false
+	}
+	needsPorts := spec.SrcPortLo != 0 || spec.SrcPortHi != 0 || spec.DstPortLo != 0 || spec.DstPortHi != 0
+	if needsPorts && f.Proto != pkt.ProtoTCP && f.Proto != pkt.ProtoUDP {
+		return false
+	}
+	if spec.SrcPrefix > 0 {
+		mask := prefixMask(spec.SrcPrefix)
+		if f.Src&mask != spec.SrcAddr&mask {
+			return false
+		}
+	}
+	if spec.DstPrefix > 0 {
+		mask := prefixMask(spec.DstPrefix)
+		if f.Dst&mask != spec.DstAddr&mask {
+			return false
+		}
+	}
+	if spec.SrcPortLo != 0 || spec.SrcPortHi != 0 {
+		if f.SrcPort < spec.SrcPortLo || f.SrcPort > spec.SrcPortHi {
+			return false
+		}
+	}
+	if spec.DstPortLo != 0 || spec.DstPortHi != 0 {
+		if f.DstPort < spec.DstPortLo || f.DstPort > spec.DstPortHi {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the spec for diagnostics.
+func (spec FilterSpec) String() string {
+	return fmt.Sprintf("src=%s/%d dst=%s/%d proto=%d sport=%d-%d dport=%d-%d ret=%d",
+		pkt.FormatIPv4(spec.SrcAddr), spec.SrcPrefix,
+		pkt.FormatIPv4(spec.DstAddr), spec.DstPrefix,
+		spec.Proto, spec.SrcPortLo, spec.SrcPortHi, spec.DstPortLo, spec.DstPortHi, spec.Ret)
+}
+
+func prefixMask(bits uint8) uint32 {
+	if bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+// builder accumulates instructions and defers reject-jump resolution: any
+// conditional that fails must jump to the shared "return 0" at the end,
+// whose address is unknown until the program is complete.
+type builder struct {
+	insns   []Insn
+	rejects []int // pcs of jumps whose Jf must be patched to the reject RET
+	either  []int // pcs of TCP-or-UDP checks (Jt patched past the UDP test)
+}
+
+func (b *builder) emit(in Insn) { b.insns = append(b.insns, in) }
+
+// jumpUnlessEq emits "if A != k goto reject".
+func (b *builder) jumpUnlessEq(k uint32) {
+	b.rejects = append(b.rejects, len(b.insns))
+	b.emit(Insn{Op: JEq, K: k, Jt: 0 /* fall through */, Jf: 0 /* patched */})
+}
+
+// jumpUnlessInRange emits "if A < lo || A > hi goto reject".
+func (b *builder) jumpUnlessInRange(lo, hi uint32) {
+	// if A >= lo fall through else reject
+	b.rejects = append(b.rejects, len(b.insns))
+	b.emit(Insn{Op: JGe, K: lo})
+	// if A > hi reject else fall through
+	b.rejects = append(b.rejects, len(b.insns))
+	b.emit(Insn{Op: JGt, K: hi}) // Jt -> reject (patched as Jf? see patch)
+}
+
+// emitProtoEither emits "if A == TCP skip next; if A != UDP reject".
+func (b *builder) emitProtoEither() {
+	b.emit(Insn{Op: JEq, K: uint32(pkt.ProtoTCP), Jt: 1, Jf: 0})
+	b.rejects = append(b.rejects, len(b.insns))
+	b.emit(Insn{Op: JEq, K: uint32(pkt.ProtoUDP)})
+}
+
+// patchRejects points every deferred reject edge at rejectPC.
+func (b *builder) patchRejects(rejectPC int) {
+	for _, pc := range b.rejects {
+		in := &b.insns[pc]
+		off := rejectPC - pc - 1
+		if off < 0 || off > 255 {
+			panic("bpf: reject jump out of encodable range")
+		}
+		if in.Op == JGt {
+			// "A > hi" being TRUE means out of range → reject.
+			in.Jt = uint8(off)
+		} else {
+			in.Jf = uint8(off)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package bpf implements a classic-BPF-style virtual machine and a filter
+// compiler over IPv4 5-tuples. The PEPC Policy and Charging Enforcement
+// Function (PCEF) is "a match-action table, consisting of BPF programs over
+// the 5-tuple and operator specified actions" (paper §4.2); this package
+// provides those programs.
+//
+// The instruction set is a pragmatic subset of classic BPF: absolute loads
+// of byte/half/word from packet memory, immediate and register ALU ops,
+// conditional jumps, and RET with an accept value. Programs are validated
+// before execution (forward-only jumps, in-range targets, guaranteed
+// termination) exactly as a kernel verifier would insist.
+package bpf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Opcodes. The encoding follows classic BPF's class/mode split closely
+// enough to read familiarly, but is its own ISA.
+type Op uint8
+
+const (
+	// Loads into register A.
+	LdAbsB Op = iota // A = pkt[k]
+	LdAbsH           // A = be16(pkt[k:])
+	LdAbsW           // A = be32(pkt[k:])
+	LdImm            // A = k
+	LdLen            // A = len(pkt)
+	LdX              // A = X
+
+	// Loads into register X.
+	LdxImm   // X = k
+	LdxA     // X = A
+	LdxMemB  // X = pkt[k]
+	LdxIPLen // X = 4*(pkt[k] & 0x0f)  (IPv4 header-length idiom)
+
+	// ALU on A.
+	AddImm // A += k
+	SubImm // A -= k
+	AndImm // A &= k
+	OrImm  // A |= k
+	RshImm // A >>= k
+	LshImm // A <<= k
+	AddX   // A += X
+	IndB   // A = pkt[X+k]
+	IndH   // A = be16(pkt[X+k:])
+	IndW   // A = be32(pkt[X+k:])
+
+	// Conditional jumps. jt/jf are relative forward offsets.
+	JEq  // if A == k
+	JGt  // if A > k
+	JGe  // if A >= k
+	JSet // if A & k != 0
+	JEqX // if A == X
+
+	// Return.
+	RetImm // return k
+	RetA   // return A
+)
+
+var opNames = map[Op]string{
+	LdAbsB: "ldb", LdAbsH: "ldh", LdAbsW: "ldw", LdImm: "ld", LdLen: "ldlen", LdX: "tax",
+	LdxImm: "ldx", LdxA: "txa", LdxMemB: "ldxb", LdxIPLen: "ldxhl",
+	AddImm: "add", SubImm: "sub", AndImm: "and", OrImm: "or", RshImm: "rsh", LshImm: "lsh",
+	AddX: "addx", IndB: "indb", IndH: "indh", IndW: "indw",
+	JEq: "jeq", JGt: "jgt", JGe: "jge", JSet: "jset", JEqX: "jeqx",
+	RetImm: "ret", RetA: "reta",
+}
+
+// Insn is one BPF instruction.
+type Insn struct {
+	Op Op
+	Jt uint8  // jump offset if true (relative to next instruction)
+	Jf uint8  // jump offset if false
+	K  uint32 // immediate
+}
+
+// String renders the instruction in a bpf_asm-like syntax.
+func (i Insn) String() string {
+	name := opNames[i.Op]
+	if name == "" {
+		name = fmt.Sprintf("op%d", i.Op)
+	}
+	switch i.Op {
+	case JEq, JGt, JGe, JSet, JEqX:
+		return fmt.Sprintf("%-6s #%d jt %d jf %d", name, i.K, i.Jt, i.Jf)
+	default:
+		return fmt.Sprintf("%-6s #%d", name, i.K)
+	}
+}
+
+// Validation errors.
+var (
+	ErrEmptyProgram = errors.New("bpf: empty program")
+	ErrJumpRange    = errors.New("bpf: jump out of range")
+	ErrNoReturn     = errors.New("bpf: program can fall off the end")
+	ErrBadOp        = errors.New("bpf: unknown opcode")
+	ErrTooLong      = errors.New("bpf: program too long")
+)
+
+// MaxInsns bounds program length, mirroring BPF_MAXINSNS.
+const MaxInsns = 4096
+
+// Program is a validated BPF program ready for execution.
+type Program struct {
+	insns []Insn
+}
+
+// Assemble validates insns and returns an executable Program. Validation
+// guarantees termination: all jumps are forward and in range, and every
+// path ends in a RET.
+func Assemble(insns []Insn) (*Program, error) {
+	if len(insns) == 0 {
+		return nil, ErrEmptyProgram
+	}
+	if len(insns) > MaxInsns {
+		return nil, ErrTooLong
+	}
+	for pc, in := range insns {
+		if _, ok := opNames[in.Op]; !ok {
+			return nil, fmt.Errorf("%w: pc %d", ErrBadOp, pc)
+		}
+		switch in.Op {
+		case JEq, JGt, JGe, JSet, JEqX:
+			if pc+1+int(in.Jt) >= len(insns) || pc+1+int(in.Jf) >= len(insns) {
+				return nil, fmt.Errorf("%w: pc %d", ErrJumpRange, pc)
+			}
+		}
+	}
+	// Every instruction that can be the last executed must be a RET.
+	last := insns[len(insns)-1]
+	if last.Op != RetImm && last.Op != RetA {
+		return nil, ErrNoReturn
+	}
+	p := &Program{insns: make([]Insn, len(insns))}
+	copy(p.insns, insns)
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error, for compiled-in programs.
+func MustAssemble(insns []Insn) *Program {
+	p, err := Assemble(insns)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.insns) }
+
+// Disassemble returns a printable listing of the program.
+func (p *Program) Disassemble() []string {
+	out := make([]string, len(p.insns))
+	for i, in := range p.insns {
+		out[i] = fmt.Sprintf("%3d: %s", i, in.String())
+	}
+	return out
+}
+
+// Run executes the program over pkt and returns its accept value. A return
+// value of 0 means "drop/no match"; non-zero conventionally carries a rule
+// id or snap length. Out-of-bounds packet loads terminate with 0, matching
+// classic BPF semantics.
+func (p *Program) Run(pkt []byte) uint32 {
+	var a, x uint32
+	insns := p.insns
+	for pc := 0; pc < len(insns); pc++ {
+		in := &insns[pc]
+		k := in.K
+		switch in.Op {
+		case LdAbsB:
+			if int(k) >= len(pkt) {
+				return 0
+			}
+			a = uint32(pkt[k])
+		case LdAbsH:
+			if int(k)+2 > len(pkt) {
+				return 0
+			}
+			a = uint32(binary.BigEndian.Uint16(pkt[k:]))
+		case LdAbsW:
+			if int(k)+4 > len(pkt) {
+				return 0
+			}
+			a = binary.BigEndian.Uint32(pkt[k:])
+		case LdImm:
+			a = k
+		case LdLen:
+			a = uint32(len(pkt))
+		case LdX:
+			a = x
+		case LdxImm:
+			x = k
+		case LdxA:
+			x = a
+		case LdxMemB:
+			if int(k) >= len(pkt) {
+				return 0
+			}
+			x = uint32(pkt[k])
+		case LdxIPLen:
+			if int(k) >= len(pkt) {
+				return 0
+			}
+			x = 4 * uint32(pkt[k]&0x0f)
+		case AddImm:
+			a += k
+		case SubImm:
+			a -= k
+		case AndImm:
+			a &= k
+		case OrImm:
+			a |= k
+		case RshImm:
+			a >>= k & 31
+		case LshImm:
+			a <<= k & 31
+		case AddX:
+			a += x
+		case IndB:
+			off := int(x) + int(k)
+			if off < 0 || off >= len(pkt) {
+				return 0
+			}
+			a = uint32(pkt[off])
+		case IndH:
+			off := int(x) + int(k)
+			if off < 0 || off+2 > len(pkt) {
+				return 0
+			}
+			a = uint32(binary.BigEndian.Uint16(pkt[off:]))
+		case IndW:
+			off := int(x) + int(k)
+			if off < 0 || off+4 > len(pkt) {
+				return 0
+			}
+			a = binary.BigEndian.Uint32(pkt[off:])
+		case JEq:
+			pc += jump(a == k, in)
+		case JGt:
+			pc += jump(a > k, in)
+		case JGe:
+			pc += jump(a >= k, in)
+		case JSet:
+			pc += jump(a&k != 0, in)
+		case JEqX:
+			pc += jump(a == x, in)
+		case RetImm:
+			return k
+		case RetA:
+			return a
+		}
+	}
+	// Unreachable for validated programs.
+	return 0
+}
+
+func jump(cond bool, in *Insn) int {
+	if cond {
+		return int(in.Jt)
+	}
+	return int(in.Jf)
+}

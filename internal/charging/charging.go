@@ -1,0 +1,149 @@
+// Package charging implements the offline-charging side of the EPC data
+// plane: per-user usage accumulation (written by the data thread into the
+// UE's counter state), Charging Data Record (CDR) generation on the
+// control thread, and usage-report thresholds that trigger Gx
+// reauthorization toward the PCRF.
+package charging
+
+import (
+	"fmt"
+	"sync"
+
+	"pepc/internal/state"
+)
+
+// Usage is a point-in-time usage snapshot for one user.
+type Usage struct {
+	IMSI            uint64
+	UplinkBytes     uint64
+	DownlinkBytes   uint64
+	UplinkPackets   uint64
+	DownlinkPackets uint64
+	RuleBytes       [4]uint64
+}
+
+// Total returns total bytes both directions.
+func (u Usage) Total() uint64 { return u.UplinkBytes + u.DownlinkBytes }
+
+// Sub returns the delta u - prev (per-field saturating at 0 to tolerate
+// counter resets after migration restores).
+func (u Usage) Sub(prev Usage) Usage {
+	d := Usage{IMSI: u.IMSI}
+	d.UplinkBytes = satSub(u.UplinkBytes, prev.UplinkBytes)
+	d.DownlinkBytes = satSub(u.DownlinkBytes, prev.DownlinkBytes)
+	d.UplinkPackets = satSub(u.UplinkPackets, prev.UplinkPackets)
+	d.DownlinkPackets = satSub(u.DownlinkPackets, prev.DownlinkPackets)
+	for i := range d.RuleBytes {
+		d.RuleBytes[i] = satSub(u.RuleBytes[i], prev.RuleBytes[i])
+	}
+	return d
+}
+
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// CDR is a Charging Data Record covering the interval between two usage
+// collections.
+type CDR struct {
+	IMSI     uint64
+	SeqNo    uint64
+	OpenedAt int64 // monotonic nanos
+	ClosedAt int64
+	Delta    Usage
+}
+
+// String implements fmt.Stringer.
+func (c CDR) String() string {
+	return fmt.Sprintf("CDR{imsi=%d seq=%d up=%dB down=%dB}", c.IMSI, c.SeqNo, c.Delta.UplinkBytes, c.Delta.DownlinkBytes)
+}
+
+// Collector runs on the control thread: it reads each user's counter
+// state (a read that PEPC's lock split makes contention free against the
+// data thread's writes), closes CDRs on interval or volume thresholds,
+// and reports deltas.
+type Collector struct {
+	mu       sync.Mutex
+	last     map[uint64]Usage // last collected usage per IMSI
+	seq      map[uint64]uint64
+	openedAt map[uint64]int64
+
+	// VolumeThreshold closes a CDR early once interval usage exceeds it
+	// (0 disables).
+	VolumeThreshold uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		last:     make(map[uint64]Usage),
+		seq:      make(map[uint64]uint64),
+		openedAt: make(map[uint64]int64),
+	}
+}
+
+// Snapshot reads a UE's counters into a Usage (control thread).
+func Snapshot(ue *state.UE, imsi uint64) Usage {
+	var u Usage
+	u.IMSI = imsi
+	ue.ReadCounters(func(c *state.CounterState) {
+		u.UplinkBytes = c.UplinkBytes
+		u.DownlinkBytes = c.DownlinkBytes
+		u.UplinkPackets = c.UplinkPackets
+		u.DownlinkPackets = c.DownlinkPackets
+		u.RuleBytes = c.RuleBytes
+	})
+	return u
+}
+
+// Collect closes the current CDR for a user at time now and opens the
+// next one. It returns the record and whether the user had any usage this
+// interval.
+func (col *Collector) Collect(ue *state.UE, imsi uint64, now int64) (CDR, bool) {
+	u := Snapshot(ue, imsi)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	prev := col.last[imsi]
+	delta := u.Sub(prev)
+	col.last[imsi] = u
+	col.seq[imsi]++
+	opened := col.openedAt[imsi]
+	col.openedAt[imsi] = now
+	cdr := CDR{IMSI: imsi, SeqNo: col.seq[imsi], OpenedAt: opened, ClosedAt: now, Delta: delta}
+	return cdr, delta.Total() > 0 || delta.UplinkPackets+delta.DownlinkPackets > 0
+}
+
+// OverThreshold reports whether the user's usage since the last Collect
+// exceeds the volume threshold — the control thread polls this to decide
+// when to send a Gx usage report.
+func (col *Collector) OverThreshold(ue *state.UE, imsi uint64) bool {
+	if col.VolumeThreshold == 0 {
+		return false
+	}
+	u := Snapshot(ue, imsi)
+	col.mu.Lock()
+	prev := col.last[imsi]
+	col.mu.Unlock()
+	return u.Sub(prev).Total() >= col.VolumeThreshold
+}
+
+// Forget drops collection state for a detached or migrated-away user.
+func (col *Collector) Forget(imsi uint64) {
+	col.mu.Lock()
+	delete(col.last, imsi)
+	delete(col.seq, imsi)
+	delete(col.openedAt, imsi)
+	col.mu.Unlock()
+}
+
+// Seed primes the collector after a migration restore so the first CDR on
+// the new slice does not re-bill usage already recorded at the old slice.
+func (col *Collector) Seed(imsi uint64, u Usage, now int64) {
+	col.mu.Lock()
+	col.last[imsi] = u
+	col.openedAt[imsi] = now
+	col.mu.Unlock()
+}

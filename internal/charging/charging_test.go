@@ -1,0 +1,123 @@
+package charging
+
+import (
+	"testing"
+
+	"pepc/internal/state"
+)
+
+func ueWithUsage(up, down uint64) *state.UE {
+	ue := &state.UE{}
+	ue.WriteCounters(func(c *state.CounterState) {
+		c.UplinkBytes = up
+		c.DownlinkBytes = down
+		c.UplinkPackets = up / 100
+		c.DownlinkPackets = down / 100
+	})
+	return ue
+}
+
+func TestSnapshotReadsCounters(t *testing.T) {
+	ue := ueWithUsage(1000, 2000)
+	u := Snapshot(ue, 42)
+	if u.IMSI != 42 || u.UplinkBytes != 1000 || u.DownlinkBytes != 2000 {
+		t.Fatalf("snapshot: %+v", u)
+	}
+	if u.Total() != 3000 {
+		t.Fatalf("total = %d", u.Total())
+	}
+}
+
+func TestCollectDeltas(t *testing.T) {
+	col := NewCollector()
+	ue := ueWithUsage(1000, 0)
+	cdr, busy := col.Collect(ue, 7, 100)
+	if !busy || cdr.Delta.UplinkBytes != 1000 || cdr.SeqNo != 1 {
+		t.Fatalf("first collect: %+v busy=%v", cdr, busy)
+	}
+	// More traffic arrives.
+	ue.WriteCounters(func(c *state.CounterState) { c.UplinkBytes += 500 })
+	cdr, busy = col.Collect(ue, 7, 200)
+	if !busy || cdr.Delta.UplinkBytes != 500 || cdr.SeqNo != 2 {
+		t.Fatalf("second collect: %+v", cdr)
+	}
+	if cdr.OpenedAt != 100 || cdr.ClosedAt != 200 {
+		t.Fatalf("interval: %d..%d", cdr.OpenedAt, cdr.ClosedAt)
+	}
+	// No new traffic: not busy.
+	_, busy = col.Collect(ue, 7, 300)
+	if busy {
+		t.Fatal("idle interval reported busy")
+	}
+}
+
+func TestUsageSubSaturates(t *testing.T) {
+	a := Usage{UplinkBytes: 10}
+	b := Usage{UplinkBytes: 100}
+	if d := a.Sub(b); d.UplinkBytes != 0 {
+		t.Fatalf("saturating sub: %d", d.UplinkBytes)
+	}
+}
+
+func TestOverThreshold(t *testing.T) {
+	col := NewCollector()
+	col.VolumeThreshold = 1000
+	ue := ueWithUsage(0, 0)
+	col.Collect(ue, 1, 0)
+	if col.OverThreshold(ue, 1) {
+		t.Fatal("fresh user over threshold")
+	}
+	ue.WriteCounters(func(c *state.CounterState) { c.DownlinkBytes = 999 })
+	if col.OverThreshold(ue, 1) {
+		t.Fatal("under threshold reported over")
+	}
+	ue.WriteCounters(func(c *state.CounterState) { c.DownlinkBytes = 1000 })
+	if !col.OverThreshold(ue, 1) {
+		t.Fatal("threshold crossing missed")
+	}
+	// Disabled threshold never triggers.
+	col.VolumeThreshold = 0
+	if col.OverThreshold(ue, 1) {
+		t.Fatal("disabled threshold triggered")
+	}
+}
+
+func TestForgetResetsSequence(t *testing.T) {
+	col := NewCollector()
+	ue := ueWithUsage(10, 0)
+	col.Collect(ue, 5, 0)
+	col.Forget(5)
+	cdr, _ := col.Collect(ue, 5, 10)
+	if cdr.SeqNo != 1 {
+		t.Fatalf("seq after forget = %d", cdr.SeqNo)
+	}
+	// And the usage is re-billed from zero baseline, which is why Forget
+	// is only for detach, not migration.
+	if cdr.Delta.UplinkBytes != 10 {
+		t.Fatalf("delta after forget = %d", cdr.Delta.UplinkBytes)
+	}
+}
+
+func TestSeedAvoidsDoubleBilling(t *testing.T) {
+	// Migration: old slice recorded 1000 bytes; new slice restores the
+	// counter state and seeds the collector, so only post-migration
+	// traffic bills.
+	col := NewCollector()
+	ue := ueWithUsage(1000, 0)
+	col.Seed(9, Snapshot(ue, 9), 50)
+	ue.WriteCounters(func(c *state.CounterState) { c.UplinkBytes += 250 })
+	cdr, busy := col.Collect(ue, 9, 100)
+	if !busy || cdr.Delta.UplinkBytes != 250 {
+		t.Fatalf("post-migration delta = %d, want 250", cdr.Delta.UplinkBytes)
+	}
+	if cdr.OpenedAt != 50 {
+		t.Fatalf("openedAt = %d", cdr.OpenedAt)
+	}
+}
+
+func TestCDRString(t *testing.T) {
+	c := CDR{IMSI: 1, SeqNo: 2, Delta: Usage{UplinkBytes: 3, DownlinkBytes: 4}}
+	if got := c.String(); got != "CDR{imsi=1 seq=2 up=3B down=4B}" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pepc/internal/pkt"
+	"pepc/internal/sim"
+	"pepc/internal/state"
+)
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	src := NewSlice(SliceConfig{ID: 1, UserHint: 256})
+	const users = 100
+	for i := 1; i <= users; i++ {
+		if _, err := src.Control().Attach(AttachSpec{
+			IMSI: uint64(i), ENBAddr: uint32(i), DownlinkTEID: uint32(0x100 + i),
+			AMBRUplink: 10e6,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Data().SyncUpdates()
+	// Put some counters on one user so restore provably carries them.
+	ue := src.Control().Lookup(50)
+	ue.WriteCounters(func(c *state.CounterState) { c.UplinkBytes = 4242 })
+
+	var buf bytes.Buffer
+	n, err := src.Checkpoint(&buf)
+	if err != nil || n != users {
+		t.Fatalf("checkpoint: n=%d err=%v", n, err)
+	}
+
+	// Recovery node: fresh slice, bulk restore, demux re-registration.
+	recovery := NewNode(SliceConfig{ID: 1, UserHint: 256})
+	dst := recovery.Slice(0)
+	got, err := dst.RestoreCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil || got != users {
+		t.Fatalf("restore: n=%d err=%v", got, err)
+	}
+	if dst.Users() != users {
+		t.Fatalf("restored users = %d", dst.Users())
+	}
+	reg, err := recovery.RegisterRestored(0)
+	if err != nil || reg != users {
+		t.Fatalf("register: %d %v", reg, err)
+	}
+
+	// The restored user keeps identifiers, QoS and counters.
+	rue := dst.Control().Lookup(50)
+	if rue == nil {
+		t.Fatal("user 50 missing")
+	}
+	var cs state.ControlState
+	var cnt state.CounterState
+	rue.ReadCtrl(func(c *state.ControlState) { cs = *c })
+	rue.ReadCounters(func(c *state.CounterState) { cnt = *c })
+	if cs.DownlinkTEID != 0x100+50 || cs.AMBRUplink != 10e6 || cnt.UplinkBytes != 4242 {
+		t.Fatalf("restored state: %+v %+v", cs, cnt)
+	}
+
+	// Traffic flows immediately after restore + sync.
+	dst.Data().SyncUpdates()
+	pool := pkt.NewPool(2048, 128)
+	b := buildUplink(pool, cs.UplinkTEID, cs.UEAddr, 1, dst.Config().CoreAddr, 80)
+	dst.Data().ProcessUplinkBatch([]*pkt.Buf{b}, sim.Now())
+	if dst.Data().Forwarded.Load() != 1 {
+		t.Fatalf("post-restore traffic: forwarded=%d missed=%d",
+			dst.Data().Forwarded.Load(), dst.Data().Missed.Load())
+	}
+	drainEgress(dst)
+}
+
+func TestRestoreIsIdempotent(t *testing.T) {
+	src := NewSlice(SliceConfig{ID: 1, UserHint: 64})
+	for i := 1; i <= 10; i++ {
+		src.Control().Attach(AttachSpec{IMSI: uint64(i)})
+	}
+	var buf bytes.Buffer
+	src.Checkpoint(&buf)
+	dst := NewSlice(SliceConfig{ID: 1, UserHint: 64})
+	if n, err := dst.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err != nil || n != 10 {
+		t.Fatalf("first restore: %d %v", n, err)
+	}
+	// Replaying the same checkpoint installs nothing new.
+	if n, err := dst.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Fatalf("replay: %d %v", n, err)
+	}
+	if dst.Users() != 10 {
+		t.Fatalf("users after replay = %d", dst.Users())
+	}
+}
+
+func TestRestoreRejectsCorruption(t *testing.T) {
+	src := NewSlice(SliceConfig{ID: 1, UserHint: 64})
+	for i := 1; i <= 5; i++ {
+		src.Control().Attach(AttachSpec{IMSI: uint64(i)})
+	}
+	var buf bytes.Buffer
+	src.Checkpoint(&buf)
+
+	// Bad magic.
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[0] ^= 0xff
+	dst := NewSlice(SliceConfig{ID: 1, UserHint: 64})
+	if _, err := dst.RestoreCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Flipped byte in a snapshot body -> CRC failure.
+	bad2 := append([]byte(nil), buf.Bytes()...)
+	bad2[len(bad2)-100] ^= 0x01
+	dst2 := NewSlice(SliceConfig{ID: 1, UserHint: 64})
+	if _, err := dst2.RestoreCheckpoint(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("corrupted stream accepted")
+	}
+
+	// Truncation.
+	dst3 := NewSlice(SliceConfig{ID: 1, UserHint: 64})
+	if _, err := dst3.RestoreCheckpoint(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestCheckpointEmptySlice(t *testing.T) {
+	s := NewSlice(SliceConfig{ID: 1, UserHint: 16})
+	var buf bytes.Buffer
+	n, err := s.Checkpoint(&buf)
+	if err != nil || n != 0 {
+		t.Fatalf("empty checkpoint: %d %v", n, err)
+	}
+	dst := NewSlice(SliceConfig{ID: 1, UserHint: 16})
+	if n, err := dst.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Fatalf("empty restore: %d %v", n, err)
+	}
+}

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pepc/internal/charging"
+	"pepc/internal/pcef"
+	"pepc/internal/ring"
+	"pepc/internal/sim"
+	"pepc/internal/state"
+)
+
+// ControlPlane is the slice's control thread: it terminates signaling
+// (attach, handover, detach), owns every write to per-user control state,
+// manages primary/secondary table residency, talks to the HSS/PCRF
+// through the node proxy, and services state-migration requests.
+type ControlPlane struct {
+	s *Slice
+
+	// Identifier allocation. TEIDs carry the slice id in the top byte
+	// (0xF0|id space) so they never collide with UE addresses
+	// (10.0.0.0/8) in the two-level table's shared key space.
+	nextSeq uint32
+	iotSeq  uint32
+
+	// proxy reaches HSS/PCRF; nil means synthetic mode (the paper's
+	// at-scale control experiments generate state operations without
+	// wire messages, §5.1).
+	proxy *Proxy
+
+	// promoteQ carries promotion requests from the data thread
+	// (secondary-table hits) back to the control thread.
+	promoteQ *ring.MPSC[promoteReq]
+
+	collector *charging.Collector
+
+	// loopRunning reports whether RunCtrl is active, steering exec().
+	loopRunning atomic.Bool
+
+	// Event counters.
+	Attaches   atomic.Uint64
+	Handovers  atomic.Uint64
+	Detaches   atomic.Uint64
+	Promotions atomic.Uint64
+	Evictions  atomic.Uint64
+}
+
+type promoteReq struct {
+	ue *state.UE
+}
+
+func newControlPlane(s *Slice) *ControlPlane {
+	return &ControlPlane{
+		s:         s,
+		promoteQ:  ring.MustMPSC[promoteReq](1 << 12),
+		collector: charging.NewCollector(),
+	}
+}
+
+// SetProxy attaches the node proxy (full signaling mode). Without a
+// proxy, Attach runs the synthetic state-operation path.
+func (cp *ControlPlane) SetProxy(p *Proxy) { cp.proxy = p }
+
+// Collector returns the charging collector.
+func (cp *ControlPlane) Collector() *charging.Collector { return cp.collector }
+
+// AttachSpec carries the parameters of an attach procedure.
+type AttachSpec struct {
+	IMSI uint64
+	// ENBAddr/DownlinkTEID identify the serving eNodeB's data endpoint.
+	ENBAddr      uint32
+	DownlinkTEID uint32
+	ECGI         uint32
+	TAI          uint16
+	// QoS profile; zero values mean unpoliced.
+	AMBRUplink   uint64
+	AMBRDownlink uint64
+	QCI          uint8
+}
+
+// AttachResult reports the identifiers the network assigned.
+type AttachResult struct {
+	UplinkTEID uint32 // where the eNodeB must send uplink GTP-U
+	UEAddr     uint32 // the UE's allocated IP
+	GUTI       uint64
+}
+
+// Attach executes the attach procedure for a user: authenticate (when a
+// proxy is attached), allocate identifiers, build the consolidated
+// control state, insert it into the control-plane store, and notify the
+// data plane through the batched update queue — the PEPC flow of §3.4.
+func (cp *ControlPlane) Attach(spec AttachSpec) (AttachResult, error) {
+	var res AttachResult
+	if cp.s.cp.LookupIMSI(spec.IMSI) != nil {
+		return res, ErrUserExists
+	}
+	var kasme [32]byte
+	if cp.proxy != nil {
+		vec, err := cp.proxy.Authenticate(spec.IMSI)
+		if err != nil {
+			return res, err
+		}
+		kasme = vec.KASME
+		up, down, err := cp.proxy.UpdateLocation(spec.IMSI)
+		if err != nil {
+			return res, err
+		}
+		if spec.AMBRUplink == 0 {
+			spec.AMBRUplink = up
+		}
+		if spec.AMBRDownlink == 0 {
+			spec.AMBRDownlink = down
+		}
+	}
+
+	teid, ueAddr, err := cp.allocate()
+	if err != nil {
+		return res, err
+	}
+	guti := spec.IMSI ^ 0x00ff_feed_0000_0000
+
+	ue := &state.UE{}
+	ue.WriteCtrl(func(c *state.ControlState) {
+		c.IMSI = spec.IMSI
+		c.GUTI = guti
+		c.UEAddr = ueAddr
+		c.ECGI = spec.ECGI
+		c.TAI = spec.TAI
+		c.TAIList[0] = spec.TAI
+		c.TAICount = 1
+		c.UplinkTEID = teid
+		c.DownlinkTEID = spec.DownlinkTEID
+		c.ENBAddr = spec.ENBAddr
+		c.AMBRUplink = spec.AMBRUplink
+		c.AMBRDownlink = spec.AMBRDownlink
+		qci := spec.QCI
+		if qci == 0 {
+			qci = 9
+		}
+		c.AddBearer(state.Bearer{EBI: 5, QCI: state.QCI(qci)})
+		c.Attached = true
+		c.LastActive = sim.Now()
+		c.KASME = kasme
+	})
+
+	if cp.proxy != nil {
+		rules, err := cp.proxy.EstablishGxSession(spec.IMSI)
+		if err != nil {
+			return res, err
+		}
+		cp.installRules(ue, rules)
+	}
+
+	if err := cp.s.cp.Insert(ue); err != nil {
+		return res, err
+	}
+	cp.notifyInsert(teid, ueAddr, ue)
+	cp.Attaches.Add(1)
+	res = AttachResult{UplinkTEID: teid, UEAddr: ueAddr, GUTI: guti}
+	return res, nil
+}
+
+// allocate hands out the next uplink TEID and UE address.
+func (cp *ControlPlane) allocate() (teid, ueAddr uint32, err error) {
+	cp.nextSeq++
+	seq := cp.nextSeq
+	if seq >= 1<<24 {
+		return 0, 0, ErrPoolExhausted
+	}
+	// Per-slice prefixes keep TEIDs and UE addresses disjoint within the
+	// slice (the two-level table shares one key space) and unique across
+	// slices (the node demux routes on them).
+	id := uint32(cp.s.cfg.ID)
+	teid = (id+16)<<24 | seq
+	ueAddr = (id+10)<<24 | seq
+	return teid, ueAddr, nil
+}
+
+// notifyInsert pushes the data-plane index updates for a new/restored
+// user: in two-level mode the user lands in the secondary table
+// immediately (control-side insert) and is promoted on first use or here
+// proactively for an active attach.
+func (cp *ControlPlane) notifyInsert(teid, ueAddr uint32, ue *state.UE) {
+	if cp.s.tl != nil {
+		cp.s.tl.InsertSecondary(teid, ueAddr, ue)
+		// A freshly attached device is active: promote now.
+		cp.s.updates.Push(state.Update{Op: state.OpInsert, TEID: teid, UEIP: ueAddr, UE: ue})
+		return
+	}
+	cp.s.updates.Push(state.Update{Op: state.OpInsert, TEID: teid, UEIP: ueAddr, UE: ue})
+}
+
+func (cp *ControlPlane) notifyDelete(teid, ueAddr uint32) {
+	if cp.s.tl != nil {
+		cp.s.tl.RemoveSecondary(teid, ueAddr)
+	}
+	cp.s.updates.Push(state.Update{Op: state.OpDelete, TEID: teid, UEIP: ueAddr})
+}
+
+// installRules installs PCC rules into the slice PCEF and records their
+// ids in the user's control state for per-rule charging.
+func (cp *ControlPlane) installRules(ue *state.UE, rules []pcef.Rule) {
+	for _, r := range rules {
+		// Rules are slice-scoped; re-installation of a shared rule id is
+		// fine.
+		_ = cp.s.pcefTable.Install(r)
+	}
+	ue.WriteCtrl(func(c *state.ControlState) {
+		for _, r := range rules {
+			if c.RuleCount < uint8(len(c.RuleIDs)) {
+				c.RuleIDs[c.RuleCount] = r.ID
+				c.RuleCount++
+			}
+		}
+	})
+}
+
+// AttachEvent applies the state work of an attach signaling event to an
+// already-attached user — the paper's at-scale synthetic workload ("when
+// a attach event is received, the user device creates the appropriate
+// user device state, and adds it to state table", §5.1, uniformly
+// distributed over existing devices): the control thread rewrites the
+// user's QoS/policy and tunnel state and (re)notifies the data plane.
+func (cp *ControlPlane) AttachEvent(imsi uint64) error {
+	ue := cp.s.cp.LookupIMSI(imsi)
+	if ue == nil {
+		return ErrUserUnknown
+	}
+	var teid, ueAddr uint32
+	ue.WriteCtrl(func(c *state.ControlState) {
+		c.Attached = true
+		c.LastActive = sim.Now()
+		// Refresh QoS/policy as the real event installs it anew.
+		c.Bearers[0].QCI = 9
+		c.TAIList[0] = c.TAI
+		c.TAICount = 1
+		teid = c.UplinkTEID
+		ueAddr = c.UEAddr
+	})
+	cp.notifyInsert(teid, ueAddr, ue)
+	cp.Attaches.Add(1)
+	return nil
+}
+
+// S1Handover applies an S1-based handover (paper §4.2: "S1-based
+// handovers require modification of specific elements of the user state,
+// specifically eNodeB tunnel identifier ... and the IP address of the
+// new base-station"). Only control state changes; the data plane reads
+// the new tunnel on its next packet.
+func (cp *ControlPlane) S1Handover(imsi uint64, newENBAddr, newDownlinkTEID, newECGI uint32) error {
+	ue := cp.s.cp.LookupIMSI(imsi)
+	if ue == nil {
+		return ErrUserUnknown
+	}
+	ue.WriteCtrl(func(c *state.ControlState) {
+		c.ENBAddr = newENBAddr
+		c.DownlinkTEID = newDownlinkTEID
+		c.ECGI = newECGI
+		c.LastActive = sim.Now()
+	})
+	cp.Handovers.Add(1)
+	return nil
+}
+
+// Detach removes a user entirely.
+func (cp *ControlPlane) Detach(imsi uint64) error {
+	ue, err := cp.s.cp.Remove(imsi)
+	if err != nil {
+		return ErrUserUnknown
+	}
+	var teid, ueAddr uint32
+	ue.ReadCtrl(func(c *state.ControlState) {
+		teid = c.UplinkTEID
+		ueAddr = c.UEAddr
+	})
+	cp.notifyDelete(teid, ueAddr)
+	cp.collector.Forget(imsi)
+	if cp.proxy != nil {
+		_ = cp.proxy.TerminateGxSession(imsi)
+	}
+	cp.Detaches.Add(1)
+	return nil
+}
+
+// AllocateIoT hands out a TEID/address pair from the stateless-IoT pool
+// (§4.2): no per-user state is created; the pool membership itself
+// encodes the service class.
+func (cp *ControlPlane) AllocateIoT() (teid uint32, ok bool) {
+	if cp.s.cfg.IoTTEIDCount == 0 || cp.iotSeq >= cp.s.cfg.IoTTEIDCount {
+		return 0, false
+	}
+	teid = cp.s.cfg.IoTTEIDBase + cp.iotSeq
+	cp.iotSeq++
+	return teid, true
+}
+
+// Lookup returns a user's state by IMSI (diagnostics, migration).
+func (cp *ControlPlane) Lookup(imsi uint64) *state.UE {
+	return cp.s.cp.LookupIMSI(imsi)
+}
+
+// CollectUsage closes the user's charging interval and, when a proxy is
+// attached, reports usage to the PCRF.
+func (cp *ControlPlane) CollectUsage(imsi uint64, now int64) (charging.CDR, error) {
+	ue := cp.s.cp.LookupIMSI(imsi)
+	if ue == nil {
+		return charging.CDR{}, ErrUserUnknown
+	}
+	cdr, busy := cp.collector.Collect(ue, imsi, now)
+	if busy && cp.proxy != nil {
+		_ = cp.proxy.ReportUsage(imsi, cdr.Delta.Total())
+	}
+	return cdr, nil
+}
+
+// Promote forces a device's state into the primary table (two-level
+// mode): the control thread resolves the keys and queues the insert for
+// the data thread. No-op in single-table mode.
+func (cp *ControlPlane) Promote(imsi uint64) error {
+	if cp.s.tl == nil {
+		return nil
+	}
+	ue := cp.s.cp.LookupIMSI(imsi)
+	if ue == nil {
+		return ErrUserUnknown
+	}
+	var teid, ueAddr uint32
+	ue.ReadCtrl(func(c *state.ControlState) {
+		teid = c.UplinkTEID
+		ueAddr = c.UEAddr
+	})
+	cp.s.updates.Push(state.Update{Op: state.OpInsert, TEID: teid, UEIP: ueAddr, UE: ue})
+	cp.Promotions.Add(1)
+	return nil
+}
+
+// Demote evicts a device's state from the primary table; it remains in
+// the secondary (idle device, §3.2). No-op in single-table mode.
+func (cp *ControlPlane) Demote(imsi uint64) error {
+	if cp.s.tl == nil {
+		return nil
+	}
+	ue := cp.s.cp.LookupIMSI(imsi)
+	if ue == nil {
+		return ErrUserUnknown
+	}
+	var teid, ueAddr uint32
+	ue.ReadCtrl(func(c *state.ControlState) {
+		teid = c.UplinkTEID
+		ueAddr = c.UEAddr
+	})
+	cp.s.updates.Push(state.Update{Op: state.OpDelete, TEID: teid, UEIP: ueAddr})
+	cp.Evictions.Add(1)
+	return nil
+}
+
+// requestPromotion is called by the data thread on a secondary-table hit.
+func (cp *ControlPlane) requestPromotion(ue *state.UE) {
+	// Best effort: a full queue just means the promotion happens on a
+	// later miss.
+	cp.promoteQ.Enqueue(promoteReq{ue: ue})
+}
+
+// Maintain performs one round of control-thread housekeeping: drains
+// promotion requests into data-plane updates and evicts idle users from
+// the primary table. Returns the number of actions taken. Call it
+// periodically from the control loop.
+func (cp *ControlPlane) Maintain(now, idleNs int64) int {
+	actions := 0
+	for {
+		req, ok := cp.promoteQ.Dequeue()
+		if !ok {
+			break
+		}
+		var teid, ueAddr uint32
+		req.ue.ReadCtrl(func(c *state.ControlState) {
+			teid = c.UplinkTEID
+			ueAddr = c.UEAddr
+		})
+		cp.s.updates.Push(state.Update{Op: state.OpInsert, TEID: teid, UEIP: ueAddr, UE: req.ue})
+		cp.Promotions.Add(1)
+		actions++
+	}
+	if cp.s.tl != nil && idleNs > 0 {
+		n := cp.s.tl.EvictIdle(now, idleNs, func(teid, ip uint32) {
+			cp.s.updates.Push(state.Update{Op: state.OpDelete, TEID: teid, UEIP: ip})
+			cp.Evictions.Add(1)
+		})
+		actions += n
+	}
+	return actions
+}
+
+// extract snapshots a user and removes it from the slice (migration
+// source side). The data plane stops finding the user after its next
+// update sync; the node scheduler buffers in-flight packets meanwhile.
+func (cp *ControlPlane) extract(imsi uint64) (state.ControlState, state.CounterState, error) {
+	ue, err := cp.s.cp.Remove(imsi)
+	if err != nil {
+		return state.ControlState{}, state.CounterState{}, ErrUserUnknown
+	}
+	var teid, ueAddr uint32
+	ue.ReadCtrl(func(c *state.ControlState) {
+		teid = c.UplinkTEID
+		ueAddr = c.UEAddr
+	})
+	cp.notifyDelete(teid, ueAddr)
+	// Fence: wait until the data thread has completed two sync cycles
+	// after the delete was queued. Syncs run between batches, so after
+	// the second one no batch that could still write this user's
+	// counters remains in flight, and the snapshot below is final. The
+	// timeout covers inline setups with no data worker running, where
+	// the caller is the only driver of both planes.
+	if cp.s.data.running.Load() {
+		seq0 := cp.s.data.syncSeq.Load()
+		deadline := time.Now().Add(50 * time.Millisecond)
+		for cp.s.data.syncSeq.Load() < seq0+2 {
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	cs, cnt := ue.Snapshot()
+	cp.collector.Forget(imsi)
+	return cs, cnt, nil
+}
+
+// install restores a migrated user into this slice (target side),
+// preserving identifiers.
+func (cp *ControlPlane) install(cs state.ControlState, cnt state.CounterState, now int64) error {
+	ue := &state.UE{}
+	ue.Restore(cs, cnt)
+	if err := cp.s.cp.Insert(ue); err != nil {
+		return err
+	}
+	cp.notifyInsert(cs.UplinkTEID, cs.UEAddr, ue)
+	cp.collector.Seed(cs.IMSI, charging.Snapshot(ue, cs.IMSI), now)
+	return nil
+}
+
+// exec runs fn on the control thread when the control loop is active
+// (preserving the single-control-writer discipline for scheduler-
+// initiated work such as state transfers); otherwise it runs fn inline,
+// which is safe because all control-state mutation is lock-protected and
+// callers in that mode are the only control-plane driver.
+func (cp *ControlPlane) exec(fn func()) {
+	if cp.loopRunning.Load() {
+		done := make(chan struct{})
+		select {
+		case cp.s.ctrlCmds <- func() { fn(); close(done) }:
+			<-done
+			return
+		default:
+			// Command queue full: fall through to inline execution.
+		}
+	}
+	fn()
+}
+
+// RunCtrl runs the slice control loop until stop closes: it services
+// scheduler commands (state transfers) and performs periodic maintenance
+// (promotions, idle eviction with the given idle threshold).
+func (cp *ControlPlane) RunCtrl(stop <-chan struct{}, maintainEvery time.Duration, idleNs int64) {
+	cp.loopRunning.Store(true)
+	defer cp.loopRunning.Store(false)
+	if maintainEvery <= 0 {
+		maintainEvery = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(maintainEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case cmd := <-cp.s.ctrlCmds:
+			cmd()
+		case <-tick.C:
+			cp.Maintain(sim.Now(), idleNs)
+		}
+	}
+}
+
+// AddDedicatedBearer establishes a dedicated bearer for a user with its
+// own QoS class, rate bounds and traffic flow template — the
+// dedicated-bearer activation the PCRF triggers for e.g. voice. The data
+// plane starts mapping matching flows to the new bearer at its next
+// packet.
+func (cp *ControlPlane) AddDedicatedBearer(imsi uint64, b state.Bearer) error {
+	ue := cp.s.cp.LookupIMSI(imsi)
+	if ue == nil {
+		return ErrUserUnknown
+	}
+	added := false
+	ue.WriteCtrl(func(c *state.ControlState) {
+		added = c.AddBearer(b)
+	})
+	if !added {
+		return ErrPoolExhausted
+	}
+	return nil
+}

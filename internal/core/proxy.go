@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"pepc/internal/diameter"
+	"pepc/internal/hss"
+	"pepc/internal/pcef"
+	"pepc/internal/pcrf"
+)
+
+// Proxy is the PEPC node's backend gateway (§3.3): it speaks S6a toward
+// the HSS on behalf of the slices' control threads (the role the MME
+// played) and Gx toward the PCRF (the role the P-GW played). One proxy
+// serves every slice on the node.
+type Proxy struct {
+	hssHandler  diameter.Handler
+	pcrfHandler diameter.Handler
+
+	hopByHop atomic.Uint32
+	endToEnd atomic.Uint32
+
+	// Requests counts backend exchanges, for control-plane accounting.
+	Requests atomic.Uint64
+}
+
+// Proxy errors.
+var (
+	ErrNoBackend   = errors.New("core: proxy backend not configured")
+	ErrBackendFail = errors.New("core: backend returned failure")
+)
+
+// NewProxy wires the proxy to its backends. Handlers are typically
+// *hss.HSS and *pcrf.PCRF in process; over a socket they would be
+// diameter transports — the message path is identical either way because
+// diameter.Call round-trips the wire encoding.
+func NewProxy(hssHandler, pcrfHandler diameter.Handler) *Proxy {
+	return &Proxy{hssHandler: hssHandler, pcrfHandler: pcrfHandler}
+}
+
+func (p *Proxy) ids() (uint32, uint32) {
+	return p.hopByHop.Add(1), p.endToEnd.Add(1)
+}
+
+// Authenticate runs the S6a Authentication-Information exchange and
+// returns the vector for the attach challenge.
+func (p *Proxy) Authenticate(imsi uint64) (hss.Vector, error) {
+	if p.hssHandler == nil {
+		return hss.Vector{}, ErrNoBackend
+	}
+	p.Requests.Add(1)
+	hbh, e2e := p.ids()
+	req := diameter.NewRequest(diameter.CmdAuthenticationInformation, diameter.AppS6a, hbh, e2e,
+		diameter.U64AVP(diameter.AVPUserName, imsi))
+	ans, err := diameter.Call(p.hssHandler, req)
+	if err != nil {
+		return hss.Vector{}, err
+	}
+	if ans.ResultCode() != diameter.ResultSuccess {
+		return hss.Vector{}, ErrBackendFail
+	}
+	return hss.ParseVectorAVP(ans)
+}
+
+// UpdateLocation runs the S6a Update-Location exchange and returns the
+// subscribed AMBR profile.
+func (p *Proxy) UpdateLocation(imsi uint64) (ambrUp, ambrDown uint64, err error) {
+	if p.hssHandler == nil {
+		return 0, 0, ErrNoBackend
+	}
+	p.Requests.Add(1)
+	hbh, e2e := p.ids()
+	req := diameter.NewRequest(diameter.CmdUpdateLocation, diameter.AppS6a, hbh, e2e,
+		diameter.U64AVP(diameter.AVPUserName, imsi))
+	ans, err := diameter.Call(p.hssHandler, req)
+	if err != nil {
+		return 0, 0, err
+	}
+	if ans.ResultCode() != diameter.ResultSuccess {
+		return 0, 0, ErrBackendFail
+	}
+	sd, ok := ans.Find(diameter.AVPSubscriptionData)
+	if !ok {
+		return 0, 0, nil
+	}
+	subs, err := sd.SubAVPs()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, a := range subs {
+		switch a.Code {
+		case diameter.AVPAMBRUplink:
+			if v, err := a.Uint64(); err == nil {
+				ambrUp = v
+			}
+		case diameter.AVPAMBRDownlink:
+			if v, err := a.Uint64(); err == nil {
+				ambrDown = v
+			}
+		}
+	}
+	return ambrUp, ambrDown, nil
+}
+
+// EstablishGxSession opens the Gx session for a user and returns the PCC
+// rules the PCRF wants installed.
+func (p *Proxy) EstablishGxSession(imsi uint64) ([]pcef.Rule, error) {
+	if p.pcrfHandler == nil {
+		return nil, nil // no PCRF: attach proceeds with default policy
+	}
+	p.Requests.Add(1)
+	hbh, e2e := p.ids()
+	req := diameter.NewRequest(diameter.CmdCreditControl, diameter.AppGx, hbh, e2e,
+		diameter.U64AVP(diameter.AVPUserName, imsi),
+		diameter.U32AVP(diameter.AVPCCRequestType, pcrf.CCRInitial))
+	ans, err := diameter.Call(p.pcrfHandler, req)
+	if err != nil {
+		return nil, err
+	}
+	if ans.ResultCode() != diameter.ResultSuccess {
+		return nil, ErrBackendFail
+	}
+	return pcrf.ParseRuleInstalls(ans)
+}
+
+// ReportUsage sends a Gx usage update.
+func (p *Proxy) ReportUsage(imsi uint64, totalBytes uint64) error {
+	if p.pcrfHandler == nil {
+		return nil
+	}
+	p.Requests.Add(1)
+	hbh, e2e := p.ids()
+	req := diameter.NewRequest(diameter.CmdCreditControl, diameter.AppGx, hbh, e2e,
+		diameter.U64AVP(diameter.AVPUserName, imsi),
+		diameter.U32AVP(diameter.AVPCCRequestType, pcrf.CCRUpdate),
+		diameter.U64AVP(diameter.AVPUsedServiceUnit, totalBytes))
+	ans, err := diameter.Call(p.pcrfHandler, req)
+	if err != nil {
+		return err
+	}
+	if ans.ResultCode() != diameter.ResultSuccess {
+		return ErrBackendFail
+	}
+	return nil
+}
+
+// TerminateGxSession closes a user's Gx session at detach.
+func (p *Proxy) TerminateGxSession(imsi uint64) error {
+	if p.pcrfHandler == nil {
+		return nil
+	}
+	p.Requests.Add(1)
+	hbh, e2e := p.ids()
+	req := diameter.NewRequest(diameter.CmdCreditControl, diameter.AppGx, hbh, e2e,
+		diameter.U64AVP(diameter.AVPUserName, imsi),
+		diameter.U32AVP(diameter.AVPCCRequestType, pcrf.CCRTermination))
+	ans, err := diameter.Call(p.pcrfHandler, req)
+	if err != nil {
+		return err
+	}
+	if ans.ResultCode() != diameter.ResultSuccess {
+		return ErrBackendFail
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pepc/internal/hss"
+	"pepc/internal/nas"
+	"pepc/internal/pcrf"
+	"pepc/internal/s1ap"
+	"pepc/internal/sctp"
+)
+
+// newLoopServer builds an S1AP server whose association discards sends —
+// enough to exercise HandleOne against hostile input without a peer.
+func newLoopServer(t *testing.T) *S1APServer {
+	t.Helper()
+	hssDB := hss.New()
+	hssDB.ProvisionRange(1, 100, 10e6, 50e6)
+	n := NewNode(SliceConfig{ID: 1, UserHint: 128})
+	n.AttachProxy(NewProxy(hssDB, pcrf.New()))
+	cw, sw := sctp.Pipe(256)
+	acceptDone := make(chan *sctp.Assoc, 1)
+	go func() {
+		a, _ := sctp.Accept(sw, sctp.Config{Tag: 2})
+		acceptDone <- a
+	}()
+	client, err := sctp.Dial(cw, sctp.Config{Tag: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-acceptDone
+	t.Cleanup(func() { client.Close() })
+	// Drain whatever the server sends so its Send never blocks.
+	go func() {
+		for {
+			if _, err := client.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	return NewS1APServer(n.Slice(0).Control(), server)
+}
+
+// The server must survive arbitrary bytes: errors, never panics, never
+// corrupts its session table into an unusable state.
+func TestS1APServerSurvivesGarbage(t *testing.T) {
+	srv := newLoopServer(t)
+	f := func(data []byte) bool {
+		srv.HandleOne(data) // error is fine; panic is not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// After the garbage, a legitimate attach still works end to end.
+	attach := (&nas.AttachRequest{IMSI: 5}).Marshal()
+	init := &s1ap.InitialUEMessage{ENBUEID: 1, NASPDU: attach, TAI: 1, ECGI: 1}
+	if err := srv.HandleOne(init.Marshal()); err != nil {
+		t.Fatalf("valid message after garbage: %v", err)
+	}
+	if len(srv.sessions) != 1 {
+		t.Fatalf("sessions = %d", len(srv.sessions))
+	}
+}
+
+// Structured adversarial input: valid S1AP PDUs with random procedures,
+// types and IE contents — the parser boundary the paper's S1AP support
+// must hold.
+func TestS1APServerSurvivesStructuredFuzz(t *testing.T) {
+	srv := newLoopServer(t)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		pdu := s1ap.PDU{
+			Type:      uint8(rng.Intn(3)),
+			Procedure: uint8(rng.Intn(30)),
+		}
+		nIEs := rng.Intn(6)
+		for j := 0; j < nIEs; j++ {
+			data := make([]byte, rng.Intn(24))
+			rng.Read(data)
+			pdu.IEs = append(pdu.IEs, s1ap.IE{ID: uint16(rng.Intn(120)), Data: data})
+		}
+		srv.HandleOne(pdu.Marshal())
+	}
+	if srv.Messages.Load() != 5000 {
+		t.Fatalf("messages = %d", srv.Messages.Load())
+	}
+}
+
+// Out-of-order procedure messages (responses without requests, NAS for
+// unknown sessions) are rejected without state damage.
+func TestS1APServerRejectsOutOfStateMessages(t *testing.T) {
+	srv := newLoopServer(t)
+	// NAS for a session that never started.
+	ul := &s1ap.NASTransport{MMEUEID: 9, ENBUEID: 9, NASPDU: (&nas.AttachComplete{}).Marshal(), Uplink: true}
+	if err := srv.HandleOne(ul.Marshal()); err == nil {
+		t.Fatal("NAS for unknown session accepted")
+	}
+	// Context setup response without a pending attach.
+	icsr := &s1ap.InitialContextSetupResponse{MMEUEID: 1, ENBUEID: 1, DownlinkTEID: 5, ENBAddr: 6}
+	if err := srv.HandleOne(icsr.Marshal()); err == nil {
+		t.Fatal("unsolicited context setup response accepted")
+	}
+	// Path switch for an unknown MME UE id.
+	psr := &s1ap.PathSwitchRequest{MMEUEID: 77, ENBUEID: 1, DownlinkTEID: 1, ENBAddr: 1}
+	if err := srv.HandleOne(psr.Marshal()); err == nil {
+		t.Fatal("path switch for unknown user accepted")
+	}
+	// Release for an unknown MME UE id.
+	rel := &s1ap.UEContextRelease{MMEUEID: 77, ENBUEID: 1}
+	if err := srv.HandleOne(rel.Marshal()); err == nil {
+		t.Fatal("release for unknown user accepted")
+	}
+	if srv.AttachesCompleted.Load() != 0 {
+		t.Fatal("phantom attach recorded")
+	}
+}

@@ -1,0 +1,577 @@
+// Package core implements PEPC itself: the slice (paper §3.2, Listing 1)
+// — a control thread and a data thread sharing consolidated per-user
+// state under the single-writer lock split — and the node (§3.3) with its
+// Demux, Scheduler (including per-user state migration, §4.3) and Proxy
+// to the HSS and PCRF backends.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pepc/internal/gtp"
+	"pepc/internal/nf"
+	"pepc/internal/pcef"
+	"pepc/internal/pkt"
+	"pepc/internal/qos"
+	"pepc/internal/ring"
+	"pepc/internal/sim"
+	"pepc/internal/state"
+)
+
+// TableMode selects the data-plane state storage layout.
+type TableMode uint8
+
+const (
+	// TableSingle keeps one flat TEID/IP index, the baseline layout.
+	TableSingle TableMode = iota
+	// TableTwoLevel uses the primary/secondary split of §7.3.
+	TableTwoLevel
+)
+
+// SliceConfig parameterizes a PEPC slice.
+type SliceConfig struct {
+	// ID distinguishes slices within a node and seeds identifier
+	// allocation (TEIDs, UE addresses).
+	ID int
+	// TableMode selects single vs two-level state storage.
+	TableMode TableMode
+	// PrimaryHint sizes the two-level primary table (active devices).
+	PrimaryHint int
+	// UserHint pre-sizes tables for the expected population.
+	UserHint int
+	// SyncEvery is the data thread's update-sync interval in packets
+	// (§7.2; the paper uses 32). 1 disables batching.
+	SyncEvery int
+	// RingCapacity sizes the slice's packet rings (power of two).
+	RingCapacity int
+	// IoTTEIDBase/IoTTEIDCount reserve a TEID pool for Stateless IoT
+	// devices (§4.2): traffic in this range bypasses per-user state.
+	IoTTEIDBase  uint32
+	IoTTEIDCount uint32
+	// RecordLatency enables per-packet latency recording into the data
+	// plane's histogram (packets must carry Meta.TSNanos).
+	RecordLatency bool
+	// CoreAddr is the slice's data-plane IP used as the outer source for
+	// downlink GTP-U encapsulation.
+	CoreAddr uint32
+}
+
+func (c SliceConfig) withDefaults() SliceConfig {
+	if c.UserHint <= 0 {
+		c.UserHint = 1 << 16
+	}
+	if c.PrimaryHint <= 0 {
+		c.PrimaryHint = c.UserHint / 64
+		if c.PrimaryHint < 1024 {
+			c.PrimaryHint = 1024
+		}
+	}
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = state.DefaultSyncEvery
+	}
+	if c.RingCapacity <= 0 {
+		c.RingCapacity = 1 << 12
+	}
+	if c.CoreAddr == 0 {
+		c.CoreAddr = pkt.IPv4Addr(172, 16, byte(c.ID>>8), byte(c.ID))
+	}
+	return c
+}
+
+// Slice is one PEPC slice: consolidated state for a set of users plus the
+// control and data planes that operate on it (Listing 1).
+type Slice struct {
+	cfg SliceConfig
+
+	// cp is the control-plane store (Listing 1's cp_state): every user
+	// of the slice indexed by IMSI/TEID/IP, PEPC lock discipline.
+	cp *state.Table
+
+	// updates carries index changes from control to data (batched sync,
+	// §7.2).
+	updates *state.UpdateQueue
+
+	// Data-plane state (Listing 1's dp_state): exactly one of ix/tl is
+	// used depending on TableMode; both are data-thread-owned.
+	ix *state.Indexes
+	tl *state.TwoLevel
+
+	// pcefTable is the slice's match-action table (shared, internally
+	// synchronized; installs are control-side, classification data-side).
+	pcefTable *pcef.Table
+
+	// Packet rings: uplink carries GTP-U encapsulated traffic from
+	// eNodeBs, downlink plain IP toward users, egress everything the
+	// slice forwards. Uplink and Downlink are multi-producer (demux
+	// thread, migration drain, paging resume) with the data thread as
+	// sole consumer; Egress is written only by the data thread.
+	Uplink   *ring.MPSC[*pkt.Buf]
+	Downlink *ring.MPSC[*pkt.Buf]
+	Egress   *ring.SPSC[*pkt.Buf]
+
+	ctrl *ControlPlane
+	data *DataPlane
+
+	// ctrlCmds is the migration/command channel between the node
+	// scheduler and the slice control thread (Listing 1's
+	// from_node_sched/to_node_sched pair): when the control loop runs,
+	// scheduler-initiated work (state transfers) executes on the control
+	// thread through it.
+	ctrlCmds chan func()
+}
+
+// NewSlice builds a slice. The returned slice is passive: drive the data
+// plane with ProcessUplink/ProcessDownlink (inline mode) or RunData
+// (worker mode), and the control plane through its methods.
+func NewSlice(cfg SliceConfig) *Slice {
+	cfg = cfg.withDefaults()
+	s := &Slice{
+		cfg:       cfg,
+		cp:        state.NewTable(state.LockModePEPC, cfg.UserHint),
+		updates:   state.NewUpdateQueue(1 << 14),
+		pcefTable: pcef.NewTable(),
+		Uplink:    ring.MustMPSC[*pkt.Buf](cfg.RingCapacity),
+		Downlink:  ring.MustMPSC[*pkt.Buf](cfg.RingCapacity),
+		Egress:    ring.MustSPSC[*pkt.Buf](cfg.RingCapacity),
+		ctrlCmds:  make(chan func(), 256),
+	}
+	switch cfg.TableMode {
+	case TableTwoLevel:
+		s.tl = state.NewTwoLevel(cfg.PrimaryHint, cfg.UserHint)
+	default:
+		s.ix = state.NewIndexes(cfg.UserHint)
+	}
+	s.ctrl = newControlPlane(s)
+	s.data = newDataPlane(s)
+	return s
+}
+
+// Config returns the slice configuration.
+func (s *Slice) Config() SliceConfig { return s.cfg }
+
+// Control returns the slice's control plane.
+func (s *Slice) Control() *ControlPlane { return s.ctrl }
+
+// Data returns the slice's data plane.
+func (s *Slice) Data() *DataPlane { return s.data }
+
+// PCEF returns the slice's match-action table.
+func (s *Slice) PCEF() *pcef.Table { return s.pcefTable }
+
+// Users returns the number of users owned by the slice.
+func (s *Slice) Users() int { return s.cp.Len() }
+
+// DataPlane is the slice's data thread: the GTP-U decap → state lookup →
+// PCEF → QoS → counters → encap pipeline of §4.2, run to completion per
+// batch.
+type DataPlane struct {
+	s *Slice
+
+	// Stats (data-thread written; atomic so other threads may read).
+	Forwarded atomic.Uint64
+	Dropped   atomic.Uint64
+	Missed    atomic.Uint64 // no user state found
+	IoTFast   atomic.Uint64 // packets taking the stateless-IoT path
+	IoTBytes  atomic.Uint64 // aggregate charging for the stateless pool
+	// PagedPackets counts downlink packets parked for idle users.
+	PagedPackets atomic.Uint64
+	// EchoReplies counts GTP-U echo requests answered on the fast path.
+	EchoReplies atomic.Uint64
+
+	// paging parks downlink packets for idle users (data thread
+	// produces, control thread drains on resume).
+	paging *ring.MPSC[*pkt.Buf]
+
+	// syncSeq counts completed SyncUpdates calls; the migration fence
+	// uses it to know when the data thread can no longer touch an
+	// extracted user's counters.
+	syncSeq atomic.Uint64
+	// running reports whether a data worker loop is active; when it is
+	// not, the migration fence is unnecessary (the caller drives both
+	// planes) and is skipped.
+	running atomic.Bool
+
+	// Latency histogram (single-writer: data thread).
+	lat *sim.Histogram
+
+	sinceSync int
+}
+
+func newDataPlane(s *Slice) *DataPlane {
+	dp := &DataPlane{
+		s:   s,
+		lat: sim.NewHistogram(),
+	}
+	dp.initPaging()
+	return dp
+}
+
+// Latency returns the data plane's latency histogram (valid when
+// RecordLatency is set; single-writer, read between runs).
+func (dp *DataPlane) Latency() *sim.Histogram { return dp.lat }
+
+// SyncUpdates drains the control→data update queue into the data-plane
+// indexes. Called automatically every SyncEvery packets; exposed for
+// worker housekeeping and tests.
+func (dp *DataPlane) SyncUpdates() int {
+	var n int
+	if dp.s.ix != nil {
+		n = dp.s.updates.Drain(dp.s.ix)
+	} else {
+		n = dp.s.updates.DrainTwoLevel(dp.s.tl)
+	}
+	dp.syncSeq.Add(1)
+	return n
+}
+
+// lookup resolves a user by data-path key. For two-level mode a
+// secondary hit requests promotion through the control plane.
+func (dp *DataPlane) lookup(key uint32, uplink bool) *state.UE {
+	if dp.s.ix != nil {
+		if uplink {
+			return dp.s.ix.ByTEID.Get(key)
+		}
+		return dp.s.ix.ByIP.Get(key)
+	}
+	ue, fromSecondary := dp.s.tl.Lookup(key, uplink)
+	if fromSecondary {
+		dp.s.ctrl.requestPromotion(ue)
+	}
+	return ue
+}
+
+// tickSync advances the per-packet sync counter and applies pending
+// control updates every SyncEvery packets — the paper's batching knob
+// (§7.2): SyncEvery=1 checks the queue on every packet, SyncEvery=32
+// amortizes the check and the cache traffic over a batch.
+func (dp *DataPlane) tickSync() {
+	dp.sinceSync++
+	if dp.sinceSync >= dp.s.cfg.SyncEvery {
+		dp.SyncUpdates()
+		dp.sinceSync = 0
+	}
+}
+
+// ProcessUplinkBatch runs the uplink pipeline over a batch in place:
+// GTP-U decapsulation, per-user state lookup by TEID, PCEF
+// classification, QoS policing, counter updates, then forwards the inner
+// packet to Egress. Inline mode for benchmarks; RunData wraps it for
+// worker mode.
+func (dp *DataPlane) ProcessUplinkBatch(batch []*pkt.Buf, now int64) {
+	for _, b := range batch {
+		dp.processUplink(b, now)
+		dp.tickSync()
+	}
+}
+
+func (dp *DataPlane) processUplink(b *pkt.Buf, now int64) {
+	teid, err := gtp.DecapGPDU(b)
+	if err != nil {
+		if err == gtp.ErrNotGPDU && dp.answerEcho(b, now) {
+			return
+		}
+		dp.drop(b)
+		return
+	}
+	b.Meta.TEID = teid
+	b.Meta.Uplink = true
+
+	// Stateless IoT fast path (§4.2): TEIDs from the reserved pool skip
+	// the per-user state lookup, per-user locks and QoS state; the
+	// slice-level policy and charging rules still apply ("the data plane
+	// avoids the state lookups, only applies policy and charging rules").
+	if dp.isIoT(teid) {
+		dp.IoTFast.Add(1)
+		flow, plen, ok := parseInner(b)
+		if !ok {
+			dp.drop(b)
+			return
+		}
+		verdict := dp.s.pcefTable.ClassifyFlow(flow)
+		if verdict.Action == pcef.ActionDrop {
+			dp.drop(b)
+			return
+		}
+		dp.IoTBytes.Add(uint64(plen))
+		dp.forward(b, now)
+		return
+	}
+
+	ue := dp.lookup(teid, true)
+	if ue == nil {
+		dp.Missed.Add(1)
+		dp.drop(b)
+		return
+	}
+
+	// Parse the inner packet for classification.
+	flow, plen, ok := parseInner(b)
+	if !ok {
+		dp.drop(b)
+		return
+	}
+	b.Meta.Flow = flow
+
+	verdict := dp.s.pcefTable.ClassifyFlow(flow)
+	if verdict.Action == pcef.ActionDrop {
+		dp.countDrop(ue)
+		dp.drop(b)
+		return
+	}
+
+	// Read control state (shared lock): map the flow to its bearer via
+	// the TFTs, resolve the charging slot, and police; rebuild the
+	// data-private limiter when the control epoch advanced.
+	allowed := true
+	var ruleSlot = -1
+	ue.ReadCtrl(func(c *state.ControlState) {
+		if c.Epoch != ue.Priv.Epoch {
+			rebuildPriv(ue, c)
+		}
+		for i := 0; i < int(c.RuleCount); i++ {
+			if c.RuleIDs[i] == verdict.RuleID {
+				ruleSlot = i
+				break
+			}
+		}
+		if ue.Priv.Limiter != nil {
+			bearer := c.SelectBearer(flow)
+			allowed = ue.Priv.Limiter.AllowUplink(now, bearer, uint64(plen))
+		}
+	})
+	if !allowed {
+		dp.countDrop(ue)
+		dp.drop(b)
+		return
+	}
+
+	// Counter state: data thread is the single writer.
+	ue.WriteCounters(func(c *state.CounterState) {
+		c.UplinkPackets++
+		c.UplinkBytes += uint64(plen)
+		if ruleSlot >= 0 {
+			c.RuleBytes[ruleSlot] += uint64(plen)
+		}
+	})
+	dp.forward(b, now)
+}
+
+// ProcessDownlinkBatch runs the downlink pipeline: user lookup by UE
+// address, classification, policing, GTP-U encapsulation toward the
+// user's current eNodeB, counters, forward.
+func (dp *DataPlane) ProcessDownlinkBatch(batch []*pkt.Buf, now int64) {
+	for _, b := range batch {
+		dp.processDownlink(b, now)
+		dp.tickSync()
+	}
+}
+
+func (dp *DataPlane) processDownlink(b *pkt.Buf, now int64) {
+	flow, plen, ok := parseInner(b)
+	if !ok {
+		dp.drop(b)
+		return
+	}
+	b.Meta.Flow = flow
+	b.Meta.UEIP = flow.Dst
+	b.Meta.Uplink = false
+
+	ue := dp.lookup(flow.Dst, false)
+	if ue == nil {
+		dp.Missed.Add(1)
+		dp.drop(b)
+		return
+	}
+
+	verdict := dp.s.pcefTable.ClassifyFlow(flow)
+	if verdict.Action == pcef.ActionDrop {
+		dp.countDrop(ue)
+		dp.drop(b)
+		return
+	}
+
+	var teid, enbAddr uint32
+	allowed := true
+	ruleSlot := -1
+	ue.ReadCtrl(func(c *state.ControlState) {
+		if c.Epoch != ue.Priv.Epoch {
+			rebuildPriv(ue, c)
+		}
+		teid = c.DownlinkTEID
+		enbAddr = c.ENBAddr
+		for i := 0; i < int(c.RuleCount); i++ {
+			if c.RuleIDs[i] == verdict.RuleID {
+				ruleSlot = i
+				break
+			}
+		}
+		if ue.Priv.Limiter != nil {
+			bearer := c.SelectBearer(flow)
+			allowed = ue.Priv.Limiter.AllowDownlink(now, bearer, uint64(plen))
+		}
+	})
+	if teid == 0 {
+		// Idle user (S1 released): park for paging rather than drop.
+		dp.parkForPaging(b, ue)
+		return
+	}
+	if !allowed {
+		dp.countDrop(ue)
+		dp.drop(b)
+		return
+	}
+
+	if err := gtp.EncapGPDU(b, teid, dp.s.cfg.CoreAddr, enbAddr); err != nil {
+		dp.countDrop(ue)
+		dp.drop(b)
+		return
+	}
+	ue.WriteCounters(func(c *state.CounterState) {
+		c.DownlinkPackets++
+		c.DownlinkBytes += uint64(plen)
+		if ruleSlot >= 0 {
+			c.RuleBytes[ruleSlot] += uint64(plen)
+		}
+	})
+	dp.forward(b, now)
+}
+
+func (dp *DataPlane) isIoT(teid uint32) bool {
+	base, n := dp.s.cfg.IoTTEIDBase, dp.s.cfg.IoTTEIDCount
+	return n > 0 && teid >= base && teid < base+n
+}
+
+func (dp *DataPlane) forward(b *pkt.Buf, now int64) {
+	dp.Forwarded.Add(1)
+	if dp.s.cfg.RecordLatency && b.Meta.TSNanos != 0 {
+		dp.lat.Record(now - b.Meta.TSNanos)
+	}
+	if !dp.s.Egress.Enqueue(b) {
+		// Egress backpressure: account and release, like a NIC tail
+		// drop.
+		dp.Dropped.Add(1)
+		b.Free()
+	}
+}
+
+func (dp *DataPlane) drop(b *pkt.Buf) {
+	dp.Dropped.Add(1)
+	b.Free()
+}
+
+func (dp *DataPlane) countDrop(ue *state.UE) {
+	ue.WriteCounters(func(c *state.CounterState) { c.DroppedPackets++ })
+}
+
+// rebuildPriv refreshes data-thread-private derived state from the
+// control half. Runs with the control read lock held.
+func rebuildPriv(ue *state.UE, c *state.ControlState) {
+	policed := c.AMBRUplink > 0 || c.AMBRDownlink > 0
+	for i := 0; i < int(c.BearerCount); i++ {
+		if c.Bearers[i].MBRUplink > 0 || c.Bearers[i].MBRDownlink > 0 {
+			policed = true
+		}
+	}
+	if !policed {
+		ue.Priv.Limiter = nil
+		ue.Priv.Epoch = c.Epoch
+		return
+	}
+	if ue.Priv.Limiter == nil {
+		ue.Priv.Limiter = &qos.UserLimiter{}
+	}
+	ue.Priv.Limiter.ConfigureUser(c.AMBRUplink, c.AMBRDownlink)
+	for i := 0; i < int(c.BearerCount); i++ {
+		ue.Priv.Limiter.ConfigureBearer(i, c.Bearers[i].MBRUplink, c.Bearers[i].MBRDownlink)
+	}
+	ue.Priv.Epoch = c.Epoch
+}
+
+// parseInner extracts the 5-tuple from the (decapsulated) inner IPv4
+// packet; plen is the inner packet length used for byte accounting.
+func parseInner(b *pkt.Buf) (pkt.Flow, int, bool) {
+	data := b.Bytes()
+	var ip pkt.IPv4
+	if err := ip.DecodeFromBytes(data); err != nil {
+		return pkt.Flow{}, 0, false
+	}
+	f := pkt.Flow{Src: ip.Src, Dst: ip.Dst, Proto: ip.Protocol}
+	off := ip.HeaderLen()
+	if (ip.Protocol == pkt.ProtoTCP || ip.Protocol == pkt.ProtoUDP) && len(data) >= off+4 {
+		f.SrcPort = uint16(data[off])<<8 | uint16(data[off+1])
+		f.DstPort = uint16(data[off+2])<<8 | uint16(data[off+3])
+	}
+	return f, b.Len(), true
+}
+
+// RunData runs the data plane as two workers (uplink and downlink) until
+// stop closes — worker mode for end-to-end and latency experiments. The
+// two directions share the data thread in the paper's single-data-core
+// configuration, so both rings are polled from one goroutine here.
+func (s *Slice) RunData(stop <-chan struct{}) {
+	s.data.running.Store(true)
+	defer s.data.running.Store(false)
+	up := &nf.Worker{
+		In:             s.Uplink,
+		BatchSize:      s.cfg.SyncEvery,
+		HousekeepEvery: s.cfg.SyncEvery,
+		Handler: func(batch []*pkt.Buf) {
+			s.data.ProcessUplinkBatch(batch, sim.Now())
+		},
+		Housekeep: func() { s.data.SyncUpdates() },
+	}
+	down := &nf.Worker{
+		In:             s.Downlink,
+		BatchSize:      s.cfg.SyncEvery,
+		HousekeepEvery: s.cfg.SyncEvery,
+		Handler: func(batch []*pkt.Buf) {
+			s.data.ProcessDownlinkBatch(batch, sim.Now())
+		},
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); up.Run(stop) }()
+	go func() { defer wg.Done(); down.Run(stop) }()
+	wg.Wait()
+}
+
+// Errors.
+var (
+	ErrUserExists    = errors.New("core: user already attached")
+	ErrUserUnknown   = errors.New("core: user not found")
+	ErrPoolExhausted = errors.New("core: identifier pool exhausted")
+)
+
+// String implements fmt.Stringer.
+func (s *Slice) String() string {
+	return fmt.Sprintf("Slice{id=%d users=%d}", s.cfg.ID, s.Users())
+}
+
+// answerEcho handles a GTP-U Echo Request on the fast path: the response
+// swaps the outer addressing and flips the message type, as S-GWs answer
+// eNodeB path-management probes. Returns false when the packet is not an
+// echo request (caller drops it).
+func (dp *DataPlane) answerEcho(b *pkt.Buf, now int64) bool {
+	data := b.Bytes()
+	var ip pkt.IPv4
+	if ip.DecodeFromBytes(data) != nil || ip.Protocol != pkt.ProtoUDP {
+		return false
+	}
+	off := ip.HeaderLen() + pkt.UDPHeaderLen
+	if len(data) < off+gtp.HeaderLen || data[off+1] != gtp.MsgEchoRequest {
+		return false
+	}
+	// Swap outer src/dst and rewrite the type in place; recompute the
+	// header checksum.
+	ip.Src, ip.Dst = ip.Dst, ip.Src
+	if ip.SerializeTo(data) != nil {
+		return false
+	}
+	data[off+1] = gtp.MsgEchoResponse
+	dp.EchoReplies.Add(1)
+	dp.forward(b, now)
+	return true
+}

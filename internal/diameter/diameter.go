@@ -1,0 +1,323 @@
+// Package diameter implements the Diameter base-protocol codec (RFC 6733)
+// plus the S6a (HSS, 3GPP 29.272) and Gx (PCRF, 3GPP 29.212) vocabulary
+// the EPC control plane uses. PEPC's node proxy speaks these interfaces
+// on behalf of its slices ("the interface between the HSS and Proxy is
+// the same as the current interface between the MME and HSS ... referred
+// to as S6A and usually runs the Diameter protocol", paper §3.3).
+package diameter
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Application ids.
+const (
+	AppS6a uint32 = 16777251
+	AppGx  uint32 = 16777238
+)
+
+// Command codes.
+const (
+	CmdAuthenticationInformation uint32 = 318 // AIR/AIA (S6a)
+	CmdUpdateLocation            uint32 = 316 // ULR/ULA (S6a)
+	CmdCreditControl             uint32 = 272 // CCR/CCA (Gx)
+	CmdReAuth                    uint32 = 258 // RAR/RAA (Gx)
+)
+
+// Header flag bits.
+const (
+	FlagRequest   uint8 = 0x80
+	FlagProxyable uint8 = 0x40
+	FlagError     uint8 = 0x20
+)
+
+// AVP codes (RFC 6733 base + 3GPP).
+const (
+	AVPUserName        uint32 = 1 // IMSI as utf8 digits; we carry uint64
+	AVPResultCode      uint32 = 268
+	AVPSessionID       uint32 = 263
+	AVPOriginHost      uint32 = 264
+	AVPDestinationHost uint32 = 293
+	AVPCCRequestType   uint32 = 416
+
+	// 3GPP S6a authentication info AVPs.
+	AVPEUTRANVector     uint32 = 1414
+	AVPRand             uint32 = 1447
+	AVPXres             uint32 = 1448
+	AVPAutn             uint32 = 1449
+	AVPKasme            uint32 = 1450
+	AVPVisitedPLMN      uint32 = 1407
+	AVPSubscriptionData uint32 = 1400
+	AVPAMBRUplink       uint32 = 516
+	AVPAMBRDownlink     uint32 = 515
+
+	// 3GPP Gx charging-rule AVPs.
+	AVPChargingRuleInstall    uint32 = 1001
+	AVPChargingRuleRemove     uint32 = 1002
+	AVPChargingRuleDefinition uint32 = 1003
+	AVPChargingRuleName       uint32 = 1005
+	AVPPrecedence             uint32 = 1010
+	AVPRatingGroup            uint32 = 432
+	AVPFlowDescription        uint32 = 507
+	AVPMaxRequestedBWUL       uint32 = 515 // shares code with AMBR-DL in 29.212; instance disambiguates
+	AVPUsedServiceUnit        uint32 = 446
+)
+
+// Result codes.
+const (
+	ResultSuccess        uint32 = 2001
+	ResultUserUnknown    uint32 = 5001
+	ResultAuthRejected   uint32 = 4001
+	ResultUnableToComply uint32 = 5012
+)
+
+// Codec errors.
+var (
+	ErrShort   = errors.New("diameter: message too short")
+	ErrVersion = errors.New("diameter: unsupported version")
+	ErrAVP     = errors.New("diameter: malformed AVP")
+)
+
+const headerLen = 20
+
+// AVP is one attribute-value pair.
+type AVP struct {
+	Code uint32
+	Data []byte
+}
+
+// Uint32 decodes a 4-byte AVP value.
+func (a AVP) Uint32() (uint32, error) {
+	if len(a.Data) != 4 {
+		return 0, ErrAVP
+	}
+	return binary.BigEndian.Uint32(a.Data), nil
+}
+
+// Uint64 decodes an 8-byte AVP value.
+func (a AVP) Uint64() (uint64, error) {
+	if len(a.Data) != 8 {
+		return 0, ErrAVP
+	}
+	return binary.BigEndian.Uint64(a.Data), nil
+}
+
+// U32AVP builds a 4-byte AVP.
+func U32AVP(code, v uint32) AVP {
+	d := make([]byte, 4)
+	binary.BigEndian.PutUint32(d, v)
+	return AVP{Code: code, Data: d}
+}
+
+// U64AVP builds an 8-byte AVP.
+func U64AVP(code uint32, v uint64) AVP {
+	d := make([]byte, 8)
+	binary.BigEndian.PutUint64(d, v)
+	return AVP{Code: code, Data: d}
+}
+
+// Grouped builds a grouped AVP from sub-AVPs.
+func Grouped(code uint32, sub ...AVP) AVP {
+	n := 0
+	for _, s := range sub {
+		n += 8 + len(s.Data)
+		n = (n + 3) &^ 3
+	}
+	d := make([]byte, n)
+	o := 0
+	for _, s := range sub {
+		o += putAVP(d[o:], s)
+	}
+	return AVP{Code: code, Data: d}
+}
+
+// SubAVPs parses a grouped AVP's contents.
+func (a AVP) SubAVPs() ([]AVP, error) {
+	return parseAVPs(a.Data)
+}
+
+// Message is a Diameter message.
+type Message struct {
+	Version  uint8
+	Flags    uint8
+	Code     uint32
+	AppID    uint32
+	HopByHop uint32
+	EndToEnd uint32
+	AVPs     []AVP
+}
+
+// IsRequest reports the R flag.
+func (m *Message) IsRequest() bool { return m.Flags&FlagRequest != 0 }
+
+// Find returns the first AVP with the given code.
+func (m *Message) Find(code uint32) (AVP, bool) {
+	for _, a := range m.AVPs {
+		if a.Code == code {
+			return a, true
+		}
+	}
+	return AVP{}, false
+}
+
+// FindAll returns every AVP with the given code.
+func (m *Message) FindAll(code uint32) []AVP {
+	var out []AVP
+	for _, a := range m.AVPs {
+		if a.Code == code {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ResultCode extracts the Result-Code AVP, defaulting to 0.
+func (m *Message) ResultCode() uint32 {
+	if a, ok := m.Find(AVPResultCode); ok {
+		if v, err := a.Uint32(); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// NewRequest builds a request skeleton.
+func NewRequest(code, appID, hopByHop, endToEnd uint32, avps ...AVP) *Message {
+	return &Message{Version: 1, Flags: FlagRequest | FlagProxyable, Code: code,
+		AppID: appID, HopByHop: hopByHop, EndToEnd: endToEnd, AVPs: avps}
+}
+
+// Answer builds the answer skeleton for a request, echoing identifiers.
+func (m *Message) Answer(result uint32, avps ...AVP) *Message {
+	out := &Message{Version: 1, Flags: m.Flags &^ FlagRequest, Code: m.Code,
+		AppID: m.AppID, HopByHop: m.HopByHop, EndToEnd: m.EndToEnd}
+	out.AVPs = append(out.AVPs, U32AVP(AVPResultCode, result))
+	out.AVPs = append(out.AVPs, avps...)
+	return out
+}
+
+// Marshal encodes the message.
+func (m *Message) Marshal() []byte {
+	n := headerLen
+	for _, a := range m.AVPs {
+		n += 8 + len(a.Data)
+		n = (n + 3) &^ 3
+	}
+	b := make([]byte, n)
+	b[0] = 1 // version
+	putU24(b[1:4], uint32(n))
+	b[4] = m.Flags
+	putU24(b[5:8], m.Code)
+	binary.BigEndian.PutUint32(b[8:12], m.AppID)
+	binary.BigEndian.PutUint32(b[12:16], m.HopByHop)
+	binary.BigEndian.PutUint32(b[16:20], m.EndToEnd)
+	o := headerLen
+	for _, a := range m.AVPs {
+		o += putAVP(b[o:], a)
+	}
+	return b
+}
+
+// Unmarshal decodes one message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < headerLen {
+		return nil, ErrShort
+	}
+	if b[0] != 1 {
+		return nil, ErrVersion
+	}
+	total := int(u24(b[1:4]))
+	if total < headerLen || len(b) < total {
+		return nil, ErrShort
+	}
+	m := &Message{
+		Version:  1,
+		Flags:    b[4],
+		Code:     u24(b[5:8]),
+		AppID:    binary.BigEndian.Uint32(b[8:12]),
+		HopByHop: binary.BigEndian.Uint32(b[12:16]),
+		EndToEnd: binary.BigEndian.Uint32(b[16:20]),
+	}
+	avps, err := parseAVPs(b[headerLen:total])
+	if err != nil {
+		return nil, err
+	}
+	m.AVPs = avps
+	return m, nil
+}
+
+func putAVP(dst []byte, a AVP) int {
+	l := 8 + len(a.Data)
+	binary.BigEndian.PutUint32(dst[0:4], a.Code)
+	dst[4] = 0x40 // mandatory flag
+	putU24(dst[5:8], uint32(l))
+	copy(dst[8:], a.Data)
+	padded := (l + 3) &^ 3
+	for i := l; i < padded; i++ {
+		dst[i] = 0
+	}
+	return padded
+}
+
+func parseAVPs(b []byte) ([]AVP, error) {
+	var out []AVP
+	o := 0
+	for o < len(b) {
+		if o+8 > len(b) {
+			return nil, ErrAVP
+		}
+		code := binary.BigEndian.Uint32(b[o : o+4])
+		l := int(u24(b[o+5 : o+8]))
+		if l < 8 || o+l > len(b) {
+			return nil, ErrAVP
+		}
+		data := append([]byte(nil), b[o+8:o+l]...)
+		out = append(out, AVP{Code: code, Data: data})
+		o += (l + 3) &^ 3
+	}
+	return out, nil
+}
+
+func putU24(dst []byte, v uint32) {
+	dst[0] = byte(v >> 16)
+	dst[1] = byte(v >> 8)
+	dst[2] = byte(v)
+}
+
+func u24(b []byte) uint32 {
+	return uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])
+}
+
+// Handler processes a request and produces an answer; the node proxy and
+// the in-process HSS/PCRF servers connect through this.
+type Handler interface {
+	Handle(req *Message) (*Message, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req *Message) (*Message, error)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(req *Message) (*Message, error) { return f(req) }
+
+// Call marshals req, passes the bytes through h (simulating the wire so
+// the codec runs on every exchange, as it would across a socket), and
+// unmarshals the answer.
+func Call(h Handler, req *Message) (*Message, error) {
+	wire := req.Marshal()
+	decoded, err := Unmarshal(wire)
+	if err != nil {
+		return nil, fmt.Errorf("diameter: self-check encode: %w", err)
+	}
+	ans, err := h.Handle(decoded)
+	if err != nil {
+		return nil, err
+	}
+	back, err := Unmarshal(ans.Marshal())
+	if err != nil {
+		return nil, fmt.Errorf("diameter: answer encode: %w", err)
+	}
+	return back, nil
+}

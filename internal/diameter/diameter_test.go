@@ -1,0 +1,154 @@
+package diameter
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	req := NewRequest(CmdAuthenticationInformation, AppS6a, 7, 9,
+		U64AVP(AVPUserName, 123456789),
+		U32AVP(AVPVisitedPLMN, 310150),
+	)
+	got, err := Unmarshal(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != CmdAuthenticationInformation || got.AppID != AppS6a ||
+		got.HopByHop != 7 || got.EndToEnd != 9 || !got.IsRequest() {
+		t.Fatalf("header: %+v", got)
+	}
+	u, ok := got.Find(AVPUserName)
+	if !ok {
+		t.Fatal("missing user name")
+	}
+	if v, err := u.Uint64(); err != nil || v != 123456789 {
+		t.Fatalf("user name: %d %v", v, err)
+	}
+}
+
+func TestAnswerEchoesIdentifiers(t *testing.T) {
+	req := NewRequest(CmdUpdateLocation, AppS6a, 100, 200)
+	ans := req.Answer(ResultSuccess, U32AVP(AVPVisitedPLMN, 1))
+	if ans.IsRequest() {
+		t.Fatal("answer has request flag")
+	}
+	if ans.HopByHop != 100 || ans.EndToEnd != 200 || ans.Code != req.Code {
+		t.Fatalf("answer header: %+v", ans)
+	}
+	if ans.ResultCode() != ResultSuccess {
+		t.Fatalf("result: %d", ans.ResultCode())
+	}
+}
+
+func TestGroupedAVPs(t *testing.T) {
+	g := Grouped(AVPEUTRANVector,
+		AVP{Code: AVPRand, Data: bytes.Repeat([]byte{1}, 16)},
+		AVP{Code: AVPXres, Data: bytes.Repeat([]byte{2}, 8)},
+		AVP{Code: AVPAutn, Data: bytes.Repeat([]byte{3}, 15)}, // odd length forces padding
+	)
+	subs, err := g.SubAVPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("%d sub AVPs", len(subs))
+	}
+	if subs[0].Code != AVPRand || len(subs[0].Data) != 16 {
+		t.Fatalf("rand: %+v", subs[0])
+	}
+	if subs[2].Code != AVPAutn || len(subs[2].Data) != 15 || subs[2].Data[14] != 3 {
+		t.Fatalf("autn: %+v", subs[2])
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2}); err != ErrShort {
+		t.Fatalf("short: %v", err)
+	}
+	m := NewRequest(CmdCreditControl, AppGx, 1, 1)
+	wire := m.Marshal()
+	wire[0] = 2
+	if _, err := Unmarshal(wire); err != ErrVersion {
+		t.Fatalf("version: %v", err)
+	}
+	// Corrupted AVP length.
+	m2 := NewRequest(CmdCreditControl, AppGx, 1, 1, U32AVP(AVPResultCode, 1))
+	wire2 := m2.Marshal()
+	wire2[20+5] = 0xff
+	wire2[20+6] = 0xff
+	wire2[20+7] = 0xff
+	if _, err := Unmarshal(wire2); err != ErrAVP {
+		t.Fatalf("bad AVP: %v", err)
+	}
+}
+
+func TestCallRunsCodecBothWays(t *testing.T) {
+	h := HandlerFunc(func(req *Message) (*Message, error) {
+		if !req.IsRequest() {
+			t.Error("handler saw non-request")
+		}
+		return req.Answer(ResultSuccess), nil
+	})
+	ans, err := Call(h, NewRequest(CmdReAuth, AppGx, 5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.ResultCode() != ResultSuccess || ans.HopByHop != 5 {
+		t.Fatalf("answer: %+v", ans)
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	m := NewRequest(CmdCreditControl, AppGx, 1, 1,
+		U32AVP(AVPChargingRuleInstall, 1),
+		U32AVP(AVPChargingRuleInstall, 2),
+		U32AVP(AVPResultCode, 3),
+	)
+	if got := len(m.FindAll(AVPChargingRuleInstall)); got != 2 {
+		t.Fatalf("FindAll = %d", got)
+	}
+}
+
+// Property: marshal/unmarshal round-trips arbitrary AVP payload sets.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(code, app, hbh, e2e uint32, payloads [][]byte) bool {
+		if len(payloads) > 16 {
+			payloads = payloads[:16]
+		}
+		m := NewRequest(code&0xffffff, app, hbh, e2e)
+		for i, p := range payloads {
+			if len(p) > 512 {
+				p = p[:512]
+			}
+			m.AVPs = append(m.AVPs, AVP{Code: uint32(i + 1), Data: p})
+		}
+		got, err := Unmarshal(m.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.Code != code&0xffffff || len(got.AVPs) != len(m.AVPs) {
+			return false
+		}
+		for i := range m.AVPs {
+			if !bytes.Equal(got.AVPs[i].Data, m.AVPs[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

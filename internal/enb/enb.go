@@ -1,0 +1,284 @@
+// Package enb emulates the radio access network side of the EPC: an
+// eNodeB with attached UEs that speaks S1AP/NAS over SCTP-lite to the
+// core's control plane and sources/sinks GTP-U user traffic — the role
+// the paper fills with OpenAirInterface traces and the ng4T RAN emulator
+// (§5.1).
+package enb
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pepc/internal/hss"
+	"pepc/internal/nas"
+	"pepc/internal/s1ap"
+	"pepc/internal/sctp"
+)
+
+// Errors.
+var (
+	ErrAuthFailed    = errors.New("enb: network authentication failed (AUTN)")
+	ErrUnexpectedMsg = errors.New("enb: unexpected message")
+	ErrTimeout       = errors.New("enb: procedure timeout")
+)
+
+// UE is one emulated device: its USIM credentials and, after attach, the
+// session the network granted.
+type UE struct {
+	IMSI uint64
+	K    [16]byte
+	// LastSQN tracks the USIM sequence number for AUTN verification.
+	LastSQN uint64
+
+	// Session state after a successful attach.
+	Attached     bool
+	GUTI         uint64
+	UEAddr       uint32
+	UplinkTEID   uint32 // core's TEID: where the eNodeB sends uplink
+	CoreAddr     uint32
+	DownlinkTEID uint32 // this eNodeB's TEID for the UE's downlink
+	ENBUEID      uint32
+	MMEUEID      uint32
+	KASME        [32]byte
+}
+
+// NewUE creates a UE whose key matches the HSS bulk-provisioning
+// derivation.
+func NewUE(imsi uint64) *UE {
+	return &UE{IMSI: imsi, K: hss.KeyForIMSI(imsi)}
+}
+
+// ENB is an emulated eNodeB: one S1AP association toward the core plus
+// local identifiers.
+type ENB struct {
+	// Addr is the eNodeB's data-plane address (GTP-U endpoint).
+	Addr uint32
+	// TAI/ECGI describe the cell.
+	TAI  uint16
+	ECGI uint32
+
+	assoc *sctp.Assoc
+
+	nextENBUEID uint32
+	nextDLTEID  uint32
+
+	// Timeout bounds each procedure step (default 5s).
+	Timeout time.Duration
+
+	// Counters.
+	Attaches  atomic.Uint64
+	Handovers atomic.Uint64
+}
+
+// New returns an eNodeB bound to an established association. Downlink
+// TEIDs are drawn from a per-cell block derived from the ECGI so two
+// eNodeBs never hand out the same tunnel id.
+func New(addr uint32, tai uint16, ecgi uint32, assoc *sctp.Assoc) *ENB {
+	return &ENB{Addr: addr, TAI: tai, ECGI: ecgi, assoc: assoc, Timeout: 5 * time.Second,
+		nextDLTEID: 0x0100_0000 | (ecgi&0xfff)<<12}
+}
+
+// Assoc returns the eNodeB's S1AP association.
+func (e *ENB) Assoc() *sctp.Assoc { return e.assoc }
+
+func (e *ENB) recvPDU() (*s1ap.PDU, error) {
+	msg, err := e.assoc.RecvTimeout(e.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return s1ap.Unmarshal(msg.Data)
+}
+
+// Attach runs the full attach procedure for a UE: attach request,
+// authentication challenge/response (with real AUTN verification and RES
+// computation against the UE key), security mode, initial context setup,
+// attach complete. On success the UE carries its granted session.
+func (e *ENB) Attach(ue *UE) error {
+	e.nextENBUEID++
+	ue.ENBUEID = e.nextENBUEID
+
+	// 1. Attach request inside InitialUEMessage.
+	req := &nas.AttachRequest{IMSI: ue.IMSI, UENetworkCapability: 0x8020}
+	init := &s1ap.InitialUEMessage{ENBUEID: ue.ENBUEID, NASPDU: req.Marshal(), TAI: e.TAI, ECGI: e.ECGI}
+	if err := e.assoc.Send(0, sctp.PPIDS1AP, init.Marshal()); err != nil {
+		return err
+	}
+
+	// 2. Authentication challenge.
+	pdu, err := e.recvPDU()
+	if err != nil {
+		return err
+	}
+	dl, err := s1ap.ParseNASTransport(pdu)
+	if err != nil {
+		return err
+	}
+	ue.MMEUEID = dl.MMEUEID
+	challenge, err := nas.UnmarshalAuthenticationRequest(dl.NASPDU)
+	if err != nil {
+		return fmt.Errorf("%w: expected authentication request", ErrUnexpectedMsg)
+	}
+	sqn, ok := hss.VerifyAUTN(ue.K, challenge.RAND, challenge.AUTN, ue.LastSQN, 64)
+	if !ok {
+		return ErrAuthFailed
+	}
+	ue.LastSQN = sqn
+	vec := hss.GenerateVector(ue.K, challenge.RAND, sqn)
+	ue.KASME = vec.KASME
+
+	// 3. Authentication response.
+	resp := &nas.AuthenticationResponse{RES: vec.XRES}
+	ul := &s1ap.NASTransport{MMEUEID: ue.MMEUEID, ENBUEID: ue.ENBUEID, NASPDU: resp.Marshal(), Uplink: true}
+	if err := e.assoc.Send(0, sctp.PPIDS1AP, ul.Marshal()); err != nil {
+		return err
+	}
+
+	// 4. Security mode command → complete (verify the network's MAC).
+	pdu, err = e.recvPDU()
+	if err != nil {
+		return err
+	}
+	dl, err = s1ap.ParseNASTransport(pdu)
+	if err != nil {
+		return err
+	}
+	inner, mac, seq, protected, err := nas.UnwrapProtected(dl.NASPDU)
+	if err != nil {
+		return err
+	}
+	if !protected || nas.ComputeMAC(ue.KASME, seq, inner) != mac {
+		return fmt.Errorf("%w: security mode command integrity", ErrAuthFailed)
+	}
+	if _, err := nas.UnmarshalSecurityModeCommand(inner); err != nil {
+		return fmt.Errorf("%w: expected security mode command", ErrUnexpectedMsg)
+	}
+	smcDone := (&nas.SecurityModeComplete{}).Marshal()
+	ul = &s1ap.NASTransport{MMEUEID: ue.MMEUEID, ENBUEID: ue.ENBUEID, NASPDU: smcDone, Uplink: true}
+	if err := e.assoc.Send(0, sctp.PPIDS1AP, ul.Marshal()); err != nil {
+		return err
+	}
+
+	// 5. Initial context setup (carries attach accept).
+	pdu, err = e.recvPDU()
+	if err != nil {
+		return err
+	}
+	ics, err := s1ap.ParseInitialContextSetupRequest(pdu)
+	if err != nil {
+		return fmt.Errorf("%w: expected initial context setup", ErrUnexpectedMsg)
+	}
+	ue.UplinkTEID = ics.UplinkTEID
+	ue.CoreAddr = ics.CoreAddr
+	acceptInner, mac, seq, protected, err := nas.UnwrapProtected(ics.NASPDU)
+	if err != nil {
+		return err
+	}
+	if !protected || nas.ComputeMAC(ue.KASME, seq, acceptInner) != mac {
+		return fmt.Errorf("%w: attach accept integrity", ErrAuthFailed)
+	}
+	accept, err := nas.UnmarshalAttachAccept(acceptInner)
+	if err != nil {
+		return err
+	}
+	ue.GUTI = accept.GUTI
+	if len(accept.ESMContainer) > 0 {
+		bearer, err := nas.UnmarshalActivateDefaultBearerRequest(accept.ESMContainer)
+		if err != nil {
+			return err
+		}
+		ue.UEAddr = bearer.UEAddr
+	}
+
+	// 6. Context setup response with this eNodeB's downlink endpoint.
+	e.nextDLTEID++
+	ue.DownlinkTEID = e.nextDLTEID
+	icsResp := &s1ap.InitialContextSetupResponse{
+		MMEUEID: ue.MMEUEID, ENBUEID: ue.ENBUEID,
+		DownlinkTEID: ue.DownlinkTEID, ENBAddr: e.Addr,
+	}
+	if err := e.assoc.Send(0, sctp.PPIDS1AP, icsResp.Marshal()); err != nil {
+		return err
+	}
+
+	// 7. Attach complete.
+	complete := (&nas.AttachComplete{}).Marshal()
+	ul = &s1ap.NASTransport{MMEUEID: ue.MMEUEID, ENBUEID: ue.ENBUEID, NASPDU: complete, Uplink: true}
+	if err := e.assoc.Send(0, sctp.PPIDS1AP, ul.Marshal()); err != nil {
+		return err
+	}
+	ue.Attached = true
+	e.Attaches.Add(1)
+	return nil
+}
+
+// PathSwitch reports an X2 handover of a UE onto this eNodeB: the UE
+// keeps its session but downlink must now arrive here.
+func (e *ENB) PathSwitch(ue *UE) error {
+	e.nextENBUEID++
+	ue.ENBUEID = e.nextENBUEID
+	e.nextDLTEID++
+	ue.DownlinkTEID = e.nextDLTEID
+	req := &s1ap.PathSwitchRequest{
+		MMEUEID: ue.MMEUEID, ENBUEID: ue.ENBUEID,
+		DownlinkTEID: ue.DownlinkTEID, ENBAddr: e.Addr,
+		ECGI: e.ECGI, TAI: e.TAI,
+	}
+	if err := e.assoc.Send(0, sctp.PPIDS1AP, req.Marshal()); err != nil {
+		return err
+	}
+	pdu, err := e.recvPDU()
+	if err != nil {
+		return err
+	}
+	if pdu.Procedure != s1ap.ProcPathSwitchRequest || pdu.Type != s1ap.PDUSuccessful {
+		return ErrUnexpectedMsg
+	}
+	e.Handovers.Add(1)
+	return nil
+}
+
+// S1Handover performs an S1-based handover of ue from this eNodeB to
+// target (the eNodeBs are not directly connected, so the core mediates):
+// this eNodeB sends Handover Required and waits for the command; the
+// target then reports the UE's arrival with Handover Notify carrying its
+// new downlink endpoint.
+func (e *ENB) S1Handover(ue *UE, target *ENB) error {
+	req := &s1ap.HandoverRequired{MMEUEID: ue.MMEUEID, ENBUEID: ue.ENBUEID, TargetENB: target.ECGI}
+	if err := e.assoc.Send(0, sctp.PPIDS1AP, req.Marshal()); err != nil {
+		return err
+	}
+	pdu, err := e.recvPDU()
+	if err != nil {
+		return err
+	}
+	if pdu.Procedure != s1ap.ProcHandoverPreparation || pdu.Type != s1ap.PDUSuccessful {
+		return ErrUnexpectedMsg
+	}
+	// The UE moves; the target allocates its local identifiers and
+	// notifies the core.
+	target.nextENBUEID++
+	ue.ENBUEID = target.nextENBUEID
+	target.nextDLTEID++
+	ue.DownlinkTEID = target.nextDLTEID
+	notify := &s1ap.HandoverNotify{
+		MMEUEID: ue.MMEUEID, ENBUEID: ue.ENBUEID,
+		DownlinkTEID: ue.DownlinkTEID, ENBAddr: target.Addr, ECGI: target.ECGI,
+	}
+	if err := target.assoc.Send(0, sctp.PPIDS1AP, notify.Marshal()); err != nil {
+		return err
+	}
+	e.Handovers.Add(1)
+	return nil
+}
+
+// Release asks the core to drop the UE's context (detach).
+func (e *ENB) Release(ue *UE) error {
+	rel := &s1ap.UEContextRelease{MMEUEID: ue.MMEUEID, ENBUEID: ue.ENBUEID, Cause: 0}
+	if err := e.assoc.Send(0, sctp.PPIDS1AP, rel.Marshal()); err != nil {
+		return err
+	}
+	ue.Attached = false
+	return nil
+}

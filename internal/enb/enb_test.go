@@ -1,0 +1,269 @@
+package enb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pepc/internal/core"
+	"pepc/internal/hss"
+	"pepc/internal/pcrf"
+	"pepc/internal/pkt"
+	"pepc/internal/sctp"
+	"pepc/internal/state"
+)
+
+// harness brings up a slice + proxy + S1AP server and returns an eNodeB
+// bound to it.
+func harness(t *testing.T, provision int) (*ENB, *core.S1APServer, *core.Node) {
+	t.Helper()
+	hssDB := hss.New()
+	hssDB.ProvisionRange(1, provision, 10e6, 50e6)
+	node := core.NewNode(core.SliceConfig{ID: 1, UserHint: 256})
+	node.AttachProxy(core.NewProxy(hssDB, pcrf.New()))
+
+	cw, sw := sctp.Pipe(1024)
+	acceptDone := make(chan *sctp.Assoc, 1)
+	go func() {
+		a, _ := sctp.Accept(sw, sctp.Config{Tag: 2})
+		acceptDone <- a
+	}()
+	client, err := sctp.Dial(cw, sctp.Config{Tag: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-acceptDone
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	srv, err := node.ServeS1AP(0, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go srv.Serve(stop)
+	t.Cleanup(func() {
+		close(stop)
+		client.Close()
+	})
+	return New(pkt.IPv4Addr(192, 168, 7, 1), 5, 0x500, client), srv, node
+}
+
+func TestAttachGrantsSession(t *testing.T) {
+	base, srv, node := harness(t, 10)
+	ue := NewUE(3)
+	if err := base.Attach(ue); err != nil {
+		t.Fatal(err)
+	}
+	if !ue.Attached || ue.UplinkTEID == 0 || ue.UEAddr == 0 || ue.GUTI == 0 || ue.DownlinkTEID == 0 {
+		t.Fatalf("session: %+v", ue)
+	}
+	if ue.KASME == [32]byte{} {
+		t.Fatal("no key established")
+	}
+	// The core registered the user with the node demux.
+	if idx, ok := node.Demux().LookupSlice(ue.UplinkTEID); !ok || idx != 0 {
+		t.Fatalf("demux: %d %v", idx, ok)
+	}
+	if base.Attaches.Load() != 1 {
+		t.Fatalf("enb counter = %d", base.Attaches.Load())
+	}
+	deadline := time.After(time.Second)
+	for srv.AttachesCompleted.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("server never saw attach complete")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestSequentialAttachesShareAssociation(t *testing.T) {
+	base, _, _ := harness(t, 20)
+	for i := 1; i <= 5; i++ {
+		ue := NewUE(uint64(i))
+		if err := base.Attach(ue); err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+	}
+	if base.Attaches.Load() != 5 {
+		t.Fatalf("attaches = %d", base.Attaches.Load())
+	}
+}
+
+func TestAttachUnknownSubscriberTimesOut(t *testing.T) {
+	base, srv, _ := harness(t, 5)
+	base.Timeout = 100 * time.Millisecond
+	ue := NewUE(999) // not provisioned
+	if err := base.Attach(ue); err == nil {
+		t.Fatal("unknown subscriber attached")
+	}
+	if ue.Attached {
+		t.Fatal("session marked attached")
+	}
+	if srv.AttachesFailed.Load() != 1 {
+		t.Fatalf("server failed counter = %d", srv.AttachesFailed.Load())
+	}
+}
+
+func TestUEVerifiesNetworkAUTN(t *testing.T) {
+	// A UE with the wrong key must reject the network's challenge (the
+	// mutual part of AKA) — the client side fails before sending RES.
+	base, _, _ := harness(t, 10)
+	base.Timeout = 200 * time.Millisecond
+	ue := NewUE(4)
+	ue.K = [16]byte{0xde, 0xad} // corrupt USIM key
+	err := base.Attach(ue)
+	if err == nil {
+		t.Fatal("attach succeeded with wrong key")
+	}
+}
+
+func TestPathSwitchMovesDownlink(t *testing.T) {
+	base, _, node := harness(t, 10)
+	ue := NewUE(6)
+	if err := base.Attach(ue); err != nil {
+		t.Fatal(err)
+	}
+	oldTEID := ue.DownlinkTEID
+	base2 := New(pkt.IPv4Addr(192, 168, 7, 2), 6, 0x600, base.Assoc())
+	if err := base2.PathSwitch(ue); err != nil {
+		t.Fatal(err)
+	}
+	if ue.DownlinkTEID == oldTEID {
+		t.Fatal("downlink TEID unchanged after path switch")
+	}
+	ctx := node.Slice(0).Control().Lookup(6)
+	if ctx == nil {
+		t.Fatal("user lost")
+	}
+	var enbAddr uint32
+	ctx.ReadCtrl(func(c *state.ControlState) { enbAddr = c.ENBAddr })
+	if enbAddr != base2.Addr {
+		t.Fatalf("core eNB addr = %s, want %s", pkt.FormatIPv4(enbAddr), pkt.FormatIPv4(base2.Addr))
+	}
+	if base2.Handovers.Load() != 1 {
+		t.Fatalf("handover counter = %d", base2.Handovers.Load())
+	}
+}
+
+func TestReleaseDetaches(t *testing.T) {
+	base, _, node := harness(t, 10)
+	ue := NewUE(7)
+	if err := base.Attach(ue); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Release(ue); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(time.Second)
+	for node.Slice(0).Control().Lookup(7) != nil {
+		select {
+		case <-deadline:
+			t.Fatal("release not processed")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if ue.Attached {
+		t.Fatal("UE still marked attached")
+	}
+}
+
+func TestS1HandoverViaCore(t *testing.T) {
+	base, _, node := harness(t, 10)
+	ue := NewUE(8)
+	if err := base.Attach(ue); err != nil {
+		t.Fatal(err)
+	}
+	// Target eNodeB shares the association in this harness (one wire);
+	// distinct identity and endpoints.
+	target := New(pkt.IPv4Addr(192, 168, 7, 99), 9, 0x900, base.Assoc())
+	oldTEID := ue.DownlinkTEID
+	if err := base.S1Handover(ue, target); err != nil {
+		t.Fatal(err)
+	}
+	if ue.DownlinkTEID == oldTEID {
+		t.Fatal("downlink TEID unchanged")
+	}
+	// The core's tunnel state follows the UE once the notify processes.
+	deadline := time.After(time.Second)
+	for {
+		ctx := node.Slice(0).Control().Lookup(8)
+		var addr uint32
+		ctx.ReadCtrl(func(c *state.ControlState) { addr = c.ENBAddr })
+		if addr == target.Addr {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("core eNB addr = %s, want %s", pkt.FormatIPv4(addr), pkt.FormatIPv4(target.Addr))
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestAttachSurvivesPacketLoss(t *testing.T) {
+	// The full attach procedure completes over a wire dropping 20% of
+	// DATA packets in both directions: SCTP-lite's retransmission
+	// carries the S1AP/NAS exchange through.
+	hssDB := hss.New()
+	hssDB.ProvisionRange(1, 10, 10e6, 50e6)
+	node := core.NewNode(core.SliceConfig{ID: 1, UserHint: 64})
+	node.AttachProxy(core.NewProxy(hssDB, pcrf.New()))
+
+	cw, sw := sctp.Pipe(1024)
+	acceptDone := make(chan *sctp.Assoc, 1)
+	go func() {
+		a, _ := sctp.Accept(sw, sctp.Config{Tag: 2, RTO: 10 * time.Millisecond})
+		acceptDone <- a
+	}()
+	client, err := sctp.Dial(cw, sctp.Config{Tag: 1, RTO: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-acceptDone
+	srv, err := node.ServeS1AP(0, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go srv.Serve(stop)
+	t.Cleanup(func() {
+		close(stop)
+		client.Close()
+	})
+
+	// Loss injection AFTER establishment, deterministic pattern.
+	var mu sync.Mutex
+	n := 0
+	dropData := func(b []byte) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return n%5 == 0 && isDataPacket(b)
+	}
+	cw.SetDropFn(dropData)
+	sw.SetDropFn(dropData)
+
+	base := New(pkt.IPv4Addr(192, 168, 7, 50), 5, 0x550, client)
+	base.Timeout = 10 * time.Second
+	for i := 1; i <= 3; i++ {
+		ue := NewUE(uint64(i))
+		if err := base.Attach(ue); err != nil {
+			t.Fatalf("attach %d under loss: %v", i, err)
+		}
+	}
+	if client.Stats().Retransmits == 0 && server.Stats().Retransmits == 0 {
+		t.Fatal("no retransmissions despite injected loss")
+	}
+}
+
+// isDataPacket reports whether an SCTP packet's first chunk is DATA (so
+// loss injection spares control chunks like SACKs, keeping the test
+// focused and fast).
+func isDataPacket(b []byte) bool {
+	return len(b) > 12 && b[12] == 0 // ChunkData
+}

@@ -1,0 +1,284 @@
+// Package experiments contains the harness that regenerates every table
+// and figure of the paper's evaluation (§5–§7). Each FigN function
+// returns a Result with the same series the paper plots; cmd/pepcbench
+// prints them and bench_test.go wraps them as Go benchmarks.
+//
+// Measurement methodology on shared-CPU hosts (see DESIGN.md): runs are
+// closed-loop and inline — the harness generates a batch, runs the
+// pipeline to completion, and recycles buffers — so per-core throughput
+// is work-per-packet, independent of scheduler noise. Signaling work is
+// interleaved into the same loop for every system (the paper's
+// industrial baselines process signaling against the same state tables
+// as data; PEPC's far cheaper consolidated-state events are exactly the
+// effect under test). Multi-core figures measure share-nothing shards
+// independently and sum them, which is the paper's own linearity
+// argument for Fig 7.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pepc/internal/core"
+	"pepc/internal/legacy"
+	"pepc/internal/pkt"
+	"pepc/internal/sim"
+	"pepc/internal/workload"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	Figure string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []sim.Series
+	Notes  []string
+}
+
+// Render formats the result as the harness's text output.
+func (r Result) Render() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.Figure, r.Title)
+	out += sim.Table(r.XLabel, r.YLabel, r.Series...)
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Scale bounds experiment cost so the full suite runs in reasonable time
+// on a development machine while keeping the paper's parameters reachable.
+type Scale struct {
+	// MaxUsers caps population sweeps (memory bound: each user context
+	// is ~600B).
+	MaxUsers int
+	// PacketsPerPoint is the measured packet count per data point.
+	PacketsPerPoint int
+	// EventsPerPoint is the measured signaling event count per
+	// control-plane data point.
+	EventsPerPoint int
+}
+
+// Quick is the default scale used by `go test -bench` and CI: every
+// figure's shape is visible in seconds.
+var Quick = Scale{
+	MaxUsers:        250_000,
+	PacketsPerPoint: 200_000,
+	EventsPerPoint:  2_000,
+}
+
+// Full approximates the paper's populations (needs several GB of memory
+// and minutes of runtime).
+var Full = Scale{
+	MaxUsers:        3_000_000,
+	PacketsPerPoint: 2_000_000,
+	EventsPerPoint:  20_000,
+}
+
+func (s Scale) users(want int) int {
+	if want > s.MaxUsers {
+		return s.MaxUsers
+	}
+	return want
+}
+
+// mpps converts (packets, elapsed) to millions of packets per second.
+func mpps(packets int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(packets) / elapsed.Seconds() / 1e6
+}
+
+// attachPopulation attaches n users to a slice and returns their
+// generator coordinates. Data-plane indexes are synced afterwards.
+func attachPopulation(s *core.Slice, n int, baseIMSI uint64) ([]workload.User, error) {
+	users := make([]workload.User, n)
+	for i := 0; i < n; i++ {
+		res, err := s.Control().Attach(core.AttachSpec{
+			IMSI:         baseIMSI + uint64(i),
+			ENBAddr:      pkt.IPv4Addr(192, 168, 0, 1),
+			DownlinkTEID: 0x0100_0000 | uint32(i+1),
+			ECGI:         1, TAI: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		users[i] = workload.User{IMSI: baseIMSI + uint64(i), UplinkTEID: res.UplinkTEID, UEAddr: res.UEAddr}
+		// Keep the update queue bounded during bulk attach.
+		if i%1024 == 1023 {
+			s.Data().SyncUpdates()
+		}
+	}
+	s.Data().SyncUpdates()
+	return users, nil
+}
+
+// attachLegacyPopulation attaches n users to a baseline EPC.
+func attachLegacyPopulation(e *legacy.EPC, n int, baseIMSI uint64) ([]workload.User, error) {
+	users := make([]workload.User, n)
+	for i := 0; i < n; i++ {
+		teid, ip, err := e.Attach(baseIMSI+uint64(i), 0x0100_0000|uint32(i+1), pkt.IPv4Addr(192, 168, 0, 1))
+		if err != nil {
+			return nil, err
+		}
+		users[i] = workload.User{IMSI: baseIMSI + uint64(i), UplinkTEID: teid, UEAddr: ip}
+	}
+	return users, nil
+}
+
+// pepcRun measures PEPC data-plane throughput: total packets in the
+// configured UL:DL mix, with signaling events (synthetic attach updates)
+// interleaved at eventsPerKPackets per 1000 packets. It returns Mpps over
+// the measured loop.
+func pepcRun(s *core.Slice, gen *workload.TrafficGen, total, eventsPerKPackets int, sg *workload.SignalingGen) float64 {
+	const batchSize = 32
+	up := make([]*pkt.Buf, 0, batchSize)
+	down := make([]*pkt.Buf, 0, batchSize)
+	// Collect setup garbage (bulk attach allocates the population) so a
+	// GC pause does not land inside the timed window, then warm caches,
+	// pools and branch predictors so the first-measured system is not
+	// penalized.
+	runtime.GC()
+	warm := total / 10
+	if warm > 4096 {
+		warm = 4096
+	}
+	for w := 0; w < warm; w += batchSize {
+		up = up[:0]
+		for i := 0; i < batchSize; i++ {
+			up = append(up, gen.NextUplink())
+		}
+		s.Data().ProcessUplinkBatch(up, sim.Now())
+		drainRing(s)
+	}
+	processed := 0
+	eventDebt := 0.0
+	eventRate := float64(eventsPerKPackets) / 1000.0
+	start := time.Now()
+	for processed < total {
+		up = up[:0]
+		down = down[:0]
+		for i := 0; i < batchSize && processed+len(up)+len(down) < total; i++ {
+			b, isUp := gen.Next()
+			if isUp {
+				up = append(up, b)
+			} else {
+				down = append(down, b)
+			}
+		}
+		now := sim.Now()
+		if len(up) > 0 {
+			s.Data().ProcessUplinkBatch(up, now)
+		}
+		if len(down) > 0 {
+			s.Data().ProcessDownlinkBatch(down, now)
+		}
+		n := len(up) + len(down)
+		processed += n
+		// Signaling interleave.
+		if sg != nil && eventRate > 0 {
+			eventDebt += float64(n) * eventRate
+			for eventDebt >= 1 {
+				ev := sg.Next()
+				switch ev.Kind {
+				case workload.EventS1Handover:
+					addr, teid, ecgi := sg.NextHandoverTarget()
+					s.Control().S1Handover(ev.IMSI, addr, teid, ecgi)
+				default:
+					s.Control().AttachEvent(ev.IMSI)
+				}
+				eventDebt--
+			}
+		}
+		drainRing(s)
+	}
+	return mpps(processed, time.Since(start))
+}
+
+// legacyRun is pepcRun for the baseline EPC.
+func legacyRun(e *legacy.EPC, gen *workload.TrafficGen, total, eventsPerKPackets int, sg *workload.SignalingGen) float64 {
+	const batchSize = 32
+	up := make([]*pkt.Buf, 0, batchSize)
+	down := make([]*pkt.Buf, 0, batchSize)
+	e.Egress = func(b *pkt.Buf) { b.Free() }
+	runtime.GC()
+	warm := total / 10
+	if warm > 4096 {
+		warm = 4096
+	}
+	for w := 0; w < warm; w += batchSize {
+		up = up[:0]
+		for i := 0; i < batchSize; i++ {
+			up = append(up, gen.NextUplink())
+		}
+		e.ProcessUplinkBatch(up, 0)
+	}
+	processed := 0
+	eventDebt := 0.0
+	eventRate := float64(eventsPerKPackets) / 1000.0
+	start := time.Now()
+	for processed < total {
+		up = up[:0]
+		down = down[:0]
+		for i := 0; i < batchSize && processed+len(up)+len(down) < total; i++ {
+			b, isUp := gen.Next()
+			if isUp {
+				up = append(up, b)
+			} else {
+				down = append(down, b)
+			}
+		}
+		if len(up) > 0 {
+			e.ProcessUplinkBatch(up, 0)
+		}
+		if len(down) > 0 {
+			e.ProcessDownlinkBatch(down, 0)
+		}
+		n := len(up) + len(down)
+		processed += n
+		if sg != nil && eventRate > 0 {
+			eventDebt += float64(n) * eventRate
+			for eventDebt >= 1 {
+				ev := sg.Next()
+				switch ev.Kind {
+				case workload.EventS1Handover:
+					addr, teid, _ := sg.NextHandoverTarget()
+					e.S1Handover(ev.IMSI, teid, addr)
+				default:
+					e.AttachEvent(ev.IMSI)
+				}
+				eventDebt--
+			}
+		}
+	}
+	return mpps(processed, time.Since(start))
+}
+
+func drainRing(s *core.Slice) {
+	for {
+		b, ok := s.Egress.Dequeue()
+		if !ok {
+			return
+		}
+		b.Free()
+	}
+}
+
+// ratioEvents converts a signaling:data ratio of 1:n to events per 1000
+// packets.
+func ratioEvents(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	e := 1000 / n
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// gcNow forces a collection between points so one sweep's garbage does
+// not tax the next measurement.
+func gcNow() { runtime.GC() }

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// micro keeps smoke tests fast while staying above the population where
+// the paper's scale effects exist at all: below ~20K users every state
+// table is cache-resident and the PEPC-vs-legacy gap compresses to
+// noise (the gap IS a scale effect, §2.2). Shape assertions use relative
+// comparisons only where the effect survives this downscaling.
+var micro = Scale{
+	MaxUsers:        50_000,
+	PacketsPerPoint: 60_000,
+	EventsPerPoint:  200,
+}
+
+func seriesNonEmpty(t *testing.T, r Result) {
+	t.Helper()
+	checkSeries(t, r, false)
+}
+
+// seriesNonEmptySigned allows negative Y values (percent-improvement
+// figures can legitimately dip below zero at smoke-test scales where the
+// cache effects under study do not exist).
+func seriesNonEmptySigned(t *testing.T, r Result) {
+	t.Helper()
+	checkSeries(t, r, true)
+}
+
+func checkSeries(t *testing.T, r Result, signed bool) {
+	t.Helper()
+	if len(r.Series) == 0 {
+		t.Fatalf("%s: no series", r.Figure)
+	}
+	for _, s := range r.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("%s: series %q empty", r.Figure, s.Name)
+		}
+		for _, p := range s.Points {
+			if !signed && p.Y < 0 {
+				t.Fatalf("%s %q: negative value %f", r.Figure, s.Name, p.Y)
+			}
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, r.Figure) {
+		t.Fatalf("render missing figure name: %s", out)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	r := Table1()
+	if len(r.Notes) != 7 { // header + 6 rows
+		t.Fatalf("table 1 rows = %d", len(r.Notes))
+	}
+	if !strings.Contains(r.Notes[6], "per-packet") {
+		t.Fatalf("bandwidth counters row: %s", r.Notes[6])
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	r := Table2()
+	joined := strings.Join(r.Notes, "\n")
+	for _, want := range []string{"1:3", "64 bytes", "128 bytes", "attach request", "100K", "1M"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("table 2 missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	r, err := Fig4(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	// PEPC must beat every baseline even at micro scale.
+	pepcRate := r.Series[0].Points[0].Y
+	for _, s := range r.Series[1:] {
+		if s.Points[0].Y >= pepcRate {
+			t.Fatalf("%s (%.2f) >= PEPC (%.2f)", s.Name, s.Points[0].Y, pepcRate)
+		}
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	r, err := Fig5(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+}
+
+func TestFig6Smoke(t *testing.T) {
+	r, err := Fig6(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	// PEPC throughput must fall as the signaling ratio rises toward 1:1
+	// and remain above Industrial#1 at 1:1.
+	first := r.Series[0]
+	if first.Points[0].Y <= first.Points[len(first.Points)-1].Y {
+		t.Fatalf("PEPC did not degrade with signaling: %v", first.Points)
+	}
+	last := r.Series[len(r.Series)-1] // Industrial#1
+	if !strings.Contains(last.Name, "Industrial") {
+		t.Fatalf("series order changed: %s", last.Name)
+	}
+	if last.Points[len(last.Points)-1].Y >= first.Points[len(first.Points)-1].Y {
+		t.Fatal("Industrial#1 not worse than PEPC at 1:1")
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	r, err := Fig7(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	pts := r.Series[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("cores points = %d", len(pts))
+	}
+	// Aggregate must increase with cores (share-nothing sum).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y <= pts[i-1].Y {
+			t.Fatalf("aggregate not increasing: %v", pts)
+		}
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	r, err := Fig8(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	pts := r.Series[0].Points
+	// Throughput at the highest migration rate must be below baseline.
+	if pts[len(pts)-1].Y >= pts[0].Y {
+		t.Fatalf("migrations did not cost throughput: %v", pts)
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	r, err := Fig9(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	if len(r.Series) != 3 {
+		t.Fatalf("latency series = %d", len(r.Series))
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	r, err := Fig10(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	// More signaling (smaller 1:N) must never need fewer cores.
+	pts := r.Series[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X && pts[i].Y < pts[i-1].Y {
+			t.Fatalf("cores decreased with more signaling: %v", pts)
+		}
+	}
+	// Lightest ratio needs exactly 1 data + 1 control core.
+	if pts[0].Y != 2 {
+		t.Fatalf("1:10000 needs %v cores, want 2", pts[0].Y)
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	r, err := Fig11(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	pts := r.Series[0].Points
+	if len(pts) != 8 || pts[7].Y <= pts[0].Y {
+		t.Fatalf("control scaling: %v", pts)
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	r, err := Fig12(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+}
+
+func TestFig13Smoke(t *testing.T) {
+	r, err := Fig13(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+}
+
+func TestFig14Smoke(t *testing.T) {
+	r, err := Fig14(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmptySigned(t, r)
+}
+
+func TestFig15Smoke(t *testing.T) {
+	r, err := Fig15(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmptySigned(t, r)
+}
+
+func TestRatioEvents(t *testing.T) {
+	if ratioEvents(0) != 0 || ratioEvents(-1) != 0 {
+		t.Fatal("zero ratio must emit no events")
+	}
+	if ratioEvents(1000) != 1 || ratioEvents(1) != 1000 || ratioEvents(10) != 100 {
+		t.Fatal("ratio conversion wrong")
+	}
+	if ratioEvents(10000) != 1 {
+		t.Fatal("sub-1 event rates must clamp to 1 per 1000")
+	}
+}

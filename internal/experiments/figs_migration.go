@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pepc/internal/core"
+	"pepc/internal/pkt"
+	"pepc/internal/sim"
+	"pepc/internal/workload"
+)
+
+// migrationRun measures data-plane throughput (and optionally latency)
+// while migrations execute at a target per-packet rate. The node steers
+// traffic (so migration buffering engages) and the harness drives both
+// slices' data planes inline; migrations interleave like signaling
+// events, ping-ponging users between the two slices.
+func migrationRun(sc Scale, users int, migrationsPerKPackets float64, recordLatency bool) (float64, *sim.Histogram, error) {
+	n := core.NewNode(
+		core.SliceConfig{ID: 1, UserHint: users, RecordLatency: recordLatency},
+		core.SliceConfig{ID: 2, UserHint: users, RecordLatency: recordLatency},
+	)
+	pop := make([]workload.User, users)
+	where := make([]int, users) // current slice per user
+	for i := 0; i < users; i++ {
+		res, err := n.AttachUser(0, core.AttachSpec{
+			IMSI:         uint64(i + 1),
+			ENBAddr:      pkt.IPv4Addr(192, 168, 0, 1),
+			DownlinkTEID: 0x0100_0000 | uint32(i+1),
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		pop[i] = workload.User{IMSI: uint64(i + 1), UplinkTEID: res.UplinkTEID, UEAddr: res.UEAddr}
+	}
+	n.Slice(0).Data().SyncUpdates()
+	n.Slice(1).Data().SyncUpdates()
+
+	gen := workload.NewTrafficGen(workload.TrafficConfig{}, pop)
+	batch := make([]*pkt.Buf, 32)
+	total := sc.PacketsPerPoint
+	processed := 0
+	migDebt := 0.0
+	migIdx := 0
+	start := time.Now()
+	for processed < total {
+		// Generate and steer a batch through the node (the demux is
+		// where migration buffering lives).
+		bn := 32
+		if rem := total - processed; rem < bn {
+			bn = rem
+		}
+		for i := 0; i < bn; i++ {
+			b := gen.NextUplink()
+			if recordLatency {
+				b.Meta.TSNanos = sim.Now()
+			}
+			n.SteerUplink(b)
+		}
+		// Drive both data planes inline.
+		now := sim.Now()
+		for sliceIdx := 0; sliceIdx < 2; sliceIdx++ {
+			s := n.Slice(sliceIdx)
+			for {
+				k := s.Uplink.DequeueBatch(batch)
+				if k == 0 {
+					break
+				}
+				s.Data().ProcessUplinkBatch(batch[:k], now)
+			}
+			drainRing(s)
+		}
+		processed += bn
+		// Interleave migrations at the configured rate.
+		migDebt += float64(bn) * migrationsPerKPackets / 1000.0
+		for migDebt >= 1 {
+			u := migIdx % users
+			migIdx++
+			from := where[u]
+			to := 1 - from
+			if err := n.Scheduler().MigrateUser(pop[u].IMSI, from, to); err != nil {
+				return 0, nil, fmt.Errorf("migrating user %d: %w", pop[u].IMSI, err)
+			}
+			where[u] = to
+			migDebt--
+		}
+	}
+	elapsed := time.Since(start)
+	lat := sim.NewHistogram()
+	lat.Merge(n.Slice(0).Data().Latency())
+	lat.Merge(n.Slice(1).Data().Latency())
+	return mpps(processed, elapsed), lat, nil
+}
+
+// Fig8 regenerates Figure 8: the impact of state migrations on data-plane
+// throughput. The x axis is migrations per second normalized against the
+// measured packet rate, expressed as the paper's migrations/second by
+// assuming the measured base throughput.
+func Fig8(sc Scale) (Result, error) {
+	r := Result{
+		Figure: "Figure 8",
+		Title:  "Impact of state migrations on data plane throughput",
+		XLabel: "migrations/s (at measured rate)",
+		YLabel: "Mpps",
+	}
+	users := sc.users(10_000)
+	// Baseline without migrations.
+	base, _, err := migrationRun(sc, users, 0, false)
+	if err != nil {
+		return r, err
+	}
+	// The paper's 10K and 100K migrations/s map onto the measured packet
+	// rate: migrations per 1000 packets = rate / (pps/1000).
+	basePPS := base * 1e6
+	var pts []sim.Point
+	pts = append(pts, sim.Point{X: 0, Y: base})
+	for _, rate := range []float64{1_000, 10_000, 50_000, 100_000} {
+		perK := rate / (basePPS / 1000.0)
+		v, _, err := migrationRun(sc, users, perK, false)
+		if err != nil {
+			return r, err
+		}
+		pts = append(pts, sim.Point{X: rate, Y: v})
+		gcNow()
+	}
+	r.Series = []sim.Series{{Name: "PEPC", Points: pts}}
+	r.Notes = append(r.Notes,
+		"paper shape: ~5% drop at 10K migrations/s, ~37% at 100K/s")
+	return r, nil
+}
+
+// Fig9 regenerates Figure 9: the per-packet latency distribution during
+// state migrations. Latency is measured from generation to forwarding;
+// packets buffered mid-migration carry the transfer delay.
+func Fig9(sc Scale) (Result, error) {
+	r := Result{
+		Figure: "Figure 9",
+		Title:  "Impact of state migrations on per-packet latency (µs)",
+		XLabel: "percentile",
+		YLabel: "latency µs",
+	}
+	users := sc.users(10_000)
+	base, baseLat, err := migrationRun(sc, users, 0, true)
+	if err != nil {
+		return r, err
+	}
+	basePPS := base * 1e6
+	percentiles := []float64{50, 90, 99, 99.9, 100}
+	mkSeries := func(name string, h *sim.Histogram) sim.Series {
+		var pts []sim.Point
+		for _, p := range percentiles {
+			pts = append(pts, sim.Point{X: p, Y: float64(h.Percentile(p)) / 1e3})
+		}
+		return sim.Series{Name: name, Points: pts}
+	}
+	r.Series = append(r.Series, mkSeries("no migrations", baseLat))
+	for _, rate := range []float64{10_000, 25_000} {
+		perK := rate / (basePPS / 1000.0)
+		_, lat, err := migrationRun(sc, users, perK, true)
+		if err != nil {
+			return r, err
+		}
+		r.Series = append(r.Series, mkSeries(fmt.Sprintf("%s migrations/s", sim.FormatQty(rate)), lat))
+		gcNow()
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: median unchanged; worst case +4µs at 25K migrations/s")
+	return r, nil
+}

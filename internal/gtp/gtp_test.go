@@ -1,0 +1,301 @@
+package gtp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"pepc/internal/pkt"
+)
+
+func innerPacket(payload string) *pkt.Buf {
+	b := pkt.NewBuf(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	total := pkt.IPv4HeaderLen + pkt.UDPHeaderLen + len(payload)
+	data, _ := b.Append(total)
+	ip := pkt.IPv4{Length: uint16(total), TTL: 64, Protocol: pkt.ProtoUDP,
+		Src: pkt.IPv4Addr(10, 20, 0, 1), Dst: pkt.IPv4Addr(8, 8, 8, 8)}
+	ip.SerializeTo(data)
+	u := pkt.UDP{SrcPort: 5555, DstPort: 53, Length: uint16(pkt.UDPHeaderLen + len(payload))}
+	u.SerializeTo(data[pkt.IPv4HeaderLen:])
+	copy(data[pkt.IPv4HeaderLen+pkt.UDPHeaderLen:], payload)
+	return b
+}
+
+func TestHeaderRoundTripMinimal(t *testing.T) {
+	h := Header{Type: MsgGPDU, Length: 100, TEID: 0xdeadbeef}
+	var b [HeaderLen]byte
+	n, err := h.SerializeTo(b[:])
+	if err != nil || n != HeaderLen {
+		t.Fatalf("serialize: n=%d err=%v", n, err)
+	}
+	var d Header
+	if err := d.DecodeFromBytes(append(b[:], make([]byte, 100)...)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != MsgGPDU || d.TEID != 0xdeadbeef || d.Length != 100 || d.HdrBytes != HeaderLen {
+		t.Fatalf("decode: %+v", d)
+	}
+}
+
+func TestHeaderRoundTripWithSeq(t *testing.T) {
+	h := Header{Type: MsgGPDU, Length: 4, TEID: 7, HasSeq: true, Seq: 0x1234}
+	var b [HeaderLenOpt + 4]byte
+	n, err := h.SerializeTo(b[:])
+	if err != nil || n != HeaderLenOpt {
+		t.Fatalf("serialize: n=%d err=%v", n, err)
+	}
+	var d Header
+	if err := d.DecodeFromBytes(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasSeq || d.Seq != 0x1234 || d.HdrBytes != HeaderLenOpt {
+		t.Fatalf("decode: %+v", d)
+	}
+}
+
+func TestHeaderRejectsWrongVersion(t *testing.T) {
+	b := make([]byte, HeaderLen)
+	b[0] = 2 << 5 // GTPv2
+	var d Header
+	if err := d.DecodeFromBytes(b); err != ErrVersion {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestHeaderRejectsTruncatedLength(t *testing.T) {
+	h := Header{Type: MsgGPDU, Length: 1000, TEID: 1}
+	var b [HeaderLen]byte
+	h.SerializeTo(b[:])
+	var d Header
+	if err := d.DecodeFromBytes(b[:]); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestHeaderExtensionWalk(t *testing.T) {
+	// Header with extension flag and one 4-byte extension header.
+	b := []byte{
+		1<<5 | 1<<4 | 1<<2, MsgGPDU, 0, 8, // flags(ext), type, length=8
+		0, 0, 0, 9, // TEID
+		0, 1, 0, 0x85, // seq, npdu, next-ext = 0x85
+		1, 0xaa, 0xbb, 0x00, // ext: len=1 unit, content, next=0
+	}
+	var d Header
+	if err := d.DecodeFromBytes(b); err != nil {
+		t.Fatal(err)
+	}
+	if d.HdrBytes != 16 {
+		t.Fatalf("HdrBytes = %d, want 16", d.HdrBytes)
+	}
+}
+
+func TestHeaderExtensionTruncated(t *testing.T) {
+	b := []byte{
+		1<<5 | 1<<4 | 1<<2, MsgGPDU, 0, 20,
+		0, 0, 0, 9,
+		0, 1, 0, 0x85,
+		5, // claims 20 bytes of extension, buffer ends
+	}
+	var d Header
+	if err := d.DecodeFromBytes(b); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestEncapDecapRoundTrip(t *testing.T) {
+	buf := innerPacket("hello-epc")
+	orig := append([]byte(nil), buf.Bytes()...)
+	src, dst := pkt.IPv4Addr(172, 16, 0, 1), pkt.IPv4Addr(172, 16, 0, 2)
+	if err := EncapGPDU(buf, 0xcafe, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(orig)+pkt.IPv4HeaderLen+pkt.UDPHeaderLen+HeaderLen {
+		t.Fatalf("encap length = %d", buf.Len())
+	}
+	// The outer headers must parse as valid IPv4/UDP/GTP-U.
+	var oip pkt.IPv4
+	if err := oip.DecodeFromBytes(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if oip.Src != src || oip.Dst != dst || oip.Protocol != pkt.ProtoUDP {
+		t.Fatalf("outer IP: %+v", oip)
+	}
+	if !pkt.VerifyChecksum(buf.Bytes()[:pkt.IPv4HeaderLen]) {
+		t.Fatal("outer IP checksum invalid")
+	}
+	teid, err := DecapGPDU(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teid != 0xcafe {
+		t.Fatalf("teid = %#x", teid)
+	}
+	if !bytes.Equal(buf.Bytes(), orig) {
+		t.Fatal("inner packet corrupted by encap/decap")
+	}
+}
+
+func TestPeekTEIDMatchesDecap(t *testing.T) {
+	buf := innerPacket("x")
+	EncapGPDU(buf, 42, 1, 2)
+	teid, err := PeekTEID(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teid != 42 {
+		t.Fatalf("peek teid = %d", teid)
+	}
+	// Peek must not modify the buffer.
+	got, err := DecapGPDU(buf)
+	if err != nil || got != 42 {
+		t.Fatalf("decap after peek: %d, %v", got, err)
+	}
+}
+
+func TestDecapRejectsNonGTP(t *testing.T) {
+	buf := innerPacket("plain") // dst port 53, not GTP-U
+	if _, err := DecapGPDU(buf); err != ErrBadMessage {
+		t.Fatalf("want ErrBadMessage, got %v", err)
+	}
+}
+
+func TestDecapRejectsEcho(t *testing.T) {
+	buf := pkt.NewBuf(512, 128)
+	data, _ := buf.Append(pkt.IPv4HeaderLen + pkt.UDPHeaderLen + HeaderLen)
+	ip := pkt.IPv4{Length: uint16(len(data)), TTL: 64, Protocol: pkt.ProtoUDP, Src: 1, Dst: 2}
+	ip.SerializeTo(data)
+	u := pkt.UDP{SrcPort: PortGTPU, DstPort: PortGTPU, Length: uint16(pkt.UDPHeaderLen + HeaderLen)}
+	u.SerializeTo(data[pkt.IPv4HeaderLen:])
+	h := Header{Type: MsgEchoRequest, TEID: 0}
+	h.SerializeTo(data[pkt.IPv4HeaderLen+pkt.UDPHeaderLen:])
+	if _, err := DecapGPDU(buf); err != ErrNotGPDU {
+		t.Fatalf("want ErrNotGPDU, got %v", err)
+	}
+}
+
+// Property: encap then decap is the identity on packet contents and TEID
+// for arbitrary payloads and tunnel ids.
+func TestEncapDecapProperty(t *testing.T) {
+	f := func(teid uint32, payload []byte) bool {
+		if len(payload) > 1024 {
+			payload = payload[:1024]
+		}
+		buf := pkt.NewBuf(2048, 128)
+		if buf.SetBytes(payload) != nil {
+			return false
+		}
+		if EncapGPDU(buf, teid, 1, 2) != nil {
+			return false
+		}
+		got, err := DecapGPDU(buf)
+		return err == nil && got == teid && bytes.Equal(buf.Bytes(), payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGTPCRoundTrip(t *testing.T) {
+	req := BuildCreateSession(SessionRequest{
+		IMSI: 1234567890, TEID: 0xabc, UEAddr: pkt.IPv4Addr(10, 0, 0, 9), BearerID: 5, Seq: 99,
+	})
+	wire := req.Marshal()
+	m, err := UnmarshalGTPC(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != GTPCCreateSessionRequest || m.Seq != 99 {
+		t.Fatalf("header: %+v", m)
+	}
+	r, err := ParseSessionRequest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IMSI != 1234567890 || r.TEID != 0xabc || r.UEAddr != pkt.IPv4Addr(10, 0, 0, 9) || r.BearerID != 5 {
+		t.Fatalf("parsed: %+v", r)
+	}
+}
+
+func TestGTPCResponse(t *testing.T) {
+	resp := BuildResponse(GTPCCreateSessionRequest, 7, CauseAccepted)
+	m, err := UnmarshalGTPC(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != GTPCCreateSessionResponse || m.Seq != 7 {
+		t.Fatalf("response: %+v", m)
+	}
+	ie, ok := m.FindIE(IECause)
+	if !ok || len(ie.Data) != 1 || ie.Data[0] != CauseAccepted {
+		t.Fatalf("cause IE: %+v ok=%v", ie, ok)
+	}
+}
+
+func TestGTPCRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalGTPC([]byte{1, 2, 3}); err != ErrGTPCShort {
+		t.Fatalf("short: %v", err)
+	}
+	b := make([]byte, 16)
+	b[0] = 1 << 5 // version 1
+	if _, err := UnmarshalGTPC(b); err != ErrGTPCVer {
+		t.Fatalf("version: %v", err)
+	}
+	// Truncated IE: claims more bytes than the message has.
+	msg := &GTPCMessage{Type: GTPCEchoRequest, IEs: []IE{NewIEUint32(IEFTEID, 1)}}
+	wire := msg.Marshal()
+	wire[gtpcHeaderLen+1] = 0xff // corrupt IE length
+	if _, err := UnmarshalGTPC(wire); err != ErrIEFormat {
+		t.Fatalf("bad IE: %v", err)
+	}
+}
+
+// Property: GTP-C marshal/unmarshal round-trips arbitrary session fields.
+func TestGTPCRoundTripProperty(t *testing.T) {
+	f := func(imsi uint64, teid, ueaddr uint32, bearer uint8, seq uint32) bool {
+		seq &= 0xffffff // 24-bit on the wire
+		req := BuildCreateSession(SessionRequest{IMSI: imsi, TEID: teid, UEAddr: ueaddr, BearerID: bearer, Seq: seq})
+		m, err := UnmarshalGTPC(req.Marshal())
+		if err != nil {
+			return false
+		}
+		r, err := ParseSessionRequest(m)
+		return err == nil && r.IMSI == imsi && r.TEID == teid && r.UEAddr == ueaddr &&
+			r.BearerID == bearer && m.Seq == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncapDecap(b *testing.B) {
+	buf := innerPacket("64-byte-ish-payload-for-benchmarking-gtpu-encap")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := EncapGPDU(buf, 1, 2, 3); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecapGPDU(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPeekTEIDRejectsPlainUDP(t *testing.T) {
+	// A decapsulated inner packet (UDP to port 53) must not be mistaken
+	// for GTP-U even though it is IP/UDP.
+	buf := innerPacket("hello from the UE")
+	if _, err := PeekTEID(buf.Bytes()); err == nil {
+		t.Fatal("plain UDP peeked as GTP-U")
+	}
+	// Wrong GTP version behind the right port is also rejected.
+	b2 := pkt.NewBuf(512, 128)
+	data, _ := b2.Append(pkt.IPv4HeaderLen + pkt.UDPHeaderLen + HeaderLen)
+	ip := pkt.IPv4{Length: uint16(len(data)), TTL: 64, Protocol: pkt.ProtoUDP, Src: 1, Dst: 2}
+	ip.SerializeTo(data)
+	u := pkt.UDP{SrcPort: PortGTPU, DstPort: PortGTPU, Length: uint16(pkt.UDPHeaderLen + HeaderLen)}
+	u.SerializeTo(data[pkt.IPv4HeaderLen:])
+	data[pkt.IPv4HeaderLen+pkt.UDPHeaderLen] = 2 << 5 // GTPv2
+	if _, err := PeekTEID(b2.Bytes()); err == nil {
+		t.Fatal("GTPv2 peeked as GTP-U v1")
+	}
+}

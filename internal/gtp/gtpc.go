@@ -1,0 +1,257 @@
+package gtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// GTP-C v2 message types (3GPP 29.274 §6.1) used on S11 and S5/S8. The
+// legacy baseline EPC uses these messages to synchronize per-user state
+// between MME, S-GW and P-GW — the synchronization PEPC eliminates.
+const (
+	GTPCEchoRequest           uint8 = 1
+	GTPCEchoResponse          uint8 = 2
+	GTPCCreateSessionRequest  uint8 = 32
+	GTPCCreateSessionResponse uint8 = 33
+	GTPCModifyBearerRequest   uint8 = 34
+	GTPCModifyBearerResponse  uint8 = 35
+	GTPCDeleteSessionRequest  uint8 = 36
+	GTPCDeleteSessionResponse uint8 = 37
+	GTPCReleaseAccessBearers  uint8 = 170
+	GTPCDownlinkDataNotif     uint8 = 176
+)
+
+// GTP-C v2 Information Element types (subset).
+const (
+	IEIMSI          uint8 = 1
+	IECause         uint8 = 2
+	IEAMBR          uint8 = 72
+	IEEPSBearerID   uint8 = 73
+	IEMobileEquipID uint8 = 75
+	IEPAA           uint8 = 79 // PDN Address Allocation
+	IEBearerQoS     uint8 = 80
+	IEFTEID         uint8 = 87 // Fully-qualified TEID
+	IEBearerContext uint8 = 93
+)
+
+// GTP-C cause values (subset).
+const (
+	CauseAccepted        uint8 = 16
+	CauseContextNotFound uint8 = 64
+	CauseMissingIE       uint8 = 70
+)
+
+// GTPC codec errors.
+var (
+	ErrGTPCShort = errors.New("gtp: GTP-C message too short")
+	ErrGTPCVer   = errors.New("gtp: unsupported GTP-C version")
+	ErrIEFormat  = errors.New("gtp: malformed information element")
+)
+
+const gtpcHeaderLen = 12 // v2 header with TEID present
+
+// GTPCMessage is a decoded GTP-C v2 message: a typed header plus a list of
+// TLV information elements. Unlike the GTP-U fast path this codec may
+// allocate; GTP-C volume is signaling-rate, not packet-rate.
+type GTPCMessage struct {
+	Type uint8
+	TEID uint32
+	Seq  uint32 // 24-bit on the wire
+	IEs  []IE
+}
+
+// IE is a GTP-C v2 information element.
+type IE struct {
+	Type     uint8
+	Instance uint8
+	Data     []byte
+}
+
+// Uint32 interprets the IE payload as a big-endian uint32.
+func (ie IE) Uint32() (uint32, error) {
+	if len(ie.Data) != 4 {
+		return 0, ErrIEFormat
+	}
+	return binary.BigEndian.Uint32(ie.Data), nil
+}
+
+// Uint64 interprets the IE payload as a big-endian uint64 (e.g. IMSI).
+func (ie IE) Uint64() (uint64, error) {
+	if len(ie.Data) != 8 {
+		return 0, ErrIEFormat
+	}
+	return binary.BigEndian.Uint64(ie.Data), nil
+}
+
+// NewIEUint32 builds a 4-byte IE.
+func NewIEUint32(t uint8, v uint32) IE {
+	d := make([]byte, 4)
+	binary.BigEndian.PutUint32(d, v)
+	return IE{Type: t, Data: d}
+}
+
+// NewIEUint64 builds an 8-byte IE.
+func NewIEUint64(t uint8, v uint64) IE {
+	d := make([]byte, 8)
+	binary.BigEndian.PutUint64(d, v)
+	return IE{Type: t, Data: d}
+}
+
+// FindIE returns the first IE of the given type.
+func (m *GTPCMessage) FindIE(t uint8) (IE, bool) {
+	for _, ie := range m.IEs {
+		if ie.Type == t {
+			return ie, true
+		}
+	}
+	return IE{}, false
+}
+
+// Marshal encodes the message.
+func (m *GTPCMessage) Marshal() []byte {
+	bodyLen := 0
+	for _, ie := range m.IEs {
+		bodyLen += 4 + len(ie.Data)
+	}
+	// length field counts everything after the first 4 header bytes
+	msgLen := 8 + bodyLen
+	b := make([]byte, 4+msgLen)
+	b[0] = 2<<5 | 1<<3 // version 2, TEID flag
+	b[1] = m.Type
+	binary.BigEndian.PutUint16(b[2:4], uint16(msgLen))
+	binary.BigEndian.PutUint32(b[4:8], m.TEID)
+	b[8] = byte(m.Seq >> 16)
+	b[9] = byte(m.Seq >> 8)
+	b[10] = byte(m.Seq)
+	b[11] = 0
+	off := gtpcHeaderLen
+	for _, ie := range m.IEs {
+		b[off] = ie.Type
+		binary.BigEndian.PutUint16(b[off+1:off+3], uint16(len(ie.Data)))
+		b[off+3] = ie.Instance & 0x0f
+		copy(b[off+4:], ie.Data)
+		off += 4 + len(ie.Data)
+	}
+	return b
+}
+
+// UnmarshalGTPC decodes a GTP-C v2 message.
+func UnmarshalGTPC(b []byte) (*GTPCMessage, error) {
+	if len(b) < gtpcHeaderLen {
+		return nil, ErrGTPCShort
+	}
+	if b[0]>>5 != 2 {
+		return nil, ErrGTPCVer
+	}
+	if b[0]&(1<<3) == 0 {
+		return nil, fmt.Errorf("%w: TEID flag required", ErrGTPCVer)
+	}
+	msgLen := int(binary.BigEndian.Uint16(b[2:4]))
+	if len(b) < 4+msgLen {
+		return nil, ErrGTPCShort
+	}
+	m := &GTPCMessage{
+		Type: b[1],
+		TEID: binary.BigEndian.Uint32(b[4:8]),
+		Seq:  uint32(b[8])<<16 | uint32(b[9])<<8 | uint32(b[10]),
+	}
+	off := gtpcHeaderLen
+	end := 4 + msgLen
+	for off < end {
+		if off+4 > end {
+			return nil, ErrIEFormat
+		}
+		ieLen := int(binary.BigEndian.Uint16(b[off+1 : off+3]))
+		if off+4+ieLen > end {
+			return nil, ErrIEFormat
+		}
+		data := make([]byte, ieLen)
+		copy(data, b[off+4:off+4+ieLen])
+		m.IEs = append(m.IEs, IE{Type: b[off], Instance: b[off+3] & 0x0f, Data: data})
+		off += 4 + ieLen
+	}
+	return m, nil
+}
+
+// SessionRequest is the decoded semantic content of a Create Session /
+// Modify Bearer request as the legacy S-GW and P-GW consume it.
+type SessionRequest struct {
+	IMSI     uint64
+	TEID     uint32 // peer's data TEID (F-TEID)
+	PeerAddr uint32 // peer's data-plane address
+	UEAddr   uint32 // allocated UE address (PAA)
+	BearerID uint8
+	Seq      uint32
+}
+
+// BuildCreateSession encodes a Create Session Request carrying the fields
+// the baseline needs to duplicate state downstream.
+func BuildCreateSession(r SessionRequest) *GTPCMessage {
+	return &GTPCMessage{
+		Type: GTPCCreateSessionRequest,
+		Seq:  r.Seq,
+		IEs: []IE{
+			NewIEUint64(IEIMSI, r.IMSI),
+			NewIEUint32(IEFTEID, r.TEID),
+			NewIEUint32(IEPAA, r.UEAddr),
+			{Type: IEEPSBearerID, Data: []byte{r.BearerID}},
+		},
+	}
+}
+
+// BuildModifyBearer encodes a Modify Bearer Request for a handover: the
+// new eNodeB F-TEID and address.
+func BuildModifyBearer(r SessionRequest) *GTPCMessage {
+	return &GTPCMessage{
+		Type: GTPCModifyBearerRequest,
+		TEID: r.TEID,
+		Seq:  r.Seq,
+		IEs: []IE{
+			NewIEUint64(IEIMSI, r.IMSI),
+			NewIEUint32(IEFTEID, r.TEID),
+			NewIEUint32(IEPAA, r.PeerAddr),
+			{Type: IEEPSBearerID, Data: []byte{r.BearerID}},
+		},
+	}
+}
+
+// BuildResponse encodes the accept/reject response for a request message.
+func BuildResponse(reqType uint8, seq uint32, cause uint8) *GTPCMessage {
+	return &GTPCMessage{
+		Type: reqType + 1, // response types are request+1 for this subset
+		Seq:  seq,
+		IEs:  []IE{{Type: IECause, Data: []byte{cause}}},
+	}
+}
+
+// ParseSessionRequest extracts the semantic fields from a decoded message.
+func ParseSessionRequest(m *GTPCMessage) (SessionRequest, error) {
+	var r SessionRequest
+	r.Seq = m.Seq
+	if ie, ok := m.FindIE(IEIMSI); ok {
+		v, err := ie.Uint64()
+		if err != nil {
+			return r, err
+		}
+		r.IMSI = v
+	}
+	if ie, ok := m.FindIE(IEFTEID); ok {
+		v, err := ie.Uint32()
+		if err != nil {
+			return r, err
+		}
+		r.TEID = v
+	}
+	if ie, ok := m.FindIE(IEPAA); ok {
+		v, err := ie.Uint32()
+		if err != nil {
+			return r, err
+		}
+		r.UEAddr = v
+	}
+	if ie, ok := m.FindIE(IEEPSBearerID); ok && len(ie.Data) == 1 {
+		r.BearerID = ie.Data[0]
+	}
+	return r, nil
+}

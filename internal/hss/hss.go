@@ -1,0 +1,242 @@
+// Package hss implements the Home Subscriber Server: the subscriber
+// database and authentication-vector generation the EPC control plane
+// queries over S6a at every attach. PEPC leaves the HSS unchanged
+// (paper §3) and reaches it through the node proxy.
+//
+// Substitution note: vector generation uses HMAC-SHA256 in place of
+// Milenage/TUAK. The attach procedure's shape — RAND/AUTN challenge,
+// XRES comparison, KASME derivation, SQN resynchronization — is
+// preserved; only the PRF differs (see DESIGN.md).
+package hss
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"pepc/internal/diameter"
+)
+
+// Errors.
+var (
+	ErrUnknownSubscriber = errors.New("hss: unknown subscriber")
+)
+
+// Subscriber is one HSS database record.
+type Subscriber struct {
+	IMSI uint64
+	// K is the permanent subscriber key shared with the USIM.
+	K [16]byte
+	// SQN is the next sequence number for vector generation.
+	SQN uint64
+	// Subscription profile.
+	AMBRUplink   uint64 // bits/s
+	AMBRDownlink uint64
+	DefaultQCI   uint8
+	// Barred subscribers fail authorization (test hook and a real HSS
+	// behaviour).
+	Barred bool
+}
+
+// Vector is one EPS authentication vector.
+type Vector struct {
+	RAND  [16]byte
+	XRES  [8]byte
+	AUTN  [16]byte
+	KASME [32]byte
+}
+
+// GenerateVector derives an authentication vector from K, RAND and SQN
+// using the HMAC-SHA256 construction standing in for Milenage. The same
+// function runs on the UE side (enb package) so challenge/response
+// verification is end-to-end real.
+func GenerateVector(k [16]byte, rand [16]byte, sqn uint64) Vector {
+	var v Vector
+	v.RAND = rand
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write(rand[:])
+	var sqnb [8]byte
+	binary.BigEndian.PutUint64(sqnb[:], sqn)
+	mac.Write(sqnb[:])
+	sum := mac.Sum(nil) // 32 bytes
+	copy(v.XRES[:], sum[0:8])
+	// AUTN = SQN ⊕ AK (sum[8:16]) || MAC-A (sum[16:24])
+	for i := 0; i < 8; i++ {
+		v.AUTN[i] = sqnb[i] ^ sum[8+i]
+	}
+	copy(v.AUTN[8:], sum[16:24])
+	kd := hmac.New(sha256.New, k[:])
+	kd.Write([]byte("kasme"))
+	kd.Write(rand[:])
+	kd.Write(sqnb[:])
+	copy(v.KASME[:], kd.Sum(nil))
+	return v
+}
+
+// VerifyAUTN lets the UE side check network authenticity. The USIM
+// tracks its own SQN, so it verifies against a small forward window
+// starting at its last-seen value (resynchronization tolerance) and
+// returns the accepted SQN.
+func VerifyAUTN(k [16]byte, rand [16]byte, autn [16]byte, lastSQN uint64, window int) (uint64, bool) {
+	if window <= 0 {
+		window = 32
+	}
+	for sqn := lastSQN + 1; sqn <= lastSQN+uint64(window); sqn++ {
+		if GenerateVector(k, rand, sqn).AUTN == autn {
+			return sqn, true
+		}
+	}
+	return 0, false
+}
+
+// HSS is the subscriber database plus the S6a request handler.
+type HSS struct {
+	mu   sync.RWMutex
+	subs map[uint64]*Subscriber
+
+	// randCounter makes vector RANDs unique and deterministic for
+	// reproducible experiments.
+	randCounter uint64
+}
+
+// New returns an empty HSS.
+func New() *HSS {
+	return &HSS{subs: make(map[uint64]*Subscriber)}
+}
+
+// Provision adds or replaces a subscriber record.
+func (h *HSS) Provision(s Subscriber) {
+	h.mu.Lock()
+	cp := s
+	h.subs[s.IMSI] = &cp
+	h.mu.Unlock()
+}
+
+// ProvisionRange bulk-provisions count subscribers with IMSIs starting at
+// base, deriving per-subscriber keys; used by workload setup.
+func (h *HSS) ProvisionRange(base uint64, count int, ambrUp, ambrDown uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := 0; i < count; i++ {
+		imsi := base + uint64(i)
+		s := &Subscriber{IMSI: imsi, AMBRUplink: ambrUp, AMBRDownlink: ambrDown, DefaultQCI: 9}
+		s.K = KeyForIMSI(imsi)
+		h.subs[imsi] = s
+	}
+}
+
+// KeyForIMSI derives the deterministic per-subscriber permanent key used
+// by ProvisionRange; the eNodeB/UE emulator uses the same derivation.
+func KeyForIMSI(imsi uint64) [16]byte {
+	var k [16]byte
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], imsi)
+	sum := sha256.Sum256(b[:])
+	copy(k[:], sum[:16])
+	return k
+}
+
+// Lookup returns a copy of the subscriber record.
+func (h *HSS) Lookup(imsi uint64) (Subscriber, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.subs[imsi]
+	if !ok {
+		return Subscriber{}, ErrUnknownSubscriber
+	}
+	return *s, nil
+}
+
+// NumSubscribers returns the database size.
+func (h *HSS) NumSubscribers() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.subs)
+}
+
+// NextVector generates the next authentication vector for a subscriber,
+// advancing its SQN.
+func (h *HSS) NextVector(imsi uint64) (Vector, uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.subs[imsi]
+	if !ok || s.Barred {
+		return Vector{}, 0, ErrUnknownSubscriber
+	}
+	s.SQN++
+	h.randCounter++
+	var rand [16]byte
+	binary.BigEndian.PutUint64(rand[:8], h.randCounter)
+	binary.BigEndian.PutUint64(rand[8:], imsi)
+	return GenerateVector(s.K, rand, s.SQN), s.SQN, nil
+}
+
+// Handle implements diameter.Handler for S6a: AIR→AIA and ULR→ULA.
+func (h *HSS) Handle(req *diameter.Message) (*diameter.Message, error) {
+	if !req.IsRequest() || req.AppID != diameter.AppS6a {
+		return req.Answer(diameter.ResultUnableToComply), nil
+	}
+	userAVP, ok := req.Find(diameter.AVPUserName)
+	if !ok {
+		return req.Answer(diameter.ResultUnableToComply), nil
+	}
+	imsi, err := userAVP.Uint64()
+	if err != nil {
+		return req.Answer(diameter.ResultUnableToComply), nil
+	}
+	switch req.Code {
+	case diameter.CmdAuthenticationInformation:
+		vec, _, err := h.NextVector(imsi)
+		if err != nil {
+			return req.Answer(diameter.ResultUserUnknown), nil
+		}
+		group := diameter.Grouped(diameter.AVPEUTRANVector,
+			diameter.AVP{Code: diameter.AVPRand, Data: vec.RAND[:]},
+			diameter.AVP{Code: diameter.AVPXres, Data: vec.XRES[:]},
+			diameter.AVP{Code: diameter.AVPAutn, Data: vec.AUTN[:]},
+			diameter.AVP{Code: diameter.AVPKasme, Data: vec.KASME[:]},
+		)
+		return req.Answer(diameter.ResultSuccess, group), nil
+	case diameter.CmdUpdateLocation:
+		sub, err := h.Lookup(imsi)
+		if err != nil || sub.Barred {
+			return req.Answer(diameter.ResultUserUnknown), nil
+		}
+		data := diameter.Grouped(diameter.AVPSubscriptionData,
+			diameter.U64AVP(diameter.AVPAMBRUplink, sub.AMBRUplink),
+			diameter.U64AVP(diameter.AVPAMBRDownlink, sub.AMBRDownlink),
+		)
+		return req.Answer(diameter.ResultSuccess, data), nil
+	default:
+		return req.Answer(diameter.ResultUnableToComply), nil
+	}
+}
+
+// ParseVectorAVP extracts a Vector from an AIA's grouped AVP (client
+// side: the node proxy).
+func ParseVectorAVP(m *diameter.Message) (Vector, error) {
+	var v Vector
+	g, ok := m.Find(diameter.AVPEUTRANVector)
+	if !ok {
+		return v, errors.New("hss: missing E-UTRAN vector")
+	}
+	subs, err := g.SubAVPs()
+	if err != nil {
+		return v, err
+	}
+	for _, a := range subs {
+		switch a.Code {
+		case diameter.AVPRand:
+			copy(v.RAND[:], a.Data)
+		case diameter.AVPXres:
+			copy(v.XRES[:], a.Data)
+		case diameter.AVPAutn:
+			copy(v.AUTN[:], a.Data)
+		case diameter.AVPKasme:
+			copy(v.KASME[:], a.Data)
+		}
+	}
+	return v, nil
+}

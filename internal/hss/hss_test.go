@@ -1,0 +1,177 @@
+package hss
+
+import (
+	"testing"
+
+	"pepc/internal/diameter"
+)
+
+func TestGenerateVectorDeterministic(t *testing.T) {
+	k := KeyForIMSI(1001)
+	var rand [16]byte
+	rand[0] = 7
+	v1 := GenerateVector(k, rand, 5)
+	v2 := GenerateVector(k, rand, 5)
+	if v1 != v2 {
+		t.Fatal("vector generation not deterministic")
+	}
+	v3 := GenerateVector(k, rand, 6)
+	if v1.XRES == v3.XRES {
+		t.Fatal("XRES does not depend on SQN")
+	}
+}
+
+func TestVerifyAUTNWindow(t *testing.T) {
+	k := KeyForIMSI(2002)
+	var rand [16]byte
+	rand[5] = 9
+	v := GenerateVector(k, rand, 10)
+	sqn, ok := VerifyAUTN(k, rand, v.AUTN, 5, 32)
+	if !ok || sqn != 10 {
+		t.Fatalf("verify: sqn=%d ok=%v", sqn, ok)
+	}
+	// Out of window fails.
+	if _, ok := VerifyAUTN(k, rand, v.AUTN, 10, 32); ok {
+		t.Fatal("stale SQN accepted")
+	}
+	// Wrong key fails.
+	if _, ok := VerifyAUTN(KeyForIMSI(3), rand, v.AUTN, 5, 32); ok {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestProvisionAndLookup(t *testing.T) {
+	h := New()
+	h.Provision(Subscriber{IMSI: 42, AMBRUplink: 1e6, DefaultQCI: 9})
+	s, err := h.Lookup(42)
+	if err != nil || s.AMBRUplink != 1e6 {
+		t.Fatalf("lookup: %+v %v", s, err)
+	}
+	if _, err := h.Lookup(43); err != ErrUnknownSubscriber {
+		t.Fatalf("unknown: %v", err)
+	}
+}
+
+func TestProvisionRange(t *testing.T) {
+	h := New()
+	h.ProvisionRange(1000, 500, 10e6, 50e6)
+	if h.NumSubscribers() != 500 {
+		t.Fatalf("subscribers = %d", h.NumSubscribers())
+	}
+	s, err := h.Lookup(1250)
+	if err != nil || s.K != KeyForIMSI(1250) || s.AMBRDownlink != 50e6 {
+		t.Fatalf("range subscriber: %+v %v", s, err)
+	}
+}
+
+func TestNextVectorAdvancesSQN(t *testing.T) {
+	h := New()
+	h.ProvisionRange(1, 1, 0, 0)
+	v1, sqn1, err := h.NextVector(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, sqn2, err := h.NextVector(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sqn2 != sqn1+1 || v1.RAND == v2.RAND || v1.XRES == v2.XRES {
+		t.Fatalf("vectors not advancing: sqn %d->%d", sqn1, sqn2)
+	}
+	if _, _, err := h.NextVector(99); err != ErrUnknownSubscriber {
+		t.Fatalf("unknown: %v", err)
+	}
+}
+
+func TestBarredSubscriberRejected(t *testing.T) {
+	h := New()
+	h.Provision(Subscriber{IMSI: 5, Barred: true})
+	if _, _, err := h.NextVector(5); err != ErrUnknownSubscriber {
+		t.Fatalf("barred: %v", err)
+	}
+}
+
+func TestS6aAIRFlow(t *testing.T) {
+	h := New()
+	h.ProvisionRange(7000, 1, 8e6, 16e6)
+	req := diameter.NewRequest(diameter.CmdAuthenticationInformation, diameter.AppS6a, 1, 1,
+		diameter.U64AVP(diameter.AVPUserName, 7000))
+	ans, err := diameter.Call(h, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.ResultCode() != diameter.ResultSuccess {
+		t.Fatalf("result: %d", ans.ResultCode())
+	}
+	vec, err := ParseVectorAVP(ans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The vector must verify with the UE-side derivation.
+	k := KeyForIMSI(7000)
+	sqn, ok := VerifyAUTN(k, vec.RAND, vec.AUTN, 0, 32)
+	if !ok {
+		t.Fatal("AUTN does not verify on the UE side")
+	}
+	ueVec := GenerateVector(k, vec.RAND, sqn)
+	if ueVec.XRES != vec.XRES || ueVec.KASME != vec.KASME {
+		t.Fatal("UE-derived XRES/KASME mismatch")
+	}
+}
+
+func TestS6aULRFlow(t *testing.T) {
+	h := New()
+	h.ProvisionRange(8000, 1, 5e6, 10e6)
+	req := diameter.NewRequest(diameter.CmdUpdateLocation, diameter.AppS6a, 2, 2,
+		diameter.U64AVP(diameter.AVPUserName, 8000))
+	ans, err := diameter.Call(h, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.ResultCode() != diameter.ResultSuccess {
+		t.Fatalf("result: %d", ans.ResultCode())
+	}
+	sd, ok := ans.Find(diameter.AVPSubscriptionData)
+	if !ok {
+		t.Fatal("missing subscription data")
+	}
+	subs, err := sd.SubAVPs()
+	if err != nil || len(subs) != 2 {
+		t.Fatalf("subscription data: %v %v", subs, err)
+	}
+}
+
+func TestS6aErrors(t *testing.T) {
+	h := New()
+	// Unknown user.
+	req := diameter.NewRequest(diameter.CmdAuthenticationInformation, diameter.AppS6a, 1, 1,
+		diameter.U64AVP(diameter.AVPUserName, 404))
+	ans, _ := diameter.Call(h, req)
+	if ans.ResultCode() != diameter.ResultUserUnknown {
+		t.Fatalf("unknown user: %d", ans.ResultCode())
+	}
+	// Missing user AVP.
+	req2 := diameter.NewRequest(diameter.CmdAuthenticationInformation, diameter.AppS6a, 1, 1)
+	ans2, _ := diameter.Call(h, req2)
+	if ans2.ResultCode() != diameter.ResultUnableToComply {
+		t.Fatalf("missing AVP: %d", ans2.ResultCode())
+	}
+	// Wrong application.
+	req3 := diameter.NewRequest(diameter.CmdAuthenticationInformation, diameter.AppGx, 1, 1,
+		diameter.U64AVP(diameter.AVPUserName, 1))
+	ans3, _ := diameter.Call(h, req3)
+	if ans3.ResultCode() != diameter.ResultUnableToComply {
+		t.Fatalf("wrong app: %d", ans3.ResultCode())
+	}
+}
+
+func BenchmarkNextVector(b *testing.B) {
+	h := New()
+	h.ProvisionRange(1, 1, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := h.NextVector(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package lb implements the cluster load balancer fronting a PEPC
+// deployment (§3.4): external traffic reaches the cluster's virtual IP
+// and is steered to PEPC nodes consistently by user key. The algorithm is
+// Maglev consistent hashing (Eisenbud et al., NSDI'16 — one of the
+// paper's cited options for the cluster load balancer): each backend
+// generates a permutation of the lookup table and backends take turns
+// claiming slots, which balances within ~1% while minimizing disruption
+// on membership change.
+package lb
+
+import (
+	"errors"
+	"sync"
+
+	"pepc/internal/pkt"
+)
+
+// DefaultTableSize is the Maglev lookup-table size; prime, and much
+// larger than any plausible node count.
+const DefaultTableSize = 65537
+
+// Errors.
+var (
+	ErrNoBackends = errors.New("lb: no backends")
+	ErrDuplicate  = errors.New("lb: backend already present")
+	ErrUnknown    = errors.New("lb: backend not present")
+	ErrTableSize  = errors.New("lb: table size must be positive")
+)
+
+// Balancer maps user keys (TEIDs, UE addresses, IMSIs) to backend PEPC
+// nodes. Lookups are lock-free against a published table; membership
+// changes rebuild and republish it.
+type Balancer struct {
+	mu       sync.RWMutex
+	backends []string
+	table    []int32
+	size     int
+}
+
+// New returns a balancer over the given backends. The table size is
+// rounded up to the next prime: Maglev's per-backend permutations are
+// (offset + n*skip) mod size, which only visit every slot when skip and
+// size are coprime — a prime size guarantees that for every skip.
+func New(backends []string, tableSize int) (*Balancer, error) {
+	if tableSize <= 0 {
+		tableSize = DefaultTableSize
+	}
+	tableSize = nextPrime(tableSize)
+	b := &Balancer{size: tableSize}
+	for _, name := range backends {
+		for _, existing := range b.backends {
+			if existing == name {
+				return nil, ErrDuplicate
+			}
+		}
+		b.backends = append(b.backends, name)
+	}
+	b.rebuild()
+	return b, nil
+}
+
+// Backends returns the current membership.
+func (b *Balancer) Backends() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]string(nil), b.backends...)
+}
+
+// Add inserts a backend and rebuilds the table.
+func (b *Balancer) Add(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, existing := range b.backends {
+		if existing == name {
+			return ErrDuplicate
+		}
+	}
+	b.backends = append(b.backends, name)
+	b.rebuild()
+	return nil
+}
+
+// Remove deletes a backend and rebuilds the table.
+func (b *Balancer) Remove(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, existing := range b.backends {
+		if existing == name {
+			b.backends = append(b.backends[:i], b.backends[i+1:]...)
+			b.rebuild()
+			return nil
+		}
+	}
+	return ErrUnknown
+}
+
+// Pick returns the backend index and name for a key.
+func (b *Balancer) Pick(key uint64) (int, string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if len(b.backends) == 0 {
+		return 0, "", ErrNoBackends
+	}
+	idx := b.table[pkt.HashUint64(key)%uint64(b.size)]
+	return int(idx), b.backends[idx], nil
+}
+
+// PickTEID steers uplink traffic.
+func (b *Balancer) PickTEID(teid uint32) (int, string, error) {
+	return b.Pick(uint64(teid) | 1<<40)
+}
+
+// PickUEIP steers downlink traffic.
+func (b *Balancer) PickUEIP(ip uint32) (int, string, error) {
+	return b.Pick(uint64(ip) | 2<<40)
+}
+
+// PickIMSI steers signaling.
+func (b *Balancer) PickIMSI(imsi uint64) (int, string, error) {
+	return b.Pick(imsi)
+}
+
+// rebuild runs the Maglev population algorithm. Caller holds the write
+// lock.
+func (b *Balancer) rebuild() {
+	n := len(b.backends)
+	b.table = make([]int32, b.size)
+	if n == 0 {
+		return
+	}
+	// Per-backend permutation parameters derived from the backend name.
+	offsets := make([]uint64, n)
+	skips := make([]uint64, n)
+	for i, name := range b.backends {
+		h := hashString(name)
+		offsets[i] = h % uint64(b.size)
+		skips[i] = h/uint64(b.size)%uint64(b.size-1) + 1
+	}
+	next := make([]uint64, n)
+	for i := range b.table {
+		b.table[i] = -1
+		_ = i
+	}
+	filled := 0
+	for filled < b.size {
+		for i := 0; i < n && filled < b.size; i++ {
+			// Walk backend i's permutation to its next unclaimed slot.
+			for {
+				c := (offsets[i] + next[i]*skips[i]) % uint64(b.size)
+				next[i]++
+				if b.table[c] < 0 {
+					b.table[c] = int32(i)
+					filled++
+					break
+				}
+			}
+		}
+	}
+}
+
+// nextPrime returns the smallest prime >= n.
+func nextPrime(n int) int {
+	if n < 2 {
+		return 2
+	}
+	for {
+		if isPrime(n) {
+			return n
+		}
+		n++
+	}
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	// Avoid degenerate skip values.
+	return pkt.HashUint64(h)
+}

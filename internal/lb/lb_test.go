@@ -1,0 +1,187 @@
+package lb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("pepc-node-%d", i)
+	}
+	return out
+}
+
+func TestPickIsDeterministic(t *testing.T) {
+	b, err := New(names(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 100; key++ {
+		i1, n1, err := b.Pick(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i2, n2, _ := b.Pick(key)
+		if i1 != i2 || n1 != n2 {
+			t.Fatalf("key %d: unstable pick", key)
+		}
+	}
+}
+
+func TestEmptyBalancer(t *testing.T) {
+	b, err := New(nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Pick(1); err != ErrNoBackends {
+		t.Fatalf("empty pick: %v", err)
+	}
+}
+
+func TestDuplicateBackendRejected(t *testing.T) {
+	if _, err := New([]string{"a", "a"}, 64); err != ErrDuplicate {
+		t.Fatalf("dup at construction: %v", err)
+	}
+	b, _ := New([]string{"a"}, 64)
+	if err := b.Add("a"); err != ErrDuplicate {
+		t.Fatalf("dup add: %v", err)
+	}
+	if err := b.Remove("zzz"); err != ErrUnknown {
+		t.Fatalf("remove unknown: %v", err)
+	}
+}
+
+func TestLoadBalanceEvenness(t *testing.T) {
+	const nodes = 5
+	b, _ := New(names(nodes), 0)
+	counts := make([]int, nodes)
+	const keys = 100000
+	for key := uint64(0); key < keys; key++ {
+		i, _, err := b.Pick(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[i]++
+	}
+	want := keys / nodes
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("node %d holds %d keys, want ~%d (±10%%)", i, c, want)
+		}
+	}
+}
+
+func TestMinimalDisruptionOnMembershipChange(t *testing.T) {
+	// Maglev's property: removing one of N backends remaps ~1/N of keys
+	// plus a small reshuffle; the vast majority keep their node.
+	const nodes = 8
+	b, _ := New(names(nodes), 0)
+	const keys = 50000
+	before := make([]int, keys)
+	for k := range before {
+		before[k], _, _ = b.Pick(uint64(k))
+	}
+	if err := b.Remove("pepc-node-3"); err != nil {
+		t.Fatal(err)
+	}
+	// Map old indexes to names for comparison (index 3 removed shifts
+	// later indexes).
+	oldNames := names(nodes)
+	moved := 0
+	for k := range before {
+		_, name, _ := b.Pick(uint64(k))
+		if name != oldNames[before[k]] {
+			moved++
+		}
+	}
+	// At least 1/nodes must move (their node is gone); at most ~2/nodes
+	// may move for Maglev's table size tradeoff.
+	if moved < keys/nodes {
+		t.Fatalf("only %d keys moved; the removed node's share is %d", moved, keys/nodes)
+	}
+	if moved > keys*2/nodes {
+		t.Fatalf("%d of %d keys moved, too much disruption", moved, keys)
+	}
+}
+
+func TestKeySpacesAreIndependent(t *testing.T) {
+	b, _ := New(names(3), 0)
+	// The same 32-bit value as TEID vs UE IP may map differently
+	// (separate key spaces).
+	differs := false
+	for v := uint32(0); v < 1000; v++ {
+		i1, _, _ := b.PickTEID(v)
+		i2, _, _ := b.PickUEIP(v)
+		if i1 != i2 {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("TEID and UE IP key spaces collide everywhere")
+	}
+}
+
+func TestAddBackendRebalances(t *testing.T) {
+	b, _ := New(names(2), 0)
+	if err := b.Add("pepc-node-2"); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for k := uint64(0); k < 30000; k++ {
+		_, name, _ := b.Pick(k)
+		counts[name]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d backends receive traffic", len(counts))
+	}
+	for name, c := range counts {
+		if c < 8000 {
+			t.Fatalf("backend %s underloaded: %d", name, c)
+		}
+	}
+	if got := len(b.Backends()); got != 3 {
+		t.Fatalf("backends = %d", got)
+	}
+}
+
+func BenchmarkPick(b *testing.B) {
+	bal, _ := New(names(8), 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bal.Pick(uint64(i))
+	}
+}
+
+func TestNonPrimeTableSizeTerminates(t *testing.T) {
+	// A composite requested size (64) must not hang rebuild: the size is
+	// rounded up to a prime so every permutation covers the whole table.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b, err := New([]string{"a"}, 64)
+		if err != nil {
+			t.Errorf("New: %v", err)
+			return
+		}
+		if _, _, err := b.Pick(1); err != nil {
+			t.Errorf("Pick: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rebuild hung on composite table size")
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	for in, want := range map[int]int{0: 2, 2: 2, 64: 67, 65537: 65537, 100: 101} {
+		if got := nextPrime(in); got != want {
+			t.Fatalf("nextPrime(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

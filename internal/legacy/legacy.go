@@ -1,0 +1,573 @@
+// Package legacy implements the baseline the paper compares against: a
+// conventionally *decomposed* EPC with separate MME, S-GW and P-GW
+// components, each holding its own duplicated copy of per-user state
+// (Table 1's legacy columns), synchronized over GTP-C on every signaling
+// event (§2.3). Configuration presets model the measured systems:
+// Industrial#1, Industrial#2 (from [37]), OpenAirInterface, and OpenEPC.
+//
+// Modeling notes (see DESIGN.md): the proprietary baselines are black
+// boxes, so this package reproduces the *structural* properties the
+// paper blames for their scaling behaviour rather than their code:
+//
+//  1. Duplicated state: attach/handover updates run the GTP-C codec and
+//     take each component's table-level write lock in turn (the paper's
+//     measured MME→S-GW→P-GW propagation).
+//  2. Shared fate of signaling and data: signaling events are processed
+//     by the same run-to-completion loop as data packets, so signaling
+//     work displaces data work — the mechanism behind Industrial#1's
+//     data-plane collapse above 10K attach/s (§2.2).
+//  3. Single big state tables: two table lookups per packet (S-GW then
+//     P-GW) against one flat map per component, degrading with
+//     population size (§3.2).
+//  4. The no-kernel-bypass systems (OAI, OpenEPC) additionally pay a
+//     per-packet copy + allocation + queue hop, the portable equivalent
+//     of their missing DPDK (§6.1).
+package legacy
+
+import (
+	"errors"
+	"sync"
+
+	"pepc/internal/gtp"
+	"pepc/internal/pkt"
+)
+
+// Preset selects a modelled baseline system.
+type Preset uint8
+
+// Presets.
+const (
+	// Industrial1 is the DPDK EPC with GTP + ADC + PCEF the paper tests
+	// directly.
+	Industrial1 Preset = iota
+	// Industrial2 is the DPDK EPC from Rajan et al. [37]: GTP but no
+	// ADC/PCEF, so a lighter per-packet pipeline.
+	Industrial2
+	// OAI is OpenAirInterface: full decomposition plus kernel-path I/O.
+	OAI
+	// OpenEPC is the PhantomNet OpenEPC binary: like OAI with a heavier
+	// control plane.
+	OpenEPC
+)
+
+// String implements fmt.Stringer.
+func (p Preset) String() string {
+	switch p {
+	case Industrial1:
+		return "Industrial#1"
+	case Industrial2:
+		return "Industrial#2"
+	case OAI:
+		return "OpenAirInterface"
+	case OpenEPC:
+		return "OpenEPC"
+	}
+	return "preset(?)"
+}
+
+// Config parameterizes the baseline.
+type Config struct {
+	Preset   Preset
+	UserHint int
+	// SignalingAmplification is how many GTP-C codec round trips each
+	// signaling event performs across the component chain (state
+	// duplication cost). Presets set it.
+	SignalingAmplification int
+	// Classify enables the ADC/PCEF-style per-packet classification
+	// stage (Industrial#1 has it, Industrial#2 does not).
+	Classify bool
+	// KernelPath adds the per-packet copy/alloc/queue-hop of a
+	// non-DPDK stack.
+	KernelPath bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.UserHint <= 0 {
+		c.UserHint = 1 << 16
+	}
+	if c.SignalingAmplification == 0 {
+		switch c.Preset {
+		case Industrial1:
+			c.SignalingAmplification = 24
+			c.Classify = true
+		case Industrial2:
+			c.SignalingAmplification = 16
+		case OAI:
+			c.SignalingAmplification = 24
+			c.KernelPath = true
+		case OpenEPC:
+			c.SignalingAmplification = 48
+			c.KernelPath = true
+		}
+	}
+	return c
+}
+
+// session is the per-user state every component duplicates (the paper's
+// point: three copies of the same fields).
+type session struct {
+	imsi     uint64
+	ueAddr   uint32
+	enbTEID  uint32 // eNodeB's downlink endpoint
+	enbAddr  uint32
+	s1uTEID  uint32 // S-GW's uplink TEID (eNodeB sends here)
+	s5TEIDUp uint32 // P-GW's TEID on the S5 tunnel
+	s5TEIDDn uint32 // S-GW's TEID on the S5 tunnel
+	qciClass uint8
+	// counters (S-GW and P-GW both keep them; Table 1)
+	upPkts, upBytes, dnPkts, dnBytes uint64
+}
+
+// MME holds signaling state and drives the synchronization chain.
+type MME struct {
+	mu       sync.RWMutex
+	sessions map[uint64]*session
+	seq      uint32
+}
+
+// SGW holds the duplicated session table indexed by uplink TEID and the
+// data path's first hop.
+type SGW struct {
+	mu       sync.RWMutex
+	byTEID   map[uint32]*session
+	byIMSI   map[uint64]*session
+	nextTEID uint32
+}
+
+// PGW holds the third copy, indexed by UE address for downlink.
+type PGW struct {
+	mu       sync.RWMutex
+	byIP     map[uint32]*session
+	byTEID   map[uint32]*session
+	byIMSI   map[uint64]*session
+	nextTEID uint32
+	nextIP   uint32
+}
+
+// EPC is the composed baseline: the classic MME + S-GW + P-GW triplet.
+type EPC struct {
+	cfg Config
+	mme *MME
+	sgw *SGW
+	pgw *PGW
+
+	// Egress receives forwarded packets (like PEPC's slice egress); the
+	// harness drains it.
+	Egress func(*pkt.Buf)
+
+	// Stats.
+	Forwarded uint64
+	Dropped   uint64
+	Missed    uint64
+	Attaches  uint64
+	Handovers uint64
+
+	// kernel-path scratch
+	kq    chan *pkt.Buf
+	kpool *pkt.Pool
+}
+
+// Errors.
+var (
+	ErrExists  = errors.New("legacy: user already attached")
+	ErrUnknown = errors.New("legacy: user not found")
+)
+
+// New builds a baseline EPC.
+func New(cfg Config) *EPC {
+	cfg = cfg.withDefaults()
+	e := &EPC{
+		cfg:    cfg,
+		mme:    &MME{sessions: make(map[uint64]*session, cfg.UserHint)},
+		sgw:    &SGW{byTEID: make(map[uint32]*session, cfg.UserHint), byIMSI: make(map[uint64]*session, cfg.UserHint)},
+		pgw:    &PGW{byIP: make(map[uint32]*session, cfg.UserHint), byTEID: make(map[uint32]*session, cfg.UserHint), byIMSI: make(map[uint64]*session, cfg.UserHint)},
+		Egress: func(b *pkt.Buf) { b.Free() },
+	}
+	if cfg.KernelPath {
+		e.kq = make(chan *pkt.Buf, 64)
+		e.kpool = pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	}
+	return e
+}
+
+// Config returns the configuration after preset resolution.
+func (e *EPC) Config() Config { return e.cfg }
+
+// Users returns the attached population (from the S-GW copy).
+func (e *EPC) Users() int {
+	e.sgw.mu.RLock()
+	defer e.sgw.mu.RUnlock()
+	return len(e.sgw.byTEID)
+}
+
+// Attach runs the legacy attach synchronization chain: the MME creates
+// state, then a Create Session Request propagates MME → S-GW → P-GW, with
+// each component decoding the message, taking its table write lock, and
+// installing its duplicate copy; responses flow back. The GTP-C codec
+// runs SignalingAmplification times to model the full message flow (the
+// real chain is ~a dozen messages each way plus retransmission timers).
+func (e *EPC) Attach(imsi uint64, enbTEID, enbAddr uint32) (uplinkTEID, ueAddr uint32, err error) {
+	// MME copy.
+	e.mme.mu.Lock()
+	if _, dup := e.mme.sessions[imsi]; dup {
+		e.mme.mu.Unlock()
+		return 0, 0, ErrExists
+	}
+	e.mme.seq++
+	seq := e.mme.seq
+	s := &session{imsi: imsi, enbTEID: enbTEID, enbAddr: enbAddr, qciClass: 9}
+	e.mme.sessions[imsi] = s
+	e.mme.mu.Unlock()
+
+	// MME → S-GW Create Session (codec runs for real).
+	req := gtp.BuildCreateSession(gtp.SessionRequest{IMSI: imsi, TEID: enbTEID, Seq: seq})
+	wire := req.Marshal()
+	e.churnCodec(wire)
+
+	// S-GW copy.
+	e.sgw.mu.Lock()
+	e.sgw.nextTEID++
+	up := 0x5000_0000 | e.sgw.nextTEID
+	sgwCopy := *s
+	sgwCopy.s1uTEID = up
+	e.sgw.byTEID[up] = &sgwCopy
+	e.sgw.byIMSI[imsi] = &sgwCopy
+	e.sgw.mu.Unlock()
+
+	// S-GW → P-GW Create Session.
+	req2 := gtp.BuildCreateSession(gtp.SessionRequest{IMSI: imsi, TEID: up, Seq: seq})
+	wire2 := req2.Marshal()
+	e.churnCodec(wire2)
+
+	// P-GW copy + address allocation.
+	e.pgw.mu.Lock()
+	e.pgw.nextTEID++
+	e.pgw.nextIP++
+	s5 := 0x7000_0000 | e.pgw.nextTEID
+	ip := pkt.IPv4Addr(100, 64, 0, 0) + e.pgw.nextIP
+	pgwCopy := sgwCopy
+	pgwCopy.s5TEIDUp = s5
+	pgwCopy.ueAddr = ip
+	e.pgw.byIP[ip] = &pgwCopy
+	e.pgw.byTEID[s5] = &pgwCopy
+	e.pgw.byIMSI[imsi] = &pgwCopy
+	e.pgw.mu.Unlock()
+
+	// Responses propagate back, updating the upstream duplicates (more
+	// write locks, more codec).
+	resp := gtp.BuildResponse(gtp.GTPCCreateSessionRequest, seq, gtp.CauseAccepted)
+	e.churnCodec(resp.Marshal())
+	e.sgw.mu.Lock()
+	sgwSess := e.sgw.byIMSI[imsi]
+	sgwSess.s5TEIDUp = s5
+	sgwSess.ueAddr = ip
+	e.sgw.mu.Unlock()
+	e.mme.mu.Lock()
+	s.ueAddr = ip
+	s.s1uTEID = up
+	e.mme.mu.Unlock()
+
+	e.Attaches++
+	return up, ip, nil
+}
+
+// AttachEvent applies the state-synchronization work of an attach event
+// to an existing session: the full MME → S-GW → P-GW chain re-installs
+// the user's QoS/policy and tunnel state under each component's write
+// lock, with the GTP-C codec doing the message work — the cost PEPC's
+// consolidation removes.
+func (e *EPC) AttachEvent(imsi uint64) error {
+	e.mme.mu.Lock()
+	s, ok := e.mme.sessions[imsi]
+	if !ok {
+		e.mme.mu.Unlock()
+		return ErrUnknown
+	}
+	e.mme.seq++
+	seq := e.mme.seq
+	s.qciClass = 9
+	enbTEID := s.enbTEID
+	e.mme.mu.Unlock()
+
+	req := gtp.BuildCreateSession(gtp.SessionRequest{IMSI: imsi, TEID: enbTEID, Seq: seq})
+	e.churnCodec(req.Marshal())
+	e.sgw.mu.Lock()
+	if ss := e.sgw.byIMSI[imsi]; ss != nil {
+		ss.qciClass = 9
+	}
+	e.sgw.mu.Unlock()
+	e.churnCodec(req.Marshal())
+	e.pgw.mu.Lock()
+	if ps := e.pgw.byIMSI[imsi]; ps != nil {
+		ps.qciClass = 9
+	}
+	e.pgw.mu.Unlock()
+	resp := gtp.BuildResponse(gtp.GTPCCreateSessionRequest, seq, gtp.CauseAccepted)
+	e.churnCodec(resp.Marshal())
+	e.Attaches++
+	return nil
+}
+
+// S1Handover runs the legacy handover chain: Modify Bearer propagates
+// through all three components, each updating its duplicate tunnel state
+// under its write lock.
+func (e *EPC) S1Handover(imsi uint64, newENBTEID, newENBAddr uint32) error {
+	e.mme.mu.Lock()
+	s, ok := e.mme.sessions[imsi]
+	if !ok {
+		e.mme.mu.Unlock()
+		return ErrUnknown
+	}
+	e.mme.seq++
+	seq := e.mme.seq
+	s.enbTEID = newENBTEID
+	s.enbAddr = newENBAddr
+	e.mme.mu.Unlock()
+
+	req := gtp.BuildModifyBearer(gtp.SessionRequest{IMSI: imsi, TEID: newENBTEID, PeerAddr: newENBAddr, Seq: seq})
+	e.churnCodec(req.Marshal())
+
+	e.sgw.mu.Lock()
+	if ss := e.sgw.byIMSI[imsi]; ss != nil {
+		ss.enbTEID = newENBTEID
+		ss.enbAddr = newENBAddr
+	}
+	e.sgw.mu.Unlock()
+
+	e.churnCodec(req.Marshal())
+	e.pgw.mu.Lock()
+	if ps := e.pgw.byIMSI[imsi]; ps != nil {
+		ps.enbTEID = newENBTEID
+		ps.enbAddr = newENBAddr
+	}
+	e.pgw.mu.Unlock()
+
+	resp := gtp.BuildResponse(gtp.GTPCModifyBearerRequest, seq, gtp.CauseAccepted)
+	e.churnCodec(resp.Marshal())
+	e.Handovers++
+	return nil
+}
+
+// churnCodec performs the per-event protocol work: repeated
+// marshal/unmarshal of the synchronization messages, standing in for the
+// full multi-message exchange (requests, responses, acknowledgements,
+// HSS/PCRF legs) of the real chain.
+func (e *EPC) churnCodec(wire []byte) {
+	for i := 0; i < e.cfg.SignalingAmplification; i++ {
+		m, err := gtp.UnmarshalGTPC(wire)
+		if err != nil {
+			return
+		}
+		wire = m.Marshal()
+	}
+}
+
+// ProcessUplinkBatch runs the legacy uplink pipeline: S-GW decap + lookup
+// (table read lock), re-encapsulation onto the S5 tunnel, P-GW decap +
+// lookup (second table, second lock), optional classification, counters,
+// emit. Signaling events interleave on the same loop via the harness.
+func (e *EPC) ProcessUplinkBatch(batch []*pkt.Buf, now int64) {
+	for _, b := range batch {
+		e.processUplink(b, now)
+	}
+}
+
+func (e *EPC) processUplink(b *pkt.Buf, now int64) {
+	_ = now
+	if e.cfg.KernelPath {
+		b = e.kernelHop(b)
+		if b == nil {
+			return
+		}
+	}
+	// S-GW hop.
+	teid, err := gtp.DecapGPDU(b)
+	if err != nil {
+		e.Dropped++
+		b.Free()
+		return
+	}
+	e.sgw.mu.RLock()
+	s := e.sgw.byTEID[teid]
+	e.sgw.mu.RUnlock()
+	if s == nil {
+		e.Missed++
+		b.Free()
+		return
+	}
+	// Re-encapsulate onto S5 toward the P-GW, as the real S-GW does.
+	if err := gtp.EncapGPDU(b, s.s5TEIDUp, 1, 2); err != nil {
+		e.Dropped++
+		b.Free()
+		return
+	}
+	if e.cfg.KernelPath {
+		b = e.kernelHop(b)
+		if b == nil {
+			return
+		}
+	}
+	// P-GW hop.
+	s5, err := gtp.DecapGPDU(b)
+	if err != nil {
+		e.Dropped++
+		b.Free()
+		return
+	}
+	e.pgw.mu.RLock()
+	p := e.pgw.byTEID[s5]
+	e.pgw.mu.RUnlock()
+	if p == nil {
+		e.Missed++
+		b.Free()
+		return
+	}
+	if e.cfg.Classify {
+		classifyInner(b.Bytes())
+	}
+	// Counters on both data components (duplicated per Table 1). The
+	// single data thread owns them; the coarse table lock covered the
+	// lookup only, as in the modelled systems.
+	e.sgw.mu.Lock()
+	s.upPkts++
+	s.upBytes += uint64(b.Len())
+	e.sgw.mu.Unlock()
+	e.pgw.mu.Lock()
+	p.upPkts++
+	p.upBytes += uint64(b.Len())
+	e.pgw.mu.Unlock()
+	e.Forwarded++
+	e.Egress(b)
+}
+
+// ProcessDownlinkBatch is the reverse pipeline: P-GW lookup by UE
+// address, S5 encapsulation, S-GW swap onto the eNodeB tunnel.
+func (e *EPC) ProcessDownlinkBatch(batch []*pkt.Buf, now int64) {
+	for _, b := range batch {
+		e.processDownlink(b, now)
+	}
+}
+
+func (e *EPC) processDownlink(b *pkt.Buf, now int64) {
+	_ = now
+	if e.cfg.KernelPath {
+		b = e.kernelHop(b)
+		if b == nil {
+			return
+		}
+	}
+	var ip pkt.IPv4
+	if err := ip.DecodeFromBytes(b.Bytes()); err != nil {
+		e.Dropped++
+		b.Free()
+		return
+	}
+	e.pgw.mu.RLock()
+	p := e.pgw.byIP[ip.Dst]
+	e.pgw.mu.RUnlock()
+	if p == nil {
+		e.Missed++
+		b.Free()
+		return
+	}
+	if e.cfg.Classify {
+		classifyInner(b.Bytes())
+	}
+	// P-GW → S-GW over S5.
+	if err := gtp.EncapGPDU(b, p.s5TEIDUp, 2, 1); err != nil {
+		e.Dropped++
+		b.Free()
+		return
+	}
+	if e.cfg.KernelPath {
+		b = e.kernelHop(b)
+		if b == nil {
+			return
+		}
+	}
+	// S-GW swaps tunnels onto the eNodeB.
+	if _, err := gtp.DecapGPDU(b); err != nil {
+		e.Dropped++
+		b.Free()
+		return
+	}
+	e.sgw.mu.RLock()
+	s := e.sgw.byIMSI[p.imsi]
+	e.sgw.mu.RUnlock()
+	if s == nil {
+		e.Missed++
+		b.Free()
+		return
+	}
+	if err := gtp.EncapGPDU(b, s.enbTEID, 1, s.enbAddr); err != nil {
+		e.Dropped++
+		b.Free()
+		return
+	}
+	e.sgw.mu.Lock()
+	s.dnPkts++
+	s.dnBytes += uint64(b.Len())
+	e.sgw.mu.Unlock()
+	e.pgw.mu.Lock()
+	p.dnPkts++
+	p.dnBytes += uint64(b.Len())
+	e.pgw.mu.Unlock()
+	e.Forwarded++
+	e.Egress(b)
+}
+
+// kernelHop models the no-kernel-bypass path: the packet is copied into
+// a fresh buffer (skb allocation + copy_from_user), crosses a queue
+// (softirq hand-off), and pays the protocol-stack traversal — checksum
+// validation, routing, netfilter — modelled as checksum passes over the
+// packet, the portable equivalent of the per-packet kernel work DPDK
+// removes. Returns the new buffer.
+func (e *EPC) kernelHop(b *pkt.Buf) *pkt.Buf {
+	nb := e.kpool.Get()
+	if err := nb.SetBytes(b.Bytes()); err != nil {
+		b.Free()
+		nb.Free()
+		e.Dropped++
+		return nil
+	}
+	nb.Meta = b.Meta
+	b.Free()
+	select {
+	case e.kq <- nb:
+	default:
+		nb.Free()
+		e.Dropped++
+		return nil
+	}
+	out := <-e.kq
+	// Protocol-stack traversal work per hop.
+	var acc uint16
+	for i := 0; i < kernelStackPasses; i++ {
+		acc ^= pkt.Checksum(out.Bytes())
+	}
+	if acc == 0xdead {
+		// Data-dependent use so the work cannot be optimized away.
+		out.Meta.TSNanos ^= 1
+	}
+	return out
+}
+
+// kernelStackPasses calibrates the per-hop kernel-path work so the
+// modelled OAI/OpenEPC land an order of magnitude below the DPDK
+// systems, as the paper measures (§6.1).
+const kernelStackPasses = 24
+
+// classifyInner is the ADC-style per-packet application classification:
+// a linear scan over the header fields plus a few payload bytes, the
+// work an application-detection stage performs per packet.
+func classifyInner(data []byte) uint32 {
+	var acc uint32
+	n := len(data)
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		acc = acc*31 + uint32(data[i])
+	}
+	return acc
+}

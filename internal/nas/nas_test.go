@@ -1,0 +1,187 @@
+package nas
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttachRequestRoundTrip(t *testing.T) {
+	esm := []byte{0xde, 0xad}
+	m := &AttachRequest{IMSI: 310150123456789, UENetworkCapability: 0x8020, ESMContainer: esm}
+	got, err := UnmarshalAttachRequest(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IMSI != m.IMSI || got.GUTI != 0 || got.UENetworkCapability != m.UENetworkCapability ||
+		!bytes.Equal(got.ESMContainer, esm) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestAttachRequestWithGUTI(t *testing.T) {
+	m := &AttachRequest{GUTI: 0xfeedface}
+	got, err := UnmarshalAttachRequest(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GUTI != 0xfeedface {
+		t.Fatalf("GUTI = %#x", got.GUTI)
+	}
+}
+
+func TestAttachRequestRejectsWrongType(t *testing.T) {
+	m := (&AuthenticationResponse{}).Marshal()
+	if _, err := UnmarshalAttachRequest(m); err != ErrBadType {
+		t.Fatalf("wrong type: %v", err)
+	}
+	if _, err := UnmarshalAttachRequest([]byte{0x07}); err != ErrShort {
+		t.Fatalf("short: %v", err)
+	}
+	// ESM length beyond the buffer.
+	enc := (&AttachRequest{IMSI: 1}).Marshal()
+	enc[len(enc)-1] = 0xff // corrupt ESM length low byte
+	enc[len(enc)-2] = 0xff
+	if _, err := UnmarshalAttachRequest(enc); err != ErrMalformed {
+		t.Fatalf("bad esm len: %v", err)
+	}
+}
+
+func TestAuthenticationRoundTrip(t *testing.T) {
+	req := &AuthenticationRequest{KSI: 3}
+	copy(req.RAND[:], bytes.Repeat([]byte{0xaa}, 16))
+	copy(req.AUTN[:], bytes.Repeat([]byte{0xbb}, 16))
+	got, err := UnmarshalAuthenticationRequest(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *req {
+		t.Fatalf("round trip: %+v", got)
+	}
+	resp := &AuthenticationResponse{RES: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	got2, err := UnmarshalAuthenticationResponse(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got2 != *resp {
+		t.Fatalf("resp round trip: %+v", got2)
+	}
+}
+
+func TestSecurityModeRoundTrip(t *testing.T) {
+	cmd := &SecurityModeCommand{SelectedAlgorithms: 0x12, KSI: 1}
+	got, err := UnmarshalSecurityModeCommand(cmd.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *cmd {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Complete is an empty body; header must still parse.
+	h, err := DecodeHeader((&SecurityModeComplete{}).Marshal())
+	if err != nil || h.Type != MsgSecurityModeComplete {
+		t.Fatalf("complete: %+v %v", h, err)
+	}
+}
+
+func TestAttachAcceptRoundTrip(t *testing.T) {
+	esm := (&ActivateDefaultBearerRequest{EBI: 5, QCI: 9, UEAddr: 0x0a00002a, APNAMBRUplink: 10e6, APNAMBRDownlink: 50e6}).Marshal()
+	m := &AttachAccept{GUTI: 42, TAI: 7, TAIList: []uint16{7, 8, 9}, ESMContainer: esm}
+	got, err := UnmarshalAttachAccept(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GUTI != 42 || got.TAI != 7 || len(got.TAIList) != 3 || got.TAIList[2] != 9 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	bearer, err := UnmarshalActivateDefaultBearerRequest(got.ESMContainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bearer.EBI != 5 || bearer.QCI != 9 || bearer.UEAddr != 0x0a00002a ||
+		bearer.APNAMBRUplink != 10e6 || bearer.APNAMBRDownlink != 50e6 {
+		t.Fatalf("bearer: %+v", bearer)
+	}
+}
+
+func TestProtectedWrapUnwrap(t *testing.T) {
+	inner := (&AttachComplete{}).Marshal()
+	wrapped := MarshalProtected(inner, 0xdeadbeef, 7)
+	got, mac, seq, ok, err := UnwrapProtected(wrapped)
+	if err != nil || !ok {
+		t.Fatalf("unwrap: ok=%v err=%v", ok, err)
+	}
+	if mac != 0xdeadbeef || seq != 7 || !bytes.Equal(got, inner) {
+		t.Fatalf("unwrap: mac=%#x seq=%d", mac, seq)
+	}
+	// Plain messages pass through.
+	got2, _, _, ok, err := UnwrapProtected(inner)
+	if err != nil || ok || !bytes.Equal(got2, inner) {
+		t.Fatalf("plain passthrough: ok=%v err=%v", ok, err)
+	}
+	// Header of the protected frame decodes with inner type visible.
+	h, err := DecodeHeader(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SecurityHeader != SecHdrIntegrity || h.Type != MsgAttachComplete || h.MAC != 0xdeadbeef {
+		t.Fatalf("protected header: %+v", h)
+	}
+}
+
+func TestDecodeHeaderShortInputs(t *testing.T) {
+	if _, err := DecodeHeader(nil); err != ErrShort {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, err := DecodeHeader([]byte{SecHdrIntegrity<<4 | PDEMM, 1, 2}); err != ErrShort {
+		t.Fatalf("truncated protected: %v", err)
+	}
+}
+
+// Property: attach request marshal/unmarshal round-trips arbitrary ids and
+// containers.
+func TestAttachRequestProperty(t *testing.T) {
+	f := func(imsi, guti uint64, cap uint16, esm []byte) bool {
+		if len(esm) > 4096 {
+			esm = esm[:4096]
+		}
+		m := &AttachRequest{IMSI: imsi, GUTI: guti, UENetworkCapability: cap, ESMContainer: esm}
+		got, err := UnmarshalAttachRequest(m.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.IMSI == imsi && got.GUTI == guti && got.UENetworkCapability == cap &&
+			bytes.Equal(got.ESMContainer, esm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unmarshal never panics on arbitrary bytes.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		UnmarshalAttachRequest(b)
+		UnmarshalAttachAccept(b)
+		UnmarshalAuthenticationRequest(b)
+		UnmarshalAuthenticationResponse(b)
+		UnmarshalSecurityModeCommand(b)
+		UnmarshalActivateDefaultBearerRequest(b)
+		UnwrapProtected(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAttachRequestParse(b *testing.B) {
+	esm := (&ActivateDefaultBearerRequest{EBI: 5, QCI: 9}).Marshal()
+	wire := (&AttachRequest{IMSI: 310150123456789, ESMContainer: esm}).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalAttachRequest(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package nf is the run-to-completion execution framework PEPC's threads
+// run on — the NetBricks substitute. A Worker owns an input ring (its
+// "NIC queue"), dequeues packets in batches, runs its handler to
+// completion on each batch, and performs housekeeping (update-queue
+// drains, timer work) between batches — never mid-packet, matching the
+// paper's no-preemption model (§3.1 footnote 4).
+package nf
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"pepc/internal/pkt"
+	"pepc/internal/ring"
+)
+
+// DefaultBatchSize is the per-poll packet budget, the paper's update
+// batching granularity (32).
+const DefaultBatchSize = 32
+
+// Port is a pair of rings standing in for a NIC queue or a vport between
+// pipeline stages: packets flow in on RX and out on TX.
+type Port struct {
+	RX *ring.SPSC[*pkt.Buf]
+	TX *ring.SPSC[*pkt.Buf]
+}
+
+// NewPort returns a port with rings of the given capacity (power of two).
+func NewPort(capacity int) (*Port, error) {
+	rx, err := ring.NewSPSC[*pkt.Buf](capacity)
+	if err != nil {
+		return nil, err
+	}
+	tx, err := ring.NewSPSC[*pkt.Buf](capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Port{RX: rx, TX: tx}, nil
+}
+
+// MustPort is NewPort that panics on error.
+func MustPort(capacity int) *Port {
+	p, err := NewPort(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Peer returns the port as seen from the other side: its RX is this TX.
+func (p *Port) Peer() *Port { return &Port{RX: p.TX, TX: p.RX} }
+
+// Stats counts worker activity. Fields are updated by the worker and may
+// be read concurrently through atomic loads via the Stats method.
+type Stats struct {
+	Packets   atomic.Uint64
+	Batches   atomic.Uint64
+	IdlePolls atomic.Uint64
+	Drops     atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Packets   uint64
+	Batches   uint64
+	IdlePolls uint64
+	Drops     uint64
+}
+
+// Source is anything a worker can poll packets from: the SPSC ring of a
+// dedicated queue or the MPSC ring of a queue with several producers
+// (demux thread, migration drain, paging resume).
+type Source interface {
+	DequeueBatch(vs []*pkt.Buf) int
+}
+
+// Worker is one run-to-completion loop pinned (logically) to a core. The
+// handler processes each dequeued batch fully; Housekeep runs between
+// batches every HousekeepEvery processed packets.
+type Worker struct {
+	// In is the queue the worker polls.
+	In Source
+	// Handler processes a batch in place. Packets the handler wants to
+	// forward it must enqueue/free itself; the worker only dequeues.
+	Handler func(batch []*pkt.Buf)
+	// Housekeep runs between batches (e.g. draining the control→data
+	// update queue). Nil disables.
+	Housekeep func()
+	// HousekeepEvery is the packet interval between Housekeep calls
+	// (default DefaultBatchSize, the paper's 32-packet sync).
+	HousekeepEvery int
+	// BatchSize is the per-poll dequeue budget (default DefaultBatchSize).
+	BatchSize int
+
+	stats Stats
+}
+
+// Stats returns a snapshot of the worker counters.
+func (w *Worker) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Packets:   w.stats.Packets.Load(),
+		Batches:   w.stats.Batches.Load(),
+		IdlePolls: w.stats.IdlePolls.Load(),
+		Drops:     w.stats.Drops.Load(),
+	}
+}
+
+// Run polls until stop is closed. It yields the processor on idle polls
+// so co-scheduled workers (test environments with fewer physical cores
+// than workers) make progress.
+func (w *Worker) Run(stop <-chan struct{}) {
+	batchSize := w.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	hkEvery := w.HousekeepEvery
+	if hkEvery <= 0 {
+		hkEvery = DefaultBatchSize
+	}
+	batch := make([]*pkt.Buf, batchSize)
+	sinceHK := 0
+	idle := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		n := w.In.DequeueBatch(batch)
+		if n == 0 {
+			w.stats.IdlePolls.Add(1)
+			if w.Housekeep != nil {
+				w.Housekeep()
+				sinceHK = 0
+			}
+			idle++
+			if idle > 64 {
+				runtime.Gosched()
+				idle = 0
+			}
+			continue
+		}
+		idle = 0
+		w.Handler(batch[:n])
+		w.stats.Packets.Add(uint64(n))
+		w.stats.Batches.Add(1)
+		sinceHK += n
+		if w.Housekeep != nil && sinceHK >= hkEvery {
+			w.Housekeep()
+			sinceHK = 0
+		}
+	}
+}
+
+// RunN processes at most total packets, then returns — the measured-work
+// variant benchmarks use so a run has a defined end without wall-clock
+// coupling. Housekeeping behaves as in Run.
+func (w *Worker) RunN(total int) {
+	batchSize := w.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	hkEvery := w.HousekeepEvery
+	if hkEvery <= 0 {
+		hkEvery = DefaultBatchSize
+	}
+	batch := make([]*pkt.Buf, batchSize)
+	sinceHK := 0
+	done := 0
+	for done < total {
+		budget := batchSize
+		if rem := total - done; rem < budget {
+			budget = rem
+		}
+		n := w.In.DequeueBatch(batch[:budget])
+		if n == 0 {
+			if w.Housekeep != nil {
+				w.Housekeep()
+				sinceHK = 0
+			}
+			runtime.Gosched()
+			continue
+		}
+		w.Handler(batch[:n])
+		w.stats.Packets.Add(uint64(n))
+		w.stats.Batches.Add(1)
+		done += n
+		sinceHK += n
+		if w.Housekeep != nil && sinceHK >= hkEvery {
+			w.Housekeep()
+			sinceHK = 0
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package pcef
+
+import (
+	"sync"
+	"testing"
+
+	"pepc/internal/bpf"
+	"pepc/internal/pkt"
+)
+
+func flowTo(dst uint32, dport uint16, proto uint8) pkt.Flow {
+	return pkt.Flow{Src: pkt.IPv4Addr(10, 0, 0, 1), Dst: dst, SrcPort: 40000, DstPort: dport, Proto: proto}
+}
+
+func ipv4Packet(f pkt.Flow) []byte {
+	total := pkt.IPv4HeaderLen + pkt.UDPHeaderLen
+	b := make([]byte, total)
+	ip := pkt.IPv4{Length: uint16(total), TTL: 64, Protocol: f.Proto, Src: f.Src, Dst: f.Dst}
+	ip.SerializeTo(b)
+	u := pkt.UDP{SrcPort: f.SrcPort, DstPort: f.DstPort, Length: pkt.UDPHeaderLen}
+	u.SerializeTo(b[pkt.IPv4HeaderLen:])
+	return b
+}
+
+func TestInstallClassifyRemove(t *testing.T) {
+	tb := NewTable()
+	err := tb.Install(Rule{
+		ID:         1,
+		Precedence: 10,
+		Filter:     bpf.FilterSpec{Proto: pkt.ProtoUDP, DstPortLo: 53, DstPortHi: 53},
+		Action:     ActionDrop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	v := tb.ClassifyFlow(flowTo(2, 53, pkt.ProtoUDP))
+	if !v.Matched || v.Action != ActionDrop || v.RuleID != 1 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	// Non-matching traffic falls through to default allow.
+	v = tb.ClassifyFlow(flowTo(2, 80, pkt.ProtoTCP))
+	if v.Matched || v.Action != ActionAllow {
+		t.Fatalf("default verdict = %+v", v)
+	}
+	if err := tb.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Remove(1); err != ErrUnknownRule {
+		t.Fatalf("double remove: %v", err)
+	}
+	v = tb.ClassifyFlow(flowTo(2, 53, pkt.ProtoUDP))
+	if v.Matched {
+		t.Fatal("removed rule still matches")
+	}
+}
+
+func TestDuplicateInstall(t *testing.T) {
+	tb := NewTable()
+	r := Rule{ID: 7, Filter: bpf.FilterSpec{Proto: pkt.ProtoTCP}}
+	if err := tb.Install(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Install(r); err != ErrDuplicateRule {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+func TestInstallRejectsBadFilter(t *testing.T) {
+	tb := NewTable()
+	err := tb.Install(Rule{ID: 1, Filter: bpf.FilterSpec{SrcPrefix: 60}})
+	if err == nil {
+		t.Fatal("bad filter accepted")
+	}
+}
+
+func TestPrecedenceOrder(t *testing.T) {
+	tb := NewTable()
+	// Broad low-priority allow vs narrow high-priority drop.
+	tb.Install(Rule{ID: 2, Precedence: 100, Filter: bpf.FilterSpec{Proto: pkt.ProtoTCP}, Action: ActionAllow, ChargingKey: 9})
+	tb.Install(Rule{ID: 1, Precedence: 1, Filter: bpf.FilterSpec{Proto: pkt.ProtoTCP, DstPortLo: 25, DstPortHi: 25}, Action: ActionDrop})
+	v := tb.ClassifyFlow(flowTo(5, 25, pkt.ProtoTCP))
+	if v.RuleID != 1 || v.Action != ActionDrop {
+		t.Fatalf("high-precedence rule lost: %+v", v)
+	}
+	v = tb.ClassifyFlow(flowTo(5, 80, pkt.ProtoTCP))
+	if v.RuleID != 2 || v.ChargingKey != 9 {
+		t.Fatalf("fallthrough rule: %+v", v)
+	}
+	// Rules() reports evaluation order.
+	rules := tb.Rules()
+	if len(rules) != 2 || rules[0].ID != 1 || rules[1].ID != 2 {
+		t.Fatalf("rules order: %+v", rules)
+	}
+}
+
+func TestClassifyPacketAgreesWithFlow(t *testing.T) {
+	tb := NewTable()
+	tb.Install(Rule{ID: 3, Filter: bpf.FilterSpec{
+		DstAddr: pkt.IPv4Addr(10, 9, 0, 0), DstPrefix: 16, Proto: pkt.ProtoUDP,
+	}, Action: ActionRateLimit, RateBitsPerSec: 1e6})
+	flows := []pkt.Flow{
+		flowTo(pkt.IPv4Addr(10, 9, 1, 1), 53, pkt.ProtoUDP),
+		flowTo(pkt.IPv4Addr(10, 8, 1, 1), 53, pkt.ProtoUDP),
+		flowTo(pkt.IPv4Addr(10, 9, 1, 1), 53, pkt.ProtoTCP),
+	}
+	for _, f := range flows {
+		byFlow := tb.ClassifyFlow(f)
+		byPkt := tb.ClassifyPacket(ipv4Packet(f))
+		if byFlow.Matched != byPkt.Matched || byFlow.RuleID != byPkt.RuleID {
+			t.Fatalf("flow %v: ClassifyFlow=%+v ClassifyPacket=%+v", f, byFlow, byPkt)
+		}
+	}
+}
+
+func TestSetDefault(t *testing.T) {
+	tb := NewTable()
+	tb.SetDefault(Verdict{Action: ActionDrop, Matched: true})
+	v := tb.ClassifyFlow(flowTo(1, 1, pkt.ProtoTCP))
+	if v.Action != ActionDrop || v.Matched {
+		t.Fatalf("default: %+v (Matched must be forced false)", v)
+	}
+}
+
+func TestVerdictCarriesRuleAttributes(t *testing.T) {
+	tb := NewTable()
+	tb.Install(Rule{
+		ID: 4, Filter: bpf.FilterSpec{Proto: pkt.ProtoTCP},
+		Action: ActionMark, DSCP: 0x2e, ChargingKey: 3, RateBitsPerSec: 5e6,
+	})
+	v := tb.ClassifyFlow(flowTo(1, 80, pkt.ProtoTCP))
+	if v.DSCP != 0x2e || v.ChargingKey != 3 || v.RateBitsPerSec != 5e6 {
+		t.Fatalf("verdict attrs: %+v", v)
+	}
+}
+
+func TestConcurrentInstallAndClassify(t *testing.T) {
+	tb := NewTable()
+	tb.Install(Rule{ID: 1, Filter: bpf.FilterSpec{Proto: pkt.ProtoUDP}})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint32(2); i < 200; i++ {
+			tb.Install(Rule{ID: i, Precedence: uint16(i), Filter: bpf.FilterSpec{Proto: pkt.ProtoTCP, DstPortLo: uint16(i), DstPortHi: uint16(i)}})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		f := flowTo(1, 53, pkt.ProtoUDP)
+		for i := 0; i < 20000; i++ {
+			if v := tb.ClassifyFlow(f); !v.Matched {
+				t.Error("stable rule lost during concurrent install")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if tb.Len() != 199 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for a, want := range map[Action]string{
+		ActionAllow: "allow", ActionDrop: "drop", ActionRateLimit: "rate-limit", ActionMark: "mark",
+	} {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q", a, a.String())
+		}
+	}
+}
+
+func BenchmarkClassifyFlow10Rules(b *testing.B) {
+	tb := NewTable()
+	for i := uint32(1); i <= 10; i++ {
+		tb.Install(Rule{ID: i, Precedence: uint16(i),
+			Filter: bpf.FilterSpec{Proto: pkt.ProtoTCP, DstPortLo: uint16(i * 1000), DstPortHi: uint16(i*1000 + 10)}})
+	}
+	f := flowTo(2, 5005, pkt.ProtoTCP) // matches rule 5
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v := tb.ClassifyFlow(f); !v.Matched {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkClassifyPacket10Rules(b *testing.B) {
+	tb := NewTable()
+	for i := uint32(1); i <= 10; i++ {
+		tb.Install(Rule{ID: i, Precedence: uint16(i),
+			Filter: bpf.FilterSpec{Proto: pkt.ProtoTCP, DstPortLo: uint16(i * 1000), DstPortHi: uint16(i*1000 + 10)}})
+	}
+	data := ipv4Packet(flowTo(2, 5005, pkt.ProtoTCP))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v := tb.ClassifyPacket(data); !v.Matched {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package pkt provides the packet substrate for PEPC: mbuf-style buffers
+// with reserved headroom so tunnel encapsulation can prepend headers without
+// copying, pooled allocation so the steady-state data path is allocation
+// free, and zero-copy codecs for the protocol layers the EPC data plane
+// touches (Ethernet, IPv4, UDP, TCP and, in package gtp, GTP-U).
+//
+// The decode API follows the gopacket DecodingLayer style: callers hold
+// preallocated layer structs and call DecodeFromBytes on them, so decoding a
+// packet performs no allocation. Serialization prepends, mirroring
+// gopacket's SerializeTo contract.
+package pkt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Buffer geometry. DefaultHeadroom is sized to fit the largest
+// encapsulation the EPC data plane prepends: outer Ethernet (14) + IPv4 (20)
+// + UDP (8) + GTP-U (12 with options) plus slack.
+const (
+	DefaultBufSize  = 2048
+	DefaultHeadroom = 128
+)
+
+// Common errors returned by buffer operations.
+var (
+	ErrNoHeadroom = errors.New("pkt: insufficient headroom")
+	ErrNoTailroom = errors.New("pkt: insufficient tailroom")
+	ErrTooShort   = errors.New("pkt: buffer too short")
+)
+
+// Buf is an mbuf-style packet buffer. The packet occupies data[off:off+len].
+// Prepending consumes headroom (bytes before off); appending consumes
+// tailroom (bytes after off+len). Buf is not safe for concurrent use; the
+// single-writer discipline of the PEPC data path guarantees exclusive
+// ownership while a packet is being processed.
+type Buf struct {
+	data []byte
+	off  int
+	len  int
+
+	// Meta carries per-packet metadata set by earlier pipeline stages so
+	// later stages need not re-parse. It is reset when the buffer returns
+	// to its pool.
+	Meta Metadata
+
+	pool *Pool
+}
+
+// Metadata is scratch state attached to a packet as it moves through a
+// pipeline: the owning user, the parsed 5-tuple, tunnel id and timestamps.
+type Metadata struct {
+	// TEID is the GTP-U tunnel endpoint id for uplink traffic, or the
+	// tunnel selected for downlink encapsulation.
+	TEID uint32
+	// UEIP is the user device's IP address (host byte order) used to map
+	// downlink traffic to a user.
+	UEIP uint32
+	// Flow is the inner 5-tuple, filled by the parse stage for the PCEF.
+	Flow Flow
+	// TSNanos is the generator or RX timestamp used for latency
+	// measurement, in nanoseconds of an arbitrary monotonic epoch.
+	TSNanos int64
+	// Uplink records the traffic direction chosen by the demux stage.
+	Uplink bool
+	// Paged marks a downlink packet already parked once for an idle
+	// user; a second pass while still idle drops it.
+	Paged bool
+}
+
+// NewBuf allocates an unpooled buffer with the given capacity and headroom
+// reserved. It is intended for tests and slow paths; the data path should
+// use a Pool.
+func NewBuf(size, headroom int) *Buf {
+	if size <= 0 {
+		size = DefaultBufSize
+	}
+	if headroom < 0 || headroom > size {
+		headroom = 0
+	}
+	return &Buf{data: make([]byte, size), off: headroom}
+}
+
+// Bytes returns the current packet contents. The slice aliases the buffer:
+// it is valid until the next Prepend/Append/Reset/Free.
+func (b *Buf) Bytes() []byte { return b.data[b.off : b.off+b.len] }
+
+// Len returns the packet length in bytes.
+func (b *Buf) Len() int { return b.len }
+
+// Headroom returns the number of bytes available for Prepend.
+func (b *Buf) Headroom() int { return b.off }
+
+// Tailroom returns the number of bytes available for Append.
+func (b *Buf) Tailroom() int { return len(b.data) - b.off - b.len }
+
+// Reset empties the packet and restores the requested headroom.
+func (b *Buf) Reset(headroom int) {
+	if headroom < 0 || headroom > len(b.data) {
+		headroom = 0
+	}
+	b.off = headroom
+	b.len = 0
+	b.Meta = Metadata{}
+}
+
+// SetBytes replaces the packet contents with p, preserving headroom.
+func (b *Buf) SetBytes(p []byte) error {
+	if len(p) > len(b.data)-b.off {
+		return ErrNoTailroom
+	}
+	copy(b.data[b.off:], p)
+	b.len = len(p)
+	return nil
+}
+
+// Prepend grows the packet by n bytes at the front and returns the new
+// leading bytes for the caller to fill in. It never copies.
+func (b *Buf) Prepend(n int) ([]byte, error) {
+	if n > b.off {
+		return nil, ErrNoHeadroom
+	}
+	b.off -= n
+	b.len += n
+	return b.data[b.off : b.off+n], nil
+}
+
+// Append grows the packet by n bytes at the back and returns the new
+// trailing bytes for the caller to fill in.
+func (b *Buf) Append(n int) ([]byte, error) {
+	if n > b.Tailroom() {
+		return nil, ErrNoTailroom
+	}
+	p := b.data[b.off+b.len : b.off+b.len+n]
+	b.len += n
+	return p, nil
+}
+
+// TrimFront removes n bytes from the front of the packet (decapsulation).
+// The removed bytes become headroom, so a later Prepend can reuse them.
+func (b *Buf) TrimFront(n int) error {
+	if n > b.len {
+		return ErrTooShort
+	}
+	b.off += n
+	b.len -= n
+	return nil
+}
+
+// TrimBack removes n bytes from the back of the packet.
+func (b *Buf) TrimBack(n int) error {
+	if n > b.len {
+		return ErrTooShort
+	}
+	b.len -= n
+	return nil
+}
+
+// Clone copies the packet (contents and metadata) into a new buffer drawn
+// from the same pool when pooled, or freshly allocated otherwise.
+func (b *Buf) Clone() *Buf {
+	var c *Buf
+	if b.pool != nil {
+		c = b.pool.Get()
+	} else {
+		c = NewBuf(len(b.data), b.off)
+	}
+	c.off = b.off
+	c.len = b.len
+	copy(c.data[c.off:c.off+c.len], b.Bytes())
+	c.Meta = b.Meta
+	return c
+}
+
+// Free returns the buffer to its pool. Unpooled buffers are left for the
+// garbage collector. Using a Buf after Free is a bug.
+func (b *Buf) Free() {
+	if b.pool != nil {
+		b.pool.put(b)
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (b *Buf) String() string {
+	return fmt.Sprintf("Buf{len=%d headroom=%d tailroom=%d}", b.len, b.Headroom(), b.Tailroom())
+}
+
+// Pool recycles packet buffers so the data path performs no steady-state
+// allocation. It is safe for concurrent use.
+type Pool struct {
+	size     int
+	headroom int
+	p        sync.Pool
+}
+
+// NewPool returns a pool of buffers with the given capacity and reserved
+// headroom. Zero values select the package defaults.
+func NewPool(size, headroom int) *Pool {
+	if size <= 0 {
+		size = DefaultBufSize
+	}
+	if headroom < 0 {
+		headroom = DefaultHeadroom
+	}
+	pl := &Pool{size: size, headroom: headroom}
+	pl.p.New = func() any {
+		b := NewBuf(pl.size, pl.headroom)
+		b.pool = pl
+		return b
+	}
+	return pl
+}
+
+// Get returns an empty buffer with the pool's headroom reserved.
+func (pl *Pool) Get() *Buf {
+	b := pl.p.Get().(*Buf)
+	b.Reset(pl.headroom)
+	return b
+}
+
+func (pl *Pool) put(b *Buf) { pl.p.Put(b) }

@@ -1,0 +1,160 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufPrependTrimRoundTrip(t *testing.T) {
+	b := NewBuf(256, 64)
+	if err := b.SetBytes([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := b.Prepend(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(hdr, "GTPU")
+	if got := string(b.Bytes()); got != "GTPUpayload" {
+		t.Fatalf("after prepend: %q", got)
+	}
+	if err := b.TrimFront(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b.Bytes()); got != "payload" {
+		t.Fatalf("after trim: %q", got)
+	}
+	if b.Headroom() != 64 {
+		t.Fatalf("headroom not restored: %d", b.Headroom())
+	}
+}
+
+func TestBufPrependExhaustsHeadroom(t *testing.T) {
+	b := NewBuf(64, 8)
+	if _, err := b.Prepend(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Prepend(1); err != ErrNoHeadroom {
+		t.Fatalf("want ErrNoHeadroom, got %v", err)
+	}
+}
+
+func TestBufAppendTailroom(t *testing.T) {
+	b := NewBuf(16, 4)
+	if got := b.Tailroom(); got != 12 {
+		t.Fatalf("tailroom = %d, want 12", got)
+	}
+	if _, err := b.Append(12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Append(1); err != ErrNoTailroom {
+		t.Fatalf("want ErrNoTailroom, got %v", err)
+	}
+}
+
+func TestBufTrimBeyondLen(t *testing.T) {
+	b := NewBuf(64, 8)
+	b.SetBytes([]byte{1, 2, 3})
+	if err := b.TrimFront(4); err != ErrTooShort {
+		t.Fatalf("TrimFront: want ErrTooShort, got %v", err)
+	}
+	if err := b.TrimBack(4); err != ErrTooShort {
+		t.Fatalf("TrimBack: want ErrTooShort, got %v", err)
+	}
+}
+
+func TestBufSetBytesTooLarge(t *testing.T) {
+	b := NewBuf(16, 8)
+	if err := b.SetBytes(make([]byte, 9)); err != ErrNoTailroom {
+		t.Fatalf("want ErrNoTailroom, got %v", err)
+	}
+}
+
+func TestBufReset(t *testing.T) {
+	b := NewBuf(64, 16)
+	b.SetBytes([]byte("abc"))
+	b.Meta.TEID = 7
+	b.Reset(32)
+	if b.Len() != 0 || b.Headroom() != 32 || b.Meta.TEID != 0 {
+		t.Fatalf("reset: len=%d headroom=%d teid=%d", b.Len(), b.Headroom(), b.Meta.TEID)
+	}
+}
+
+func TestBufClonePreservesContentAndMeta(t *testing.T) {
+	b := NewBuf(128, 32)
+	b.SetBytes([]byte("hello"))
+	b.Meta.TEID = 42
+	b.Meta.Uplink = true
+	c := b.Clone()
+	if !bytes.Equal(c.Bytes(), b.Bytes()) {
+		t.Fatalf("clone bytes = %q, want %q", c.Bytes(), b.Bytes())
+	}
+	if c.Meta != b.Meta {
+		t.Fatalf("clone meta = %+v, want %+v", c.Meta, b.Meta)
+	}
+	// Mutating the clone must not touch the original.
+	c.Bytes()[0] = 'X'
+	if b.Bytes()[0] != 'h' {
+		t.Fatal("clone aliases original storage")
+	}
+}
+
+func TestPoolRecyclesBuffers(t *testing.T) {
+	p := NewPool(512, 64)
+	b := p.Get()
+	if b.Headroom() != 64 {
+		t.Fatalf("headroom = %d", b.Headroom())
+	}
+	b.SetBytes([]byte("dirty"))
+	b.Meta.TEID = 99
+	b.Free()
+	b2 := p.Get()
+	if b2.Len() != 0 || b2.Meta.TEID != 0 || b2.Headroom() != 64 {
+		t.Fatalf("recycled buffer not reset: len=%d teid=%d headroom=%d", b2.Len(), b2.Meta.TEID, b2.Headroom())
+	}
+}
+
+func TestPoolCloneUsesPool(t *testing.T) {
+	p := NewPool(256, 32)
+	b := p.Get()
+	b.SetBytes([]byte("x"))
+	c := b.Clone()
+	if c.pool != p {
+		t.Fatal("clone of pooled buffer is not pooled")
+	}
+}
+
+// Property: prepend(n) followed by trimFront(n) is an identity on the
+// packet contents, for any payload and any n within headroom.
+func TestBufPrependTrimIdentityProperty(t *testing.T) {
+	f := func(payload []byte, n uint8) bool {
+		if len(payload) > 1024 {
+			payload = payload[:1024]
+		}
+		b := NewBuf(2048, 256)
+		if err := b.SetBytes(payload); err != nil {
+			return false
+		}
+		k := int(n) % 256
+		if _, err := b.Prepend(k); err != nil {
+			return false
+		}
+		if err := b.TrimFront(k); err != nil {
+			return false
+		}
+		return bytes.Equal(b.Bytes(), payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPoolGetFree(b *testing.B) {
+	p := NewPool(DefaultBufSize, DefaultHeadroom)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Get()
+		buf.Free()
+	}
+}

@@ -1,0 +1,52 @@
+package pkt
+
+import "encoding/binary"
+
+// Checksum computes the RFC 1071 Internet checksum over b, returning the
+// value in host order ready for binary.BigEndian.PutUint16. A zero-filled
+// checksum field must already be in place.
+func Checksum(b []byte) uint16 {
+	return finishChecksum(sum16(b, 0))
+}
+
+// PseudoHeaderChecksum computes the transport checksum (UDP or TCP) over the
+// IPv4 pseudo-header plus the transport segment. proto is the IP protocol
+// number; src and dst are host-order addresses; seg is the transport header
+// plus payload with its checksum field zeroed.
+func PseudoHeaderChecksum(proto uint8, src, dst uint32, seg []byte) uint16 {
+	var ph [12]byte
+	binary.BigEndian.PutUint32(ph[0:4], src)
+	binary.BigEndian.PutUint32(ph[4:8], dst)
+	ph[8] = 0
+	ph[9] = proto
+	binary.BigEndian.PutUint16(ph[10:12], uint16(len(seg)))
+	s := sum16(ph[:], 0)
+	s = sum16(seg, s)
+	return finishChecksum(s)
+}
+
+// sum16 accumulates 16-bit big-endian words of b into acc without folding.
+func sum16(b []byte, acc uint32) uint32 {
+	n := len(b)
+	i := 0
+	for ; i+1 < n; i += 2 {
+		acc += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if i < n {
+		acc += uint32(b[i]) << 8
+	}
+	return acc
+}
+
+func finishChecksum(s uint32) uint16 {
+	for s>>16 != 0 {
+		s = (s & 0xffff) + s>>16
+	}
+	return ^uint16(s)
+}
+
+// VerifyChecksum reports whether b (with its checksum field in place)
+// checksums to zero, i.e. is valid.
+func VerifyChecksum(b []byte) bool {
+	return finishChecksum(sum16(b, 0)) == 0
+}

@@ -1,0 +1,254 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Layer header lengths in bytes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20 // without options
+	UDPHeaderLen      = 8
+	TCPHeaderLen      = 20 // without options
+)
+
+// EtherType values used by the EPC data plane.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeIPv6 uint16 = 0x86DD
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+	ProtoSCTP uint8 = 132
+)
+
+// Decode errors.
+var (
+	ErrShortPacket   = errors.New("pkt: packet too short for layer")
+	ErrBadVersion    = errors.New("pkt: unexpected IP version")
+	ErrBadHeaderLen  = errors.New("pkt: bad header length field")
+	ErrNotFragmented = errors.New("pkt: not a first fragment")
+)
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+// String implements fmt.Stringer.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is a decoded Ethernet II header. Decode into a preallocated
+// value; no allocation is performed.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// DecodeFromBytes parses an Ethernet header from the front of data.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return ErrShortPacket
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return nil
+}
+
+// SerializeTo writes the header into b, which must be at least
+// EthernetHeaderLen bytes.
+func (e *Ethernet) SerializeTo(b []byte) error {
+	if len(b) < EthernetHeaderLen {
+		return ErrShortPacket
+	}
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	return nil
+}
+
+// IPv4 is a decoded IPv4 header. Addresses are kept as uint32 in host byte
+// order ("a.b.c.d" == a<<24|b<<16|c<<8|d) so they can key hash tables
+// without allocation.
+type IPv4 struct {
+	IHL      uint8 // header length in 32-bit words
+	TOS      uint8
+	Length   uint16 // total length including header
+	ID       uint16
+	Flags    uint8  // top 3 bits of the fragment field
+	FragOff  uint16 // fragment offset in 8-byte units
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src      uint32
+	Dst      uint32
+}
+
+// IPv4Flags.
+const (
+	IPv4DontFragment  uint8 = 0x2
+	IPv4MoreFragments uint8 = 0x1
+)
+
+// DecodeFromBytes parses an IPv4 header from the front of data.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return ErrShortPacket
+	}
+	vihl := data[0]
+	if vihl>>4 != 4 {
+		return ErrBadVersion
+	}
+	ip.IHL = vihl & 0x0f
+	if int(ip.IHL)*4 < IPv4HeaderLen || len(data) < int(ip.IHL)*4 {
+		return ErrBadHeaderLen
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	frag := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(frag >> 13)
+	ip.FragOff = frag & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	ip.Src = binary.BigEndian.Uint32(data[12:16])
+	ip.Dst = binary.BigEndian.Uint32(data[16:20])
+	return nil
+}
+
+// HeaderLen returns the header length in bytes.
+func (ip *IPv4) HeaderLen() int { return int(ip.IHL) * 4 }
+
+// SerializeTo writes a 20-byte IPv4 header (no options) into b and computes
+// its checksum. Length must be set by the caller.
+func (ip *IPv4) SerializeTo(b []byte) error {
+	if len(b) < IPv4HeaderLen {
+		return ErrShortPacket
+	}
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], ip.Length)
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	b[8] = ip.TTL
+	b[9] = ip.Protocol
+	b[10], b[11] = 0, 0
+	binary.BigEndian.PutUint32(b[12:16], ip.Src)
+	binary.BigEndian.PutUint32(b[16:20], ip.Dst)
+	cs := Checksum(b[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[10:12], cs)
+	ip.Checksum = cs
+	return nil
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// DecodeFromBytes parses a UDP header from the front of data.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return ErrShortPacket
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	return nil
+}
+
+// SerializeTo writes the UDP header into b. The checksum is written as
+// given (0 = none), since the EPC fast path skips UDP checksumming for
+// GTP-U the way hardware offload would.
+func (u *UDP) SerializeTo(b []byte) error {
+	if len(b) < UDPHeaderLen {
+		return ErrShortPacket
+	}
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	binary.BigEndian.PutUint16(b[6:8], u.Checksum)
+	return nil
+}
+
+// TCP is a decoded TCP header (the fields the PCEF classifier needs).
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	DataOff uint8 // header length in 32-bit words
+	Flags   uint8
+	Window  uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// DecodeFromBytes parses a TCP header from the front of data.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPHeaderLen {
+		return ErrShortPacket
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOff = data[12] >> 4
+	if int(t.DataOff)*4 < TCPHeaderLen {
+		return ErrBadHeaderLen
+	}
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	return nil
+}
+
+// SerializeTo writes a 20-byte TCP header (no options) into b. The checksum
+// field is left zero; the traffic generator does not need valid TCP
+// checksums and real deployments offload them.
+func (t *TCP) SerializeTo(b []byte) error {
+	if len(b) < TCPHeaderLen {
+		return ErrShortPacket
+	}
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = 5 << 4
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	binary.BigEndian.PutUint16(b[16:18], 0)
+	binary.BigEndian.PutUint16(b[18:20], 0)
+	return nil
+}
+
+// IPv4Addr assembles a host-order uint32 address from dotted-quad octets.
+func IPv4Addr(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// FormatIPv4 renders a host-order address in dotted-quad form.
+func FormatIPv4(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}

@@ -1,0 +1,147 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst:       MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01},
+		Src:       MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02},
+		EtherType: EtherTypeIPv4,
+	}
+	var b [EthernetHeaderLen]byte
+	if err := e.SerializeTo(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	var d Ethernet
+	if err := d.DecodeFromBytes(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if d != e {
+		t.Fatalf("round trip: got %+v want %+v", d, e)
+	}
+}
+
+func TestEthernetShort(t *testing.T) {
+	var d Ethernet
+	if err := d.DecodeFromBytes(make([]byte, 13)); err != ErrShortPacket {
+		t.Fatalf("want ErrShortPacket, got %v", err)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	ip := IPv4{
+		TOS:      0,
+		Length:   40,
+		ID:       0x1234,
+		Flags:    IPv4DontFragment,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      IPv4Addr(10, 0, 0, 1),
+		Dst:      IPv4Addr(192, 168, 1, 2),
+	}
+	var b [IPv4HeaderLen]byte
+	if err := ip.SerializeTo(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyChecksum(b[:]) {
+		t.Fatal("serialized header fails checksum verification")
+	}
+	var d IPv4
+	if err := d.DecodeFromBytes(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if d.Src != ip.Src || d.Dst != ip.Dst || d.Protocol != ProtoUDP || d.Length != 40 ||
+		d.Flags != IPv4DontFragment || d.TTL != 64 || d.ID != 0x1234 {
+		t.Fatalf("round trip mismatch: %+v", d)
+	}
+	if d.HeaderLen() != IPv4HeaderLen {
+		t.Fatalf("header len = %d", d.HeaderLen())
+	}
+}
+
+func TestIPv4RejectsBadVersion(t *testing.T) {
+	b := make([]byte, IPv4HeaderLen)
+	b[0] = 0x65 // version 6
+	var d IPv4
+	if err := d.DecodeFromBytes(b); err != ErrBadVersion {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestIPv4RejectsBadIHL(t *testing.T) {
+	b := make([]byte, IPv4HeaderLen)
+	b[0] = 0x44 // version 4, IHL 4 (<5)
+	var d IPv4
+	if err := d.DecodeFromBytes(b); err != ErrBadHeaderLen {
+		t.Fatalf("want ErrBadHeaderLen, got %v", err)
+	}
+	b[0] = 0x4f // IHL 15 => 60 bytes needed, only 20 given
+	if err := d.DecodeFromBytes(b); err != ErrBadHeaderLen {
+		t.Fatalf("want ErrBadHeaderLen for truncated options, got %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDP{SrcPort: 2152, DstPort: 2152, Length: 100, Checksum: 0}
+	var b [UDPHeaderLen]byte
+	if err := u.SerializeTo(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	var d UDP
+	if err := d.DecodeFromBytes(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if d != u {
+		t.Fatalf("round trip: got %+v want %+v", d, u)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tc := TCP{SrcPort: 443, DstPort: 51000, Seq: 1000, Ack: 2000, Flags: TCPSyn | TCPAck, Window: 65535}
+	var b [TCPHeaderLen]byte
+	if err := tc.SerializeTo(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	var d TCP
+	if err := d.DecodeFromBytes(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcPort != tc.SrcPort || d.DstPort != tc.DstPort || d.Seq != tc.Seq ||
+		d.Ack != tc.Ack || d.Flags != tc.Flags || d.Window != tc.Window || d.DataOff != 5 {
+		t.Fatalf("round trip mismatch: %+v", d)
+	}
+}
+
+func TestIPv4AddrFormat(t *testing.T) {
+	ip := IPv4Addr(172, 16, 254, 1)
+	if got := FormatIPv4(ip); got != "172.16.254.1" {
+		t.Fatalf("FormatIPv4 = %q", got)
+	}
+}
+
+// Property: IPv4 serialize→decode is the identity on the serializable
+// fields, and the emitted header always verifies.
+func TestIPv4RoundTripProperty(t *testing.T) {
+	f := func(tos uint8, length, id uint16, ttl, proto uint8, src, dst uint32) bool {
+		ip := IPv4{TOS: tos, Length: length, ID: id, TTL: ttl, Protocol: proto, Src: src, Dst: dst}
+		var b [IPv4HeaderLen]byte
+		if err := ip.SerializeTo(b[:]); err != nil {
+			return false
+		}
+		if !VerifyChecksum(b[:]) {
+			return false
+		}
+		var d IPv4
+		if err := d.DecodeFromBytes(b[:]); err != nil {
+			return false
+		}
+		return d.TOS == tos && d.Length == length && d.ID == id && d.TTL == ttl &&
+			d.Protocol == proto && d.Src == src && d.Dst == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package qos implements the QoS primitives the EPC data plane enforces
+// per bearer and per user: token-bucket rate limiters for MBR/AMBR
+// policing and GBR admission, and priority mapping from QCI values.
+// Everything here runs on the data thread's fast path, so the limiter is
+// integer-only, allocation free, and driven by caller-supplied monotonic
+// timestamps rather than time.Now (the pipeline stamps packets once per
+// batch).
+package qos
+
+import "errors"
+
+// ErrBadRate reports a non-positive rate configuration.
+var ErrBadRate = errors.New("qos: rate and burst must be positive")
+
+// TokenBucket is a classic token bucket: Rate tokens (bytes) accrue per
+// second up to Burst. It is not internally synchronized; each bucket
+// belongs to exactly one data thread.
+type TokenBucket struct {
+	rate   uint64 // tokens per second (bytes/s)
+	burst  uint64 // bucket depth in bytes
+	tokens uint64
+	last   int64 // monotonic nanos of the last refill
+}
+
+// NewTokenBucket returns a full bucket enforcing rate bytes/s with the
+// given burst depth in bytes.
+func NewTokenBucket(rate, burst uint64) (*TokenBucket, error) {
+	if rate == 0 || burst == 0 {
+		return nil, ErrBadRate
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}, nil
+}
+
+// Configure atomically replaces rate and burst (control updates via PCRF),
+// clamping stored tokens to the new depth. Call only from the owning
+// thread.
+func (tb *TokenBucket) Configure(rate, burst uint64) error {
+	if rate == 0 || burst == 0 {
+		return ErrBadRate
+	}
+	tb.rate = rate
+	tb.burst = burst
+	if tb.tokens > burst {
+		tb.tokens = burst
+	}
+	return nil
+}
+
+// Allow consumes n bytes of budget at time now (monotonic nanos),
+// reporting whether the packet conforms. Non-conforming packets consume
+// nothing (strict policing, as the PCEF gate requires).
+func (tb *TokenBucket) Allow(now int64, n uint64) bool {
+	tb.refill(now)
+	if tb.tokens < n {
+		return false
+	}
+	tb.tokens -= n
+	return true
+}
+
+// Tokens reports the current budget after refilling at now.
+func (tb *TokenBucket) Tokens(now int64) uint64 {
+	tb.refill(now)
+	return tb.tokens
+}
+
+func (tb *TokenBucket) refill(now int64) {
+	if now <= tb.last {
+		return
+	}
+	elapsed := uint64(now - tb.last)
+	tb.last = now
+	// tokens += rate * elapsed / 1e9 without overflow for rates up to
+	// ~18 Gb/s and gaps up to ~1s; split the multiply for larger gaps.
+	if elapsed > 1_000_000_000 {
+		whole := elapsed / 1_000_000_000
+		tb.credit(tb.rate * whole)
+		elapsed %= 1_000_000_000
+	}
+	tb.credit(tb.rate/1_000_000_000*elapsed + (tb.rate%1_000_000_000)*elapsed/1_000_000_000)
+}
+
+func (tb *TokenBucket) credit(n uint64) {
+	tb.tokens += n
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+}
+
+// BitsPerSecond converts a bits/s rate (how 3GPP expresses MBR/AMBR) to
+// the bucket's bytes/s unit.
+func BitsPerSecond(bps uint64) uint64 { return bps / 8 }
+
+// Priority maps a QCI value to a scheduling priority (lower is more
+// urgent), following the 3GPP 23.203 standardized characteristics table.
+func Priority(qci uint8) uint8 {
+	switch qci {
+	case 1: // conversational voice
+		return 2
+	case 2: // conversational video
+		return 4
+	case 3: // real-time gaming
+		return 3
+	case 4: // buffered video
+		return 5
+	case 5: // IMS signaling
+		return 1
+	case 6:
+		return 6
+	case 7:
+		return 7
+	case 8:
+		return 8
+	default: // 9 and operator-specific: best effort
+		return 9
+	}
+}
+
+// IsGBR reports whether a QCI denotes a guaranteed-bit-rate class.
+func IsGBR(qci uint8) bool { return qci >= 1 && qci <= 4 }
+
+// UserLimiter bundles the per-user policing state the data thread keeps
+// alongside each UE: aggregate (AMBR) buckets per direction plus one MBR
+// bucket per bearer. Sized for the fast path: fixed arrays, no maps.
+type UserLimiter struct {
+	AMBRUp   TokenBucket
+	AMBRDown TokenBucket
+	// Per-bearer MBR buckets indexed like the UE's bearer array (the
+	// state package's MaxBearers; asserted equal by tests).
+	BearerUp   [4]TokenBucket
+	BearerDown [4]TokenBucket
+	configured bool
+}
+
+// DefaultBurstBytes sizes bucket depth when the operator does not
+// configure one: 20 ms at line rate, a common policing default.
+func DefaultBurstBytes(rateBytesPerSec uint64) uint64 {
+	b := rateBytesPerSec / 50
+	if b < 3000 {
+		b = 3000 // at least two full-size frames
+	}
+	return b
+}
+
+// ConfigureUser initializes the limiter from AMBR values in bits/s.
+// Zero-valued rates disable the corresponding bucket (no policing).
+func (ul *UserLimiter) ConfigureUser(ambrUpBits, ambrDownBits uint64) {
+	if ambrUpBits > 0 {
+		r := BitsPerSecond(ambrUpBits)
+		ul.AMBRUp.Configure(r, DefaultBurstBytes(r))
+		ul.AMBRUp.tokens = ul.AMBRUp.burst
+	} else {
+		ul.AMBRUp.rate = 0
+	}
+	if ambrDownBits > 0 {
+		r := BitsPerSecond(ambrDownBits)
+		ul.AMBRDown.Configure(r, DefaultBurstBytes(r))
+		ul.AMBRDown.tokens = ul.AMBRDown.burst
+	} else {
+		ul.AMBRDown.rate = 0
+	}
+	ul.configured = true
+}
+
+// ConfigureBearer sets bearer i's MBR policing in bits/s (0 disables).
+func (ul *UserLimiter) ConfigureBearer(i int, mbrUpBits, mbrDownBits uint64) {
+	if i < 0 || i >= len(ul.BearerUp) {
+		return
+	}
+	if mbrUpBits > 0 {
+		r := BitsPerSecond(mbrUpBits)
+		ul.BearerUp[i].Configure(r, DefaultBurstBytes(r))
+		ul.BearerUp[i].tokens = ul.BearerUp[i].burst
+	} else {
+		ul.BearerUp[i].rate = 0
+	}
+	if mbrDownBits > 0 {
+		r := BitsPerSecond(mbrDownBits)
+		ul.BearerDown[i].Configure(r, DefaultBurstBytes(r))
+		ul.BearerDown[i].tokens = ul.BearerDown[i].burst
+	} else {
+		ul.BearerDown[i].rate = 0
+	}
+}
+
+// AllowUplink polices an uplink packet of n bytes on bearer i.
+func (ul *UserLimiter) AllowUplink(now int64, i int, n uint64) bool {
+	if ul.AMBRUp.rate > 0 && !ul.AMBRUp.Allow(now, n) {
+		return false
+	}
+	if i >= 0 && i < len(ul.BearerUp) && ul.BearerUp[i].rate > 0 && !ul.BearerUp[i].Allow(now, n) {
+		return false
+	}
+	return true
+}
+
+// AllowDownlink polices a downlink packet of n bytes on bearer i.
+func (ul *UserLimiter) AllowDownlink(now int64, i int, n uint64) bool {
+	if ul.AMBRDown.rate > 0 && !ul.AMBRDown.Allow(now, n) {
+		return false
+	}
+	if i >= 0 && i < len(ul.BearerDown) && ul.BearerDown[i].rate > 0 && !ul.BearerDown[i].Allow(now, n) {
+		return false
+	}
+	return true
+}

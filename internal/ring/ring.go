@@ -1,0 +1,242 @@
+// Package ring provides lock-free rings used as the I/O substrate between
+// PEPC pipeline stages, standing in for DPDK rings/vports. The SPSC ring is
+// the data-plane workhorse: single producer, single consumer, batched
+// enqueue/dequeue with acquire/release atomics and no allocation. The MPSC
+// ring carries control-plane updates (many control sources, one data
+// thread).
+package ring
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBadCapacity is returned when a requested capacity is not a power of
+// two greater than one.
+var ErrBadCapacity = errors.New("ring: capacity must be a power of two >= 2")
+
+// SPSC is a bounded single-producer single-consumer queue of T. Exactly
+// one goroutine may call the producer methods (Enqueue, EnqueueBatch) and
+// exactly one may call the consumer methods (Dequeue, DequeueBatch, Len);
+// the two may differ. Head and tail live on separate cache lines to avoid
+// false sharing between the producer and consumer cores.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    [64]byte // padding: keep head and tail on separate cache lines
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+	_    [64]byte
+
+	// Producer-local and consumer-local cached copies of the opposite
+	// index reduce cross-core traffic: the producer only re-reads head
+	// when the ring appears full, the consumer only re-reads tail when it
+	// appears empty.
+	cachedHead uint64
+	_          [64]byte
+	cachedTail uint64
+}
+
+// NewSPSC returns an SPSC ring holding up to capacity items. Capacity must
+// be a power of two.
+func NewSPSC[T any](capacity int) (*SPSC[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, ErrBadCapacity
+	}
+	return &SPSC[T]{buf: make([]T, capacity), mask: uint64(capacity - 1)}, nil
+}
+
+// MustSPSC is NewSPSC that panics on bad capacity; for package-internal
+// construction with constant capacities.
+func MustSPSC[T any](capacity int) *SPSC[T] {
+	r, err := NewSPSC[T](capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued items. Exact only from the consumer
+// side; advisory elsewhere.
+func (r *SPSC[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Enqueue adds one item, reporting false if the ring is full.
+func (r *SPSC[T]) Enqueue(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.cachedHead >= uint64(len(r.buf)) {
+		r.cachedHead = r.head.Load()
+		if tail-r.cachedHead >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// EnqueueBatch adds as many items from vs as fit, returning the count.
+func (r *SPSC[T]) EnqueueBatch(vs []T) int {
+	tail := r.tail.Load()
+	free := uint64(len(r.buf)) - (tail - r.cachedHead)
+	if free < uint64(len(vs)) {
+		r.cachedHead = r.head.Load()
+		free = uint64(len(r.buf)) - (tail - r.cachedHead)
+	}
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(tail+i)&r.mask] = vs[i]
+	}
+	r.tail.Store(tail + n)
+	return int(n)
+}
+
+// Dequeue removes one item, reporting false if the ring is empty.
+func (r *SPSC[T]) Dequeue() (T, bool) {
+	var zero T
+	head := r.head.Load()
+	if head == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if head == r.cachedTail {
+			return zero, false
+		}
+	}
+	v := r.buf[head&r.mask]
+	r.buf[head&r.mask] = zero // release references for GC
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// DequeueBatch fills vs with up to len(vs) items, returning the count.
+func (r *SPSC[T]) DequeueBatch(vs []T) int {
+	var zero T
+	head := r.head.Load()
+	avail := r.cachedTail - head
+	if avail < uint64(len(vs)) {
+		r.cachedTail = r.tail.Load()
+		avail = r.cachedTail - head
+	}
+	n := uint64(len(vs))
+	if n > avail {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		idx := (head + i) & r.mask
+		vs[i] = r.buf[idx]
+		r.buf[idx] = zero
+	}
+	r.head.Store(head + n)
+	return int(n)
+}
+
+// MPSC is a bounded multi-producer single-consumer queue of T, used for
+// control-plane update channels where several sources (node scheduler,
+// proxy, control thread) feed one data thread. Producers contend on a CAS;
+// the single consumer is wait-free against a committed slot.
+type MPSC[T any] struct {
+	buf  []slot[T]
+	mask uint64
+
+	_    [64]byte
+	head atomic.Uint64 // consumer position
+	_    [64]byte
+	tail atomic.Uint64 // next producer position
+}
+
+type slot[T any] struct {
+	seq atomic.Uint64
+	v   T
+}
+
+// NewMPSC returns an MPSC ring holding up to capacity items. Capacity must
+// be a power of two.
+func NewMPSC[T any](capacity int) (*MPSC[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, ErrBadCapacity
+	}
+	q := &MPSC[T]{buf: make([]slot[T], capacity), mask: uint64(capacity - 1)}
+	for i := range q.buf {
+		q.buf[i].seq.Store(uint64(i))
+	}
+	return q, nil
+}
+
+// MustMPSC is NewMPSC that panics on bad capacity.
+func MustMPSC[T any](capacity int) *MPSC[T] {
+	q, err := NewMPSC[T](capacity)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Cap returns the ring capacity.
+func (q *MPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns the approximate number of queued items.
+func (q *MPSC[T]) Len() int {
+	n := int(q.tail.Load()) - int(q.head.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Enqueue adds one item, reporting false if the ring is full. Safe for
+// concurrent producers (Vyukov bounded MPMC algorithm, producer side).
+func (q *MPSC[T]) Enqueue(v T) bool {
+	for {
+		tail := q.tail.Load()
+		s := &q.buf[tail&q.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == tail:
+			if q.tail.CompareAndSwap(tail, tail+1) {
+				s.v = v
+				s.seq.Store(tail + 1)
+				return true
+			}
+		case seq < tail:
+			return false // full
+		}
+		// Another producer claimed this slot; retry.
+	}
+}
+
+// Dequeue removes one item. Only one consumer goroutine may call it.
+func (q *MPSC[T]) Dequeue() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	s := &q.buf[head&q.mask]
+	if s.seq.Load() != head+1 {
+		return zero, false // empty or producer not yet committed
+	}
+	v := s.v
+	s.v = zero
+	s.seq.Store(head + uint64(len(q.buf)))
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// DequeueBatch fills vs with up to len(vs) items, returning the count.
+func (q *MPSC[T]) DequeueBatch(vs []T) int {
+	n := 0
+	for n < len(vs) {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		vs[n] = v
+		n++
+	}
+	return n
+}

@@ -1,0 +1,258 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSPSCRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{0, 1, 3, 100} {
+		if _, err := NewSPSC[int](c); err != ErrBadCapacity {
+			t.Fatalf("capacity %d: want ErrBadCapacity, got %v", c, err)
+		}
+	}
+	if _, err := NewSPSC[int](64); err != nil {
+		t.Fatalf("capacity 64: %v", err)
+	}
+}
+
+func TestSPSCFIFOOrder(t *testing.T) {
+	r := MustSPSC[int](8)
+	for i := 0; i < 8; i++ {
+		if !r.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if r.Enqueue(99) {
+		t.Fatal("enqueue into full ring succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("dequeue from empty ring succeeded")
+	}
+}
+
+func TestSPSCWrapAround(t *testing.T) {
+	r := MustSPSC[int](4)
+	next := 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.Enqueue(next + i) {
+				t.Fatalf("round %d enqueue failed", round)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.Dequeue()
+			if !ok || v != next+i {
+				t.Fatalf("round %d: got %d,%v want %d", round, v, ok, next+i)
+			}
+		}
+		next += 3
+	}
+}
+
+func TestSPSCBatchOps(t *testing.T) {
+	r := MustSPSC[int](8)
+	in := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	n := r.EnqueueBatch(in)
+	if n != 8 {
+		t.Fatalf("EnqueueBatch = %d, want 8 (capacity)", n)
+	}
+	out := make([]int, 16)
+	m := r.DequeueBatch(out)
+	if m != 8 {
+		t.Fatalf("DequeueBatch = %d, want 8", m)
+	}
+	for i := 0; i < 8; i++ {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], in[i])
+		}
+	}
+	if m := r.DequeueBatch(out); m != 0 {
+		t.Fatalf("DequeueBatch on empty = %d", m)
+	}
+}
+
+func TestSPSCConcurrentStress(t *testing.T) {
+	r := MustSPSC[uint64](1024)
+	const total = 1 << 16
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < total; {
+			if r.Enqueue(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var sum uint64
+	go func() {
+		defer wg.Done()
+		expect := uint64(0)
+		buf := make([]uint64, 64)
+		for expect < total {
+			n := r.DequeueBatch(buf)
+			if n == 0 {
+				runtime.Gosched()
+			}
+			for _, v := range buf[:n] {
+				if v != expect {
+					t.Errorf("out of order: got %d want %d", v, expect)
+					return
+				}
+				sum += v
+				expect++
+			}
+		}
+	}()
+	wg.Wait()
+	want := uint64(total) * (total - 1) / 2
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestSPSCReleasesReferences(t *testing.T) {
+	r := MustSPSC[*int](4)
+	x := new(int)
+	r.Enqueue(x)
+	r.Dequeue()
+	// The slot behind head must no longer hold the pointer.
+	if r.buf[0] != nil {
+		t.Fatal("dequeued slot still references value")
+	}
+}
+
+func TestMPSCBasic(t *testing.T) {
+	q := MustMPSC[int](8)
+	for i := 0; i < 8; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if q.Enqueue(99) {
+		t.Fatal("enqueue into full MPSC succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestMPSCManyProducers(t *testing.T) {
+	q := MustMPSC[int](1 << 12)
+	const producers = 8
+	const perProducer = 10000
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for !q.Enqueue(p*perProducer + i) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	seen := make(map[int]bool, producers*perProducer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(seen) < producers*perProducer {
+			v, ok := q.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			{
+				if seen[v] {
+					t.Errorf("duplicate value %d", v)
+					return
+				}
+				seen[v] = true
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(seen) != producers*perProducer {
+		t.Fatalf("received %d values, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestMPSCPerProducerOrder(t *testing.T) {
+	// Values from a single producer must be consumed in that producer's
+	// program order even with other producers interleaving.
+	q := MustMPSC[[2]int](1 << 10)
+	const producers, per = 4, 5000
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for !q.Enqueue([2]int{p, i}) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got < producers*per {
+			v, ok := q.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			{
+				if v[1] <= last[v[0]] {
+					t.Errorf("producer %d out of order: %d after %d", v[0], v[1], last[v[0]])
+					return
+				}
+				last[v[0]] = v[1]
+				got++
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+}
+
+func BenchmarkSPSCEnqueueDequeue(b *testing.B) {
+	r := MustSPSC[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(i)
+		r.Dequeue()
+	}
+}
+
+func BenchmarkSPSCBatch32(b *testing.B) {
+	r := MustSPSC[int](1024)
+	in := make([]int, 32)
+	out := make([]int, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.EnqueueBatch(in)
+		r.DequeueBatch(out)
+	}
+}

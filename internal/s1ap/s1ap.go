@@ -1,0 +1,539 @@
+// Package s1ap implements the S1 Application Protocol (3GPP 36.413) that
+// eNodeBs speak to the EPC over the S1-MME interface. PEPC terminates
+// S1AP on its control threads (paper §4.2: "we have built support for
+// S1AP protocol for parsing request messages and sending response
+// messages").
+//
+// Substitution note: real S1AP is ASN.1 PER encoded. This codec keeps the
+// standard's procedure codes, IE ids, and message structure (PDU type +
+// procedure code + criticality + IE list) but encodes IEs as binary TLVs.
+// The paper's control-plane results depend on procedure semantics and
+// per-message parse/build cost, not PER bit packing; see DESIGN.md.
+package s1ap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PDU types (initiating / successful outcome / unsuccessful outcome).
+const (
+	PDUInitiating   uint8 = 0
+	PDUSuccessful   uint8 = 1
+	PDUUnsuccessful uint8 = 2
+)
+
+// Procedure codes (3GPP 36.413 §9.3.7).
+const (
+	ProcHandoverPreparation   uint8 = 0
+	ProcHandoverResourceAlloc uint8 = 1
+	ProcHandoverNotification  uint8 = 2
+	ProcPathSwitchRequest     uint8 = 3
+	ProcERABSetup             uint8 = 5
+	ProcInitialContextSetup   uint8 = 9
+	ProcDownlinkNASTransport  uint8 = 11
+	ProcInitialUEMessage      uint8 = 12
+	ProcUplinkNASTransport    uint8 = 13
+	ProcUEContextRelease      uint8 = 23
+	ProcS1Setup               uint8 = 17
+)
+
+// IE ids (3GPP 36.413 §9.3.7, subset).
+const (
+	IEMMEUES1APID            uint16 = 0
+	IEENBUES1APID            uint16 = 8
+	IENASPDU                 uint16 = 26
+	IETAI                    uint16 = 67
+	IEEUTRANCGI              uint16 = 100
+	IEERABToBeSetup          uint16 = 24
+	IEERABSetupList          uint16 = 28
+	IECause                  uint16 = 2
+	IESourceTargetContainer  uint16 = 104
+	IETargetENBID            uint16 = 4
+	IEGTPTEID                uint16 = 105 // within E-RAB IEs
+	IETransportLayerAddress  uint16 = 106
+	IEUESecurityCapabilities uint16 = 107
+	IEGlobalENBID            uint16 = 59
+)
+
+// Codec errors.
+var (
+	ErrShort      = errors.New("s1ap: message too short")
+	ErrIEFormat   = errors.New("s1ap: malformed information element")
+	ErrMissingIE  = errors.New("s1ap: required IE missing")
+	ErrBadPDUType = errors.New("s1ap: unknown PDU type")
+)
+
+const headerLen = 8 // pduType(1) procCode(1) criticality(1) pad(1) bodyLen(4)
+
+// IE is one S1AP information element.
+type IE struct {
+	ID   uint16
+	Data []byte
+}
+
+// PDU is a decoded S1AP message.
+type PDU struct {
+	Type      uint8
+	Procedure uint8
+	IEs       []IE
+}
+
+// FindIE returns the first IE with the given id.
+func (p *PDU) FindIE(id uint16) ([]byte, bool) {
+	for _, ie := range p.IEs {
+		if ie.ID == id {
+			return ie.Data, true
+		}
+	}
+	return nil, false
+}
+
+// Uint32IE extracts a 4-byte IE value.
+func (p *PDU) Uint32IE(id uint16) (uint32, error) {
+	d, ok := p.FindIE(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: ie %d", ErrMissingIE, id)
+	}
+	if len(d) != 4 {
+		return 0, ErrIEFormat
+	}
+	return binary.BigEndian.Uint32(d), nil
+}
+
+// Marshal encodes the PDU.
+func (p *PDU) Marshal() []byte {
+	bodyLen := 2 // IE count
+	for _, ie := range p.IEs {
+		bodyLen += 4 + len(ie.Data)
+	}
+	b := make([]byte, headerLen+bodyLen)
+	b[0] = p.Type
+	b[1] = p.Procedure
+	b[2] = 0 // criticality: reject
+	binary.BigEndian.PutUint32(b[4:8], uint32(bodyLen))
+	binary.BigEndian.PutUint16(b[8:10], uint16(len(p.IEs)))
+	o := 10
+	for _, ie := range p.IEs {
+		binary.BigEndian.PutUint16(b[o:], ie.ID)
+		binary.BigEndian.PutUint16(b[o+2:], uint16(len(ie.Data)))
+		copy(b[o+4:], ie.Data)
+		o += 4 + len(ie.Data)
+	}
+	return b
+}
+
+// Unmarshal decodes one PDU from b.
+func Unmarshal(b []byte) (*PDU, error) {
+	if len(b) < headerLen+2 {
+		return nil, ErrShort
+	}
+	if b[0] > PDUUnsuccessful {
+		return nil, ErrBadPDUType
+	}
+	bodyLen := int(binary.BigEndian.Uint32(b[4:8]))
+	if len(b) < headerLen+bodyLen || bodyLen < 2 {
+		return nil, ErrShort
+	}
+	p := &PDU{Type: b[0], Procedure: b[1]}
+	n := int(binary.BigEndian.Uint16(b[8:10]))
+	o := 10
+	end := headerLen + bodyLen
+	for i := 0; i < n; i++ {
+		if o+4 > end {
+			return nil, ErrIEFormat
+		}
+		id := binary.BigEndian.Uint16(b[o:])
+		l := int(binary.BigEndian.Uint16(b[o+2:]))
+		if o+4+l > end {
+			return nil, ErrIEFormat
+		}
+		data := append([]byte(nil), b[o+4:o+4+l]...)
+		p.IEs = append(p.IEs, IE{ID: id, Data: data})
+		o += 4 + l
+	}
+	return p, nil
+}
+
+func u32IE(id uint16, v uint32) IE {
+	d := make([]byte, 4)
+	binary.BigEndian.PutUint32(d, v)
+	return IE{ID: id, Data: d}
+}
+
+func u16IE(id uint16, v uint16) IE {
+	d := make([]byte, 2)
+	binary.BigEndian.PutUint16(d, v)
+	return IE{ID: id, Data: d}
+}
+
+// --- Procedure message builders/parsers ---
+
+// InitialUEMessage carries the first NAS message (attach request) from an
+// eNodeB, identifying the UE by the eNB's S1AP id and its location.
+type InitialUEMessage struct {
+	ENBUEID uint32
+	NASPDU  []byte
+	TAI     uint16
+	ECGI    uint32
+}
+
+// Marshal encodes the message.
+func (m *InitialUEMessage) Marshal() []byte {
+	p := PDU{Type: PDUInitiating, Procedure: ProcInitialUEMessage, IEs: []IE{
+		u32IE(IEENBUES1APID, m.ENBUEID),
+		{ID: IENASPDU, Data: m.NASPDU},
+		u16IE(IETAI, m.TAI),
+		u32IE(IEEUTRANCGI, m.ECGI),
+	}}
+	return p.Marshal()
+}
+
+// ParseInitialUEMessage extracts the typed fields from a decoded PDU.
+func ParseInitialUEMessage(p *PDU) (*InitialUEMessage, error) {
+	if p.Procedure != ProcInitialUEMessage || p.Type != PDUInitiating {
+		return nil, ErrBadPDUType
+	}
+	m := &InitialUEMessage{}
+	var err error
+	if m.ENBUEID, err = p.Uint32IE(IEENBUES1APID); err != nil {
+		return nil, err
+	}
+	nas, ok := p.FindIE(IENASPDU)
+	if !ok {
+		return nil, ErrMissingIE
+	}
+	m.NASPDU = nas
+	if tai, ok := p.FindIE(IETAI); ok && len(tai) == 2 {
+		m.TAI = binary.BigEndian.Uint16(tai)
+	}
+	if ecgi, err := p.Uint32IE(IEEUTRANCGI); err == nil {
+		m.ECGI = ecgi
+	}
+	return m, nil
+}
+
+// NASTransport carries a NAS PDU in either direction once both S1AP ids
+// are established.
+type NASTransport struct {
+	MMEUEID uint32
+	ENBUEID uint32
+	NASPDU  []byte
+	Uplink  bool
+}
+
+// Marshal encodes the message.
+func (m *NASTransport) Marshal() []byte {
+	proc := ProcDownlinkNASTransport
+	if m.Uplink {
+		proc = ProcUplinkNASTransport
+	}
+	p := PDU{Type: PDUInitiating, Procedure: proc, IEs: []IE{
+		u32IE(IEMMEUES1APID, m.MMEUEID),
+		u32IE(IEENBUES1APID, m.ENBUEID),
+		{ID: IENASPDU, Data: m.NASPDU},
+	}}
+	return p.Marshal()
+}
+
+// ParseNASTransport extracts the typed fields from a decoded PDU.
+func ParseNASTransport(p *PDU) (*NASTransport, error) {
+	if p.Procedure != ProcDownlinkNASTransport && p.Procedure != ProcUplinkNASTransport {
+		return nil, ErrBadPDUType
+	}
+	m := &NASTransport{Uplink: p.Procedure == ProcUplinkNASTransport}
+	var err error
+	if m.MMEUEID, err = p.Uint32IE(IEMMEUES1APID); err != nil {
+		return nil, err
+	}
+	if m.ENBUEID, err = p.Uint32IE(IEENBUES1APID); err != nil {
+		return nil, err
+	}
+	nas, ok := p.FindIE(IENASPDU)
+	if !ok {
+		return nil, ErrMissingIE
+	}
+	m.NASPDU = nas
+	return m, nil
+}
+
+// InitialContextSetupRequest establishes the UE context at the eNodeB:
+// the core's data-plane tunnel endpoint plus the attach accept NAS PDU.
+type InitialContextSetupRequest struct {
+	MMEUEID uint32
+	ENBUEID uint32
+	// UplinkTEID and CoreAddr tell the eNodeB where to send uplink GTP-U.
+	UplinkTEID uint32
+	CoreAddr   uint32
+	NASPDU     []byte
+}
+
+// Marshal encodes the message.
+func (m *InitialContextSetupRequest) Marshal() []byte {
+	p := PDU{Type: PDUInitiating, Procedure: ProcInitialContextSetup, IEs: []IE{
+		u32IE(IEMMEUES1APID, m.MMEUEID),
+		u32IE(IEENBUES1APID, m.ENBUEID),
+		u32IE(IEGTPTEID, m.UplinkTEID),
+		u32IE(IETransportLayerAddress, m.CoreAddr),
+		{ID: IENASPDU, Data: m.NASPDU},
+	}}
+	return p.Marshal()
+}
+
+// ParseInitialContextSetupRequest extracts the typed fields.
+func ParseInitialContextSetupRequest(p *PDU) (*InitialContextSetupRequest, error) {
+	if p.Procedure != ProcInitialContextSetup || p.Type != PDUInitiating {
+		return nil, ErrBadPDUType
+	}
+	m := &InitialContextSetupRequest{}
+	var err error
+	if m.MMEUEID, err = p.Uint32IE(IEMMEUES1APID); err != nil {
+		return nil, err
+	}
+	if m.ENBUEID, err = p.Uint32IE(IEENBUES1APID); err != nil {
+		return nil, err
+	}
+	if m.UplinkTEID, err = p.Uint32IE(IEGTPTEID); err != nil {
+		return nil, err
+	}
+	if m.CoreAddr, err = p.Uint32IE(IETransportLayerAddress); err != nil {
+		return nil, err
+	}
+	if nas, ok := p.FindIE(IENASPDU); ok {
+		m.NASPDU = nas
+	}
+	return m, nil
+}
+
+// InitialContextSetupResponse returns the eNodeB's downlink tunnel
+// endpoint.
+type InitialContextSetupResponse struct {
+	MMEUEID      uint32
+	ENBUEID      uint32
+	DownlinkTEID uint32
+	ENBAddr      uint32
+}
+
+// Marshal encodes the message.
+func (m *InitialContextSetupResponse) Marshal() []byte {
+	p := PDU{Type: PDUSuccessful, Procedure: ProcInitialContextSetup, IEs: []IE{
+		u32IE(IEMMEUES1APID, m.MMEUEID),
+		u32IE(IEENBUES1APID, m.ENBUEID),
+		u32IE(IEGTPTEID, m.DownlinkTEID),
+		u32IE(IETransportLayerAddress, m.ENBAddr),
+	}}
+	return p.Marshal()
+}
+
+// ParseInitialContextSetupResponse extracts the typed fields.
+func ParseInitialContextSetupResponse(p *PDU) (*InitialContextSetupResponse, error) {
+	if p.Procedure != ProcInitialContextSetup || p.Type != PDUSuccessful {
+		return nil, ErrBadPDUType
+	}
+	m := &InitialContextSetupResponse{}
+	var err error
+	if m.MMEUEID, err = p.Uint32IE(IEMMEUES1APID); err != nil {
+		return nil, err
+	}
+	if m.ENBUEID, err = p.Uint32IE(IEENBUES1APID); err != nil {
+		return nil, err
+	}
+	if m.DownlinkTEID, err = p.Uint32IE(IEGTPTEID); err != nil {
+		return nil, err
+	}
+	if m.ENBAddr, err = p.Uint32IE(IETransportLayerAddress); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// PathSwitchRequest reports an X2 handover that already happened: the UE
+// now sits behind a new eNodeB whose downlink endpoint must replace the
+// old one.
+type PathSwitchRequest struct {
+	MMEUEID      uint32
+	ENBUEID      uint32
+	DownlinkTEID uint32
+	ENBAddr      uint32
+	ECGI         uint32
+	TAI          uint16
+}
+
+// Marshal encodes the message.
+func (m *PathSwitchRequest) Marshal() []byte {
+	p := PDU{Type: PDUInitiating, Procedure: ProcPathSwitchRequest, IEs: []IE{
+		u32IE(IEMMEUES1APID, m.MMEUEID),
+		u32IE(IEENBUES1APID, m.ENBUEID),
+		u32IE(IEGTPTEID, m.DownlinkTEID),
+		u32IE(IETransportLayerAddress, m.ENBAddr),
+		u32IE(IEEUTRANCGI, m.ECGI),
+		u16IE(IETAI, m.TAI),
+	}}
+	return p.Marshal()
+}
+
+// ParsePathSwitchRequest extracts the typed fields.
+func ParsePathSwitchRequest(p *PDU) (*PathSwitchRequest, error) {
+	if p.Procedure != ProcPathSwitchRequest || p.Type != PDUInitiating {
+		return nil, ErrBadPDUType
+	}
+	m := &PathSwitchRequest{}
+	var err error
+	if m.MMEUEID, err = p.Uint32IE(IEMMEUES1APID); err != nil {
+		return nil, err
+	}
+	if m.ENBUEID, err = p.Uint32IE(IEENBUES1APID); err != nil {
+		return nil, err
+	}
+	if m.DownlinkTEID, err = p.Uint32IE(IEGTPTEID); err != nil {
+		return nil, err
+	}
+	if m.ENBAddr, err = p.Uint32IE(IETransportLayerAddress); err != nil {
+		return nil, err
+	}
+	if ecgi, err := p.Uint32IE(IEEUTRANCGI); err == nil {
+		m.ECGI = ecgi
+	}
+	if tai, ok := p.FindIE(IETAI); ok && len(tai) == 2 {
+		m.TAI = binary.BigEndian.Uint16(tai)
+	}
+	return m, nil
+}
+
+// PathSwitchAck acknowledges a path switch.
+type PathSwitchAck struct {
+	MMEUEID uint32
+	ENBUEID uint32
+}
+
+// Marshal encodes the message.
+func (m *PathSwitchAck) Marshal() []byte {
+	p := PDU{Type: PDUSuccessful, Procedure: ProcPathSwitchRequest, IEs: []IE{
+		u32IE(IEMMEUES1APID, m.MMEUEID),
+		u32IE(IEENBUES1APID, m.ENBUEID),
+	}}
+	return p.Marshal()
+}
+
+// HandoverRequired starts an S1 handover: the source eNodeB asks the core
+// to move the UE to the target eNodeB (used when eNodeBs are not directly
+// connected, the case the paper's S1-handover workload models).
+type HandoverRequired struct {
+	MMEUEID   uint32
+	ENBUEID   uint32
+	TargetENB uint32
+}
+
+// Marshal encodes the message.
+func (m *HandoverRequired) Marshal() []byte {
+	p := PDU{Type: PDUInitiating, Procedure: ProcHandoverPreparation, IEs: []IE{
+		u32IE(IEMMEUES1APID, m.MMEUEID),
+		u32IE(IEENBUES1APID, m.ENBUEID),
+		u32IE(IETargetENBID, m.TargetENB),
+	}}
+	return p.Marshal()
+}
+
+// ParseHandoverRequired extracts the typed fields.
+func ParseHandoverRequired(p *PDU) (*HandoverRequired, error) {
+	if p.Procedure != ProcHandoverPreparation || p.Type != PDUInitiating {
+		return nil, ErrBadPDUType
+	}
+	m := &HandoverRequired{}
+	var err error
+	if m.MMEUEID, err = p.Uint32IE(IEMMEUES1APID); err != nil {
+		return nil, err
+	}
+	if m.ENBUEID, err = p.Uint32IE(IEENBUES1APID); err != nil {
+		return nil, err
+	}
+	if m.TargetENB, err = p.Uint32IE(IETargetENBID); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// HandoverNotify completes an S1 handover: the target eNodeB reports the
+// UE arrived and supplies its new downlink endpoint.
+type HandoverNotify struct {
+	MMEUEID      uint32
+	ENBUEID      uint32
+	DownlinkTEID uint32
+	ENBAddr      uint32
+	ECGI         uint32
+}
+
+// Marshal encodes the message.
+func (m *HandoverNotify) Marshal() []byte {
+	p := PDU{Type: PDUInitiating, Procedure: ProcHandoverNotification, IEs: []IE{
+		u32IE(IEMMEUES1APID, m.MMEUEID),
+		u32IE(IEENBUES1APID, m.ENBUEID),
+		u32IE(IEGTPTEID, m.DownlinkTEID),
+		u32IE(IETransportLayerAddress, m.ENBAddr),
+		u32IE(IEEUTRANCGI, m.ECGI),
+	}}
+	return p.Marshal()
+}
+
+// ParseHandoverNotify extracts the typed fields.
+func ParseHandoverNotify(p *PDU) (*HandoverNotify, error) {
+	if p.Procedure != ProcHandoverNotification || p.Type != PDUInitiating {
+		return nil, ErrBadPDUType
+	}
+	m := &HandoverNotify{}
+	var err error
+	if m.MMEUEID, err = p.Uint32IE(IEMMEUES1APID); err != nil {
+		return nil, err
+	}
+	if m.ENBUEID, err = p.Uint32IE(IEENBUES1APID); err != nil {
+		return nil, err
+	}
+	if m.DownlinkTEID, err = p.Uint32IE(IEGTPTEID); err != nil {
+		return nil, err
+	}
+	if m.ENBAddr, err = p.Uint32IE(IETransportLayerAddress); err != nil {
+		return nil, err
+	}
+	if ecgi, err := p.Uint32IE(IEEUTRANCGI); err == nil {
+		m.ECGI = ecgi
+	}
+	return m, nil
+}
+
+// UEContextRelease asks the eNodeB to drop the UE context (detach or
+// inactivity).
+type UEContextRelease struct {
+	MMEUEID uint32
+	ENBUEID uint32
+	Cause   uint8
+}
+
+// Marshal encodes the message.
+func (m *UEContextRelease) Marshal() []byte {
+	p := PDU{Type: PDUInitiating, Procedure: ProcUEContextRelease, IEs: []IE{
+		u32IE(IEMMEUES1APID, m.MMEUEID),
+		u32IE(IEENBUES1APID, m.ENBUEID),
+		{ID: IECause, Data: []byte{m.Cause}},
+	}}
+	return p.Marshal()
+}
+
+// ParseUEContextRelease extracts the typed fields.
+func ParseUEContextRelease(p *PDU) (*UEContextRelease, error) {
+	if p.Procedure != ProcUEContextRelease {
+		return nil, ErrBadPDUType
+	}
+	m := &UEContextRelease{}
+	var err error
+	if m.MMEUEID, err = p.Uint32IE(IEMMEUES1APID); err != nil {
+		return nil, err
+	}
+	if m.ENBUEID, err = p.Uint32IE(IEENBUES1APID); err != nil {
+		return nil, err
+	}
+	if c, ok := p.FindIE(IECause); ok && len(c) == 1 {
+		m.Cause = c[0]
+	}
+	return m, nil
+}

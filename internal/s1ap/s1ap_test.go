@@ -1,0 +1,195 @@
+package s1ap
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, wire []byte) *PDU {
+	t.Helper()
+	p, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return p
+}
+
+func TestInitialUEMessageRoundTrip(t *testing.T) {
+	nas := []byte{0x07, 0x41, 1, 2, 3}
+	m := &InitialUEMessage{ENBUEID: 17, NASPDU: nas, TAI: 9, ECGI: 0x00facade}
+	got, err := ParseInitialUEMessage(roundTrip(t, m.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ENBUEID != 17 || got.TAI != 9 || got.ECGI != 0x00facade || !bytes.Equal(got.NASPDU, nas) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestNASTransportBothDirections(t *testing.T) {
+	for _, uplink := range []bool{false, true} {
+		m := &NASTransport{MMEUEID: 1, ENBUEID: 2, NASPDU: []byte{9}, Uplink: uplink}
+		got, err := ParseNASTransport(roundTrip(t, m.Marshal()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Uplink != uplink || got.MMEUEID != 1 || got.ENBUEID != 2 {
+			t.Fatalf("uplink=%v: %+v", uplink, got)
+		}
+	}
+}
+
+func TestInitialContextSetupRoundTrip(t *testing.T) {
+	req := &InitialContextSetupRequest{MMEUEID: 5, ENBUEID: 6, UplinkTEID: 0xabc, CoreAddr: 0x0a000001, NASPDU: []byte{1}}
+	gotReq, err := ParseInitialContextSetupRequest(roundTrip(t, req.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.UplinkTEID != 0xabc || gotReq.CoreAddr != 0x0a000001 {
+		t.Fatalf("req: %+v", gotReq)
+	}
+	resp := &InitialContextSetupResponse{MMEUEID: 5, ENBUEID: 6, DownlinkTEID: 0xdef, ENBAddr: 0x0b000001}
+	gotResp, err := ParseInitialContextSetupResponse(roundTrip(t, resp.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotResp != *resp {
+		t.Fatalf("resp: %+v", gotResp)
+	}
+	// A request does not parse as a response and vice versa.
+	if _, err := ParseInitialContextSetupResponse(roundTrip(t, req.Marshal())); err != ErrBadPDUType {
+		t.Fatalf("type confusion: %v", err)
+	}
+}
+
+func TestPathSwitchRoundTrip(t *testing.T) {
+	m := &PathSwitchRequest{MMEUEID: 9, ENBUEID: 10, DownlinkTEID: 0x77, ENBAddr: 0x0c000001, ECGI: 3, TAI: 4}
+	got, err := ParsePathSwitchRequest(roundTrip(t, m.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Fatalf("round trip: %+v", got)
+	}
+	ack := &PathSwitchAck{MMEUEID: 9, ENBUEID: 10}
+	p := roundTrip(t, ack.Marshal())
+	if p.Type != PDUSuccessful || p.Procedure != ProcPathSwitchRequest {
+		t.Fatalf("ack pdu: %+v", p)
+	}
+}
+
+func TestHandoverMessages(t *testing.T) {
+	req := &HandoverRequired{MMEUEID: 1, ENBUEID: 2, TargetENB: 3}
+	gotReq, err := ParseHandoverRequired(roundTrip(t, req.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotReq != *req {
+		t.Fatalf("required: %+v", gotReq)
+	}
+	notify := &HandoverNotify{MMEUEID: 1, ENBUEID: 2, DownlinkTEID: 5, ENBAddr: 6, ECGI: 7}
+	gotN, err := ParseHandoverNotify(roundTrip(t, notify.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotN != *notify {
+		t.Fatalf("notify: %+v", gotN)
+	}
+}
+
+func TestUEContextReleaseRoundTrip(t *testing.T) {
+	m := &UEContextRelease{MMEUEID: 1, ENBUEID: 2, Cause: 3}
+	got, err := ParseUEContextRelease(roundTrip(t, m.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err != ErrShort {
+		t.Fatalf("short: %v", err)
+	}
+	if _, err := Unmarshal(append([]byte{9}, make([]byte, 16)...)); err != ErrBadPDUType {
+		t.Fatalf("bad type: %v", err)
+	}
+	// Corrupt an IE length.
+	wire := (&PathSwitchAck{MMEUEID: 1, ENBUEID: 2}).Marshal()
+	wire[12] = 0xff
+	wire[13] = 0xff
+	if _, err := Unmarshal(wire); err != ErrIEFormat {
+		t.Fatalf("bad IE: %v", err)
+	}
+}
+
+func TestMissingIEDetected(t *testing.T) {
+	p := &PDU{Type: PDUInitiating, Procedure: ProcInitialUEMessage, IEs: []IE{
+		{ID: IENASPDU, Data: []byte{1}},
+	}}
+	if _, err := ParseInitialUEMessage(roundTrip(t, p.Marshal())); err == nil {
+		t.Fatal("missing ENB UE id accepted")
+	}
+}
+
+// Property: PDU marshal/unmarshal round-trips arbitrary IE sets.
+func TestPDURoundTripProperty(t *testing.T) {
+	f := func(proc uint8, ieIDs []uint16, blob []byte) bool {
+		if len(ieIDs) > 16 {
+			ieIDs = ieIDs[:16]
+		}
+		p := &PDU{Type: PDUInitiating, Procedure: proc}
+		for i, id := range ieIDs {
+			start := (i * 7) % (len(blob) + 1)
+			end := start + i%5
+			if end > len(blob) {
+				end = len(blob)
+			}
+			p.IEs = append(p.IEs, IE{ID: id, Data: blob[start:end]})
+		}
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.Procedure != proc || len(got.IEs) != len(p.IEs) {
+			return false
+		}
+		for i := range p.IEs {
+			if got.IEs[i].ID != p.IEs[i].ID || !bytes.Equal(got.IEs[i].Data, p.IEs[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary input.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInitialUEMessageParse(b *testing.B) {
+	nas := make([]byte, 64)
+	wire := (&InitialUEMessage{ENBUEID: 1, NASPDU: nas, TAI: 2, ECGI: 3}).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := Unmarshal(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ParseInitialUEMessage(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,558 @@
+package sctp
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Association errors.
+var (
+	ErrClosed       = errors.New("sctp: association closed")
+	ErrTimeout      = errors.New("sctp: handshake timeout")
+	ErrAborted      = errors.New("sctp: association aborted")
+	ErrBadCookie    = errors.New("sctp: cookie verification failed")
+	ErrRetransLimit = errors.New("sctp: retransmission limit exceeded")
+)
+
+// Config parameterizes an association.
+type Config struct {
+	// SrcPort/DstPort fill the common header (S1AP's registered port is
+	// 36412).
+	SrcPort, DstPort uint16
+	// RTO is the retransmission timeout (default 200ms).
+	RTO time.Duration
+	// MaxRetrans bounds per-chunk retransmissions before the association
+	// aborts (default 8).
+	MaxRetrans int
+	// HandshakeTimeout bounds Dial/Accept (default 5s).
+	HandshakeTimeout time.Duration
+	// CookieKey authenticates the stateless INIT-ACK cookie on the
+	// server side; a process-wide random key is used when nil.
+	CookieKey []byte
+	// Window bounds outstanding unacknowledged chunks; Send blocks at
+	// the limit (default 4096).
+	Window int
+	// Tag and InitTSN seed the association identifiers; zero values draw
+	// from the config's RNG seed. Deterministic seeding keeps tests and
+	// benchmarks reproducible.
+	Tag     uint32
+	InitTSN uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.RTO == 0 {
+		c.RTO = 200 * time.Millisecond
+	}
+	if c.MaxRetrans == 0 {
+		c.MaxRetrans = 8
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.Window == 0 {
+		c.Window = 4096
+	}
+	if c.Tag == 0 {
+		c.Tag = 0x5ec7b00c
+	}
+	if c.InitTSN == 0 {
+		c.InitTSN = 1000
+	}
+	if c.CookieKey == nil {
+		c.CookieKey = defaultCookieKey[:]
+	}
+	return c
+}
+
+var defaultCookieKey = [32]byte{0x9e, 0x37, 0x79, 0xb9, 0x7f, 0x4a, 0x7c, 0x15}
+
+// Message is one received user message.
+type Message struct {
+	Stream uint16
+	PPID   uint32
+	Data   []byte
+}
+
+// Stats counts association activity.
+type Stats struct {
+	MsgsSent      uint64
+	MsgsReceived  uint64
+	Retransmits   uint64
+	DupsReceived  uint64
+	SacksSent     uint64
+	SacksReceived uint64
+}
+
+type outChunk struct {
+	tsn     uint32
+	bytes   []byte // fully marshalled packet, ready to resend
+	sentAt  time.Time
+	retries int
+}
+
+// Assoc is one established SCTP-lite association.
+type Assoc struct {
+	wire Wire
+	cfg  Config
+
+	myTag   uint32
+	peerTag uint32
+
+	sendMu    sync.Mutex
+	sendCond  *sync.Cond
+	nextTSN   uint32
+	streamSeq [64]uint16
+	unacked   map[uint32]*outChunk
+	lowestOut uint32 // lowest unacked TSN (== cumulative ack + 1)
+
+	cumTSN uint32 // highest cumulatively received TSN
+	oo     map[uint32]Message
+
+	recvQ chan Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+	errMu     sync.Mutex
+	err       error
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Dial initiates an association over w (client side; the eNodeB role).
+func Dial(w Wire, cfg Config) (*Assoc, error) {
+	cfg = cfg.withDefaults()
+	a := newAssoc(w, cfg)
+	deadline := time.Now().Add(cfg.HandshakeTimeout)
+
+	// INIT → INIT-ACK
+	init := marshalPacket(Header{SrcPort: cfg.SrcPort, DstPort: cfg.DstPort, VTag: 0},
+		marshalInit(a.myTag, a.nextTSN, 64))
+	if err := w.Send(init); err != nil {
+		return nil, err
+	}
+	var cookie []byte
+	for {
+		if time.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		pktBytes, err := w.Recv()
+		if err != nil {
+			return nil, err
+		}
+		_, chunks, err := unmarshalPacket(pktBytes)
+		if err != nil {
+			continue
+		}
+		if len(chunks) == 1 && chunks[0].Type == ChunkInitAck {
+			tag, peerTSN, _, ck, perr := parseInitAck(chunks[0])
+			if perr != nil {
+				continue
+			}
+			a.peerTag = tag
+			a.cumTSN = peerTSN - 1
+			cookie = append([]byte(nil), ck...)
+			break
+		}
+	}
+
+	// COOKIE-ECHO → COOKIE-ACK
+	echo := marshalPacket(a.header(), Chunk{Type: ChunkCookieEcho, Value: cookie})
+	if err := w.Send(echo); err != nil {
+		return nil, err
+	}
+	for {
+		if time.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		pktBytes, err := w.Recv()
+		if err != nil {
+			return nil, err
+		}
+		_, chunks, err := unmarshalPacket(pktBytes)
+		if err != nil {
+			continue
+		}
+		if len(chunks) >= 1 && chunks[0].Type == ChunkCookieAck {
+			break
+		}
+	}
+	a.start()
+	return a, nil
+}
+
+// Accept waits for a client handshake on w (server side; the core role).
+// The cookie is stateless: no per-INIT state is kept until a valid
+// COOKIE-ECHO arrives, SCTP's SYN-flood defence.
+func Accept(w Wire, cfg Config) (*Assoc, error) {
+	cfg = cfg.withDefaults()
+	deadline := time.Now().Add(cfg.HandshakeTimeout)
+	var a *Assoc
+	for {
+		if time.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		pktBytes, err := w.Recv()
+		if err != nil {
+			return nil, err
+		}
+		hdr, chunks, err := unmarshalPacket(pktBytes)
+		if err != nil || len(chunks) == 0 {
+			continue
+		}
+		switch chunks[0].Type {
+		case ChunkInit:
+			peerTag, peerTSN, _, perr := parseInit(chunks[0])
+			if perr != nil {
+				continue
+			}
+			myTag := cfg.Tag ^ peerTag ^ 0xa5a5a5a5
+			myTSN := cfg.InitTSN
+			cookie := bakeCookie(cfg.CookieKey, peerTag, peerTSN, myTag, myTSN)
+			ack := marshalPacket(Header{SrcPort: cfg.SrcPort, DstPort: cfg.DstPort, VTag: peerTag},
+				marshalInitAck(myTag, myTSN, 64, cookie))
+			if err := w.Send(ack); err != nil {
+				return nil, err
+			}
+		case ChunkCookieEcho:
+			peerTag, peerTSN, myTag, myTSN, ok := verifyCookie(cfg.CookieKey, chunks[0].Value)
+			if !ok {
+				continue
+			}
+			cfg2 := cfg
+			cfg2.Tag = myTag
+			cfg2.InitTSN = myTSN
+			a = newAssoc(w, cfg2)
+			a.peerTag = peerTag
+			a.cumTSN = peerTSN - 1
+			_ = hdr
+			ackPkt := marshalPacket(a.header(), Chunk{Type: ChunkCookieAck})
+			if err := w.Send(ackPkt); err != nil {
+				return nil, err
+			}
+			a.start()
+			return a, nil
+		}
+	}
+}
+
+func newAssoc(w Wire, cfg Config) *Assoc {
+	a := &Assoc{
+		wire:    w,
+		cfg:     cfg,
+		myTag:   cfg.Tag,
+		nextTSN: cfg.InitTSN,
+		unacked: make(map[uint32]*outChunk),
+		oo:      make(map[uint32]Message),
+		recvQ:   make(chan Message, 1024),
+		done:    make(chan struct{}),
+	}
+	a.lowestOut = cfg.InitTSN
+	a.sendCond = sync.NewCond(&a.sendMu)
+	return a
+}
+
+func (a *Assoc) header() Header {
+	return Header{SrcPort: a.cfg.SrcPort, DstPort: a.cfg.DstPort, VTag: a.peerTag}
+}
+
+func (a *Assoc) start() {
+	go a.readLoop()
+	go a.retransmitLoop()
+}
+
+// Send transmits one user message on the given stream. It blocks when the
+// retransmission window is full and returns an error once the association
+// is closed or aborted.
+func (a *Assoc) Send(stream uint16, ppid uint32, data []byte) error {
+	a.sendMu.Lock()
+	for len(a.unacked) >= a.cfg.Window {
+		if a.closed() {
+			a.sendMu.Unlock()
+			return a.Err()
+		}
+		a.sendCond.Wait()
+	}
+	if a.closed() {
+		a.sendMu.Unlock()
+		return a.Err()
+	}
+	tsn := a.nextTSN
+	a.nextTSN++
+	seq := a.streamSeq[stream%64]
+	a.streamSeq[stream%64]++
+	p := marshalPacket(a.header(), marshalData(DataChunk{
+		TSN: tsn, Stream: stream, Seq: seq, PPID: ppid, Payload: data,
+	}))
+	a.unacked[tsn] = &outChunk{tsn: tsn, bytes: p, sentAt: time.Now()}
+	a.sendMu.Unlock()
+
+	a.statsMu.Lock()
+	a.stats.MsgsSent++
+	a.statsMu.Unlock()
+	return a.wire.Send(p)
+}
+
+// Recv blocks for the next ordered user message.
+func (a *Assoc) Recv() (Message, error) {
+	select {
+	case m := <-a.recvQ:
+		return m, nil
+	case <-a.done:
+		// Drain already-delivered messages before reporting closure.
+		select {
+		case m := <-a.recvQ:
+			return m, nil
+		default:
+			return Message{}, a.Err()
+		}
+	}
+}
+
+// RecvTimeout is Recv with a deadline; it returns ErrTimeout when no
+// message arrives in time.
+func (a *Assoc) RecvTimeout(d time.Duration) (Message, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-a.recvQ:
+		return m, nil
+	case <-a.done:
+		return Message{}, a.Err()
+	case <-t.C:
+		return Message{}, ErrTimeout
+	}
+}
+
+// Close shuts the association down (SHUTDOWN is sent best-effort; the
+// four-way terminate dance is abbreviated to one exchange).
+func (a *Assoc) Close() error {
+	a.shutdown(nil)
+	return nil
+}
+
+// Err returns the terminal error, ErrClosed for a clean close.
+func (a *Assoc) Err() error {
+	a.errMu.Lock()
+	defer a.errMu.Unlock()
+	if a.err == nil {
+		return ErrClosed
+	}
+	return a.err
+}
+
+// Stats returns a copy of the association counters.
+func (a *Assoc) Stats() Stats {
+	a.statsMu.Lock()
+	defer a.statsMu.Unlock()
+	return a.stats
+}
+
+func (a *Assoc) closed() bool {
+	select {
+	case <-a.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *Assoc) shutdown(err error) {
+	a.closeOnce.Do(func() {
+		a.errMu.Lock()
+		a.err = err
+		a.errMu.Unlock()
+		if err == nil {
+			_ = a.wire.Send(marshalPacket(a.header(), Chunk{Type: ChunkShutdown}))
+		}
+		close(a.done)
+		a.sendMu.Lock()
+		a.sendCond.Broadcast()
+		a.sendMu.Unlock()
+	})
+}
+
+func (a *Assoc) readLoop() {
+	for {
+		pktBytes, err := a.wire.Recv()
+		if err != nil {
+			a.shutdown(fmt.Errorf("sctp: wire receive: %w", err))
+			return
+		}
+		hdr, chunks, err := unmarshalPacket(pktBytes)
+		if err != nil {
+			continue // corrupted packet: drop, retransmission recovers
+		}
+		if hdr.VTag != a.myTag {
+			continue // not ours
+		}
+		for _, c := range chunks {
+			switch c.Type {
+			case ChunkData:
+				a.handleData(c)
+			case ChunkSack:
+				a.handleSack(c)
+			case ChunkHeartbeat:
+				_ = a.wire.Send(marshalPacket(a.header(), Chunk{Type: ChunkHeartbeatAck, Value: c.Value}))
+			case ChunkShutdown:
+				_ = a.wire.Send(marshalPacket(a.header(), Chunk{Type: ChunkShutdownAck}))
+				a.shutdown(nil)
+				return
+			case ChunkShutdownAck:
+				a.shutdown(nil)
+				return
+			case ChunkAbort:
+				a.shutdown(ErrAborted)
+				return
+			}
+		}
+	}
+}
+
+func (a *Assoc) handleData(c Chunk) {
+	d, err := parseData(c)
+	if err != nil {
+		return
+	}
+	switch {
+	case d.Unordered:
+		a.deliver(Message{Stream: d.Stream, PPID: d.PPID, Data: append([]byte(nil), d.Payload...)})
+	case d.TSN <= a.cumTSN || a.hasOO(d.TSN):
+		a.statsMu.Lock()
+		a.stats.DupsReceived++
+		a.statsMu.Unlock()
+	default:
+		a.oo[d.TSN] = Message{Stream: d.Stream, PPID: d.PPID, Data: append([]byte(nil), d.Payload...)}
+		// Advance the cumulative point, delivering in TSN order (which
+		// preserves per-stream order for a single peer).
+		for {
+			m, ok := a.oo[a.cumTSN+1]
+			if !ok {
+				break
+			}
+			delete(a.oo, a.cumTSN+1)
+			a.cumTSN++
+			a.deliver(m)
+		}
+	}
+	// Acknowledge everything contiguous so far.
+	_ = a.wire.Send(marshalPacket(a.header(), marshalSack(a.cumTSN)))
+	a.statsMu.Lock()
+	a.stats.SacksSent++
+	a.statsMu.Unlock()
+}
+
+func (a *Assoc) hasOO(tsn uint32) bool {
+	_, ok := a.oo[tsn]
+	return ok
+}
+
+func (a *Assoc) deliver(m Message) {
+	a.statsMu.Lock()
+	a.stats.MsgsReceived++
+	a.statsMu.Unlock()
+	select {
+	case a.recvQ <- m:
+	case <-a.done:
+	}
+}
+
+func (a *Assoc) handleSack(c Chunk) {
+	cum, err := parseSack(c)
+	if err != nil {
+		return
+	}
+	a.statsMu.Lock()
+	a.stats.SacksReceived++
+	a.statsMu.Unlock()
+	a.sendMu.Lock()
+	if cum >= a.nextTSN {
+		// Bogus acknowledgement beyond anything sent; ignore rather than
+		// walking an unbounded range.
+		a.sendMu.Unlock()
+		return
+	}
+	for tsn := a.lowestOut; tsn <= cum; tsn++ {
+		delete(a.unacked, tsn)
+	}
+	if cum >= a.lowestOut {
+		a.lowestOut = cum + 1
+	}
+	a.sendCond.Broadcast()
+	a.sendMu.Unlock()
+}
+
+func (a *Assoc) retransmitLoop() {
+	tick := time.NewTicker(a.cfg.RTO / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var resend [][]byte
+		limit := false
+		a.sendMu.Lock()
+		for _, oc := range a.unacked {
+			if now.Sub(oc.sentAt) < a.cfg.RTO {
+				continue
+			}
+			oc.retries++
+			if oc.retries > a.cfg.MaxRetrans {
+				limit = true
+				break
+			}
+			oc.sentAt = now
+			resend = append(resend, oc.bytes)
+		}
+		a.sendMu.Unlock()
+		if limit {
+			a.shutdown(ErrRetransLimit)
+			return
+		}
+		for _, p := range resend {
+			a.statsMu.Lock()
+			a.stats.Retransmits++
+			a.statsMu.Unlock()
+			_ = a.wire.Send(p)
+		}
+	}
+}
+
+// --- stateless cookie ---
+
+const cookiePlainLen = 16
+
+func bakeCookie(key []byte, peerTag, peerTSN, myTag, myTSN uint32) []byte {
+	b := make([]byte, cookiePlainLen, cookiePlainLen+sha256.Size)
+	binary.BigEndian.PutUint32(b[0:4], peerTag)
+	binary.BigEndian.PutUint32(b[4:8], peerTSN)
+	binary.BigEndian.PutUint32(b[8:12], myTag)
+	binary.BigEndian.PutUint32(b[12:16], myTSN)
+	mac := hmac.New(sha256.New, key)
+	mac.Write(b)
+	return mac.Sum(b)
+}
+
+func verifyCookie(key, cookie []byte) (peerTag, peerTSN, myTag, myTSN uint32, ok bool) {
+	if len(cookie) != cookiePlainLen+sha256.Size {
+		return 0, 0, 0, 0, false
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(cookie[:cookiePlainLen])
+	if !hmac.Equal(mac.Sum(nil), cookie[cookiePlainLen:]) {
+		return 0, 0, 0, 0, false
+	}
+	peerTag = binary.BigEndian.Uint32(cookie[0:4])
+	peerTSN = binary.BigEndian.Uint32(cookie[4:8])
+	myTag = binary.BigEndian.Uint32(cookie[8:12])
+	myTSN = binary.BigEndian.Uint32(cookie[12:16])
+	return peerTag, peerTSN, myTag, myTSN, true
+}

@@ -1,0 +1,299 @@
+package sctp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func establish(t *testing.T, clientCfg, serverCfg Config) (*Assoc, *Assoc, *PipeWire, *PipeWire) {
+	t.Helper()
+	cw, sw := Pipe(4096)
+	var server *Assoc
+	var serr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, serr = Accept(sw, serverCfg)
+	}()
+	client, err := Dial(cw, clientCfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	<-done
+	if serr != nil {
+		t.Fatalf("accept: %v", serr)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+		cw.Close()
+	})
+	return client, server, cw, sw
+}
+
+func TestPacketCodecRoundTrip(t *testing.T) {
+	h := Header{SrcPort: 36412, DstPort: 36412, VTag: 0xfeed}
+	pktBytes := marshalPacket(h, marshalData(DataChunk{TSN: 5, Stream: 1, Seq: 2, PPID: PPIDS1AP, Payload: []byte("hi")}))
+	gh, chunks, err := unmarshalPacket(pktBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh != h || len(chunks) != 1 || chunks[0].Type != ChunkData {
+		t.Fatalf("decode: %+v %+v", gh, chunks)
+	}
+	d, err := parseData(chunks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TSN != 5 || d.Stream != 1 || d.Seq != 2 || d.PPID != PPIDS1AP || string(d.Payload) != "hi" {
+		t.Fatalf("data: %+v", d)
+	}
+}
+
+func TestPacketChecksumDetectsCorruption(t *testing.T) {
+	pktBytes := marshalPacket(Header{VTag: 1}, Chunk{Type: ChunkHeartbeat})
+	pktBytes[len(pktBytes)-1] ^= 0xff
+	if _, _, err := unmarshalPacket(pktBytes); err != ErrBadChecksum {
+		t.Fatalf("want ErrBadChecksum, got %v", err)
+	}
+}
+
+func TestPacketMultipleChunksWithPadding(t *testing.T) {
+	// Chunk values of non-multiple-of-4 lengths force padding between
+	// chunks.
+	h := Header{VTag: 9}
+	pktBytes := marshalPacket(h,
+		Chunk{Type: ChunkHeartbeat, Value: []byte{1, 2, 3}}, // padded to 4
+		Chunk{Type: ChunkSack, Value: make([]byte, 12)},
+	)
+	_, chunks, err := unmarshalPacket(pktBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 2 || chunks[0].Type != ChunkHeartbeat || chunks[1].Type != ChunkSack {
+		t.Fatalf("chunks: %+v", chunks)
+	}
+	if !bytes.Equal(chunks[0].Value, []byte{1, 2, 3}) {
+		t.Fatalf("value: %v", chunks[0].Value)
+	}
+}
+
+func TestCookieBakeVerify(t *testing.T) {
+	key := []byte("k")
+	c := bakeCookie(key, 1, 2, 3, 4)
+	pt, ptsn, mt, mtsn, ok := verifyCookie(key, c)
+	if !ok || pt != 1 || ptsn != 2 || mt != 3 || mtsn != 4 {
+		t.Fatalf("verify: %v %d %d %d %d", ok, pt, ptsn, mt, mtsn)
+	}
+	c[0] ^= 1
+	if _, _, _, _, ok := verifyCookie(key, c); ok {
+		t.Fatal("tampered cookie verified")
+	}
+	if _, _, _, _, ok := verifyCookie(key, c[:10]); ok {
+		t.Fatal("short cookie verified")
+	}
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	client, server, _, _ := establish(t, Config{Tag: 111, InitTSN: 50}, Config{Tag: 222, InitTSN: 900})
+	if err := client.Send(0, PPIDS1AP, []byte("attach request")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := server.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Data) != "attach request" || m.PPID != PPIDS1AP {
+		t.Fatalf("server got %+v", m)
+	}
+	if err := server.Send(0, PPIDS1AP, []byte("attach accept")); err != nil {
+		t.Fatal(err)
+	}
+	m, err = client.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Data) != "attach accept" {
+		t.Fatalf("client got %q", m.Data)
+	}
+}
+
+func TestOrderedDeliveryManyMessages(t *testing.T) {
+	client, server, _, _ := establish(t, Config{}, Config{Tag: 7})
+	const n = 2000
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := client.Send(3, PPIDS1AP, []byte(fmt.Sprintf("msg-%06d", i))); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := server.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		want := fmt.Sprintf("msg-%06d", i)
+		if string(m.Data) != want || m.Stream != 3 {
+			t.Fatalf("message %d: got %q stream %d", i, m.Data, m.Stream)
+		}
+	}
+}
+
+func TestLossRecoveryRetransmission(t *testing.T) {
+	client, server, cw, _ := establish(t, Config{RTO: 20 * time.Millisecond}, Config{Tag: 9})
+	// Drop every 3rd outgoing DATA packet after establishment.
+	var mu sync.Mutex
+	count := 0
+	cw.SetDropFn(func(b []byte) bool {
+		_, chunks, err := unmarshalPacket(b)
+		if err != nil || len(chunks) == 0 || chunks[0].Type != ChunkData {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		count++
+		return count%3 == 0
+	})
+	const n = 300
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := client.Send(0, PPIDS1AP, []byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := server.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		got := int(m.Data[0]) | int(m.Data[1])<<8
+		if got != i {
+			t.Fatalf("out of order after loss: got %d want %d", got, i)
+		}
+	}
+	if client.Stats().Retransmits == 0 {
+		t.Fatal("no retransmissions recorded despite injected loss")
+	}
+}
+
+func TestRetransmissionLimitAborts(t *testing.T) {
+	client, _, cw, _ := establish(t, Config{RTO: 5 * time.Millisecond, MaxRetrans: 3}, Config{Tag: 5})
+	// Black-hole all DATA from the client.
+	cw.SetDropFn(func(b []byte) bool {
+		_, chunks, err := unmarshalPacket(b)
+		return err == nil && len(chunks) > 0 && chunks[0].Type == ChunkData
+	})
+	client.Send(0, PPIDS1AP, []byte("doomed"))
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("association did not abort")
+		default:
+		}
+		if client.closed() {
+			if err := client.Err(); err != ErrRetransLimit {
+				t.Fatalf("terminal error: %v", err)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	client, server, _, _ := establish(t, Config{}, Config{Tag: 3})
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	client.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv returned nil error after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	client, _, _, _ := establish(t, Config{}, Config{Tag: 4})
+	client.Close()
+	time.Sleep(10 * time.Millisecond)
+	if err := client.Send(0, PPIDS1AP, []byte("late")); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	client, server, _, _ := establish(t, Config{}, Config{Tag: 8})
+	for i := 0; i < 10; i++ {
+		client.Send(0, PPIDS1AP, []byte("x"))
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := server.RecvTimeout(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, ss := client.Stats(), server.Stats()
+	if cs.MsgsSent != 10 || ss.MsgsReceived != 10 {
+		t.Fatalf("stats: client=%+v server=%+v", cs, ss)
+	}
+	if ss.SacksSent == 0 {
+		t.Fatal("server sent no SACKs")
+	}
+}
+
+func TestWireCloseTerminatesAssociation(t *testing.T) {
+	client, _, cw, _ := establish(t, Config{}, Config{Tag: 6})
+	cw.Close()
+	deadline := time.After(2 * time.Second)
+	for !client.closed() {
+		select {
+		case <-deadline:
+			t.Fatal("association survived wire close")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func BenchmarkSendRecv64B(b *testing.B) {
+	cw, sw := Pipe(8192)
+	var server *Assoc
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, _ = Accept(sw, Config{Tag: 2})
+	}()
+	client, err := Dial(cw, Config{Tag: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Send(0, PPIDS1AP, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := server.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	client.Close()
+	server.Close()
+}

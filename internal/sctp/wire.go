@@ -1,0 +1,134 @@
+package sctp
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Wire is the datagram substrate an association runs over. Implementations
+// must preserve message boundaries; they may drop or reorder (the
+// association's retransmission recovers losses).
+type Wire interface {
+	// Send transmits one packet. It must not retain b.
+	Send(b []byte) error
+	// Recv blocks for the next packet.
+	Recv() ([]byte, error)
+	// Close unblocks pending Recv calls with an error.
+	Close() error
+}
+
+// ErrWireClosed is returned by Recv/Send on a closed wire.
+var ErrWireClosed = errors.New("sctp: wire closed")
+
+// chanWire is an in-memory unidirectional-pair Wire used for in-process
+// eNodeB↔core signaling and for tests. DropFn, when set, is consulted per
+// packet to inject loss.
+type chanWire struct {
+	out chan<- []byte
+	in  <-chan []byte
+
+	mu     sync.Mutex
+	closed chan struct{}
+	once   sync.Once
+
+	// DropFn returns true to drop an outgoing packet (loss injection).
+	DropFn func(b []byte) bool
+}
+
+// Pipe returns two connected in-memory wires with the given queue depth.
+func Pipe(depth int) (*PipeWire, *PipeWire) {
+	if depth <= 0 {
+		depth = 256
+	}
+	ab := make(chan []byte, depth)
+	ba := make(chan []byte, depth)
+	closed := make(chan struct{})
+	a := &PipeWire{chanWire{out: ab, in: ba, closed: closed}}
+	b := &PipeWire{chanWire{out: ba, in: ab, closed: closed}}
+	// Each side shares the closed channel: closing either tears down both,
+	// matching a broken association.
+	return a, b
+}
+
+// PipeWire is one end of an in-memory wire pair.
+type PipeWire struct {
+	chanWire
+}
+
+// SetDropFn installs a loss-injection hook (tests).
+func (w *PipeWire) SetDropFn(fn func(b []byte) bool) {
+	w.mu.Lock()
+	w.DropFn = fn
+	w.mu.Unlock()
+}
+
+// Send implements Wire.
+func (w *chanWire) Send(b []byte) error {
+	w.mu.Lock()
+	drop := w.DropFn != nil && w.DropFn(b)
+	w.mu.Unlock()
+	if drop {
+		return nil // silently lost, like a network
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	select {
+	case w.out <- cp:
+		return nil
+	case <-w.closed:
+		return ErrWireClosed
+	}
+}
+
+// Recv implements Wire.
+func (w *chanWire) Recv() ([]byte, error) {
+	select {
+	case b := <-w.in:
+		return b, nil
+	case <-w.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case b := <-w.in:
+			return b, nil
+		default:
+			return nil, ErrWireClosed
+		}
+	}
+}
+
+// Close implements Wire.
+func (w *chanWire) Close() error {
+	w.once.Do(func() { close(w.closed) })
+	return nil
+}
+
+// UDPWire adapts a connected UDP socket (or any net.Conn with datagram
+// semantics) to the Wire interface, for running S1AP across real sockets.
+type UDPWire struct {
+	Conn net.Conn
+	buf  [64 * 1024]byte
+}
+
+// NewUDPWire wraps conn.
+func NewUDPWire(conn net.Conn) *UDPWire { return &UDPWire{Conn: conn} }
+
+// Send implements Wire.
+func (w *UDPWire) Send(b []byte) error {
+	_, err := w.Conn.Write(b)
+	return err
+}
+
+// Recv implements Wire.
+func (w *UDPWire) Recv() ([]byte, error) {
+	n, err := w.Conn.Read(w.buf[:])
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]byte, n)
+	copy(cp, w.buf[:n])
+	return cp, nil
+}
+
+// Close implements Wire.
+func (w *UDPWire) Close() error { return w.Conn.Close() }

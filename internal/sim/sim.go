@@ -1,0 +1,300 @@
+// Package sim provides the measurement substrate the experiment harness
+// uses: a monotonic nanosecond clock, an HDR-style log-bucketed latency
+// histogram, a token-bucket event pacer for offered-load control, and a
+// throughput meter.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+var epoch = time.Now()
+
+// Now returns monotonic nanoseconds since process start. All latency
+// measurement and token buckets use this scale.
+func Now() int64 { return int64(time.Since(epoch)) }
+
+// Histogram records durations into logarithmic buckets: 64 major octaves
+// × 16 linear sub-buckets, covering 1ns to ~500s with ≤6.25% relative
+// error — the HDR-histogram trade-off without the dependency. Not
+// internally synchronized: one recorder per thread, merge for reporting.
+type Histogram struct {
+	counts [64 * 16]uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+	min    uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxUint64}
+}
+
+// Record adds one duration in nanoseconds.
+func (h *Histogram) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+}
+
+func bucketOf(v uint64) int {
+	if v < 16 {
+		return int(v)
+	}
+	// Major = position of the highest set bit; minor = next 4 bits.
+	major := 63 - leadingZeros(v)
+	minor := (v >> (uint(major) - 4)) & 0xf
+	return int(major-3)*16 + int(minor)
+}
+
+// bucketLow returns the smallest value mapping to bucket i (inverse of
+// bucketOf for reporting).
+func bucketLow(i int) uint64 {
+	if i < 16 {
+		return uint64(i)
+	}
+	major := uint(i/16 + 3)
+	minor := uint64(i % 16)
+	return (1 << major) | minor<<(major-4)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	if v == 0 {
+		return 64
+	}
+	for v&(1<<63) == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the average in nanoseconds.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Percentile returns the value at or below which p percent (0-100) of
+// samples fall, to bucket resolution.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return h.max
+	}
+	target := uint64(math.Ceil(float64(h.n) * p / 100))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	if other.n > 0 && other.min < h.min {
+		h.min = other.min
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	*h = Histogram{min: math.MaxUint64}
+}
+
+// Summary renders p50/p90/p99/p99.9/max in microseconds.
+func (h *Histogram) Summary() string {
+	us := func(v uint64) float64 { return float64(v) / 1e3 }
+	return fmt.Sprintf("n=%d p50=%.1fµs p90=%.1fµs p99=%.1fµs p99.9=%.1fµs max=%.1fµs",
+		h.n, us(h.Percentile(50)), us(h.Percentile(90)), us(h.Percentile(99)),
+		us(h.Percentile(99.9)), us(h.max))
+}
+
+// Pacer releases events at a fixed rate against the sim clock: Take(n)
+// reports how many of n requested events may fire now. Single-threaded.
+type Pacer struct {
+	ratePerSec float64
+	credit     float64
+	burst      float64
+	last       int64
+}
+
+// NewPacer returns a pacer for rate events/second with the given burst.
+func NewPacer(ratePerSec float64, burst int) *Pacer {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &Pacer{ratePerSec: ratePerSec, burst: float64(burst), credit: float64(burst), last: Now()}
+}
+
+// Take requests up to n event credits at time now, returning the granted
+// count.
+func (p *Pacer) Take(now int64, n int) int {
+	if p.ratePerSec <= 0 {
+		return n // unpaced
+	}
+	dt := float64(now-p.last) / 1e9
+	if dt > 0 {
+		p.credit += dt * p.ratePerSec
+		if p.credit > p.burst {
+			p.credit = p.burst
+		}
+		p.last = now
+	}
+	grant := int(p.credit)
+	if grant > n {
+		grant = n
+	}
+	if grant > 0 {
+		p.credit -= float64(grant)
+	}
+	return grant
+}
+
+// Meter accumulates event counts over a measured interval and reports
+// rates.
+type Meter struct {
+	start int64
+	count uint64
+}
+
+// NewMeter starts a meter at the current time.
+func NewMeter() *Meter { return &Meter{start: Now()} }
+
+// Add records n events.
+func (m *Meter) Add(n uint64) { m.count += n }
+
+// Rate returns events/second since start.
+func (m *Meter) Rate() float64 {
+	dt := float64(Now()-m.start) / 1e9
+	if dt <= 0 {
+		return 0
+	}
+	return float64(m.count) / dt
+}
+
+// Count returns total events.
+func (m *Meter) Count() uint64 { return m.count }
+
+// Elapsed returns seconds since start.
+func (m *Meter) Elapsed() float64 { return float64(Now()-m.start) / 1e9 }
+
+// Series is a labelled result column for figure output: a sequence of
+// (x, y) points with a name, rendered as aligned text by Table.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Table renders series against a shared X axis as an aligned text table,
+// the pepcbench output format.
+func Table(xLabel, yLabel string, series ...Series) string {
+	// Collect the union of X values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %18s", s.Name)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", yLabel)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-14s", FormatQty(x))
+		for _, s := range series {
+			y, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(&b, " %18.3f", y)
+			} else {
+				fmt.Fprintf(&b, " %18s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// FormatQty renders 1500000 as "1.5M" etc. for axis labels.
+func FormatQty(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gK", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

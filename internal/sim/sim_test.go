@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNowMonotonic(t *testing.T) {
+	a := Now()
+	time.Sleep(time.Millisecond)
+	b := Now()
+	if b <= a {
+		t.Fatalf("clock not monotonic: %d then %d", a, b)
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(0); i < 16; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 16 || h.Min() != 0 || h.Max() != 15 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	// Median of 0..15 with ceil semantics: the 8th sample is value 7.
+	if got := h.Percentile(50); got != 7 {
+		t.Fatalf("p50 = %d", got)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(3))
+	// Uniform 0..100µs: p50 ≈ 50µs within bucket error (6.25%).
+	for i := 0; i < 100000; i++ {
+		h.Record(rng.Int63n(100_000))
+	}
+	p50 := float64(h.Percentile(50))
+	if p50 < 45_000 || p50 > 55_000 {
+		t.Fatalf("p50 = %.0f, want ~50000", p50)
+	}
+	p99 := float64(h.Percentile(99))
+	if p99 < 92_000 || p99 > 105_000 {
+		t.Fatalf("p99 = %.0f, want ~99000", p99)
+	}
+	mean := h.Mean()
+	if mean < 45_000 || mean > 55_000 {
+		t.Fatalf("mean = %.0f", mean)
+	}
+}
+
+func TestHistogramBucketInverse(t *testing.T) {
+	// bucketLow(bucketOf(v)) <= v for all v, and relative error < 1/16.
+	for _, v := range []uint64{1, 15, 16, 17, 100, 1000, 123456, 1 << 30, 1 << 40} {
+		b := bucketOf(v)
+		low := bucketLow(b)
+		if low > v {
+			t.Fatalf("bucketLow(%d)=%d > v=%d", b, low, v)
+		}
+		if v > 16 && float64(v-low)/float64(v) > 1.0/16 {
+			t.Fatalf("bucket error too large for %d: low=%d", v, low)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(100)
+	b.Record(1000)
+	b.Record(10)
+	a.Merge(b)
+	if a.Count() != 3 || a.Min() != 10 || a.Max() != 1000 {
+		t.Fatalf("merged: n=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
+	}
+}
+
+func TestHistogramResetAndNegative(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5) // clamped to 0
+	if h.Max() != 0 {
+		t.Fatalf("negative clamp: %d", h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogramSummaryRenders(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1500)
+	if !strings.Contains(h.Summary(), "n=1") {
+		t.Fatalf("summary: %s", h.Summary())
+	}
+}
+
+func TestPacerRate(t *testing.T) {
+	p := NewPacer(1000, 200) // 1000/s, burst 200
+	now := Now()
+	// Drain the initial burst.
+	if got := p.Take(now, 1000); got != 200 {
+		t.Fatalf("initial burst grant = %d", got)
+	}
+	// After 100ms, ~100 more credits.
+	got := p.Take(now+100_000_000, 1000)
+	if got < 95 || got > 105 {
+		t.Fatalf("grant after 100ms = %d, want ~100", got)
+	}
+	// Immediately again: nothing.
+	if got := p.Take(now+100_000_000, 10); got != 0 {
+		t.Fatalf("immediate regrant = %d", got)
+	}
+	// Credit never exceeds burst even after a long idle.
+	if got := p.Take(now+100_000_000_000, 100000); got != 200 {
+		t.Fatalf("post-idle grant = %d, want burst 200", got)
+	}
+}
+
+func TestPacerUnpaced(t *testing.T) {
+	p := NewPacer(0, 1)
+	if got := p.Take(Now(), 12345); got != 12345 {
+		t.Fatalf("unpaced grant = %d", got)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Add(10)
+	m.Add(5)
+	if m.Count() != 15 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	time.Sleep(2 * time.Millisecond)
+	if m.Rate() <= 0 {
+		t.Fatal("rate not positive")
+	}
+	if m.Elapsed() <= 0 {
+		t.Fatal("elapsed not positive")
+	}
+}
+
+func TestTableRendersAlignedSeries(t *testing.T) {
+	out := Table("users", "Mpps",
+		Series{Name: "PEPC", Points: []Point{{X: 1e6, Y: 5.1}, {X: 3e6, Y: 4.0}}},
+		Series{Name: "Industrial#1", Points: []Point{{X: 1e6, Y: 0.1}}},
+	)
+	if !strings.Contains(out, "PEPC") || !strings.Contains(out, "Industrial#1") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "1M") || !strings.Contains(out, "3M") {
+		t.Fatalf("missing x labels:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing hole marker:\n%s", out)
+	}
+}
+
+func TestFormatQty(t *testing.T) {
+	cases := map[float64]string{
+		500:    "500",
+		1500:   "1.5K",
+		2e6:    "2M",
+		3.25e9: "3.25B",
+	}
+	for in, want := range cases {
+		if got := FormatQty(in); got != want {
+			t.Fatalf("FormatQty(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package state
+
+import "fmt"
+
+// This file reproduces the paper's Table 1: which EPC component reads and
+// writes each group of per-user state, and how often that state is
+// updated. The table is encoded as data so tests can assert the PEPC
+// single-writer invariant (each state group has exactly one writer among
+// the PEPC threads) and so `pepcbench -table 1` can print it.
+
+// Group identifies a category of per-user state.
+type Group uint8
+
+// State groups, in the paper's row order.
+const (
+	GroupUserLocation Group = iota
+	GroupUserID
+	GroupQoSPolicy
+	GroupControlTunnel
+	GroupDataTunnel
+	GroupBandwidthCounters
+	numGroups
+)
+
+var groupNames = [...]string{
+	"User location",
+	"User id",
+	"Per-user QoS/policy state",
+	"Per-user control tunnel state",
+	"Per-user data tunnel state",
+	"Per-user bandwidth counters",
+}
+
+// String implements fmt.Stringer.
+func (g Group) String() string {
+	if int(g) < len(groupNames) {
+		return groupNames[g]
+	}
+	return fmt.Sprintf("Group(%d)", g)
+}
+
+// Component identifies an EPC function that accesses state.
+type Component uint8
+
+// Components, in the paper's column order.
+const (
+	CompMME Component = iota
+	CompSGW
+	CompPGW
+	CompPEPCControl
+	CompPEPCData
+	numComponents
+)
+
+var componentNames = [...]string{"MME", "S-GW", "P-GW", "PEPC control thread", "PEPC data thread"}
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	if int(c) < len(componentNames) {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("Component(%d)", c)
+}
+
+// Access describes how a component touches a state group.
+type Access uint8
+
+// Access modes.
+const (
+	AccessNA Access = iota // component does not hold this state
+	AccessR                // read only
+	AccessRW               // read and write
+)
+
+// String implements fmt.Stringer.
+func (a Access) String() string {
+	switch a {
+	case AccessNA:
+		return "NA"
+	case AccessR:
+		return "r"
+	case AccessRW:
+		return "w+r"
+	}
+	return "?"
+}
+
+// Freq is how often a state group is updated.
+type Freq uint8
+
+// Update frequencies.
+const (
+	PerEvent Freq = iota
+	PerPacket
+)
+
+// String implements fmt.Stringer.
+func (f Freq) String() string {
+	if f == PerPacket {
+		return "per-packet"
+	}
+	return "per-event"
+}
+
+// Row is one row of Table 1.
+type Row struct {
+	Group   Group
+	Access  [numComponents]Access
+	Updates Freq
+}
+
+// Taxonomy is the paper's Table 1, verbatim.
+var Taxonomy = [numGroups]Row{
+	{GroupUserLocation, [numComponents]Access{AccessRW, AccessRW, AccessNA, AccessRW, AccessR}, PerEvent},
+	{GroupUserID, [numComponents]Access{AccessRW, AccessRW, AccessRW, AccessRW, AccessR}, PerEvent},
+	{GroupQoSPolicy, [numComponents]Access{AccessRW, AccessRW, AccessRW, AccessRW, AccessR}, PerEvent},
+	{GroupControlTunnel, [numComponents]Access{AccessRW, AccessRW, AccessRW, AccessNA, AccessNA}, PerEvent},
+	{GroupDataTunnel, [numComponents]Access{AccessRW, AccessRW, AccessRW, AccessRW, AccessR}, PerEvent},
+	{GroupBandwidthCounters, [numComponents]Access{AccessNA, AccessRW, AccessRW, AccessR, AccessRW}, PerPacket},
+}
+
+// PEPCWriter returns which PEPC thread writes the group, or (0,false) for
+// state PEPC does not keep (control tunnel state disappears: there are no
+// inter-component tunnels to manage once MME/S-GW/P-GW are consolidated).
+func PEPCWriter(g Group) (Component, bool) {
+	r := Taxonomy[g]
+	ctl := r.Access[CompPEPCControl] == AccessRW
+	dat := r.Access[CompPEPCData] == AccessRW
+	switch {
+	case ctl && !dat:
+		return CompPEPCControl, true
+	case dat && !ctl:
+		return CompPEPCData, true
+	default:
+		return 0, false
+	}
+}
+
+// LegacyWriters counts how many legacy components (MME, S-GW, P-GW) hold a
+// writable copy of the group — the duplication that forces cross-component
+// synchronization on every signaling event (§2.3).
+func LegacyWriters(g Group) int {
+	n := 0
+	for _, c := range []Component{CompMME, CompSGW, CompPGW} {
+		if Taxonomy[g].Access[c] == AccessRW {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatTaxonomy renders Table 1 as aligned text rows.
+func FormatTaxonomy() []string {
+	out := make([]string, 0, numGroups+1)
+	out = append(out, fmt.Sprintf("%-32s %-5s %-5s %-5s %-20s %-17s %s",
+		"State type", "MME", "S-GW", "P-GW", "PEPC control thread", "PEPC data thread", "Update frequency"))
+	for _, r := range Taxonomy {
+		out = append(out, fmt.Sprintf("%-32s %-5s %-5s %-5s %-20s %-17s %s",
+			r.Group, r.Access[CompMME], r.Access[CompSGW], r.Access[CompPGW],
+			r.Access[CompPEPCControl], r.Access[CompPEPCData], r.Updates))
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package state
+
+import "pepc/internal/pkt"
+
+// U32Map is an open-addressing hash table from uint32 keys (TEIDs, IPv4
+// addresses) to *UE, tuned for the data path: no allocation on lookup,
+// linear probing for cache locality, and a load factor capped at 3/4.
+// Key 0 is reserved (never a valid TEID or UE address in this system).
+//
+// A U32Map is not internally synchronized: in PEPC each thread owns its
+// own index map (Listing 1's dp_state / cp_state) and cross-thread changes
+// arrive through the update queue. The giant-lock baseline wraps one map
+// in a table-level lock instead.
+type U32Map struct {
+	keys  []uint32
+	vals  []*UE
+	mask  uint64
+	n     int
+	grave int // tombstone count
+}
+
+const u32MapMinCap = 16
+
+// NewU32Map returns a map pre-sized for sizeHint entries.
+func NewU32Map(sizeHint int) *U32Map {
+	capacity := u32MapMinCap
+	for capacity*3/4 < sizeHint {
+		capacity <<= 1
+	}
+	return &U32Map{
+		keys: make([]uint32, capacity),
+		vals: make([]*UE, capacity),
+		mask: uint64(capacity - 1),
+	}
+}
+
+// tombstone marks a deleted slot; probes continue past it.
+const tombstone = ^uint32(0)
+
+// Len returns the number of live entries.
+func (m *U32Map) Len() int { return m.n }
+
+// Cap returns the current slot count (diagnostics; tracks table size for
+// the cache-behaviour experiments).
+func (m *U32Map) Cap() int { return len(m.keys) }
+
+// Get returns the value for key, or nil.
+func (m *U32Map) Get(key uint32) *UE {
+	if key == 0 || key == tombstone {
+		return nil
+	}
+	i := pkt.HashUint32(key) & m.mask
+	for {
+		k := m.keys[i]
+		if k == key {
+			return m.vals[i]
+		}
+		if k == 0 {
+			return nil
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Put inserts or replaces the value for key. Returns false for reserved
+// keys.
+func (m *U32Map) Put(key uint32, v *UE) bool {
+	if key == 0 || key == tombstone || v == nil {
+		return false
+	}
+	if (m.n+m.grave+1)*4 >= len(m.keys)*3 {
+		m.grow()
+	}
+	i := pkt.HashUint32(key) & m.mask
+	firstTomb := -1
+	for {
+		k := m.keys[i]
+		if k == key {
+			m.vals[i] = v
+			return true
+		}
+		if k == tombstone && firstTomb < 0 {
+			firstTomb = int(i)
+		}
+		if k == 0 {
+			if firstTomb >= 0 {
+				i = uint64(firstTomb)
+				m.grave--
+			}
+			m.keys[i] = key
+			m.vals[i] = v
+			m.n++
+			return true
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Delete removes key, returning the previous value.
+func (m *U32Map) Delete(key uint32) *UE {
+	if key == 0 || key == tombstone {
+		return nil
+	}
+	i := pkt.HashUint32(key) & m.mask
+	for {
+		k := m.keys[i]
+		if k == key {
+			v := m.vals[i]
+			m.keys[i] = tombstone
+			m.vals[i] = nil
+			m.n--
+			m.grave++
+			return v
+		}
+		if k == 0 {
+			return nil
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Range calls fn for each entry until fn returns false.
+func (m *U32Map) Range(fn func(key uint32, v *UE) bool) {
+	for i, k := range m.keys {
+		if k != 0 && k != tombstone {
+			if !fn(k, m.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+func (m *U32Map) grow() {
+	newCap := len(m.keys)
+	if m.n*2 >= newCap { // genuine growth, not just tombstone cleanup
+		newCap <<= 1
+	}
+	keys := m.keys
+	vals := m.vals
+	m.keys = make([]uint32, newCap)
+	m.vals = make([]*UE, newCap)
+	m.mask = uint64(newCap - 1)
+	m.n = 0
+	m.grave = 0
+	for i, k := range keys {
+		if k != 0 && k != tombstone {
+			m.Put(k, vals[i])
+		}
+	}
+}
+
+// U64Map is the 64-bit-keyed variant for IMSI/GUTI indexes on the control
+// path. Key 0 is reserved.
+type U64Map struct {
+	keys  []uint64
+	vals  []*UE
+	mask  uint64
+	n     int
+	grave int
+}
+
+const tombstone64 = ^uint64(0)
+
+// NewU64Map returns a map pre-sized for sizeHint entries.
+func NewU64Map(sizeHint int) *U64Map {
+	capacity := u32MapMinCap
+	for capacity*3/4 < sizeHint {
+		capacity <<= 1
+	}
+	return &U64Map{
+		keys: make([]uint64, capacity),
+		vals: make([]*UE, capacity),
+		mask: uint64(capacity - 1),
+	}
+}
+
+// Len returns the number of live entries.
+func (m *U64Map) Len() int { return m.n }
+
+// Get returns the value for key, or nil.
+func (m *U64Map) Get(key uint64) *UE {
+	if key == 0 || key == tombstone64 {
+		return nil
+	}
+	i := pkt.HashUint64(key) & m.mask
+	for {
+		k := m.keys[i]
+		if k == key {
+			return m.vals[i]
+		}
+		if k == 0 {
+			return nil
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Put inserts or replaces the value for key.
+func (m *U64Map) Put(key uint64, v *UE) bool {
+	if key == 0 || key == tombstone64 || v == nil {
+		return false
+	}
+	if (m.n+m.grave+1)*4 >= len(m.keys)*3 {
+		m.grow()
+	}
+	i := pkt.HashUint64(key) & m.mask
+	firstTomb := -1
+	for {
+		k := m.keys[i]
+		if k == key {
+			m.vals[i] = v
+			return true
+		}
+		if k == tombstone64 && firstTomb < 0 {
+			firstTomb = int(i)
+		}
+		if k == 0 {
+			if firstTomb >= 0 {
+				i = uint64(firstTomb)
+				m.grave--
+			}
+			m.keys[i] = key
+			m.vals[i] = v
+			m.n++
+			return true
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Delete removes key, returning the previous value.
+func (m *U64Map) Delete(key uint64) *UE {
+	if key == 0 || key == tombstone64 {
+		return nil
+	}
+	i := pkt.HashUint64(key) & m.mask
+	for {
+		k := m.keys[i]
+		if k == key {
+			v := m.vals[i]
+			m.keys[i] = tombstone64
+			m.vals[i] = nil
+			m.n--
+			m.grave++
+			return v
+		}
+		if k == 0 {
+			return nil
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Range calls fn for each entry until fn returns false.
+func (m *U64Map) Range(fn func(key uint64, v *UE) bool) {
+	for i, k := range m.keys {
+		if k != 0 && k != tombstone64 {
+			if !fn(k, m.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+func (m *U64Map) grow() {
+	newCap := len(m.keys)
+	if m.n*2 >= newCap {
+		newCap <<= 1
+	}
+	keys := m.keys
+	vals := m.vals
+	m.keys = make([]uint64, newCap)
+	m.vals = make([]*UE, newCap)
+	m.mask = uint64(newCap - 1)
+	m.n = 0
+	m.grave = 0
+	for i, k := range keys {
+		if k != 0 && k != tombstone64 {
+			m.Put(k, vals[i])
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package state implements PEPC's consolidated per-user state: the state
+// taxonomy of the paper's Table 1, the UE context split into control-
+// written and data-written halves with fine-grained per-user locks
+// (paper §3.2), the single-table and two-level (primary/secondary) state
+// tables (§3.2, §7.3), and the alternative shared-state designs the paper
+// ablates in §7.1 (giant lock, datapath-writer).
+package state
+
+import (
+	"sync"
+
+	"pepc/internal/bpf"
+	"pepc/internal/pkt"
+	"pepc/internal/qos"
+)
+
+// MaxBearers bounds the bearers per UE. LTE allows up to 11 EPS bearers
+// (EBI 5..15); the in-memory context is sized for 4, covering the common
+// default + dedicated-bearer sessions while keeping the per-user
+// footprint small enough for the paper's 10M-device populations (a
+// memory-sizing choice documented in DESIGN.md).
+const MaxBearers = 4
+
+// QCI is a QoS Class Identifier (3GPP 23.203).
+type QCI uint8
+
+// Standard QCIs used in tests and examples.
+const (
+	QCIConversationalVoice QCI = 1
+	QCIConversationalVideo QCI = 2
+	QCIIMSSignaling        QCI = 5
+	QCIBestEffort          QCI = 9
+)
+
+// Bearer is the per-bearer QoS/policy state: a logical connection between
+// the UE and the core with its own QoS class, rate bounds and traffic
+// filter.
+type Bearer struct {
+	EBI uint8 // EPS bearer id, 5..15
+	QCI QCI
+	ARP uint8 // allocation/retention priority, 1..15
+
+	// Rate bounds in bits/s; GBR only meaningful for GBR QCIs (1-4).
+	MBRUplink   uint64
+	MBRDownlink uint64
+	GBRUplink   uint64
+	GBRDownlink uint64
+
+	// TFT is the traffic flow template mapping packets to this bearer.
+	TFT bpf.FilterSpec
+}
+
+// ControlState is the per-user state written ONLY by the control thread
+// (Table 1 rows: user location, user id, QoS/policy, data tunnel state).
+// The data thread may read it (under read lock) but never writes it.
+type ControlState struct {
+	// User identifiers.
+	IMSI   uint64
+	GUTI   uint64 // temporary id used over the radio link instead of IMSI
+	UEAddr uint32 // allocated UE IP (PAA)
+
+	// User location.
+	ECGI     uint32 // current cell identity
+	TAI      uint16 // current tracking area
+	TAIList  [8]uint16
+	TAICount uint8
+
+	// Per-user data tunnel state (S1-U).
+	UplinkTEID   uint32 // TEID on which we receive from the eNodeB
+	DownlinkTEID uint32 // eNodeB's TEID for downlink delivery
+	ENBAddr      uint32 // eNodeB data-plane address
+
+	// QoS/policy state.
+	Bearers      [MaxBearers]Bearer
+	BearerCount  uint8
+	AMBRUplink   uint64 // aggregate maximum bit rate, bits/s
+	AMBRDownlink uint64
+
+	// PCEF charging rule ids installed by the PCRF via the proxy.
+	RuleIDs   [4]uint32
+	RuleCount uint8
+
+	// Lifecycle.
+	Attached   bool
+	IoT        bool   // stateless-IoT customization eligible (§4.2)
+	LastActive int64  // monotonic nanos of last data packet / event
+	Epoch      uint32 // bumped on every control write; data path can detect staleness
+
+	// Authentication context established at attach.
+	KASME   [32]byte
+	NextSQN uint64
+}
+
+// CounterState is the per-user state written ONLY by the data thread
+// (Table 1 row: per-user bandwidth counters). The control thread reads it
+// (under read lock) to report usage to the PCRF.
+type CounterState struct {
+	UplinkBytes     uint64
+	DownlinkBytes   uint64
+	UplinkPackets   uint64
+	DownlinkPackets uint64
+	DroppedPackets  uint64
+	// Per-rule usage for charging, indexed like ControlState.RuleIDs.
+	RuleBytes [4]uint64
+}
+
+// UE is the consolidated per-user state of a PEPC slice: both halves of
+// the context, each behind its own read/write lock, mirroring Listing 1's
+// HashMap<id, RwLock<UEContext>> with the additional single-writer split.
+//
+// Locking discipline (§3.2):
+//
+//	control thread: ctrlMu.Lock for writes to Ctrl; ctrMu.RLock to read Counters
+//	data thread:    ctrlMu.RLock to read Ctrl;     ctrMu.Lock to write Counters
+//
+// Use the accessor methods, which encode the discipline, rather than the
+// locks directly.
+type UE struct {
+	ctrlMu sync.RWMutex
+	Ctrl   ControlState
+
+	ctrMu    sync.RWMutex
+	Counters CounterState
+
+	// Priv is data-thread-private scratch attached to the user: derived
+	// fast-path state (QoS limiter instances, cached bearer selection)
+	// rebuilt from the control half whenever Ctrl.Epoch advances. Only
+	// the data thread touches it, so it needs no lock — the single-writer
+	// principle applied to derived state.
+	Priv DataPriv
+}
+
+// DataPriv is the data-thread-private derived state; see UE.Priv. The
+// limiter is allocated lazily: unpoliced users (no AMBR/MBR configured)
+// carry no limiter, keeping the common-case context compact.
+type DataPriv struct {
+	Limiter *qos.UserLimiter
+	// Epoch records which control-state epoch the derived state was
+	// built from; a mismatch tells the data thread to rebuild.
+	Epoch uint32
+}
+
+// WriteCtrl runs fn with exclusive access to the control half. Only the
+// control thread may call it.
+func (u *UE) WriteCtrl(fn func(*ControlState)) {
+	u.ctrlMu.Lock()
+	fn(&u.Ctrl)
+	u.Ctrl.Epoch++
+	u.ctrlMu.Unlock()
+}
+
+// ReadCtrl runs fn with shared access to the control half.
+func (u *UE) ReadCtrl(fn func(*ControlState)) {
+	u.ctrlMu.RLock()
+	fn(&u.Ctrl)
+	u.ctrlMu.RUnlock()
+}
+
+// WriteCounters runs fn with exclusive access to the counter half. Only
+// the data thread may call it.
+func (u *UE) WriteCounters(fn func(*CounterState)) {
+	u.ctrMu.Lock()
+	fn(&u.Counters)
+	u.ctrMu.Unlock()
+}
+
+// ReadCounters runs fn with shared access to the counter half (control
+// thread, for usage reporting).
+func (u *UE) ReadCounters(fn func(*CounterState)) {
+	u.ctrMu.RLock()
+	fn(&u.Counters)
+	u.ctrMu.RUnlock()
+}
+
+// Snapshot copies both halves consistently for migration or debugging.
+func (u *UE) Snapshot() (ControlState, CounterState) {
+	u.ctrlMu.RLock()
+	cs := u.Ctrl
+	u.ctrlMu.RUnlock()
+	u.ctrMu.RLock()
+	cnt := u.Counters
+	u.ctrMu.RUnlock()
+	return cs, cnt
+}
+
+// Restore installs a snapshot into a fresh UE (migration target side).
+func (u *UE) Restore(cs ControlState, cnt CounterState) {
+	u.ctrlMu.Lock()
+	u.Ctrl = cs
+	u.ctrlMu.Unlock()
+	u.ctrMu.Lock()
+	u.Counters = cnt
+	u.ctrMu.Unlock()
+}
+
+// AddBearer appends a bearer, returning false when the UE already has
+// MaxBearers. Caller must hold the control write lock (i.e. call inside
+// WriteCtrl).
+func (c *ControlState) AddBearer(b Bearer) bool {
+	if c.BearerCount >= MaxBearers {
+		return false
+	}
+	c.Bearers[c.BearerCount] = b
+	c.BearerCount++
+	return true
+}
+
+// DefaultBearer returns the default (first) bearer, which every attached
+// UE has.
+func (c *ControlState) DefaultBearer() *Bearer {
+	if c.BearerCount == 0 {
+		return nil
+	}
+	return &c.Bearers[0]
+}
+
+// SelectBearer maps a packet flow to a bearer index using the Traffic
+// Flow Templates (the classifier role the per-user QoS state serves,
+// §3.1: "the per user state on the data plane functions serves this
+// purpose of mapping incoming traffic to a QoS class"). Dedicated
+// bearers (index ≥ 1) are checked in order; the default bearer (index 0)
+// is the fallback. Callers hold the control read lock.
+func (c *ControlState) SelectBearer(f pkt.Flow) int {
+	for i := 1; i < int(c.BearerCount); i++ {
+		if c.Bearers[i].TFT.MatchFlow(f) {
+			return i
+		}
+	}
+	if c.BearerCount == 0 {
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,136 @@
+package state
+
+import "pepc/internal/ring"
+
+// This file implements the control→data update channel of a PEPC slice
+// (Listing 1's notification path, §7.2 "PEPC batches updates to the data
+// plane, related to the insertion or deletion of a specific user state").
+// The control thread enqueues index operations; the data thread owns its
+// index maps and applies queued operations between packet batches — by
+// default every SyncEvery packets (the paper syncs every 32).
+
+// DefaultSyncEvery is the paper's batching interval: the data plane syncs
+// updates from the control plane every 32 packets.
+const DefaultSyncEvery = 32
+
+// UpdateOp is the kind of index change.
+type UpdateOp uint8
+
+// Update operations.
+const (
+	// OpInsert adds the user to the data-path indexes (attach, or
+	// promotion from the secondary table).
+	OpInsert UpdateOp = iota
+	// OpDelete removes the user from the data-path indexes (detach,
+	// eviction to the secondary table, or migration away).
+	OpDelete
+	// OpRekey retargets the TEID index after a handover changed the
+	// user's uplink TEID.
+	OpRekey
+)
+
+// Update is one control→data index operation.
+type Update struct {
+	Op      UpdateOp
+	TEID    uint32 // uplink TEID index key (OpInsert/OpDelete), new TEID (OpRekey)
+	OldTEID uint32 // previous TEID (OpRekey)
+	UEIP    uint32 // UE address index key, 0 to skip the IP index
+	UE      *UE
+}
+
+// Indexes are the data-thread-owned lookup structures (Listing 1's
+// dp_state): uplink traffic resolves by TEID, downlink by UE IP. Only the
+// data thread touches them; no locks.
+type Indexes struct {
+	ByTEID *U32Map
+	ByIP   *U32Map
+}
+
+// NewIndexes returns data-path indexes sized for sizeHint users.
+func NewIndexes(sizeHint int) *Indexes {
+	return &Indexes{ByTEID: NewU32Map(sizeHint), ByIP: NewU32Map(sizeHint)}
+}
+
+// Apply executes one update against the indexes.
+func (ix *Indexes) Apply(u Update) {
+	switch u.Op {
+	case OpInsert:
+		if u.TEID != 0 {
+			ix.ByTEID.Put(u.TEID, u.UE)
+		}
+		if u.UEIP != 0 {
+			ix.ByIP.Put(u.UEIP, u.UE)
+		}
+	case OpDelete:
+		if u.TEID != 0 {
+			ix.ByTEID.Delete(u.TEID)
+		}
+		if u.UEIP != 0 {
+			ix.ByIP.Delete(u.UEIP)
+		}
+	case OpRekey:
+		if u.OldTEID != 0 {
+			ix.ByTEID.Delete(u.OldTEID)
+		}
+		if u.TEID != 0 && u.UE != nil {
+			ix.ByTEID.Put(u.TEID, u.UE)
+		}
+	}
+}
+
+// UpdateQueue carries updates from the control thread to the data thread.
+// MPSC because the node scheduler (migrations) and the control thread both
+// produce.
+type UpdateQueue struct {
+	q *ring.MPSC[Update]
+}
+
+// NewUpdateQueue returns a queue with the given capacity (power of two).
+func NewUpdateQueue(capacity int) *UpdateQueue {
+	return &UpdateQueue{q: ring.MustMPSC[Update](capacity)}
+}
+
+// Push enqueues an update, reporting false when the queue is full (the
+// control plane then applies backpressure to signaling).
+func (uq *UpdateQueue) Push(u Update) bool { return uq.q.Enqueue(u) }
+
+// Drain applies every queued update to ix, returning the count. Data
+// thread only; called between packet batches.
+func (uq *UpdateQueue) Drain(ix *Indexes) int {
+	n := 0
+	for {
+		u, ok := uq.q.Dequeue()
+		if !ok {
+			return n
+		}
+		ix.Apply(u)
+		n++
+	}
+}
+
+// DrainTwoLevel applies queued updates to a two-level store's primary
+// table (promotions and evictions). Data thread only.
+func (uq *UpdateQueue) DrainTwoLevel(t *TwoLevel) int {
+	n := 0
+	for {
+		u, ok := uq.q.Dequeue()
+		if !ok {
+			return n
+		}
+		switch u.Op {
+		case OpInsert:
+			t.Promote(u.TEID, u.UEIP, u.UE)
+		case OpDelete:
+			t.Evict(u.TEID, u.UEIP)
+		case OpRekey:
+			t.Evict(u.OldTEID, 0)
+			if u.UE != nil {
+				t.Promote(u.TEID, 0, u.UE)
+			}
+		}
+		n++
+	}
+}
+
+// Len returns the approximate queue depth.
+func (uq *UpdateQueue) Len() int { return uq.q.Len() }
