@@ -1,0 +1,19 @@
+# Developer entry points. `make ci` is what a PR must keep green.
+
+.PHONY: ci build test race bench
+
+ci:
+	./scripts/ci.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Race-detect the packages carrying the single-writer lock discipline.
+race:
+	go test -race ./internal/core/ ./internal/state/
+
+bench:
+	go test -bench=Pipeline -benchmem -run='^$$' .

@@ -123,3 +123,68 @@ func drainOne(s *pepc.Slice) {
 		buf.Free()
 	}
 }
+
+// newPipelineBench attaches a population and returns the slice plus a
+// generator emitting burst consecutive packets per user (burst=1 is the
+// fully interleaved worst case; burst>=4 models per-user flow runs).
+func newPipelineBench(b *testing.B, burst int) (*pepc.Slice, *pepc.TrafficGen) {
+	b.Helper()
+	s := pepc.NewSlice(pepc.SliceConfig{ID: 1, UserHint: 1 << 16})
+	users := make([]pepc.User, 1<<14)
+	for i := range users {
+		res, err := s.Control().Attach(pepc.AttachSpec{
+			IMSI: uint64(i + 1), ENBAddr: 1, DownlinkTEID: uint32(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		users[i] = pepc.User{IMSI: uint64(i + 1), UplinkTEID: res.UplinkTEID, UEAddr: res.UEAddr}
+	}
+	s.Data().SyncUpdates()
+	gen := pepc.NewTrafficGen(pepc.TrafficConfig{CoreAddr: s.Config().CoreAddr, Burst: burst}, users)
+	return s, gen
+}
+
+// benchUplinkBatch measures the uplink fast path over full 32-packet
+// batches (ns/op is per packet).
+func benchUplinkBatch(b *testing.B, burst int) {
+	s, gen := newPipelineBench(b, burst)
+	const batchSize = 32
+	batch := make([]*pepc.Buf, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		for j := range batch {
+			batch[j] = gen.NextUplink()
+		}
+		s.Data().ProcessUplinkBatch(batch, 0)
+		drainOne(s)
+	}
+}
+
+// benchDownlinkBatch measures the downlink fast path over full 32-packet
+// batches (ns/op is per packet).
+func benchDownlinkBatch(b *testing.B, burst int) {
+	s, gen := newPipelineBench(b, burst)
+	const batchSize = 32
+	batch := make([]*pepc.Buf, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		for j := range batch {
+			batch[j] = gen.NextDownlink()
+		}
+		s.Data().ProcessDownlinkBatch(batch, 0)
+		drainOne(s)
+	}
+}
+
+// Uniform: every packet in a batch belongs to a different user (run
+// length 1, coalescing finds nothing to merge).
+func BenchmarkPipelineUplinkBatch32(b *testing.B)   { benchUplinkBatch(b, 1) }
+func BenchmarkPipelineDownlinkBatch32(b *testing.B) { benchDownlinkBatch(b, 1) }
+
+// Bursty: eight consecutive packets per user (run length 8), the
+// flow-run pattern coalescing exploits.
+func BenchmarkPipelineUplinkBursty(b *testing.B)   { benchUplinkBatch(b, 8) }
+func BenchmarkPipelineDownlinkBursty(b *testing.B) { benchDownlinkBatch(b, 8) }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,8 @@ func main() {
 	users := flag.Int("users", 0, "override max user population")
 	packets := flag.Int("packets", 0, "override measured packets per point")
 	events := flag.Int("events", 0, "override measured signaling events per point")
+	fig7Mode := flag.String("fig7", "auto", "figure 7 aggregation: auto, parallel (concurrent workers) or sum (measure-and-sum)")
+	jsonOut := flag.Bool("json", false, "also write each result as machine-readable BENCH_<name>.json")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
 
@@ -53,6 +56,13 @@ func main() {
 	if *events > 0 {
 		sc.EventsPerPoint = *events
 	}
+	switch *fig7Mode {
+	case "auto", "parallel", "sum":
+	default:
+		fmt.Fprintf(os.Stderr, "pepcbench: -fig7 must be auto, parallel or sum (got %q)\n", *fig7Mode)
+		os.Exit(2)
+	}
+	sc.Fig7Mode = *fig7Mode
 
 	var names []string
 	switch {
@@ -76,5 +86,21 @@ func main() {
 		}
 		fmt.Print(res.Render())
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		if *jsonOut {
+			if err := writeJSON(name, res); err != nil {
+				fmt.Fprintf(os.Stderr, "pepcbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeJSON emits one result as BENCH_<name>.json so per-figure series
+// can be tracked machine-readably across revisions.
+func writeJSON(name string, res pepc.ExperimentResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+name+".json", append(data, '\n'), 0o644)
 }

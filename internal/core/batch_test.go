@@ -1,0 +1,332 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"pepc/internal/gtp"
+	"pepc/internal/nf"
+	"pepc/internal/pkt"
+	"pepc/internal/sim"
+	"pepc/internal/state"
+	"pepc/internal/workload"
+)
+
+// TestBatchEquivalentToPacketAtATime feeds the same bursty, QoS-policed
+// packet sequence through one slice as whole batches and through another
+// one packet at a time. Flow-run coalescing must be an optimization, not
+// a semantic change: forwarded/dropped totals and the per-user counters
+// must match exactly, including the partial-run fallback where the
+// aggregate token-bucket check fails mid-burst.
+func TestBatchEquivalentToPacketAtATime(t *testing.T) {
+	build := func() (*Slice, AttachResult) {
+		s := NewSlice(SliceConfig{ID: 21, UserHint: 64})
+		res, err := s.Control().Attach(AttachSpec{
+			IMSI: 21, ENBAddr: 1, DownlinkTEID: 2,
+			AMBRUplink: 8 * 3000, // tiny: the burst admits ~50 packets, then partial runs
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Data().SyncUpdates()
+		return s, res
+	}
+	sBatch, resBatch := build()
+	sSingle, resSingle := build()
+	pool := pkt.NewPool(4096, 128)
+	now := sim.Now()
+
+	// 8-packet bursts per "user instant", 128 packets total: well past the
+	// policing burst so runs start failing the aggregate check.
+	const runLen, total = 8, 128
+	var batch []*pkt.Buf
+	for i := 0; i < total; i += runLen {
+		batch = batch[:0]
+		for k := 0; k < runLen; k++ {
+			batch = append(batch, buildUplink(pool, resBatch.UplinkTEID, resBatch.UEAddr, 1, sBatch.Config().CoreAddr, 80))
+		}
+		sBatch.Data().ProcessUplinkBatch(batch, now)
+		drainEgress(sBatch)
+		for k := 0; k < runLen; k++ {
+			b := buildUplink(pool, resSingle.UplinkTEID, resSingle.UEAddr, 1, sSingle.Config().CoreAddr, 80)
+			sSingle.Data().ProcessUplinkBatch([]*pkt.Buf{b}, now)
+		}
+		drainEgress(sSingle)
+	}
+
+	if f1, f2 := sBatch.Data().Forwarded.Load(), sSingle.Data().Forwarded.Load(); f1 != f2 {
+		t.Fatalf("forwarded: batch=%d single=%d", f1, f2)
+	}
+	if d1, d2 := sBatch.Data().Dropped.Load(), sSingle.Data().Dropped.Load(); d1 != d2 {
+		t.Fatalf("dropped: batch=%d single=%d", d1, d2)
+	}
+	var c1, c2 state.CounterState
+	sBatch.Control().Lookup(21).ReadCounters(func(c *state.CounterState) { c1 = *c })
+	sSingle.Control().Lookup(21).ReadCounters(func(c *state.CounterState) { c2 = *c })
+	if c1 != c2 {
+		t.Fatalf("counters diverge:\nbatch:  %+v\nsingle: %+v", c1, c2)
+	}
+	if c1.DroppedPackets == 0 || c1.UplinkPackets == 0 {
+		t.Fatalf("test exercised no policing boundary: %+v", c1)
+	}
+}
+
+// TestEchoInBatchMix verifies the parse stage's fast paths inside a mixed
+// batch: an echo request and a garbage packet between data packets must
+// not disturb the surrounding runs.
+func TestEchoInBatchMix(t *testing.T) {
+	s := NewSlice(SliceConfig{ID: 22, UserHint: 64})
+	res := attachOne(t, s, 22)
+	pool := pkt.NewPool(2048, 128)
+
+	echo := pool.Get()
+	totalLen := pkt.IPv4HeaderLen + pkt.UDPHeaderLen + gtp.HeaderLen
+	data, _ := echo.Append(totalLen)
+	ip := pkt.IPv4{Length: uint16(totalLen), TTL: 64, Protocol: pkt.ProtoUDP,
+		Src: pkt.IPv4Addr(192, 168, 0, 1), Dst: s.Config().CoreAddr}
+	ip.SerializeTo(data)
+	u := pkt.UDP{SrcPort: gtp.PortGTPU, DstPort: gtp.PortGTPU, Length: uint16(pkt.UDPHeaderLen + gtp.HeaderLen)}
+	u.SerializeTo(data[pkt.IPv4HeaderLen:])
+	h := gtp.Header{Type: gtp.MsgEchoRequest}
+	h.SerializeTo(data[pkt.IPv4HeaderLen+pkt.UDPHeaderLen:])
+
+	garbage := pool.Get()
+	garbage.SetBytes([]byte{0xde, 0xad})
+
+	batch := []*pkt.Buf{
+		buildUplink(pool, res.UplinkTEID, res.UEAddr, 1, s.Config().CoreAddr, 80),
+		echo,
+		buildUplink(pool, res.UplinkTEID, res.UEAddr, 1, s.Config().CoreAddr, 80),
+		garbage,
+		buildUplink(pool, res.UplinkTEID, res.UEAddr, 1, s.Config().CoreAddr, 80),
+	}
+	s.Data().ProcessUplinkBatch(batch, sim.Now())
+	if s.Data().EchoReplies.Load() != 1 {
+		t.Fatalf("echo replies = %d", s.Data().EchoReplies.Load())
+	}
+	// 3 data packets + 1 echo response forwarded, 1 garbage dropped.
+	if f := s.Data().Forwarded.Load(); f != 4 {
+		t.Fatalf("forwarded = %d (dropped=%d)", f, s.Data().Dropped.Load())
+	}
+	if d := s.Data().Dropped.Load(); d != 1 {
+		t.Fatalf("dropped = %d", d)
+	}
+	var up uint64
+	s.Control().Lookup(22).ReadCounters(func(c *state.CounterState) { up = c.UplinkPackets })
+	if up != 3 {
+		t.Fatalf("uplink packets counted = %d", up)
+	}
+	drainEgress(s)
+}
+
+// TestBatchKnobsIndependent checks that SliceConfig.BatchSize (worker
+// dequeue budget) and SliceConfig.SyncEvery (update-sync granularity) are
+// genuinely independent: defaults resolve separately, and a sync interval
+// smaller than a processed batch still applies updates mid-batch.
+func TestBatchKnobsIndependent(t *testing.T) {
+	def := SliceConfig{}.withDefaults()
+	if def.SyncEvery != state.DefaultSyncEvery {
+		t.Fatalf("default SyncEvery = %d", def.SyncEvery)
+	}
+	if def.BatchSize != nf.DefaultBatchSize {
+		t.Fatalf("default BatchSize = %d", def.BatchSize)
+	}
+	got := SliceConfig{SyncEvery: 4}.withDefaults()
+	if got.BatchSize != nf.DefaultBatchSize || got.SyncEvery != 4 {
+		t.Fatalf("SyncEvery override leaked into BatchSize: %+v", got)
+	}
+	got = SliceConfig{BatchSize: 128}.withDefaults()
+	if got.SyncEvery != state.DefaultSyncEvery || got.BatchSize != 128 {
+		t.Fatalf("BatchSize override leaked into SyncEvery: %+v", got)
+	}
+
+	// SyncEvery=4 with an 8-packet batch: the attach update queued before
+	// processing must become visible at the first 4-packet boundary, so
+	// packets 1-4 miss and packets 5-8 hit — inside one batch call.
+	s := NewSlice(SliceConfig{ID: 23, UserHint: 64, SyncEvery: 4, BatchSize: 32})
+	res, err := s.Control().Attach(AttachSpec{IMSI: 23, ENBAddr: 1, DownlinkTEID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := pkt.NewPool(2048, 128)
+	batch := make([]*pkt.Buf, 8)
+	for i := range batch {
+		batch[i] = buildUplink(pool, res.UplinkTEID, res.UEAddr, 1, s.Config().CoreAddr, 80)
+	}
+	s.Data().ProcessUplinkBatch(batch, sim.Now())
+	if m := s.Data().Missed.Load(); m != 4 {
+		t.Fatalf("missed = %d, want 4 (sync at the SyncEvery boundary)", m)
+	}
+	if f := s.Data().Forwarded.Load(); f != 4 {
+		t.Fatalf("forwarded = %d, want 4", f)
+	}
+	drainEgress(s)
+}
+
+// newSteadySlice builds a warmed slice with a policed population and a
+// bursty generator for the allocation guards.
+func newSteadySlice(t testing.TB) (*Slice, *workload.TrafficGen) {
+	t.Helper()
+	s := NewSlice(SliceConfig{ID: 24, UserHint: 1 << 10})
+	users := make([]workload.User, 256)
+	for i := range users {
+		res, err := s.Control().Attach(AttachSpec{
+			IMSI: uint64(i + 1), ENBAddr: 1, DownlinkTEID: uint32(i + 1),
+			AMBRUplink: 100e6, AMBRDownlink: 100e6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		users[i] = workload.User{IMSI: uint64(i + 1), UplinkTEID: res.UplinkTEID, UEAddr: res.UEAddr}
+	}
+	s.Data().SyncUpdates()
+	gen := workload.NewTrafficGen(workload.TrafficConfig{CoreAddr: s.Config().CoreAddr, Burst: 8}, users)
+	return s, gen
+}
+
+// TestUplinkSteadyStateZeroAlloc enforces DESIGN.md's "allocation-free at
+// steady state" claim on the staged uplink fast path.
+func TestUplinkSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only meaningful without -race")
+	}
+	s, gen := newSteadySlice(t)
+	batch := make([]*pkt.Buf, 32)
+	run := func() {
+		for i := range batch {
+			batch[i] = gen.NextUplink()
+		}
+		s.Data().ProcessUplinkBatch(batch, sim.Now())
+		drainEgress(s)
+	}
+	for i := 0; i < 64; i++ { // warm pools, scratch, limiter rebuilds
+		run()
+	}
+	if avg := testing.AllocsPerRun(100, run); avg != 0 {
+		t.Fatalf("uplink fast path allocates %.2f allocs/op at steady state", avg)
+	}
+}
+
+// TestDownlinkSteadyStateZeroAlloc is the downlink direction's guard.
+func TestDownlinkSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only meaningful without -race")
+	}
+	s, gen := newSteadySlice(t)
+	batch := make([]*pkt.Buf, 32)
+	run := func() {
+		for i := range batch {
+			batch[i] = gen.NextDownlink()
+		}
+		s.Data().ProcessDownlinkBatch(batch, sim.Now())
+		drainEgress(s)
+	}
+	for i := 0; i < 64; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(100, run); avg != 0 {
+		t.Fatalf("downlink fast path allocates %.2f allocs/op at steady state", avg)
+	}
+}
+
+// TestSteerMigrationCompletesInWindow pins the steer double-check race
+// window: the read-locked lookup sees the user migrating, the migration
+// completes before the write lock is taken, and the packet must then be
+// steered to the NEW owner by a fresh lookup instead of being buffered
+// against a dead migration entry.
+func TestSteerMigrationCompletesInWindow(t *testing.T) {
+	node := NewNode(SliceConfig{ID: 1, UserHint: 64}, SliceConfig{ID: 2, UserHint: 64})
+	res, err := node.AttachUser(0, AttachSpec{IMSI: 42, ENBAddr: 1, DownlinkTEID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := node.Demux()
+	// Put the user mid-migration, as MigrateUser's step 1 does.
+	d.mu.Lock()
+	d.migrating[res.UplinkTEID] = &migBuffer{}
+	d.mu.Unlock()
+	// Complete the "migration" inside the window: remap to slice 1 and
+	// clear the migration entry between steer's RLock and Lock.
+	fired := false
+	d.steerTestHook = func() {
+		fired = true
+		d.mu.Lock()
+		delete(d.migrating, res.UplinkTEID)
+		d.byTEID[res.UplinkTEID] = 1
+		d.mu.Unlock()
+	}
+	pool := pkt.NewPool(2048, 128)
+	b := buildUplink(pool, res.UplinkTEID, res.UEAddr, 1, node.Slice(1).Config().CoreAddr, 80)
+	node.SteerUplink(b)
+	d.steerTestHook = nil
+	if !fired {
+		t.Fatal("window hook never ran — steer did not see the migration entry")
+	}
+	if got := d.Buffered.Load(); got != 0 {
+		t.Fatalf("packet buffered against completed migration (buffered=%d)", got)
+	}
+	if got := d.Unknown.Load(); got != 0 {
+		t.Fatalf("packet dropped as unknown (unknown=%d)", got)
+	}
+	out := make([]*pkt.Buf, 4)
+	if n := node.Slice(1).Uplink.DequeueBatch(out); n != 1 {
+		t.Fatalf("new owner received %d packets, want 1", n)
+	}
+	out[0].Free()
+	if n := node.Slice(0).Uplink.DequeueBatch(out); n != 0 {
+		t.Fatalf("old owner received %d packets", n)
+	}
+}
+
+// TestSteerDuringConcurrentMigration hammers steer against real
+// back-and-forth migrations so the race detector can check the
+// double-check path, and verifies no packet is lost: every steered
+// packet is accounted for on a ring, in a migration buffer drain, or in
+// the unknown counter.
+func TestSteerDuringConcurrentMigration(t *testing.T) {
+	node := NewNode(SliceConfig{ID: 1, UserHint: 64, RingCapacity: 1 << 14},
+		SliceConfig{ID: 2, UserHint: 64, RingCapacity: 1 << 14})
+	res, err := node.AttachUser(0, AttachSpec{IMSI: 77, ENBAddr: 1, DownlinkTEID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src, dst := 0, 1
+		for i := 0; i < 40; i++ {
+			if err := node.Scheduler().MigrateUser(77, src, dst); err != nil {
+				t.Errorf("migration %d: %v", i, err)
+				return
+			}
+			src, dst = dst, src
+		}
+	}()
+	pool := pkt.NewPool(1<<15, 128)
+	for i := 0; i < total; i++ {
+		b := buildUplink(pool, res.UplinkTEID, res.UEAddr, 1, node.Slice(0).Config().CoreAddr, 80)
+		node.SteerUplink(b)
+	}
+	wg.Wait()
+	d := node.Demux()
+	out := make([]*pkt.Buf, 256)
+	ringed := 0
+	for _, s := range []*Slice{node.Slice(0), node.Slice(1)} {
+		for {
+			n := s.Uplink.DequeueBatch(out)
+			if n == 0 {
+				break
+			}
+			for _, b := range out[:n] {
+				b.Free()
+			}
+			ringed += n
+		}
+	}
+	if got := uint64(ringed) + d.Unknown.Load(); got != total {
+		t.Fatalf("packets accounted = %d (ringed=%d unknown=%d), want %d",
+			got, ringed, d.Unknown.Load(), total)
+	}
+}

@@ -26,6 +26,8 @@ const sampleConfig = `{
       "users": 500,
       "two_level_table": true,
       "primary_size": 64,
+      "sync_every": 16,
+      "batch_size": 8,
       "iot_pool_size": 100
     }
   ]
@@ -83,6 +85,10 @@ func TestBuildNodeFromConfig(t *testing.T) {
 	}
 	if n.Slice(1).Config().IoTTEIDCount != 100 {
 		t.Fatalf("slice 1 IoT pool = %d", n.Slice(1).Config().IoTTEIDCount)
+	}
+	if n.Slice(1).Config().SyncEvery != 16 || n.Slice(1).Config().BatchSize != 8 {
+		t.Fatalf("slice 1 sync_every=%d batch_size=%d",
+			n.Slice(1).Config().SyncEvery, n.Slice(1).Config().BatchSize)
 	}
 	// The configured drop rule is live: SMTP is blocked on slice 0.
 	res, err := n.AttachUser(0, AttachSpec{IMSI: 1, ENBAddr: 1, DownlinkTEID: 2})

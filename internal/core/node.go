@@ -124,6 +124,12 @@ type Demux struct {
 	Steered  atomic.Uint64
 	Unknown  atomic.Uint64
 	Buffered atomic.Uint64
+
+	// steerTestHook, when non-nil, runs between steer's read-locked
+	// migration lookup and its write-locked double check. Tests use it to
+	// complete a migration inside that window deterministically; nil in
+	// production.
+	steerTestHook func()
 }
 
 type migBuffer struct {
@@ -228,6 +234,9 @@ func (n *Node) steer(key uint32, b *pkt.Buf, uplink bool) {
 	}
 	d.mu.RUnlock()
 	if mb != nil {
+		if d.steerTestHook != nil {
+			d.steerTestHook()
+		}
 		// User is mid-migration: buffer until the transfer completes
 		// (§4.3: "the PEPC scheduler buffers the packets which are
 		// undergoing migration ... per-user migration queues, which are

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// its allocations distort testing.AllocsPerRun.
+const raceEnabled = true

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"pepc/internal/gtp"
+	"pepc/internal/nf"
+	"pepc/internal/pkt"
+	"pepc/internal/ring"
+	"pepc/internal/sim"
+)
+
+// ShardedData runs N share-nothing slices as genuinely concurrent data
+// workers (Fig 7): an RSS-style spray steers each packet to the worker
+// owning its user and enqueues it on that worker's single-producer/
+// single-consumer ring, and each worker drains its own uplink and
+// downlink rings on a dedicated goroutine. Nothing is shared between
+// shards — per-user state, indexes, PCEF tables and egress rings are all
+// per-slice — so throughput scales with cores exactly as the paper's
+// share-nothing argument predicts.
+//
+// The steering function exploits this deployment's address plan: slice
+// ID i allocates uplink TEIDs as (i+16)<<24|seq and UE addresses as
+// (i+10)<<24|seq (see ControlPlane.allocate), so the top byte of the key
+// identifies the owner. That is what a NIC's RSS indirection table does
+// on real hardware — a deterministic pure function of the header
+// mapping every flow of a user to one queue; here the indirection table
+// is built from the shards' ID prefixes.
+//
+// The spray side is single-producer: call SprayUplink/SprayDownlink from
+// one driver goroutine only. Run starts the consumer goroutines.
+type ShardedData struct {
+	slices []*Slice
+	up     []*ring.SPSC[*pkt.Buf]
+	down   []*ring.SPSC[*pkt.Buf]
+
+	// Indirection tables: key's top byte → shard index, -1 when no shard
+	// owns the prefix.
+	byTEID [256]int16
+	byIP   [256]int16
+}
+
+// ErrNoShards reports an empty shard set.
+var ErrNoShards = errors.New("core: sharded data plane needs at least one slice")
+
+// NewShardedData builds the runner over the given slices with per-shard
+// spray rings of ringCap entries (power of two; 0 selects 4096).
+func NewShardedData(slices []*Slice, ringCap int) (*ShardedData, error) {
+	if len(slices) == 0 {
+		return nil, ErrNoShards
+	}
+	if ringCap <= 0 {
+		ringCap = 1 << 12
+	}
+	sd := &ShardedData{slices: slices}
+	for i := range sd.byTEID {
+		sd.byTEID[i] = -1
+		sd.byIP[i] = -1
+	}
+	for i, s := range slices {
+		up, err := ring.NewSPSC[*pkt.Buf](ringCap)
+		if err != nil {
+			return nil, err
+		}
+		down, err := ring.NewSPSC[*pkt.Buf](ringCap)
+		if err != nil {
+			return nil, err
+		}
+		sd.up = append(sd.up, up)
+		sd.down = append(sd.down, down)
+		id := uint32(s.Config().ID)
+		sd.byTEID[byte(id+16)] = int16(i)
+		sd.byIP[byte(id+10)] = int16(i)
+	}
+	return sd, nil
+}
+
+// Shards returns the number of shards.
+func (sd *ShardedData) Shards() int { return len(sd.slices) }
+
+// Slice returns shard i's slice.
+func (sd *ShardedData) Slice(i int) *Slice { return sd.slices[i] }
+
+// SteerUplink returns the shard owning an encapsulated uplink packet.
+// Packets that do not parse as G-PDUs (echo requests, malformed input)
+// go to shard 0, whose data plane serves the echo fast path or drops.
+func (sd *ShardedData) SteerUplink(b *pkt.Buf) int {
+	teid, err := gtp.PeekTEID(b.Bytes())
+	if err != nil {
+		return 0
+	}
+	if s := sd.byTEID[byte(teid>>24)]; s >= 0 {
+		return int(s)
+	}
+	return 0
+}
+
+// SteerDownlink returns the shard owning a plain-IP downlink packet by
+// its destination (UE) address prefix.
+func (sd *ShardedData) SteerDownlink(b *pkt.Buf) int {
+	data := b.Bytes()
+	if len(data) >= pkt.IPv4HeaderLen {
+		if s := sd.byIP[data[16]]; s >= 0 {
+			return int(s)
+		}
+	}
+	return 0
+}
+
+// SprayUplink steers an uplink packet and enqueues it on its shard's
+// ring, reporting false when the ring is full (caller applies
+// backpressure or drops).
+func (sd *ShardedData) SprayUplink(b *pkt.Buf) bool {
+	return sd.up[sd.SteerUplink(b)].Enqueue(b)
+}
+
+// SprayDownlink is SprayUplink for the downlink direction.
+func (sd *ShardedData) SprayDownlink(b *pkt.Buf) bool {
+	return sd.down[sd.SteerDownlink(b)].Enqueue(b)
+}
+
+// DrainEgress frees every packet currently queued on the shards' egress
+// rings and returns the count. The driver is the rings' only consumer.
+func (sd *ShardedData) DrainEgress() int {
+	n := 0
+	for _, s := range sd.slices {
+		for {
+			b, ok := s.Egress.Dequeue()
+			if !ok {
+				break
+			}
+			b.Free()
+			n++
+		}
+	}
+	return n
+}
+
+// Terminal returns the total number of packets the shards have brought
+// to a terminal state (forwarded or dropped); the driver uses the delta
+// across a run to know when every sprayed packet has been consumed.
+func (sd *ShardedData) Terminal() uint64 {
+	var n uint64
+	for _, s := range sd.slices {
+		n += s.Data().Forwarded.Load() + s.Data().Dropped.Load()
+	}
+	return n
+}
+
+// Run starts one data goroutine per shard and blocks until stop closes
+// and every worker has exited. Each worker polls its shard's uplink and
+// downlink spray rings with the slice's BatchSize and syncs control
+// updates every SyncEvery packets, exactly like Slice.RunData — the only
+// difference is the ring type (SPSC from the spray, instead of the
+// slice's multi-producer ingress rings).
+func (sd *ShardedData) Run(stop <-chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(len(sd.slices))
+	for i, s := range sd.slices {
+		go func(i int, s *Slice) {
+			defer wg.Done()
+			s.data.running.Store(true)
+			defer s.data.running.Store(false)
+			w := &nf.Worker{
+				In:             sd.up[i],
+				In2:            sd.down[i],
+				BatchSize:      s.cfg.BatchSize,
+				HousekeepEvery: s.cfg.SyncEvery,
+				Handler: func(batch []*pkt.Buf) {
+					s.data.ProcessUplinkBatch(batch, sim.Now())
+				},
+				Handler2: func(batch []*pkt.Buf) {
+					s.data.ProcessDownlinkBatch(batch, sim.Now())
+				},
+				Housekeep: func() { s.data.SyncUpdates() },
+			}
+			w.Run(stop)
+		}(i, s)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"pepc/internal/pkt"
+	"pepc/internal/workload"
+)
+
+// shardedHarness builds k slices with n users each behind a ShardedData
+// runner and returns per-shard generator coordinates.
+func shardedHarness(t *testing.T, k, n int) (*ShardedData, [][]workload.User) {
+	t.Helper()
+	slices := make([]*Slice, k)
+	users := make([][]workload.User, k)
+	for i := range slices {
+		s := NewSlice(SliceConfig{ID: i + 1, UserHint: 1 << 10, RingCapacity: 1 << 12})
+		for j := 0; j < n; j++ {
+			res, err := s.Control().Attach(AttachSpec{
+				IMSI: uint64((i+1)*1_000_000 + j), ENBAddr: 1, DownlinkTEID: uint32(j + 1),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			users[i] = append(users[i], workload.User{
+				IMSI: uint64((i+1)*1_000_000 + j), UplinkTEID: res.UplinkTEID, UEAddr: res.UEAddr,
+			})
+		}
+		s.Data().SyncUpdates()
+		slices[i] = s
+	}
+	sd, err := NewShardedData(slices, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sd, users
+}
+
+func TestShardedDataSteering(t *testing.T) {
+	sd, users := shardedHarness(t, 3, 4)
+	pool := pkt.NewPool(2048, 128)
+	for i, pop := range users {
+		for _, u := range pop {
+			up := buildUplink(pool, u.UplinkTEID, u.UEAddr, 1, sd.Slice(i).Config().CoreAddr, 80)
+			if got := sd.SteerUplink(up); got != i {
+				t.Fatalf("teid %#x steered to shard %d, want %d", u.UplinkTEID, got, i)
+			}
+			up.Free()
+			down := buildDownlink(pool, u.UEAddr, 443)
+			if got := sd.SteerDownlink(down); got != i {
+				t.Fatalf("ueaddr %#x steered to shard %d, want %d", u.UEAddr, got, i)
+			}
+			down.Free()
+		}
+	}
+	// Unparseable input and unknown prefixes fall back to shard 0.
+	g := pool.Get()
+	g.SetBytes([]byte{0xff})
+	if got := sd.SteerUplink(g); got != 0 {
+		t.Fatalf("garbage steered to %d", got)
+	}
+	g.Free()
+	alien := buildUplink(pool, 0xFE00_0001, 1, 2, 3, 80)
+	if got := sd.SteerUplink(alien); got != 0 {
+		t.Fatalf("unknown prefix steered to %d", got)
+	}
+	alien.Free()
+
+	if _, err := NewShardedData(nil, 0); err != ErrNoShards {
+		t.Fatalf("empty shard set: %v", err)
+	}
+}
+
+// TestShardedDataParallelRun drives concurrent shard workers from a
+// single spray goroutine — the Fig 7 parallel topology — and checks that
+// every sprayed packet reaches a terminal state on the shard owning its
+// user. Run under -race this validates the spray/worker/egress
+// single-producer single-consumer contracts.
+func TestShardedDataParallelRun(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	sd, users := shardedHarness(t, 2, 8)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sd.Run(stop)
+	}()
+
+	pool := pkt.NewPool(1<<14, 128)
+	const perShard = 500
+	base := sd.Terminal()
+	for j := 0; j < perShard; j++ {
+		for i, pop := range users {
+			u := pop[j%len(pop)]
+			up := buildUplink(pool, u.UplinkTEID, u.UEAddr, 1, sd.Slice(i).Config().CoreAddr, 80)
+			for !sd.SprayUplink(up) {
+				sd.DrainEgress()
+				runtime.Gosched()
+			}
+			down := buildDownlink(pool, u.UEAddr, 443)
+			for !sd.SprayDownlink(down) {
+				sd.DrainEgress()
+				runtime.Gosched()
+			}
+		}
+	}
+	total := uint64(perShard * len(users) * 2)
+	deadline := time.After(10 * time.Second)
+	for sd.Terminal()-base < total {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d packets terminal", sd.Terminal()-base, total)
+		default:
+			sd.DrainEgress()
+			runtime.Gosched()
+		}
+	}
+	close(stop)
+	<-done
+	sd.DrainEgress()
+
+	for i := 0; i < sd.Shards(); i++ {
+		dp := sd.Slice(i).Data()
+		if dp.Missed.Load() != 0 {
+			t.Fatalf("shard %d missed %d packets — spray steered to wrong owner", i, dp.Missed.Load())
+		}
+		if dp.Forwarded.Load() != perShard*2 {
+			t.Fatalf("shard %d forwarded %d, want %d", i, dp.Forwarded.Load(), perShard*2)
+		}
+	}
+}

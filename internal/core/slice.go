@@ -8,7 +8,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"pepc/internal/gtp"
@@ -45,6 +44,11 @@ type SliceConfig struct {
 	// SyncEvery is the data thread's update-sync interval in packets
 	// (§7.2; the paper uses 32). 1 disables batching.
 	SyncEvery int
+	// BatchSize is the data worker's per-poll dequeue budget in worker
+	// mode (RunData). It is independent of SyncEvery: dequeue batch size
+	// trades latency for poll amortization, while SyncEvery fixes how
+	// stale the data-plane indexes may get.
+	BatchSize int
 	// RingCapacity sizes the slice's packet rings (power of two).
 	RingCapacity int
 	// IoTTEIDBase/IoTTEIDCount reserve a TEID pool for Stateless IoT
@@ -71,6 +75,9 @@ func (c SliceConfig) withDefaults() SliceConfig {
 	}
 	if c.SyncEvery <= 0 {
 		c.SyncEvery = state.DefaultSyncEvery
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = nf.DefaultBatchSize
 	}
 	if c.RingCapacity <= 0 {
 		c.RingCapacity = 1 << 12
@@ -198,6 +205,44 @@ type DataPlane struct {
 	lat *sim.Histogram
 
 	sinceSync int
+
+	// scratch holds the staged pipeline's preallocated per-stage arrays.
+	// Batch processing is single-threaded: ProcessUplinkBatch and
+	// ProcessDownlinkBatch share the scratch and must be called from one
+	// goroutine (the data thread), as RunData and the paper's
+	// run-to-completion model already require.
+	scratch dpScratch
+}
+
+// dpScratch is the per-DataPlane working set of the stage-oriented batch
+// pipeline. Arrays grow to the largest batch seen and are then reused,
+// keeping the steady-state fast path allocation free.
+type dpScratch struct {
+	live    []bool      // packet survived the parse stage
+	keys    []uint32    // lookup key (uplink TEID / downlink UE address)
+	flows   []pkt.Flow  // parsed inner 5-tuple
+	plens   []int       // inner byte length for accounting
+	runOf   []int32     // packet index → key-run index
+	allowed []bool      // per-packet policing verdict (fallback path)
+	runKeys []uint32    // distinct consecutive keys of the batch
+	runUEs  []*state.UE // resolved state, one per key run
+	runSec  []bool      // two-level: run resolved from the secondary
+	rules   pcef.RuleSet
+}
+
+func (sc *dpScratch) ensure(n int) {
+	if cap(sc.live) >= n {
+		return
+	}
+	sc.live = make([]bool, n)
+	sc.keys = make([]uint32, n)
+	sc.flows = make([]pkt.Flow, n)
+	sc.plens = make([]int, n)
+	sc.runOf = make([]int32, n)
+	sc.allowed = make([]bool, n)
+	sc.runKeys = make([]uint32, n)
+	sc.runUEs = make([]*state.UE, n)
+	sc.runSec = make([]bool, n)
 }
 
 func newDataPlane(s *Slice) *DataPlane {
@@ -243,90 +288,185 @@ func (dp *DataPlane) lookup(key uint32, uplink bool) *state.UE {
 	return ue
 }
 
-// tickSync advances the per-packet sync counter and applies pending
-// control updates every SyncEvery packets — the paper's batching knob
-// (§7.2): SyncEvery=1 checks the queue on every packet, SyncEvery=32
-// amortizes the check and the cache traffic over a batch.
-func (dp *DataPlane) tickSync() {
-	dp.sinceSync++
-	if dp.sinceSync >= dp.s.cfg.SyncEvery {
-		dp.SyncUpdates()
-		dp.sinceSync = 0
-	}
-}
-
-// ProcessUplinkBatch runs the uplink pipeline over a batch in place:
-// GTP-U decapsulation, per-user state lookup by TEID, PCEF
-// classification, QoS policing, counter updates, then forwards the inner
-// packet to Egress. Inline mode for benchmarks; RunData wraps it for
-// worker mode.
+// ProcessUplinkBatch runs the uplink pipeline over a batch stage by
+// stage rather than packet by packet: (1) a parse stage decapsulates
+// GTP-U, serves the echo and stateless-IoT fast paths, decodes the inner
+// IPv4 header and extracts the TEID key for every packet; (2) a lookup
+// stage groups the batch into key runs — maximal stretches of
+// consecutive packets for the same user, as eNodeBs and traffic
+// generators emit them — and resolves each run with one table probe
+// through the state layer's batched lookups; (3) a verdict stage
+// classifies, polices and counts each run with one PCEF match, one
+// control-state read, one aggregate token-bucket operation and one
+// counter write per run instead of per packet. The batch is segmented at
+// SyncEvery boundaries so control-update sync keeps its exact per-packet
+// granularity (§7.2, Figure 13). Inline mode for benchmarks; RunData
+// wraps it for worker mode. Single data thread only (see dpScratch).
 func (dp *DataPlane) ProcessUplinkBatch(batch []*pkt.Buf, now int64) {
-	for _, b := range batch {
-		dp.processUplink(b, now)
-		dp.tickSync()
+	for len(batch) > 0 {
+		chunk := dp.s.cfg.SyncEvery - dp.sinceSync
+		if chunk > len(batch) {
+			chunk = len(batch)
+		}
+		dp.uplinkChunk(batch[:chunk], now)
+		dp.sinceSync += chunk
+		if dp.sinceSync >= dp.s.cfg.SyncEvery {
+			dp.SyncUpdates()
+			dp.sinceSync = 0
+		}
+		batch = batch[chunk:]
 	}
 }
 
-func (dp *DataPlane) processUplink(b *pkt.Buf, now int64) {
-	teid, err := gtp.DecapGPDU(b)
-	if err != nil {
-		if err == gtp.ErrNotGPDU && dp.answerEcho(b, now) {
-			return
-		}
-		dp.drop(b)
-		return
-	}
-	b.Meta.TEID = teid
-	b.Meta.Uplink = true
+// uplinkChunk processes one sync-interval's worth of uplink packets
+// through the three stages. No update sync happens inside a chunk, so
+// every lookup observes the same index state the packet-at-a-time loop
+// would have.
+func (dp *DataPlane) uplinkChunk(batch []*pkt.Buf, now int64) {
+	sc := &dp.scratch
+	n := len(batch)
+	sc.ensure(n)
+	sc.rules = dp.s.pcefTable.Snapshot()
 
-	// Stateless IoT fast path (§4.2): TEIDs from the reserved pool skip
-	// the per-user state lookup, per-user locks and QoS state; the
-	// slice-level policy and charging rules still apply ("the data plane
-	// avoids the state lookups, only applies policy and charging rules").
-	if dp.isIoT(teid) {
-		dp.IoTFast.Add(1)
+	// Stage 1: decap, fast paths, inner parse, key extraction.
+	for i, b := range batch {
+		sc.live[i] = false
+		teid, err := gtp.DecapGPDU(b)
+		if err != nil {
+			if err == gtp.ErrNotGPDU && dp.answerEcho(b, now) {
+				continue
+			}
+			dp.drop(b)
+			continue
+		}
+		b.Meta.TEID = teid
+		b.Meta.Uplink = true
+
+		// Stateless IoT fast path (§4.2): TEIDs from the reserved pool
+		// skip the per-user state lookup, per-user locks and QoS state;
+		// the slice-level policy and charging rules still apply.
+		if dp.isIoT(teid) {
+			dp.IoTFast.Add(1)
+			flow, plen, ok := parseInner(b)
+			if !ok {
+				dp.drop(b)
+				continue
+			}
+			if sc.rules.ClassifyFlow(flow).Action == pcef.ActionDrop {
+				dp.drop(b)
+				continue
+			}
+			dp.IoTBytes.Add(uint64(plen))
+			dp.forward(b, now)
+			continue
+		}
+
 		flow, plen, ok := parseInner(b)
 		if !ok {
 			dp.drop(b)
-			return
+			continue
 		}
-		verdict := dp.s.pcefTable.ClassifyFlow(flow)
-		if verdict.Action == pcef.ActionDrop {
-			dp.drop(b)
-			return
+		b.Meta.Flow = flow
+		sc.live[i] = true
+		sc.keys[i] = teid
+		sc.flows[i] = flow
+		sc.plens[i] = plen
+	}
+
+	// Stage 2: one state lookup per key run.
+	dp.lookupRuns(batch, true)
+
+	// Stage 3: verdict/forward, one run at a time. A run extends while
+	// the key run and the 5-tuple both repeat, so classification, bearer
+	// selection and policing are provably identical for every packet in
+	// it.
+	for i := 0; i < n; {
+		if !sc.live[i] {
+			i++
+			continue
 		}
-		dp.IoTBytes.Add(uint64(plen))
-		dp.forward(b, now)
+		ue := sc.runUEs[sc.runOf[i]]
+		if ue == nil {
+			dp.Missed.Add(1)
+			dp.drop(batch[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && sc.live[j] && sc.runOf[j] == sc.runOf[i] && sc.flows[j] == sc.flows[i] {
+			j++
+		}
+		dp.uplinkRun(batch, i, j, ue, now)
+		i = j
+	}
+}
+
+// lookupRuns groups the chunk's live packets into runs of consecutive
+// equal keys and resolves each distinct run with a single probe via the
+// state layer's batched lookup (uplink: TEID index, downlink: IP index).
+// For two-level tables all secondary probes of the chunk share one read
+// lock, and each secondary hit requests promotion once per run.
+func (dp *DataPlane) lookupRuns(batch []*pkt.Buf, uplink bool) {
+	sc := &dp.scratch
+	nruns := 0
+	var prevKey uint32
+	for i := range batch {
+		if !sc.live[i] {
+			continue
+		}
+		if nruns == 0 || sc.keys[i] != prevKey {
+			sc.runKeys[nruns] = sc.keys[i]
+			prevKey = sc.keys[i]
+			nruns++
+		}
+		sc.runOf[i] = int32(nruns - 1)
+	}
+	if nruns == 0 {
 		return
 	}
-
-	ue := dp.lookup(teid, true)
-	if ue == nil {
-		dp.Missed.Add(1)
-		dp.drop(b)
+	if dp.s.ix != nil {
+		if uplink {
+			dp.s.ix.ByTEID.GetBatch(sc.runKeys[:nruns], sc.runUEs[:nruns])
+		} else {
+			dp.s.ix.ByIP.GetBatch(sc.runKeys[:nruns], sc.runUEs[:nruns])
+		}
 		return
 	}
-
-	// Parse the inner packet for classification.
-	flow, plen, ok := parseInner(b)
-	if !ok {
-		dp.drop(b)
-		return
+	dp.s.tl.LookupBatch(sc.runKeys[:nruns], uplink, sc.runUEs[:nruns], sc.runSec[:nruns])
+	for r := 0; r < nruns; r++ {
+		if sc.runSec[r] {
+			dp.s.ctrl.requestPromotion(sc.runUEs[r])
+		}
 	}
-	b.Meta.Flow = flow
+}
 
-	verdict := dp.s.pcefTable.ClassifyFlow(flow)
+// uplinkRun applies classification, policing, charging and forwarding to
+// batch[lo:hi], a run of packets from one user sharing one 5-tuple. The
+// run costs one PCEF match, one ReadCtrl, one aggregate token-bucket
+// call and one WriteCounters; when the aggregate bucket check cannot
+// admit the whole run it consumes nothing and the run falls back to
+// per-packet policing inside the same control read, reproducing the
+// packet-at-a-time semantics exactly.
+func (dp *DataPlane) uplinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now int64) {
+	sc := &dp.scratch
+	flow := sc.flows[lo]
+	count := uint64(hi - lo)
+	verdict := sc.rules.ClassifyFlow(flow)
 	if verdict.Action == pcef.ActionDrop {
-		dp.countDrop(ue)
-		dp.drop(b)
+		ue.WriteCounters(func(c *state.CounterState) { c.DroppedPackets += count })
+		for k := lo; k < hi; k++ {
+			dp.drop(batch[k])
+		}
 		return
 	}
 
-	// Read control state (shared lock): map the flow to its bearer via
-	// the TFTs, resolve the charging slot, and police; rebuild the
-	// data-private limiter when the control epoch advanced.
-	allowed := true
-	var ruleSlot = -1
+	var total uint64
+	for k := lo; k < hi; k++ {
+		total += uint64(sc.plens[k])
+	}
+	ruleSlot := -1
+	allowedAll := true
+	partial := false
 	ue.ReadCtrl(func(c *state.ControlState) {
 		if c.Epoch != ue.Priv.Epoch {
 			rebuildPriv(ue, c)
@@ -339,63 +479,156 @@ func (dp *DataPlane) processUplink(b *pkt.Buf, now int64) {
 		}
 		if ue.Priv.Limiter != nil {
 			bearer := c.SelectBearer(flow)
-			allowed = ue.Priv.Limiter.AllowUplink(now, bearer, uint64(plen))
+			if count == 1 {
+				allowedAll = ue.Priv.Limiter.AllowUplink(now, bearer, total)
+			} else if !ue.Priv.Limiter.AllowUplinkRun(now, bearer, total) {
+				allowedAll = false
+				partial = true
+				for k := lo; k < hi; k++ {
+					sc.allowed[k] = ue.Priv.Limiter.AllowUplink(now, bearer, uint64(sc.plens[k]))
+				}
+			}
 		}
 	})
-	if !allowed {
-		dp.countDrop(ue)
-		dp.drop(b)
+
+	if !partial {
+		if !allowedAll { // single-packet run, denied
+			dp.countDrop(ue)
+			dp.drop(batch[lo])
+			return
+		}
+		ue.WriteCounters(func(c *state.CounterState) {
+			c.UplinkPackets += count
+			c.UplinkBytes += total
+			if ruleSlot >= 0 {
+				c.RuleBytes[ruleSlot] += total
+			}
+		})
+		for k := lo; k < hi; k++ {
+			dp.forward(batch[k], now)
+		}
 		return
 	}
 
-	// Counter state: data thread is the single writer.
+	// Mixed verdicts from the per-packet fallback: aggregate both sides
+	// into one counter write, then forward/drop per packet.
+	var nAllowed, bytesAllowed uint64
+	for k := lo; k < hi; k++ {
+		if sc.allowed[k] {
+			nAllowed++
+			bytesAllowed += uint64(sc.plens[k])
+		}
+	}
 	ue.WriteCounters(func(c *state.CounterState) {
-		c.UplinkPackets++
-		c.UplinkBytes += uint64(plen)
+		c.UplinkPackets += nAllowed
+		c.UplinkBytes += bytesAllowed
 		if ruleSlot >= 0 {
-			c.RuleBytes[ruleSlot] += uint64(plen)
+			c.RuleBytes[ruleSlot] += bytesAllowed
 		}
+		c.DroppedPackets += count - nAllowed
 	})
-	dp.forward(b, now)
+	for k := lo; k < hi; k++ {
+		if sc.allowed[k] {
+			dp.forward(batch[k], now)
+		} else {
+			dp.drop(batch[k])
+		}
+	}
 }
 
-// ProcessDownlinkBatch runs the downlink pipeline: user lookup by UE
-// address, classification, policing, GTP-U encapsulation toward the
-// user's current eNodeB, counters, forward.
+// ProcessDownlinkBatch runs the downlink pipeline stage by stage: parse
+// and key extraction, run-coalesced lookup by UE address, then per-run
+// classification, policing, GTP-U encapsulation toward the user's
+// current eNodeB, counters and forward. Segmentation and threading rules
+// are as in ProcessUplinkBatch.
 func (dp *DataPlane) ProcessDownlinkBatch(batch []*pkt.Buf, now int64) {
-	for _, b := range batch {
-		dp.processDownlink(b, now)
-		dp.tickSync()
+	for len(batch) > 0 {
+		chunk := dp.s.cfg.SyncEvery - dp.sinceSync
+		if chunk > len(batch) {
+			chunk = len(batch)
+		}
+		dp.downlinkChunk(batch[:chunk], now)
+		dp.sinceSync += chunk
+		if dp.sinceSync >= dp.s.cfg.SyncEvery {
+			dp.SyncUpdates()
+			dp.sinceSync = 0
+		}
+		batch = batch[chunk:]
 	}
 }
 
-func (dp *DataPlane) processDownlink(b *pkt.Buf, now int64) {
-	flow, plen, ok := parseInner(b)
-	if !ok {
-		dp.drop(b)
-		return
-	}
-	b.Meta.Flow = flow
-	b.Meta.UEIP = flow.Dst
-	b.Meta.Uplink = false
+func (dp *DataPlane) downlinkChunk(batch []*pkt.Buf, now int64) {
+	sc := &dp.scratch
+	n := len(batch)
+	sc.ensure(n)
+	sc.rules = dp.s.pcefTable.Snapshot()
 
-	ue := dp.lookup(flow.Dst, false)
-	if ue == nil {
-		dp.Missed.Add(1)
-		dp.drop(b)
-		return
+	// Stage 1: parse, key extraction.
+	for i, b := range batch {
+		sc.live[i] = false
+		flow, plen, ok := parseInner(b)
+		if !ok {
+			dp.drop(b)
+			continue
+		}
+		b.Meta.Flow = flow
+		b.Meta.UEIP = flow.Dst
+		b.Meta.Uplink = false
+		sc.live[i] = true
+		sc.keys[i] = flow.Dst
+		sc.flows[i] = flow
+		sc.plens[i] = plen
 	}
 
-	verdict := dp.s.pcefTable.ClassifyFlow(flow)
+	// Stage 2: one state lookup per key run.
+	dp.lookupRuns(batch, false)
+
+	// Stage 3: verdict/encap/forward per run.
+	for i := 0; i < n; {
+		if !sc.live[i] {
+			i++
+			continue
+		}
+		ue := sc.runUEs[sc.runOf[i]]
+		if ue == nil {
+			dp.Missed.Add(1)
+			dp.drop(batch[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && sc.live[j] && sc.runOf[j] == sc.runOf[i] && sc.flows[j] == sc.flows[i] {
+			j++
+		}
+		dp.downlinkRun(batch, i, j, ue, now)
+		i = j
+	}
+}
+
+// downlinkRun is uplinkRun for the downlink direction, adding the
+// tunnel-endpoint read (paging when the user is idle) and per-packet
+// GTP-U encapsulation before the aggregated counter write.
+func (dp *DataPlane) downlinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now int64) {
+	sc := &dp.scratch
+	flow := sc.flows[lo]
+	count := uint64(hi - lo)
+	verdict := sc.rules.ClassifyFlow(flow)
 	if verdict.Action == pcef.ActionDrop {
-		dp.countDrop(ue)
-		dp.drop(b)
+		ue.WriteCounters(func(c *state.CounterState) { c.DroppedPackets += count })
+		for k := lo; k < hi; k++ {
+			dp.drop(batch[k])
+		}
 		return
 	}
 
+	var total uint64
+	for k := lo; k < hi; k++ {
+		total += uint64(sc.plens[k])
+	}
 	var teid, enbAddr uint32
-	allowed := true
 	ruleSlot := -1
+	allowedAll := true
+	partial := false
 	ue.ReadCtrl(func(c *state.ControlState) {
 		if c.Epoch != ue.Priv.Epoch {
 			rebuildPriv(ue, c)
@@ -410,33 +643,63 @@ func (dp *DataPlane) processDownlink(b *pkt.Buf, now int64) {
 		}
 		if ue.Priv.Limiter != nil {
 			bearer := c.SelectBearer(flow)
-			allowed = ue.Priv.Limiter.AllowDownlink(now, bearer, uint64(plen))
+			if count == 1 {
+				allowedAll = ue.Priv.Limiter.AllowDownlink(now, bearer, total)
+			} else if !ue.Priv.Limiter.AllowDownlinkRun(now, bearer, total) {
+				allowedAll = false
+				partial = true
+				for k := lo; k < hi; k++ {
+					sc.allowed[k] = ue.Priv.Limiter.AllowDownlink(now, bearer, uint64(sc.plens[k]))
+				}
+			}
 		}
 	})
 	if teid == 0 {
-		// Idle user (S1 released): park for paging rather than drop.
-		dp.parkForPaging(b, ue)
+		// Idle user (S1 released): park the whole run for paging rather
+		// than drop.
+		for k := lo; k < hi; k++ {
+			dp.parkForPaging(batch[k], ue)
+		}
 		return
 	}
-	if !allowed {
+	if !partial && !allowedAll { // single-packet run, denied
 		dp.countDrop(ue)
-		dp.drop(b)
+		dp.drop(batch[lo])
 		return
 	}
 
-	if err := gtp.EncapGPDU(b, teid, dp.s.cfg.CoreAddr, enbAddr); err != nil {
-		dp.countDrop(ue)
-		dp.drop(b)
-		return
+	// Encap each admitted packet, then settle the run's counters in one
+	// write and forward. sc.allowed doubles as the forward mask here.
+	var nFwd, bytesFwd, nDrop uint64
+	for k := lo; k < hi; k++ {
+		if partial && !sc.allowed[k] {
+			nDrop++
+			dp.drop(batch[k])
+			continue
+		}
+		if err := gtp.EncapGPDU(batch[k], teid, dp.s.cfg.CoreAddr, enbAddr); err != nil {
+			sc.allowed[k] = false
+			nDrop++
+			dp.drop(batch[k])
+			continue
+		}
+		sc.allowed[k] = true
+		nFwd++
+		bytesFwd += uint64(sc.plens[k])
 	}
 	ue.WriteCounters(func(c *state.CounterState) {
-		c.DownlinkPackets++
-		c.DownlinkBytes += uint64(plen)
+		c.DownlinkPackets += nFwd
+		c.DownlinkBytes += bytesFwd
 		if ruleSlot >= 0 {
-			c.RuleBytes[ruleSlot] += uint64(plen)
+			c.RuleBytes[ruleSlot] += bytesFwd
 		}
+		c.DroppedPackets += nDrop
 	})
-	dp.forward(b, now)
+	for k := lo; k < hi; k++ {
+		if sc.allowed[k] {
+			dp.forward(batch[k], now)
+		}
+	}
 }
 
 func (dp *DataPlane) isIoT(teid uint32) bool {
@@ -507,35 +770,32 @@ func parseInner(b *pkt.Buf) (pkt.Flow, int, bool) {
 	return f, b.Len(), true
 }
 
-// RunData runs the data plane as two workers (uplink and downlink) until
-// stop closes — worker mode for end-to-end and latency experiments. The
-// two directions share the data thread in the paper's single-data-core
-// configuration, so both rings are polled from one goroutine here.
+// RunData runs the data plane until stop closes — worker mode for
+// end-to-end and latency experiments. Both directions share one
+// run-to-completion goroutine, the paper's single-data-core slice: one
+// nf.Worker polls the uplink then the downlink ring each iteration, so
+// the data thread really is a single thread (the update-sync counter,
+// the staged-pipeline scratch and the single-producer Egress ring all
+// rely on that). Dequeue batch size comes from cfg.BatchSize;
+// update-sync granularity stays cfg.SyncEvery — the two knobs are
+// independent.
 func (s *Slice) RunData(stop <-chan struct{}) {
 	s.data.running.Store(true)
 	defer s.data.running.Store(false)
-	up := &nf.Worker{
+	w := &nf.Worker{
 		In:             s.Uplink,
-		BatchSize:      s.cfg.SyncEvery,
+		In2:            s.Downlink,
+		BatchSize:      s.cfg.BatchSize,
 		HousekeepEvery: s.cfg.SyncEvery,
 		Handler: func(batch []*pkt.Buf) {
 			s.data.ProcessUplinkBatch(batch, sim.Now())
 		},
-		Housekeep: func() { s.data.SyncUpdates() },
-	}
-	down := &nf.Worker{
-		In:             s.Downlink,
-		BatchSize:      s.cfg.SyncEvery,
-		HousekeepEvery: s.cfg.SyncEvery,
-		Handler: func(batch []*pkt.Buf) {
+		Handler2: func(batch []*pkt.Buf) {
 			s.data.ProcessDownlinkBatch(batch, sim.Now())
 		},
+		Housekeep: func() { s.data.SyncUpdates() },
 	}
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() { defer wg.Done(); up.Run(stop) }()
-	go func() { defer wg.Done(); down.Run(stop) }()
-	wg.Wait()
+	w.Run(stop)
 }
 
 // Errors.

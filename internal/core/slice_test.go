@@ -305,7 +305,7 @@ func TestSliceTwoLevelPromotionOnMiss(t *testing.T) {
 	// must still succeed (served from secondary) and request promotion.
 	pool := pkt.NewPool(2048, 128)
 	b := buildUplink(pool, res.UplinkTEID, res.UEAddr, 1, s.Config().CoreAddr, 80)
-	s.Data().processUplink(b, sim.Now())
+	s.Data().ProcessUplinkBatch([]*pkt.Buf{b}, sim.Now())
 	if s.Data().Forwarded.Load() != 1 {
 		t.Fatalf("secondary-served packet not forwarded (missed=%d)", s.Data().Missed.Load())
 	}

@@ -236,14 +236,23 @@ func TestAttachSurvivesPacketLoss(t *testing.T) {
 		client.Close()
 	})
 
-	// Loss injection AFTER establishment, deterministic pattern.
+	// Loss injection AFTER establishment, deterministic pattern: every
+	// 5th DATA packet is dropped. Only data packets advance the counter —
+	// if control chunks (SACKs, heartbeats) counted too, a retransmission
+	// cycle emitting a multiple-of-5 packets could phase-lock so the SAME
+	// chunk is dropped on every retransmit until the limit trips; counting
+	// data only makes that impossible (the retransmitted chunk itself
+	// advances the phase).
 	var mu sync.Mutex
 	n := 0
 	dropData := func(b []byte) bool {
+		if !isDataPacket(b) {
+			return false
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		n++
-		return n%5 == 0 && isDataPacket(b)
+		return n%5 == 0
 	}
 	cw.SetDropFn(dropData)
 	sw.SetDropFn(dropData)

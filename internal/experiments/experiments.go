@@ -58,6 +58,13 @@ type Scale struct {
 	// EventsPerPoint is the measured signaling event count per
 	// control-plane data point.
 	EventsPerPoint int
+	// Fig7Mode selects how Figure 7 aggregates across data cores:
+	// "parallel" runs the shards as genuinely concurrent workers behind
+	// the RSS-style spray (core.ShardedData), "sum" measures each
+	// share-nothing shard alone and adds the rates (the single-CPU
+	// methodology), and ""/"auto" picks parallel when GOMAXPROCS can
+	// host all workers plus the driver.
+	Fig7Mode string
 }
 
 // Quick is the default scale used by `go test -bench` and CI: every

@@ -83,6 +83,13 @@ type Worker struct {
 	// Handler processes a batch in place. Packets the handler wants to
 	// forward it must enqueue/free itself; the worker only dequeues.
 	Handler func(batch []*pkt.Buf)
+	// In2/Handler2 optionally attach a second queue to the same loop
+	// (e.g. the downlink direction next to In's uplink): every iteration
+	// polls In then In2, so both directions run to completion on one
+	// thread — the paper's single-data-core slice — instead of two
+	// goroutines racing each other over single-consumer state.
+	In2      Source
+	Handler2 func(batch []*pkt.Buf)
 	// Housekeep runs between batches (e.g. draining the control→data
 	// update queue). Nil disables.
 	Housekeep func()
@@ -127,6 +134,21 @@ func (w *Worker) Run(stop <-chan struct{}) {
 		default:
 		}
 		n := w.In.DequeueBatch(batch)
+		if n > 0 {
+			w.Handler(batch[:n])
+			w.stats.Packets.Add(uint64(n))
+			w.stats.Batches.Add(1)
+			sinceHK += n
+		}
+		if w.In2 != nil {
+			if n2 := w.In2.DequeueBatch(batch); n2 > 0 {
+				w.Handler2(batch[:n2])
+				w.stats.Packets.Add(uint64(n2))
+				w.stats.Batches.Add(1)
+				sinceHK += n2
+				n += n2
+			}
+		}
 		if n == 0 {
 			w.stats.IdlePolls.Add(1)
 			if w.Housekeep != nil {
@@ -141,10 +163,6 @@ func (w *Worker) Run(stop <-chan struct{}) {
 			continue
 		}
 		idle = 0
-		w.Handler(batch[:n])
-		w.stats.Packets.Add(uint64(n))
-		w.stats.Batches.Add(1)
-		sinceHK += n
 		if w.Housekeep != nil && sinceHK >= hkEvery {
 			w.Housekeep()
 			sinceHK = 0
@@ -173,6 +191,27 @@ func (w *Worker) RunN(total int) {
 			budget = rem
 		}
 		n := w.In.DequeueBatch(batch[:budget])
+		if n > 0 {
+			w.Handler(batch[:n])
+			w.stats.Packets.Add(uint64(n))
+			w.stats.Batches.Add(1)
+			done += n
+			sinceHK += n
+		}
+		if w.In2 != nil && done < total {
+			budget = batchSize
+			if rem := total - done; rem < budget {
+				budget = rem
+			}
+			if n2 := w.In2.DequeueBatch(batch[:budget]); n2 > 0 {
+				w.Handler2(batch[:n2])
+				w.stats.Packets.Add(uint64(n2))
+				w.stats.Batches.Add(1)
+				done += n2
+				sinceHK += n2
+				n += n2
+			}
+		}
 		if n == 0 {
 			if w.Housekeep != nil {
 				w.Housekeep()
@@ -181,11 +220,6 @@ func (w *Worker) RunN(total int) {
 			runtime.Gosched()
 			continue
 		}
-		w.Handler(batch[:n])
-		w.stats.Packets.Add(uint64(n))
-		w.stats.Batches.Add(1)
-		done += n
-		sinceHK += n
 		if w.Housekeep != nil && sinceHK >= hkEvery {
 			w.Housekeep()
 			sinceHK = 0

@@ -181,6 +181,34 @@ func (t *Table) ClassifyFlow(f pkt.Flow) Verdict {
 	return def
 }
 
+// RuleSet is an immutable point-in-time view of the table. The rule
+// slice is copy-on-write (Install/Remove replace it wholesale), so a
+// snapshot stays valid indefinitely and classifies without any locking —
+// the staged data plane takes one Snapshot per batch instead of one
+// RLock per packet.
+type RuleSet struct {
+	rules []*Rule
+	def   Verdict
+}
+
+// Snapshot captures the current rules and default verdict.
+func (t *Table) Snapshot() RuleSet {
+	t.mu.RLock()
+	rs := RuleSet{rules: t.rules, def: t.defaultVerdict}
+	t.mu.RUnlock()
+	return rs
+}
+
+// ClassifyFlow matches a parsed 5-tuple against the snapshot, lock-free.
+func (rs RuleSet) ClassifyFlow(f pkt.Flow) Verdict {
+	for _, r := range rs.rules {
+		if r.Filter.MatchFlow(f) {
+			return verdictFor(r)
+		}
+	}
+	return rs.def
+}
+
 // ClassifyPacket matches raw inner-IPv4 packet bytes by running the
 // compiled BPF programs — the general path for packets the parse stage
 // could not pre-digest (unusual protocols, options).

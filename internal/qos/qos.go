@@ -204,3 +204,59 @@ func (ul *UserLimiter) AllowDownlink(now int64, i int, n uint64) bool {
 	}
 	return true
 }
+
+// AllowUplinkRun polices a run of uplink packets totalling n bytes on
+// bearer i in one aggregate operation, all or nothing: when both buckets
+// hold n tokens the whole run conforms and n is debited from each,
+// matching what per-packet policing would have done; when either bucket
+// is short NOTHING is consumed and the caller must fall back to
+// per-packet AllowUplink, which reproduces the exact partial-consumption
+// semantics (AMBR debited even when the bearer bucket denies).
+func (ul *UserLimiter) AllowUplinkRun(now int64, i int, n uint64) bool {
+	ambr := ul.AMBRUp.rate > 0
+	bearer := i >= 0 && i < len(ul.BearerUp) && ul.BearerUp[i].rate > 0
+	if ambr {
+		ul.AMBRUp.refill(now)
+		if ul.AMBRUp.tokens < n {
+			return false
+		}
+	}
+	if bearer {
+		ul.BearerUp[i].refill(now)
+		if ul.BearerUp[i].tokens < n {
+			return false
+		}
+	}
+	if ambr {
+		ul.AMBRUp.tokens -= n
+	}
+	if bearer {
+		ul.BearerUp[i].tokens -= n
+	}
+	return true
+}
+
+// AllowDownlinkRun is AllowUplinkRun for the downlink direction.
+func (ul *UserLimiter) AllowDownlinkRun(now int64, i int, n uint64) bool {
+	ambr := ul.AMBRDown.rate > 0
+	bearer := i >= 0 && i < len(ul.BearerDown) && ul.BearerDown[i].rate > 0
+	if ambr {
+		ul.AMBRDown.refill(now)
+		if ul.AMBRDown.tokens < n {
+			return false
+		}
+	}
+	if bearer {
+		ul.BearerDown[i].refill(now)
+		if ul.BearerDown[i].tokens < n {
+			return false
+		}
+	}
+	if ambr {
+		ul.AMBRDown.tokens -= n
+	}
+	if bearer {
+		ul.BearerDown[i].tokens -= n
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package qos
+
+import "testing"
+
+// TestAllowRunAllOrNothing: the aggregate run check either admits the
+// whole run (debiting every governing bucket) or consumes nothing at all,
+// so the caller's per-packet fallback starts from an untouched state.
+func TestAllowRunAllOrNothing(t *testing.T) {
+	var ul UserLimiter
+	ul.ConfigureUser(8*100_000, 8*100_000) // 100 KB/s → 3000 B burst floor
+	now := int64(0)
+
+	if !ul.AllowUplinkRun(now, -1, 3000) {
+		t.Fatal("run within burst denied")
+	}
+	if got := ul.AMBRUp.Tokens(now); got != 0 {
+		t.Fatalf("tokens after admitted run = %d, want 0", got)
+	}
+
+	ul.ConfigureUser(8*100_000, 8*100_000) // refill both directions
+	if ul.AllowUplinkRun(now, -1, 3001) {
+		t.Fatal("run beyond burst admitted")
+	}
+	if got := ul.AMBRUp.Tokens(now); got != 3000 {
+		t.Fatalf("denied run consumed tokens: %d left, want 3000", got)
+	}
+	// Downlink mirrors the uplink behaviour.
+	if ul.AllowDownlinkRun(now, -1, 3001) {
+		t.Fatal("downlink run beyond burst admitted")
+	}
+	if got := ul.AMBRDown.Tokens(now); got != 3000 {
+		t.Fatalf("denied downlink run consumed tokens: %d left", got)
+	}
+	// Unconfigured limiter admits everything.
+	var free UserLimiter
+	if !free.AllowUplinkRun(now, 0, 1<<40) || !free.AllowDownlinkRun(now, 0, 1<<40) {
+		t.Fatal("unpoliced run denied")
+	}
+}
+
+// TestAllowRunMatchesPerPacket: an admitted run leaves the buckets in
+// exactly the state N per-packet Allow calls would, for both the AMBR and
+// a bearer MBR bucket.
+func TestAllowRunMatchesPerPacket(t *testing.T) {
+	mk := func() *UserLimiter {
+		var ul UserLimiter
+		ul.ConfigureUser(8*1_000_000, 0) // 1 MB/s → 20 KB burst
+		ul.ConfigureBearer(1, 8*500_000, 0)
+		return &ul
+	}
+	run, pp := mk(), mk()
+	now := int64(0)
+	const n, size = 10, 700
+
+	if !run.AllowUplinkRun(now, 1, n*size) {
+		t.Fatal("aggregate run denied")
+	}
+	for i := 0; i < n; i++ {
+		if !pp.AllowUplink(now, 1, size) {
+			t.Fatalf("per-packet call %d denied", i)
+		}
+	}
+	if a, b := run.AMBRUp.Tokens(now), pp.AMBRUp.Tokens(now); a != b {
+		t.Fatalf("AMBR diverges: run=%d per-packet=%d", a, b)
+	}
+	if a, b := run.BearerUp[1].Tokens(now), pp.BearerUp[1].Tokens(now); a != b {
+		t.Fatalf("bearer MBR diverges: run=%d per-packet=%d", a, b)
+	}
+}
+
+// TestAllowRunBearerShortfallConsumesNothing pins the asymmetry the
+// all-or-nothing contract exists for: per-packet AllowUplink debits the
+// AMBR even when the bearer bucket then denies, so a failed aggregate
+// check must leave BOTH buckets untouched for the fallback to reproduce
+// that exact partial-consumption behaviour.
+func TestAllowRunBearerShortfallConsumesNothing(t *testing.T) {
+	var ul UserLimiter
+	ul.ConfigureUser(8*1_000_000, 0)     // AMBR burst 20000 B — plenty
+	ul.ConfigureBearer(0, 8*100_000, 0)  // bearer burst 3000 B — the bottleneck
+	now := int64(0)
+
+	if ul.AllowUplinkRun(now, 0, 5000) {
+		t.Fatal("run beyond bearer burst admitted")
+	}
+	if got := ul.AMBRUp.Tokens(now); got != 20000 {
+		t.Fatalf("AMBR debited on failed run: %d left, want 20000", got)
+	}
+	if got := ul.BearerUp[0].Tokens(now); got != 3000 {
+		t.Fatalf("bearer debited on failed run: %d left, want 3000", got)
+	}
+	// The fallback path then behaves exactly like pure per-packet
+	// policing: each denied packet still costs AMBR tokens.
+	var ref UserLimiter
+	ref.ConfigureUser(8*1_000_000, 0)
+	ref.ConfigureBearer(0, 8*100_000, 0)
+	for i := 0; i < 5; i++ {
+		a := ul.AllowUplink(now, 0, 1000)
+		b := ref.AllowUplink(now, 0, 1000)
+		if a != b {
+			t.Fatalf("packet %d: fallback=%v reference=%v", i, a, b)
+		}
+	}
+	if a, b := ul.AMBRUp.Tokens(now), ref.AMBRUp.Tokens(now); a != b {
+		t.Fatalf("AMBR state diverges after fallback: %d vs %d", a, b)
+	}
+}

@@ -64,6 +64,47 @@ func (t *TwoLevel) Lookup(key uint32, uplink bool) (ue *UE, fromSecondary bool) 
 	return ue, ue != nil
 }
 
+// LookupBatch resolves keys[i] into out[i] (nil on miss) and sets
+// fromSecondary[i] for entries served by the secondary table. Primary
+// probes are lock-free as in Lookup; all primary misses of the batch are
+// then resolved under a single secondary read lock instead of one lock
+// acquisition per miss. Data-thread only; callers request promotion for
+// each fromSecondary hit as with Lookup.
+func (t *TwoLevel) LookupBatch(keys []uint32, uplink bool, out []*UE, fromSecondary []bool) {
+	if len(keys) == 0 {
+		return
+	}
+	_ = out[len(keys)-1]
+	_ = fromSecondary[len(keys)-1]
+	prim, sec := t.primary.ByTEID, t.secondary.ByTEID
+	if !uplink {
+		prim, sec = t.primary.ByIP, t.secondary.ByIP
+	}
+	missed := 0
+	for i, k := range keys {
+		out[i] = prim.Get(k)
+		fromSecondary[i] = false
+		if out[i] == nil {
+			missed++
+		}
+	}
+	if missed == 0 {
+		return
+	}
+	t.secMu.RLock()
+	for i, k := range keys {
+		if out[i] != nil {
+			continue
+		}
+		if ue := sec.Get(k); ue != nil {
+			out[i] = ue
+			fromSecondary[i] = true
+			t.misses++
+		}
+	}
+	t.secMu.RUnlock()
+}
+
 // LookupPrimaryOnly performs a primary-table uplink lookup without
 // secondary fallback; used to measure the primary's residency benefit in
 // isolation and by tests.

@@ -62,6 +62,21 @@ func (m *U32Map) Get(key uint32) *UE {
 	}
 }
 
+// GetBatch resolves keys[i] into out[i] for all i (nil on miss). One
+// call for a whole batch keeps the probe loop hot in the instruction
+// cache and amortizes the per-call overhead across the batch — the
+// stage-oriented data plane resolves all of a batch's distinct keys
+// through it.
+func (m *U32Map) GetBatch(keys []uint32, out []*UE) {
+	if len(keys) == 0 {
+		return
+	}
+	_ = out[len(keys)-1]
+	for i, k := range keys {
+		out[i] = m.Get(k)
+	}
+}
+
 // Put inserts or replaces the value for key. Returns false for reserved
 // keys.
 func (m *U32Map) Put(key uint32, v *UE) bool {

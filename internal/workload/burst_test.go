@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+
+	"pepc/internal/gtp"
+)
+
+// TestBurstEmitsRunsPerUser: Burst=n yields n consecutive packets per
+// user before advancing, wrapping round-robin over the population — the
+// run structure flow-run coalescing feeds on.
+func TestBurstEmitsRunsPerUser(t *testing.T) {
+	users := testUsers(3)
+	g := NewTrafficGen(TrafficConfig{Burst: 4}, users)
+	for round := 0; round < 2; round++ {
+		for u := 0; u < len(users); u++ {
+			for k := 0; k < 4; k++ {
+				b := g.NextUplink()
+				teid, err := gtp.PeekTEID(b.Bytes())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if teid != users[u].UplinkTEID {
+					t.Fatalf("round %d user %d pkt %d: teid %#x, want %#x",
+						round, u, k, teid, users[u].UplinkTEID)
+				}
+				b.Free()
+			}
+		}
+	}
+}
+
+// TestBurstDefaultIsInterleaved: unset/zero Burst keeps the historical
+// one-packet-per-user round robin.
+func TestBurstDefaultIsInterleaved(t *testing.T) {
+	users := testUsers(3)
+	for _, burst := range []int{0, 1} {
+		g := NewTrafficGen(TrafficConfig{Burst: burst}, users)
+		for i := 0; i < 9; i++ {
+			b := g.NextUplink()
+			teid, _ := gtp.PeekTEID(b.Bytes())
+			if teid != users[i%3].UplinkTEID {
+				t.Fatalf("burst=%d pkt %d: teid %#x, want %#x", burst, i, teid, users[i%3].UplinkTEID)
+			}
+			b.Free()
+		}
+	}
+}
+
+// TestBurstAppliesToDownlink: the downlink direction shares the same
+// user-advance state, so bursts hold there too.
+func TestBurstAppliesToDownlink(t *testing.T) {
+	users := testUsers(2)
+	g := NewTrafficGen(TrafficConfig{Burst: 3}, users)
+	var seen []uint32
+	for i := 0; i < 6; i++ {
+		b := g.NextDownlink()
+		seen = append(seen, b.Meta.UEIP)
+		b.Free()
+	}
+	for i, ip := range seen {
+		want := users[(i/3)%2].UEAddr
+		if ip != want {
+			t.Fatalf("pkt %d: ueip %#x, want %#x", i, ip, want)
+		}
+	}
+}

@@ -53,6 +53,11 @@ type TrafficConfig struct {
 	// ENBAddr and CoreAddr form the outer GTP-U addressing.
 	ENBAddr  uint32
 	CoreAddr uint32
+	// Burst emits this many consecutive packets per user before advancing
+	// to the next one (eNodeBs and traffic generators emit per-user
+	// bursts; flow-run coalescing in the data plane exploits them). 0/1
+	// means one packet per user, the fully interleaved worst case.
+	Burst int
 	// Seed makes user selection deterministic.
 	Seed int64
 }
@@ -76,6 +81,9 @@ func (c TrafficConfig) withDefaults() TrafficConfig {
 	if c.CoreAddr == 0 {
 		c.CoreAddr = pkt.IPv4Addr(172, 16, 0, 1)
 	}
+	if c.Burst <= 0 {
+		c.Burst = 1
+	}
 	return c
 }
 
@@ -91,11 +99,12 @@ type TrafficGen struct {
 	upTmpl []byte // full outer+GTPU+inner template
 	dnTmpl []byte // inner-only template
 
-	rng    *rand.Rand
-	idx    int
-	mixPos int
-	mixUp  int
-	mixTot int
+	rng     *rand.Rand
+	idx     int
+	burstAt int
+	mixPos  int
+	mixUp   int
+	mixTot  int
 }
 
 // NewTrafficGen builds a generator over the given users.
@@ -204,14 +213,21 @@ func (g *TrafficGen) Next() (*pkt.Buf, bool) {
 	return g.NextDownlink(), false
 }
 
-// nextUser cycles the population round robin; round robin touches every
+// nextUser cycles the population round robin, emitting cfg.Burst
+// consecutive packets per user before advancing. Burst=1 touches every
 // user's state in turn, the worst (most cache-hostile) access pattern,
-// matching the paper's uniform distribution of traffic across devices.
+// matching the paper's uniform distribution of traffic across devices;
+// Burst>1 models per-user bursts as emitted by real eNodeBs, producing
+// the flow runs that the data plane's run coalescing exploits.
 func (g *TrafficGen) nextUser() User {
 	u := g.users[g.idx]
-	g.idx++
-	if g.idx >= len(g.users) {
-		g.idx = 0
+	g.burstAt++
+	if g.burstAt >= g.cfg.Burst {
+		g.burstAt = 0
+		g.idx++
+		if g.idx >= len(g.users) {
+			g.idx = 0
+		}
 	}
 	return u
 }

@@ -1,0 +1,23 @@
+#!/bin/sh
+# ci.sh — the checks every PR must pass, in the order they fail fastest:
+# build, vet, the full test suite, then the race detector over the
+# packages that carry the single-writer lock discipline (internal/core's
+# data/control split and internal/state's table modes), so a concurrency
+# regression is machine-caught rather than review-caught.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race internal/core internal/state"
+go test -race ./internal/core/ ./internal/state/
+
+echo "CI green"
