@@ -1,6 +1,6 @@
 # Developer entry points. `make ci` is what a PR must keep green.
 
-.PHONY: ci build test race bench
+.PHONY: ci build test race bench benchdiff
 
 ci:
 	./scripts/ci.sh
@@ -17,3 +17,9 @@ race:
 
 bench:
 	go test -bench=Pipeline -benchmem -run='^$$' .
+
+# Regenerate Figures 5/6 and fail on a >10% throughput regression against
+# the checked-in baselines (bench/baseline/). Not part of `make ci`:
+# shared-CPU hosts are too noisy for a hard gate; run it on quiet iron.
+benchdiff:
+	./scripts/benchdiff.sh

@@ -1,0 +1,207 @@
+// Command benchdiff compares freshly generated BENCH_<name>.json results
+// (pepcbench -json) against a checked-in baseline directory and fails when
+// any series point regresses by more than the threshold. All tracked
+// figures report throughput (higher is better), so a regression is a drop
+// in Y at the same X.
+//
+// Usage:
+//
+//	benchdiff -baseline bench/baseline -fresh /tmp/bench [-threshold 0.10] [-series PEPC]
+//	benchdiff -baseline bench/baseline -fresh /tmp/bench -update
+//
+// -update ratchets the baseline DOWN: each point becomes the minimum of
+// the existing baseline and the fresh run (a missing baseline file is
+// copied). Running several times builds a conservative floor, which is
+// what makes a fixed threshold usable on noisy shared-CPU hosts.
+//
+// Points present only on one side are reported but do not fail the run
+// (scale overrides legitimately change the swept X values); a series
+// present in the baseline but missing from the fresh results does fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+type result struct {
+	Figure string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []series
+	Notes  []string
+}
+
+type series struct {
+	Name   string
+	Points []point
+}
+
+type point struct {
+	X float64
+	Y float64
+}
+
+func load(path string) (result, error) {
+	var r result
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	return r, json.Unmarshal(data, &r)
+}
+
+func save(path string, r result) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	baseDir := flag.String("baseline", "bench/baseline", "directory with checked-in BENCH_*.json baselines")
+	freshDir := flag.String("fresh", ".", "directory with freshly generated BENCH_*.json results")
+	threshold := flag.Float64("threshold", 0.10, "maximum tolerated fractional drop per point")
+	prefix := flag.String("series", "", "only gate series whose name starts with this prefix (empty = all)")
+	update := flag.Bool("update", false, "ratchet baselines down to min(baseline, fresh) instead of comparing")
+	flag.Parse()
+
+	if *update {
+		if err := ratchet(*baseDir, *freshDir); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	paths, err := filepath.Glob(filepath.Join(*baseDir, "BENCH_*.json"))
+	if err != nil || len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no baselines under %s\n", *baseDir)
+		os.Exit(2)
+	}
+
+	failures := 0
+	for _, basePath := range paths {
+		name := filepath.Base(basePath)
+		base, err := load(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", basePath, err)
+			os.Exit(2)
+		}
+		fresh, err := load(filepath.Join(*freshDir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s: fresh result missing: %v\n", name, err)
+			failures++
+			continue
+		}
+		fmt.Printf("== %s (%s)\n", name, base.Figure)
+		for _, bs := range base.Series {
+			if !strings.HasPrefix(bs.Name, *prefix) {
+				continue
+			}
+			fs := findSeries(fresh.Series, bs.Name)
+			if fs == nil {
+				fmt.Printf("  FAIL %-15s series missing from fresh results\n", bs.Name)
+				failures++
+				continue
+			}
+			for _, bp := range bs.Points {
+				fp, ok := findPoint(fs.Points, bp.X)
+				if !ok {
+					fmt.Printf("  skip %-15s x=%-10g not in fresh sweep\n", bs.Name, bp.X)
+					continue
+				}
+				if bp.Y <= 0 {
+					continue
+				}
+				delta := (fp - bp.Y) / bp.Y
+				status := "ok  "
+				if delta < -*threshold {
+					status = "FAIL"
+					failures++
+				}
+				fmt.Printf("  %s %-15s x=%-10g base=%-8.3f fresh=%-8.3f (%+.1f%%)\n",
+					status, bs.Name, bp.X, bp.Y, fp, delta*100)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", failures, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+// ratchet folds a fresh run into the baselines, keeping the per-point
+// minimum so repeated runs converge to a floor that honest noise does
+// not dip more than the threshold below.
+func ratchet(baseDir, freshDir string) error {
+	paths, err := filepath.Glob(filepath.Join(freshDir, "BENCH_*.json"))
+	if err != nil || len(paths) == 0 {
+		return fmt.Errorf("no fresh BENCH_*.json under %s", freshDir)
+	}
+	if err := os.MkdirAll(baseDir, 0o755); err != nil {
+		return err
+	}
+	for _, freshPath := range paths {
+		name := filepath.Base(freshPath)
+		fresh, err := load(freshPath)
+		if err != nil {
+			return fmt.Errorf("%s: %w", freshPath, err)
+		}
+		basePath := filepath.Join(baseDir, name)
+		base, err := load(basePath)
+		if os.IsNotExist(err) {
+			if err := save(basePath, fresh); err != nil {
+				return err
+			}
+			fmt.Printf("benchdiff: %s: baseline created\n", name)
+			continue
+		} else if err != nil {
+			return fmt.Errorf("%s: %w", basePath, err)
+		}
+		lowered := 0
+		for i := range base.Series {
+			fs := findSeries(fresh.Series, base.Series[i].Name)
+			if fs == nil {
+				continue
+			}
+			for j := range base.Series[i].Points {
+				p := &base.Series[i].Points[j]
+				if y, ok := findPoint(fs.Points, p.X); ok && y < p.Y {
+					p.Y = y
+					lowered++
+				}
+			}
+		}
+		if err := save(basePath, base); err != nil {
+			return err
+		}
+		fmt.Printf("benchdiff: %s: %d point(s) ratcheted down\n", name, lowered)
+	}
+	return nil
+}
+
+func findSeries(ss []series, name string) *series {
+	for i := range ss {
+		if ss[i].Name == name {
+			return &ss[i]
+		}
+	}
+	return nil
+}
+
+func findPoint(ps []point, x float64) (float64, bool) {
+	for _, p := range ps {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}

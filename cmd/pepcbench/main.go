@@ -29,6 +29,8 @@ func main() {
 	packets := flag.Int("packets", 0, "override measured packets per point")
 	events := flag.Int("events", 0, "override measured signaling events per point")
 	fig7Mode := flag.String("fig7", "auto", "figure 7 aggregation: auto, parallel (concurrent workers) or sum (measure-and-sum)")
+	fig5Mode := flag.String("fig5", "batched", "figure 5 signaling execution: batched (control fast path) or inline")
+	fig6Mode := flag.String("fig6", "batched", "figure 6 signaling execution: batched (control fast path) or inline")
 	jsonOut := flag.Bool("json", false, "also write each result as machine-readable BENCH_<name>.json")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
@@ -63,6 +65,20 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Fig7Mode = *fig7Mode
+	switch *fig5Mode {
+	case "", "batched", "inline":
+	default:
+		fmt.Fprintf(os.Stderr, "pepcbench: -fig5 must be batched or inline (got %q)\n", *fig5Mode)
+		os.Exit(2)
+	}
+	sc.Fig5Mode = *fig5Mode
+	switch *fig6Mode {
+	case "", "batched", "inline":
+	default:
+		fmt.Fprintf(os.Stderr, "pepcbench: -fig6 must be batched or inline (got %q)\n", *fig6Mode)
+		os.Exit(2)
+	}
+	sc.Fig6Mode = *fig6Mode
 
 	var names []string
 	switch {

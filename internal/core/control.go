@@ -39,23 +39,112 @@ type ControlPlane struct {
 	// loopRunning reports whether RunCtrl is active, steering exec().
 	loopRunning atomic.Bool
 
+	// retired is the UE-context free list (control-thread-only): detached
+	// contexts parked until the data plane provably holds no reference,
+	// then recycled by the next attach together with their TEID/address
+	// pair. Recycling the identifiers matters as much as the memory: it
+	// keeps the allocator's sequence space from draining under churn and
+	// lets the index maps reuse tombstoned slots instead of growing.
+	// Ring buffer: retHead is the oldest entry, retLen the population.
+	retired []retiree
+	retHead int
+	retLen  int
+
+	// sigQ is the signaling event ring: producers (workload generators,
+	// the node demux) enqueue procedure requests, the control thread
+	// drains them in batches (DrainSignaling). sigNotify carries a
+	// wakeup token to RunCtrl; sigScratch/sigUEs/sigIMSIs/updScratch are
+	// the drain's preallocated working set (control-thread-only).
+	sigQ       *ring.MPSC[SigEvent]
+	sigNotify  chan struct{}
+	sigScratch []SigEvent
+	sigUEs     []*state.UE
+	sigIMSIs   []uint64
+	updScratch []state.Update
+
+	// ruleScratch receives PCRF rule installs during attach, reused
+	// across procedures so rule parsing never allocates in steady state.
+	ruleScratch []pcef.Rule
+
 	// Event counters.
 	Attaches   atomic.Uint64
 	Handovers  atomic.Uint64
 	Detaches   atomic.Uint64
 	Promotions atomic.Uint64
 	Evictions  atomic.Uint64
+	// PromoteDrops counts promotion requests discarded because promoteQ
+	// was full (the device stays in the secondary until a later hit).
+	PromoteDrops atomic.Uint64
+	// SigDrops counts signaling events rejected because sigQ was full
+	// (the control plane's backpressure toward the RAN).
+	SigDrops atomic.Uint64
+	// Recycles counts attaches served from the context free list.
+	Recycles atomic.Uint64
 }
 
 type promoteReq struct {
 	ue *state.UE
 }
 
+// retiree is a parked UE context awaiting recycling. seq records the
+// data plane's sync counter at retire time; the context is eligible for
+// reuse once two further syncs completed (same fence as migration
+// extract: the delete has been applied and every batch that could still
+// hold the pointer has finished).
+type retiree struct {
+	ue     *state.UE
+	teid   uint32
+	ueAddr uint32
+	seq    uint64
+}
+
+// freeListCap bounds the context free list; beyond it, detached
+// contexts fall to the garbage collector as before.
+const freeListCap = 1 << 12
+
+// sigRingCap sizes the signaling event ring.
+const sigRingCap = 1 << 12
+
+// sigDrainBatch is DrainSignaling's default (and maximum) batch size.
+const sigDrainBatch = 256
+
 func newControlPlane(s *Slice) *ControlPlane {
 	return &ControlPlane{
-		s:         s,
-		promoteQ:  ring.MustMPSC[promoteReq](1 << 12),
-		collector: charging.NewCollector(),
+		s:          s,
+		promoteQ:   ring.MustMPSC[promoteReq](1 << 12),
+		collector:  charging.NewCollector(),
+		sigQ:       ring.MustMPSC[SigEvent](sigRingCap),
+		sigNotify:  make(chan struct{}, 1),
+		sigScratch: make([]SigEvent, sigDrainBatch),
+		sigUEs:     make([]*state.UE, sigDrainBatch),
+		sigIMSIs:   make([]uint64, sigDrainBatch),
+		updScratch: make([]state.Update, 0, sigDrainBatch),
+	}
+}
+
+// CtrlStats is a snapshot of the control plane's event counters.
+type CtrlStats struct {
+	Attaches     uint64
+	Handovers    uint64
+	Detaches     uint64
+	Promotions   uint64
+	PromoteDrops uint64
+	Evictions    uint64
+	SigDrops     uint64
+	Recycles     uint64
+}
+
+// Stats snapshots the control plane's counters (any thread).
+func (cp *ControlPlane) Stats() CtrlStats {
+	return CtrlStats{
+		Attaches:     cp.Attaches.Load(),
+		Handovers:    cp.Handovers.Load(),
+		Detaches:     cp.Detaches.Load(),
+		Promotions:   cp.Promotions.Load(),
+		PromoteDrops: cp.PromoteDrops.Load(),
+		Evictions:    cp.Evictions.Load(),
+		SigDrops:     cp.SigDrops.Load(),
+		Recycles:     cp.Recycles.Load(),
 	}
 }
 
@@ -115,13 +204,12 @@ func (cp *ControlPlane) Attach(spec AttachSpec) (AttachResult, error) {
 		}
 	}
 
-	teid, ueAddr, err := cp.allocate()
+	ue, teid, ueAddr, err := cp.allocUE()
 	if err != nil {
 		return res, err
 	}
 	guti := spec.IMSI ^ 0x00ff_feed_0000_0000
 
-	ue := &state.UE{}
 	ue.WriteCtrl(func(c *state.ControlState) {
 		c.IMSI = spec.IMSI
 		c.GUTI = guti
@@ -146,10 +234,11 @@ func (cp *ControlPlane) Attach(spec AttachSpec) (AttachResult, error) {
 	})
 
 	if cp.proxy != nil {
-		rules, err := cp.proxy.EstablishGxSession(spec.IMSI)
+		rules, err := cp.proxy.EstablishGxSessionInto(spec.IMSI, cp.ruleScratch[:0])
 		if err != nil {
 			return res, err
 		}
+		cp.ruleScratch = rules[:0]
 		cp.installRules(ue, rules)
 	}
 
@@ -160,6 +249,44 @@ func (cp *ControlPlane) Attach(spec AttachSpec) (AttachResult, error) {
 	cp.Attaches.Add(1)
 	res = AttachResult{UplinkTEID: teid, UEAddr: ueAddr, GUTI: guti}
 	return res, nil
+}
+
+// allocUE produces a context plus its identifier pair for an attach:
+// from the free list when the oldest retiree has cleared the data-plane
+// fence (zero-alloc steady state), from the heap and the sequence
+// allocator otherwise.
+func (cp *ControlPlane) allocUE() (*state.UE, uint32, uint32, error) {
+	if cp.retLen > 0 {
+		r := cp.retired[cp.retHead]
+		if cp.s.data.syncSeq.Load() >= r.seq+2 {
+			cp.retired[cp.retHead] = retiree{}
+			cp.retHead = (cp.retHead + 1) & (len(cp.retired) - 1)
+			cp.retLen--
+			r.ue.Recycle()
+			cp.Recycles.Add(1)
+			return r.ue, r.teid, r.ueAddr, nil
+		}
+	}
+	teid, ueAddr, err := cp.allocate()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return &state.UE{}, teid, ueAddr, nil
+}
+
+// retire parks a detached context on the free list, stamped with the
+// current data-plane sync sequence. A full list simply drops the entry
+// to the garbage collector.
+func (cp *ControlPlane) retire(ue *state.UE, teid, ueAddr uint32) {
+	if cp.retired == nil {
+		cp.retired = make([]retiree, freeListCap)
+	}
+	if cp.retLen == len(cp.retired) {
+		return
+	}
+	slot := (cp.retHead + cp.retLen) & (len(cp.retired) - 1)
+	cp.retired[slot] = retiree{ue: ue, teid: teid, ueAddr: ueAddr, seq: cp.s.data.syncSeq.Load()}
+	cp.retLen++
 }
 
 // allocate hands out the next uplink TEID and UE address.
@@ -280,6 +407,7 @@ func (cp *ControlPlane) Detach(imsi uint64) error {
 	if cp.proxy != nil {
 		_ = cp.proxy.TerminateGxSession(imsi)
 	}
+	cp.retire(ue, teid, ueAddr)
 	cp.Detaches.Add(1)
 	return nil
 }
@@ -359,8 +487,11 @@ func (cp *ControlPlane) Demote(imsi uint64) error {
 // requestPromotion is called by the data thread on a secondary-table hit.
 func (cp *ControlPlane) requestPromotion(ue *state.UE) {
 	// Best effort: a full queue just means the promotion happens on a
-	// later miss.
-	cp.promoteQ.Enqueue(promoteReq{ue: ue})
+	// later miss — but count the drop so a sustained promotion backlog
+	// is visible in the slice stats instead of silent.
+	if !cp.promoteQ.Enqueue(promoteReq{ue: ue}) {
+		cp.PromoteDrops.Add(1)
+	}
 }
 
 // Maintain performs one round of control-thread housekeeping: drains
@@ -477,8 +608,13 @@ func (cp *ControlPlane) RunCtrl(stop <-chan struct{}, maintainEvery time.Duratio
 			return
 		case cmd := <-cp.s.ctrlCmds:
 			cmd()
+		case <-cp.sigNotify:
+			for cp.DrainSignaling(sigDrainBatch) > 0 {
+			}
 		case <-tick.C:
 			cp.Maintain(sim.Now(), idleNs)
+			for cp.DrainSignaling(sigDrainBatch) > 0 {
+			}
 		}
 	}
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"pepc/internal/pkt"
+	"pepc/internal/sim"
+)
+
+// BenchmarkUplinkUnderSignalingStorm measures data-plane packet cost
+// while a control goroutine saturates the slice with attach events and
+// handovers against the same user population — the Figure 6 "1:1"
+// regime, where every control write contends with the data thread's
+// control-state reads. ns/op is per packet; events/s reports how much
+// signaling the control thread pushed through meanwhile.
+func BenchmarkUplinkUnderSignalingStorm(b *testing.B) {
+	const users = 1024
+	s := NewSlice(SliceConfig{ID: 31, UserHint: users * 2})
+	res := make([]AttachResult, users)
+	for i := range res {
+		r, err := s.Control().Attach(AttachSpec{
+			IMSI: uint64(i + 1), ENBAddr: 1, DownlinkTEID: uint32(i + 1),
+			AMBRUplink: 100e6, AMBRDownlink: 100e6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res[i] = r
+	}
+	s.Data().SyncUpdates()
+	pool := pkt.NewPool(8192, 128)
+	batch := make([]*pkt.Buf, 32)
+
+	stop := make(chan struct{})
+	var events atomic.Uint64
+	go func() {
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			imsi := uint64(i%users + 1)
+			if i%4 == 3 {
+				s.Control().S1Handover(imsi, 2, uint32(i%users+100), 7)
+			} else {
+				s.Control().AttachEvent(imsi)
+			}
+			events.Add(1)
+			i++
+		}
+	}()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(batch) {
+		for j := range batch {
+			u := res[(i+j)%users]
+			batch[j] = buildUplink(pool, u.UplinkTEID, u.UEAddr, 1, s.Config().CoreAddr, 80)
+		}
+		s.Data().ProcessUplinkBatch(batch, sim.Now())
+		drainEgress(s)
+	}
+	b.StopTimer()
+	close(stop)
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(events.Load())/el, "events/s")
+	}
+}
+
+// BenchmarkAttachDetachCycle measures the signaling steady state the
+// control fast path targets: one full attach procedure followed by a
+// detach, with a data-plane update sync per cycle (as a running worker
+// would perform). Allocations per cycle are the headline number.
+func BenchmarkAttachDetachCycle(b *testing.B) {
+	s := NewSlice(SliceConfig{ID: 32, UserHint: 1 << 10})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Control().Attach(AttachSpec{IMSI: 7, ENBAddr: 1, DownlinkTEID: 9, AMBRUplink: 10e6}); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Control().Detach(7); err != nil {
+			b.Fatal(err)
+		}
+		s.Data().SyncUpdates()
+	}
+}

@@ -63,6 +63,36 @@ func (p *Proxy) Authenticate(imsi uint64) (hss.Vector, error) {
 	return hss.ParseVectorAVP(ans)
 }
 
+// AuthenticateBatch coalesces the Authentication-Information exchange
+// for several users into a single S6a round-trip: one AIR carrying one
+// User-Name AVP per IMSI, one AIA carrying the vectors in order (filled
+// into out, which must be len(imsis)). This is the control-plane batch
+// drain's amortization of backend latency — one proxy request per
+// coalesced procedure run instead of one per procedure.
+func (p *Proxy) AuthenticateBatch(imsis []uint64, out []hss.Vector) error {
+	if p.hssHandler == nil {
+		return ErrNoBackend
+	}
+	if len(imsis) != len(out) {
+		return errors.New("core: AuthenticateBatch length mismatch")
+	}
+	p.Requests.Add(1)
+	hbh, e2e := p.ids()
+	avps := make([]diameter.AVP, len(imsis))
+	for i, imsi := range imsis {
+		avps[i] = diameter.U64AVP(diameter.AVPUserName, imsi)
+	}
+	req := diameter.NewRequest(diameter.CmdAuthenticationInformation, diameter.AppS6a, hbh, e2e, avps...)
+	ans, err := diameter.Call(p.hssHandler, req)
+	if err != nil {
+		return err
+	}
+	if ans.ResultCode() != diameter.ResultSuccess {
+		return ErrBackendFail
+	}
+	return hss.ParseVectorAVPsInto(ans, out)
+}
+
 // UpdateLocation runs the S6a Update-Location exchange and returns the
 // subscribed AMBR profile.
 func (p *Proxy) UpdateLocation(imsi uint64) (ambrUp, ambrDown uint64, err error) {
@@ -106,6 +136,13 @@ func (p *Proxy) UpdateLocation(imsi uint64) (ambrUp, ambrDown uint64, err error)
 // EstablishGxSession opens the Gx session for a user and returns the PCC
 // rules the PCRF wants installed.
 func (p *Proxy) EstablishGxSession(imsi uint64) ([]pcef.Rule, error) {
+	return p.EstablishGxSessionInto(imsi, nil)
+}
+
+// EstablishGxSessionInto is EstablishGxSession appending the installed
+// rules into a caller-provided scratch slice (typically the control
+// plane's preallocated rule buffer), avoiding a per-attach allocation.
+func (p *Proxy) EstablishGxSessionInto(imsi uint64, buf []pcef.Rule) ([]pcef.Rule, error) {
 	if p.pcrfHandler == nil {
 		return nil, nil // no PCRF: attach proceeds with default policy
 	}
@@ -121,7 +158,7 @@ func (p *Proxy) EstablishGxSession(imsi uint64) ([]pcef.Rule, error) {
 	if ans.ResultCode() != diameter.ResultSuccess {
 		return nil, ErrBackendFail
 	}
-	return pcrf.ParseRuleInstalls(ans)
+	return pcrf.ParseRuleInstallsAppend(ans, buf)
 }
 
 // ReportUsage sends a Gx usage update.
@@ -155,6 +192,30 @@ func (p *Proxy) TerminateGxSession(imsi uint64) error {
 	req := diameter.NewRequest(diameter.CmdCreditControl, diameter.AppGx, hbh, e2e,
 		diameter.U64AVP(diameter.AVPUserName, imsi),
 		diameter.U32AVP(diameter.AVPCCRequestType, pcrf.CCRTermination))
+	ans, err := diameter.Call(p.pcrfHandler, req)
+	if err != nil {
+		return err
+	}
+	if ans.ResultCode() != diameter.ResultSuccess {
+		return ErrBackendFail
+	}
+	return nil
+}
+
+// TerminateGxSessionBatch closes the Gx sessions of a detach batch in
+// one CCR-T round-trip carrying one User-Name AVP per user.
+func (p *Proxy) TerminateGxSessionBatch(imsis []uint64) error {
+	if p.pcrfHandler == nil || len(imsis) == 0 {
+		return nil
+	}
+	p.Requests.Add(1)
+	hbh, e2e := p.ids()
+	avps := make([]diameter.AVP, 0, len(imsis)+1)
+	for _, imsi := range imsis {
+		avps = append(avps, diameter.U64AVP(diameter.AVPUserName, imsi))
+	}
+	avps = append(avps, diameter.U32AVP(diameter.AVPCCRequestType, pcrf.CCRTermination))
+	req := diameter.NewRequest(diameter.CmdCreditControl, diameter.AppGx, hbh, e2e, avps...)
 	ans, err := diameter.Call(p.pcrfHandler, req)
 	if err != nil {
 		return err

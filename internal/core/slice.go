@@ -228,6 +228,12 @@ type dpScratch struct {
 	runUEs  []*state.UE // resolved state, one per key run
 	runSec  []bool      // two-level: run resolved from the secondary
 	rules   pcef.RuleSet
+
+	// ctrl receives the seqlock snapshot of the current run's control
+	// state (see state.UE.ReadCtrlSnapshot): the verdict stage works on
+	// this stable copy instead of holding the per-user read lock, so a
+	// concurrent control write never stalls the run.
+	ctrl state.ControlState
 }
 
 func (sc *dpScratch) ensure(n int) {
@@ -442,10 +448,10 @@ func (dp *DataPlane) lookupRuns(batch []*pkt.Buf, uplink bool) {
 
 // uplinkRun applies classification, policing, charging and forwarding to
 // batch[lo:hi], a run of packets from one user sharing one 5-tuple. The
-// run costs one PCEF match, one ReadCtrl, one aggregate token-bucket
-// call and one WriteCounters; when the aggregate bucket check cannot
-// admit the whole run it consumes nothing and the run falls back to
-// per-packet policing inside the same control read, reproducing the
+// run costs one PCEF match, one seqlock control snapshot, one aggregate
+// token-bucket call and one WriteCounters; when the aggregate bucket
+// check cannot admit the whole run it consumes nothing and the run falls
+// back to per-packet policing against the same snapshot, reproducing the
 // packet-at-a-time semantics exactly.
 func (dp *DataPlane) uplinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now int64) {
 	sc := &dp.scratch
@@ -467,29 +473,29 @@ func (dp *DataPlane) uplinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now i
 	ruleSlot := -1
 	allowedAll := true
 	partial := false
-	ue.ReadCtrl(func(c *state.ControlState) {
-		if c.Epoch != ue.Priv.Epoch {
-			rebuildPriv(ue, c)
+	c := &sc.ctrl
+	ue.ReadCtrlSnapshot(c)
+	if c.Epoch != ue.Priv.Epoch {
+		rebuildPriv(ue, c)
+	}
+	for i := 0; i < int(c.RuleCount); i++ {
+		if c.RuleIDs[i] == verdict.RuleID {
+			ruleSlot = i
+			break
 		}
-		for i := 0; i < int(c.RuleCount); i++ {
-			if c.RuleIDs[i] == verdict.RuleID {
-				ruleSlot = i
-				break
+	}
+	if ue.Priv.Limiter != nil {
+		bearer := c.SelectBearer(flow)
+		if count == 1 {
+			allowedAll = ue.Priv.Limiter.AllowUplink(now, bearer, total)
+		} else if !ue.Priv.Limiter.AllowUplinkRun(now, bearer, total) {
+			allowedAll = false
+			partial = true
+			for k := lo; k < hi; k++ {
+				sc.allowed[k] = ue.Priv.Limiter.AllowUplink(now, bearer, uint64(sc.plens[k]))
 			}
 		}
-		if ue.Priv.Limiter != nil {
-			bearer := c.SelectBearer(flow)
-			if count == 1 {
-				allowedAll = ue.Priv.Limiter.AllowUplink(now, bearer, total)
-			} else if !ue.Priv.Limiter.AllowUplinkRun(now, bearer, total) {
-				allowedAll = false
-				partial = true
-				for k := lo; k < hi; k++ {
-					sc.allowed[k] = ue.Priv.Limiter.AllowUplink(now, bearer, uint64(sc.plens[k]))
-				}
-			}
-		}
-	})
+	}
 
 	if !partial {
 		if !allowedAll { // single-packet run, denied
@@ -625,35 +631,33 @@ func (dp *DataPlane) downlinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now
 	for k := lo; k < hi; k++ {
 		total += uint64(sc.plens[k])
 	}
-	var teid, enbAddr uint32
 	ruleSlot := -1
 	allowedAll := true
 	partial := false
-	ue.ReadCtrl(func(c *state.ControlState) {
-		if c.Epoch != ue.Priv.Epoch {
-			rebuildPriv(ue, c)
+	c := &sc.ctrl
+	ue.ReadCtrlSnapshot(c)
+	if c.Epoch != ue.Priv.Epoch {
+		rebuildPriv(ue, c)
+	}
+	teid, enbAddr := c.DownlinkTEID, c.ENBAddr
+	for i := 0; i < int(c.RuleCount); i++ {
+		if c.RuleIDs[i] == verdict.RuleID {
+			ruleSlot = i
+			break
 		}
-		teid = c.DownlinkTEID
-		enbAddr = c.ENBAddr
-		for i := 0; i < int(c.RuleCount); i++ {
-			if c.RuleIDs[i] == verdict.RuleID {
-				ruleSlot = i
-				break
+	}
+	if ue.Priv.Limiter != nil {
+		bearer := c.SelectBearer(flow)
+		if count == 1 {
+			allowedAll = ue.Priv.Limiter.AllowDownlink(now, bearer, total)
+		} else if !ue.Priv.Limiter.AllowDownlinkRun(now, bearer, total) {
+			allowedAll = false
+			partial = true
+			for k := lo; k < hi; k++ {
+				sc.allowed[k] = ue.Priv.Limiter.AllowDownlink(now, bearer, uint64(sc.plens[k]))
 			}
 		}
-		if ue.Priv.Limiter != nil {
-			bearer := c.SelectBearer(flow)
-			if count == 1 {
-				allowedAll = ue.Priv.Limiter.AllowDownlink(now, bearer, total)
-			} else if !ue.Priv.Limiter.AllowDownlinkRun(now, bearer, total) {
-				allowedAll = false
-				partial = true
-				for k := lo; k < hi; k++ {
-					sc.allowed[k] = ue.Priv.Limiter.AllowDownlink(now, bearer, uint64(sc.plens[k]))
-				}
-			}
-		}
-	})
+	}
 	if teid == 0 {
 		// Idle user (S1 released): park the whole run for paging rather
 		// than drop.
@@ -729,8 +733,9 @@ func (dp *DataPlane) countDrop(ue *state.UE) {
 	ue.WriteCounters(func(c *state.CounterState) { c.DroppedPackets++ })
 }
 
-// rebuildPriv refreshes data-thread-private derived state from the
-// control half. Runs with the control read lock held.
+// rebuildPriv refreshes data-thread-private derived state from a
+// snapshot of the control half (c points at the caller's seqlock copy,
+// or at u.Ctrl under the read lock on the locked paths).
 func rebuildPriv(ue *state.UE, c *state.ControlState) {
 	policed := c.AMBRUplink > 0 || c.AMBRDownlink > 0
 	for i := 0; i < int(c.BearerCount); i++ {

@@ -65,6 +65,13 @@ type Scale struct {
 	// methodology), and ""/"auto" picks parallel when GOMAXPROCS can
 	// host all workers plus the driver.
 	Fig7Mode string
+	// Fig5Mode/Fig6Mode select how PEPC executes the interleaved
+	// signaling in those sweeps: ""/"batched" (default) enqueues events
+	// on the control ring and drains them as grouped procedure batches
+	// (the control fast path), "inline" calls the per-procedure entry
+	// points directly (the pre-batching behaviour, kept for comparison).
+	Fig5Mode string
+	Fig6Mode string
 }
 
 // Quick is the default scale used by `go test -bench` and CI: every
@@ -137,9 +144,21 @@ func attachLegacyPopulation(e *legacy.EPC, n int, baseIMSI uint64) ([]workload.U
 
 // pepcRun measures PEPC data-plane throughput: total packets in the
 // configured UL:DL mix, with signaling events (synthetic attach updates)
-// interleaved at eventsPerKPackets per 1000 packets. It returns Mpps over
-// the measured loop.
+// interleaved at eventsPerKPackets per 1000 packets, executed inline one
+// procedure at a time. It returns Mpps over the measured loop.
 func pepcRun(s *core.Slice, gen *workload.TrafficGen, total, eventsPerKPackets int, sg *workload.SignalingGen) float64 {
+	return pepcRunSig(s, gen, total, eventsPerKPackets, sg, false)
+}
+
+// pepcRunBatched is pepcRun with the interleaved signaling submitted to
+// the control plane's event ring and drained as grouped procedure
+// batches once per driver iteration — the control fast path Figs 5/6
+// measure by default.
+func pepcRunBatched(s *core.Slice, gen *workload.TrafficGen, total, eventsPerKPackets int, sg *workload.SignalingGen) float64 {
+	return pepcRunSig(s, gen, total, eventsPerKPackets, sg, true)
+}
+
+func pepcRunSig(s *core.Slice, gen *workload.TrafficGen, total, eventsPerKPackets int, sg *workload.SignalingGen, batched bool) float64 {
 	const batchSize = 32
 	up := make([]*pkt.Buf, 0, batchSize)
 	down := make([]*pkt.Buf, 0, batchSize)
@@ -192,11 +211,26 @@ func pepcRun(s *core.Slice, gen *workload.TrafficGen, total, eventsPerKPackets i
 				switch ev.Kind {
 				case workload.EventS1Handover:
 					addr, teid, ecgi := sg.NextHandoverTarget()
-					s.Control().S1Handover(ev.IMSI, addr, teid, ecgi)
+					if batched {
+						s.Control().EnqueueSignal(core.SigEvent{
+							Kind: core.SigS1Handover, IMSI: ev.IMSI,
+							ENBAddr: addr, DownlinkTEID: teid, ECGI: ecgi,
+						})
+					} else {
+						s.Control().S1Handover(ev.IMSI, addr, teid, ecgi)
+					}
 				default:
-					s.Control().AttachEvent(ev.IMSI)
+					if batched {
+						s.Control().EnqueueSignal(core.SigEvent{Kind: core.SigAttachEvent, IMSI: ev.IMSI})
+					} else {
+						s.Control().AttachEvent(ev.IMSI)
+					}
 				}
 				eventDebt--
+			}
+			if batched {
+				for s.Control().DrainSignaling(0) > 0 {
+				}
 			}
 		}
 		drainRing(s)

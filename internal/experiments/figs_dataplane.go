@@ -89,6 +89,12 @@ func Fig5(sc Scale) (Result, error) {
 		// Scaled-down sweep preserving the shape at small scales.
 		populations = []int{sc.MaxUsers / 10, sc.MaxUsers / 4, sc.MaxUsers / 2, sc.MaxUsers}
 	}
+	pepcSig := pepcRunBatched
+	sigMode := "batched"
+	if sc.Fig5Mode == "inline" {
+		pepcSig = pepcRun
+		sigMode = "inline"
+	}
 	var pepcPts, ind1Pts []sim.Point
 	for _, want := range populations {
 		if want > sc.MaxUsers || want < 1 {
@@ -103,7 +109,7 @@ func Fig5(sc Scale) (Result, error) {
 			}
 			gen := workload.NewTrafficGen(workload.TrafficConfig{CoreAddr: s.Config().CoreAddr}, pop)
 			sg := workload.NewSignalingGen(workload.EventAttach, pop)
-			v := pepcRun(s, gen, sc.PacketsPerPoint, 2 /* 10K attach/s : ~5Mpps */, sg)
+			v := pepcSig(s, gen, sc.PacketsPerPoint, 2 /* 10K attach/s : ~5Mpps */, sg)
 			pepcPts = append(pepcPts, sim.Point{X: float64(want), Y: v})
 		}
 		gcNow()
@@ -143,7 +149,8 @@ func Fig5(sc Scale) (Result, error) {
 	}
 	r.Notes = append(r.Notes,
 		"paper shape: PEPC sustains throughput to millions of users; Industrial#1 collapses >90% by 1M",
-		fmt.Sprintf("population sweep capped at %d users by scale/memory", sc.MaxUsers))
+		fmt.Sprintf("population sweep capped at %d users by scale/memory", sc.MaxUsers),
+		fmt.Sprintf("PEPC signaling mode: %s", sigMode))
 	return r, nil
 }
 
@@ -159,6 +166,12 @@ func Fig6(sc Scale) (Result, error) {
 	}
 	ratios := []int{10000, 1000, 100, 10, 1} // 1:N
 	pops := []int{1, 10_000, 1_000_000}
+	pepcSig := pepcRunBatched
+	sigMode := "batched"
+	if sc.Fig6Mode == "inline" {
+		pepcSig = pepcRun
+		sigMode = "inline"
+	}
 	for _, p := range pops {
 		n := sc.users(p)
 		if n < 1 {
@@ -173,7 +186,7 @@ func Fig6(sc Scale) (Result, error) {
 		sg := workload.NewSignalingGen(workload.EventAttach, pop)
 		var pts []sim.Point
 		for _, ratio := range ratios {
-			v := pepcRun(s, gen, sc.PacketsPerPoint, ratioEvents(ratio), sg)
+			v := pepcSig(s, gen, sc.PacketsPerPoint, ratioEvents(ratio), sg)
 			pts = append(pts, sim.Point{X: float64(ratio), Y: v})
 		}
 		r.Series = append(r.Series, sim.Series{Name: fmt.Sprintf("PEPC %s users", sim.FormatQty(float64(n))), Points: pts})
@@ -201,7 +214,8 @@ func Fig6(sc Scale) (Result, error) {
 		r.Series = append(r.Series, sim.Series{Name: "Industrial#1", Points: pts})
 	}
 	r.Notes = append(r.Notes,
-		"paper shape: PEPC ~7 Mpps at 1:10 and 2.6 Mpps at 1:1; Industrial#1 near 0 beyond 1:100")
+		"paper shape: PEPC ~7 Mpps at 1:10 and 2.6 Mpps at 1:1; Industrial#1 near 0 beyond 1:100",
+		fmt.Sprintf("PEPC signaling mode: %s", sigMode))
 	return r, nil
 }
 

@@ -173,33 +173,48 @@ func (h *HSS) NextVector(imsi uint64) (Vector, uint64, error) {
 	return GenerateVector(s.K, rand, s.SQN), s.SQN, nil
 }
 
-// Handle implements diameter.Handler for S6a: AIR→AIA and ULR→ULA.
+// Handle implements diameter.Handler for S6a: AIR→AIA and ULR→ULA. An
+// AIR may carry several User-Name AVPs (the proxy coalesces a batch of
+// attaches into one round-trip); the answer then carries one E-UTRAN
+// vector group per user, in request order. A single unknown subscriber
+// fails the whole batch, as it would the single-user request.
 func (h *HSS) Handle(req *diameter.Message) (*diameter.Message, error) {
 	if !req.IsRequest() || req.AppID != diameter.AppS6a {
 		return req.Answer(diameter.ResultUnableToComply), nil
 	}
-	userAVP, ok := req.Find(diameter.AVPUserName)
-	if !ok {
-		return req.Answer(diameter.ResultUnableToComply), nil
-	}
-	imsi, err := userAVP.Uint64()
-	if err != nil {
-		return req.Answer(diameter.ResultUnableToComply), nil
-	}
 	switch req.Code {
 	case diameter.CmdAuthenticationInformation:
-		vec, _, err := h.NextVector(imsi)
-		if err != nil {
-			return req.Answer(diameter.ResultUserUnknown), nil
+		users := req.FindAll(diameter.AVPUserName)
+		if len(users) == 0 {
+			return req.Answer(diameter.ResultUnableToComply), nil
 		}
-		group := diameter.Grouped(diameter.AVPEUTRANVector,
-			diameter.AVP{Code: diameter.AVPRand, Data: vec.RAND[:]},
-			diameter.AVP{Code: diameter.AVPXres, Data: vec.XRES[:]},
-			diameter.AVP{Code: diameter.AVPAutn, Data: vec.AUTN[:]},
-			diameter.AVP{Code: diameter.AVPKasme, Data: vec.KASME[:]},
-		)
-		return req.Answer(diameter.ResultSuccess, group), nil
+		groups := make([]diameter.AVP, 0, len(users))
+		for _, ua := range users {
+			imsi, err := ua.Uint64()
+			if err != nil {
+				return req.Answer(diameter.ResultUnableToComply), nil
+			}
+			vec, _, err := h.NextVector(imsi)
+			if err != nil {
+				return req.Answer(diameter.ResultUserUnknown), nil
+			}
+			groups = append(groups, diameter.Grouped(diameter.AVPEUTRANVector,
+				diameter.AVP{Code: diameter.AVPRand, Data: vec.RAND[:]},
+				diameter.AVP{Code: diameter.AVPXres, Data: vec.XRES[:]},
+				diameter.AVP{Code: diameter.AVPAutn, Data: vec.AUTN[:]},
+				diameter.AVP{Code: diameter.AVPKasme, Data: vec.KASME[:]},
+			))
+		}
+		return req.Answer(diameter.ResultSuccess, groups...), nil
 	case diameter.CmdUpdateLocation:
+		userAVP, ok := req.Find(diameter.AVPUserName)
+		if !ok {
+			return req.Answer(diameter.ResultUnableToComply), nil
+		}
+		imsi, err := userAVP.Uint64()
+		if err != nil {
+			return req.Answer(diameter.ResultUnableToComply), nil
+		}
 		sub, err := h.Lookup(imsi)
 		if err != nil || sub.Barred {
 			return req.Answer(diameter.ResultUserUnknown), nil
@@ -217,11 +232,33 @@ func (h *HSS) Handle(req *diameter.Message) (*diameter.Message, error) {
 // ParseVectorAVP extracts a Vector from an AIA's grouped AVP (client
 // side: the node proxy).
 func ParseVectorAVP(m *diameter.Message) (Vector, error) {
-	var v Vector
 	g, ok := m.Find(diameter.AVPEUTRANVector)
 	if !ok {
-		return v, errors.New("hss: missing E-UTRAN vector")
+		return Vector{}, errors.New("hss: missing E-UTRAN vector")
 	}
+	return parseVectorGroup(g)
+}
+
+// ParseVectorAVPsInto extracts every E-UTRAN vector group of a batched
+// AIA into out, in answer (= request) order. The answer must carry
+// exactly len(out) groups.
+func ParseVectorAVPsInto(m *diameter.Message, out []Vector) error {
+	groups := m.FindAll(diameter.AVPEUTRANVector)
+	if len(groups) != len(out) {
+		return errors.New("hss: vector count mismatch in batched AIA")
+	}
+	for i, g := range groups {
+		v, err := parseVectorGroup(g)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+func parseVectorGroup(g diameter.AVP) (Vector, error) {
+	var v Vector
 	subs, err := g.SubAVPs()
 	if err != nil {
 		return v, err

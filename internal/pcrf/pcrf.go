@@ -150,8 +150,15 @@ func (p *PCRF) Handle(req *diameter.Message) (*diameter.Message, error) {
 		// out of scope).
 		return req.Answer(diameter.ResultSuccess), nil
 	case CCRTermination:
+		// A CCR-T may carry several User-Name AVPs: the node proxy
+		// coalesces a detach batch into one termination round-trip.
 		p.mu.Lock()
 		delete(p.sessions, imsi)
+		for _, ua := range req.FindAll(diameter.AVPUserName)[1:] {
+			if extra, err := ua.Uint64(); err == nil {
+				delete(p.sessions, extra)
+			}
+		}
 		p.mu.Unlock()
 		return req.Answer(diameter.ResultSuccess), nil
 	default:
@@ -175,7 +182,13 @@ func ruleInstallAVP(r pcef.Rule) diameter.AVP {
 // ParseRuleInstalls decodes every Charging-Rule-Install AVP in a CCA/RAR
 // back into PCC rules (client side: the node proxy).
 func ParseRuleInstalls(m *diameter.Message) ([]pcef.Rule, error) {
-	var rules []pcef.Rule
+	return ParseRuleInstallsAppend(m, nil)
+}
+
+// ParseRuleInstallsAppend is ParseRuleInstalls appending into a
+// caller-provided slice, so the control plane's attach path can reuse a
+// preallocated rule scratch across procedures.
+func ParseRuleInstallsAppend(m *diameter.Message, rules []pcef.Rule) ([]pcef.Rule, error) {
 	for _, inst := range m.FindAll(diameter.AVPChargingRuleInstall) {
 		defs, err := inst.SubAVPs()
 		if err != nil {

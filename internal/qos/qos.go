@@ -142,20 +142,36 @@ func DefaultBurstBytes(rateBytesPerSec uint64) uint64 {
 	return b
 }
 
+// configurePreserving applies (rate, burst) only when they actually
+// changed, starting a changed bucket full; an unchanged bucket keeps its
+// accumulated token level. The data plane rebuilds limiters whenever a
+// user's control epoch advances, and most control writes (handovers,
+// attach refreshes) leave the QoS profile untouched — a signaling storm
+// must not turn into a stream of free bucket refills that defeats
+// policing.
+func (tb *TokenBucket) configurePreserving(rate, burst uint64) {
+	if tb.rate == rate && tb.burst == burst {
+		return
+	}
+	tb.rate = rate
+	tb.burst = burst
+	tb.tokens = burst
+}
+
 // ConfigureUser initializes the limiter from AMBR values in bits/s.
 // Zero-valued rates disable the corresponding bucket (no policing).
+// Reapplying an unchanged configuration preserves token levels (see
+// configurePreserving).
 func (ul *UserLimiter) ConfigureUser(ambrUpBits, ambrDownBits uint64) {
 	if ambrUpBits > 0 {
 		r := BitsPerSecond(ambrUpBits)
-		ul.AMBRUp.Configure(r, DefaultBurstBytes(r))
-		ul.AMBRUp.tokens = ul.AMBRUp.burst
+		ul.AMBRUp.configurePreserving(r, DefaultBurstBytes(r))
 	} else {
 		ul.AMBRUp.rate = 0
 	}
 	if ambrDownBits > 0 {
 		r := BitsPerSecond(ambrDownBits)
-		ul.AMBRDown.Configure(r, DefaultBurstBytes(r))
-		ul.AMBRDown.tokens = ul.AMBRDown.burst
+		ul.AMBRDown.configurePreserving(r, DefaultBurstBytes(r))
 	} else {
 		ul.AMBRDown.rate = 0
 	}
@@ -163,21 +179,20 @@ func (ul *UserLimiter) ConfigureUser(ambrUpBits, ambrDownBits uint64) {
 }
 
 // ConfigureBearer sets bearer i's MBR policing in bits/s (0 disables).
+// Reapplying an unchanged configuration preserves token levels.
 func (ul *UserLimiter) ConfigureBearer(i int, mbrUpBits, mbrDownBits uint64) {
 	if i < 0 || i >= len(ul.BearerUp) {
 		return
 	}
 	if mbrUpBits > 0 {
 		r := BitsPerSecond(mbrUpBits)
-		ul.BearerUp[i].Configure(r, DefaultBurstBytes(r))
-		ul.BearerUp[i].tokens = ul.BearerUp[i].burst
+		ul.BearerUp[i].configurePreserving(r, DefaultBurstBytes(r))
 	} else {
 		ul.BearerUp[i].rate = 0
 	}
 	if mbrDownBits > 0 {
 		r := BitsPerSecond(mbrDownBits)
-		ul.BearerDown[i].Configure(r, DefaultBurstBytes(r))
-		ul.BearerDown[i].tokens = ul.BearerDown[i].burst
+		ul.BearerDown[i].configurePreserving(r, DefaultBurstBytes(r))
 	} else {
 		ul.BearerDown[i].rate = 0
 	}

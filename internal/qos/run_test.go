@@ -17,7 +17,10 @@ func TestAllowRunAllOrNothing(t *testing.T) {
 		t.Fatalf("tokens after admitted run = %d, want 0", got)
 	}
 
-	ul.ConfigureUser(8*100_000, 8*100_000) // refill both directions
+	// Fresh limiter: reapplying an unchanged configuration deliberately
+	// does NOT refill (see configurePreserving).
+	ul = UserLimiter{}
+	ul.ConfigureUser(8*100_000, 8*100_000)
 	if ul.AllowUplinkRun(now, -1, 3001) {
 		t.Fatal("run beyond burst admitted")
 	}
@@ -35,6 +38,35 @@ func TestAllowRunAllOrNothing(t *testing.T) {
 	var free UserLimiter
 	if !free.AllowUplinkRun(now, 0, 1<<40) || !free.AllowDownlinkRun(now, 0, 1<<40) {
 		t.Fatal("unpoliced run denied")
+	}
+}
+
+// TestConfigurePreservesTokens: reapplying an unchanged QoS profile
+// keeps the accumulated token level (the data plane reconfigures on
+// every control-epoch bump, and a signaling storm must not refill the
+// buckets for free); an actually changed profile starts full at the new
+// depth.
+func TestConfigurePreservesTokens(t *testing.T) {
+	var ul UserLimiter
+	ul.ConfigureUser(8*100_000, 0) // 100 KB/s → 3000 B burst floor
+	ul.ConfigureBearer(0, 8*100_000, 0)
+	now := int64(0)
+	if !ul.AllowUplink(now, 0, 2000) {
+		t.Fatal("packet within burst denied")
+	}
+	// Same profile again — as rebuildPriv does after e.g. a handover.
+	ul.ConfigureUser(8*100_000, 0)
+	ul.ConfigureBearer(0, 8*100_000, 0)
+	if got := ul.AMBRUp.Tokens(now); got != 1000 {
+		t.Fatalf("AMBR tokens after unchanged reconfigure = %d, want 1000", got)
+	}
+	if got := ul.BearerUp[0].Tokens(now); got != 1000 {
+		t.Fatalf("bearer tokens after unchanged reconfigure = %d, want 1000", got)
+	}
+	// A genuine rate change starts the bucket full at the new depth.
+	ul.ConfigureUser(8*1_000_000, 0) // 1 MB/s → 20000 B burst
+	if got := ul.AMBRUp.Tokens(now); got != 20000 {
+		t.Fatalf("AMBR tokens after rate change = %d, want 20000", got)
 	}
 }
 

@@ -212,6 +212,19 @@ func (q *MPSC[T]) Enqueue(v T) bool {
 	}
 }
 
+// EnqueueBatch adds as many items from vs as fit, returning the count.
+// Safe for concurrent producers; slots are claimed one CAS at a time
+// (Vyukov producers cannot reserve ranges), so the batching here saves
+// call overhead rather than synchronization.
+func (q *MPSC[T]) EnqueueBatch(vs []T) int {
+	for i, v := range vs {
+		if !q.Enqueue(v) {
+			return i
+		}
+	}
+	return len(vs)
+}
+
 // Dequeue removes one item. Only one consumer goroutine may call it.
 func (q *MPSC[T]) Dequeue() (T, bool) {
 	var zero T

@@ -1,0 +1,5 @@
+//go:build !race
+
+package state
+
+const raceEnabled = false

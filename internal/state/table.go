@@ -61,6 +61,13 @@ type Table struct {
 	byTEID *U32Map
 	byIP   *U32Map
 	byIMSI *U64Map
+
+	// dpCtrl is the data thread's control-state scratch: in PEPC mode the
+	// per-packet control read is a seqlock snapshot into this buffer
+	// rather than a locked read of ue.Ctrl, so a control write in flight
+	// never stalls a packet. Only the data thread touches it (one data
+	// thread per table), so it needs no lock.
+	dpCtrl ControlState
 }
 
 // NewTable returns a table pre-sized for sizeHint users.
@@ -174,6 +181,48 @@ func (t *Table) LookupIMSI(imsi uint64) *UE {
 	return ue
 }
 
+// LookupIMSIBatch resolves a batch of IMSIs under a single index-lock
+// acquisition, storing the result (nil where absent) in out[i] and
+// returning the found count. The batched signaling path uses it to
+// amortize index locking across a drain of procedures, mirroring what
+// DataPathTEIDBatch does for packets.
+func (t *Table) LookupIMSIBatch(imsis []uint64, out []*UE) int {
+	found := 0
+	t.lockIdxR()
+	for i, imsi := range imsis {
+		out[i] = t.byIMSI.Get(imsi)
+		if out[i] != nil {
+			found++
+		}
+	}
+	t.unlockIdxR()
+	return found
+}
+
+// RemoveBatch deletes a batch of users from all indexes under a single
+// index-lock acquisition, storing each removed context (nil where
+// absent) in out[i] and returning the removed count.
+func (t *Table) RemoveBatch(imsis []uint64, out []*UE) int {
+	removed := 0
+	t.lockIdxW()
+	for i, imsi := range imsis {
+		ue := t.byIMSI.Delete(imsi)
+		out[i] = ue
+		if ue == nil {
+			continue
+		}
+		if ue.Ctrl.UplinkTEID != 0 {
+			t.byTEID.Delete(ue.Ctrl.UplinkTEID)
+		}
+		if ue.Ctrl.UEAddr != 0 {
+			t.byIP.Delete(ue.Ctrl.UEAddr)
+		}
+		removed++
+	}
+	t.unlockIdxW()
+	return removed
+}
+
 // LookupTEID finds a user by uplink TEID without entering the data-path
 // locking discipline (control path, migration).
 func (t *Table) LookupTEID(teid uint32) *UE {
@@ -233,11 +282,14 @@ func (t *Table) dataPath(key uint32, idx *U32Map, fn func(*ControlState, *Counte
 		if ue == nil {
 			return false
 		}
-		ue.ctrlMu.RLock()
+		// Wait-free control read: seqlock snapshot into the table's
+		// data-thread scratch. The counter half still takes its own
+		// lock — the data thread is its only writer, so it never blocks
+		// on control activity.
+		ue.ReadCtrlSnapshot(&t.dpCtrl)
 		ue.ctrMu.Lock()
-		fn(&ue.Ctrl, &ue.Counters)
+		fn(&t.dpCtrl, &ue.Counters)
 		ue.ctrMu.Unlock()
-		ue.ctrlMu.RUnlock()
 		return true
 	}
 }
@@ -296,18 +348,23 @@ func (t *Table) dataPathBatch(keys []uint32, idx *U32Map, fn func(i int, c *Cont
 		prevKey := uint32(0)
 		for i, key := range keys {
 			ue := prev
-			if ue == nil || key != prevKey {
+			reuse := ue != nil && key == prevKey
+			if !reuse {
 				ue = idx.Get(key)
 				prev, prevKey = ue, key
 			}
 			if ue == nil {
 				continue
 			}
-			ue.ctrlMu.RLock()
+			// Snapshot once per run of identical keys: a repeated key
+			// reuses the previous seqlock copy, amortizing the read the
+			// same way the lock acquisitions amortize in the other modes.
+			if !reuse {
+				ue.ReadCtrlSnapshot(&t.dpCtrl)
+			}
 			ue.ctrMu.Lock()
-			fn(i, &ue.Ctrl, &ue.Counters)
+			fn(i, &t.dpCtrl, &ue.Counters)
 			ue.ctrMu.Unlock()
-			ue.ctrlMu.RUnlock()
 			found++
 		}
 	}

@@ -8,6 +8,7 @@ package state
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"pepc/internal/bpf"
 	"pepc/internal/pkt"
@@ -108,14 +109,23 @@ type CounterState struct {
 // the context, each behind its own read/write lock, mirroring Listing 1's
 // HashMap<id, RwLock<UEContext>> with the additional single-writer split.
 //
-// Locking discipline (§3.2):
+// Locking discipline (§3.2, extended with seqlock publication — see
+// DESIGN.md §4.9):
 //
-//	control thread: ctrlMu.Lock for writes to Ctrl; ctrMu.RLock to read Counters
-//	data thread:    ctrlMu.RLock to read Ctrl;     ctrMu.Lock to write Counters
+//	control thread: ctrlMu.Lock + seq bump for writes to Ctrl;
+//	                ctrMu.RLock to read Counters
+//	data thread:    ReadCtrlSnapshot (wait-free seqlock copy, locked
+//	                fallback) to read Ctrl; ctrMu.Lock to write Counters
 //
 // Use the accessor methods, which encode the discipline, rather than the
 // locks directly.
 type UE struct {
+	// seq is the control-state sequence counter: odd while a control
+	// write is in progress, even otherwise. Data-path readers copy Ctrl
+	// optimistically and validate against it (ReadCtrlSnapshot), so a
+	// control write never blocks the forwarding path.
+	seq atomic.Uint32
+
 	ctrlMu sync.RWMutex
 	Ctrl   ControlState
 
@@ -141,20 +151,67 @@ type DataPriv struct {
 }
 
 // WriteCtrl runs fn with exclusive access to the control half. Only the
-// control thread may call it.
+// control thread may call it. The sequence counter is odd for the
+// duration of the write, so concurrent ReadCtrlSnapshot callers either
+// retry or fall back to the lock; the mutex still serializes against
+// the locked readers (Snapshot, ReadCtrl, migration extract).
 func (u *UE) WriteCtrl(fn func(*ControlState)) {
 	u.ctrlMu.Lock()
+	u.seq.Add(1) // odd: write in progress
 	fn(&u.Ctrl)
 	u.Ctrl.Epoch++
+	u.seq.Add(1) // even: write published
 	u.ctrlMu.Unlock()
 }
 
-// ReadCtrl runs fn with shared access to the control half.
+// ReadCtrl runs fn with shared access to the control half. Control-
+// thread paths that need a stable view across the whole callback
+// (migration, snapshots, usage reporting) use this locked form; the
+// data thread uses ReadCtrlSnapshot instead.
 func (u *UE) ReadCtrl(fn func(*ControlState)) {
 	u.ctrlMu.RLock()
 	fn(&u.Ctrl)
 	u.ctrlMu.RUnlock()
 }
+
+// seqlockRetries bounds the optimistic read loop before falling back to
+// the read lock: a handful of retries rides out one in-flight control
+// write; a storm of back-to-back writes to the same user (rare — one
+// user's signaling is serialized) degrades to the locked path.
+const seqlockRetries = 8
+
+// ReadCtrlSnapshot copies the control half into dst without blocking
+// the writer: it reads the sequence counter, copies, and validates that
+// no write began or completed in between, retrying a bounded number of
+// times before falling back to the read lock. The copy is torn-read
+// safe because ControlState is pointer-free; a torn copy fails
+// validation and is discarded. Race-detector builds always take the
+// lock (the optimistic copy is a deliberate validated race the detector
+// cannot see past).
+//
+// This is the data thread's control read: wait-free in the common case,
+// so a signaling burst never stalls packet verdicts the way a held
+// write lock would.
+func (u *UE) ReadCtrlSnapshot(dst *ControlState) {
+	if !raceEnabled {
+		for try := 0; try < seqlockRetries; try++ {
+			s1 := u.seq.Load()
+			if s1&1 == 0 {
+				*dst = u.Ctrl
+				if u.seq.Load() == s1 {
+					return
+				}
+			}
+		}
+	}
+	u.ctrlMu.RLock()
+	*dst = u.Ctrl
+	u.ctrlMu.RUnlock()
+}
+
+// CtrlSeq exposes the current sequence value (even = quiescent); tests
+// assert the protocol's parity invariants through it.
+func (u *UE) CtrlSeq() uint32 { return u.seq.Load() }
 
 // WriteCounters runs fn with exclusive access to the counter half. Only
 // the data thread may call it.
@@ -184,13 +241,30 @@ func (u *UE) Snapshot() (ControlState, CounterState) {
 }
 
 // Restore installs a snapshot into a fresh UE (migration target side).
+// The write follows the seqlock protocol: the target slice's data
+// thread may already be probing the context through a stale index.
 func (u *UE) Restore(cs ControlState, cnt CounterState) {
 	u.ctrlMu.Lock()
+	u.seq.Add(1)
 	u.Ctrl = cs
+	u.seq.Add(1)
 	u.ctrlMu.Unlock()
 	u.ctrMu.Lock()
 	u.Counters = cnt
 	u.ctrMu.Unlock()
+}
+
+// Recycle clears the context for reuse from a free list (the control
+// plane's zero-alloc attach path). Callers must guarantee the data
+// thread holds no reference — in PEPC that means the detach's index
+// delete has been synced through the update queue (the control plane's
+// retire fence). Field-by-field reset keeps the mutexes (both unlocked
+// here by contract) untouched.
+func (u *UE) Recycle() {
+	u.Ctrl = ControlState{}
+	u.Counters = CounterState{}
+	u.Priv = DataPriv{}
+	u.seq.Store(0)
 }
 
 // AddBearer appends a bearer, returning false when the UE already has

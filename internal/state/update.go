@@ -94,6 +94,13 @@ func NewUpdateQueue(capacity int) *UpdateQueue {
 // control plane then applies backpressure to signaling).
 func (uq *UpdateQueue) Push(u Update) bool { return uq.q.Enqueue(u) }
 
+// PushBatch enqueues a batch of updates accumulated by one signaling
+// drain, returning how many fit. The batched control path stages its
+// index operations in a scratch slice and hands them over in one call,
+// amortizing the per-update call overhead the same way the data plane
+// batches packets.
+func (uq *UpdateQueue) PushBatch(us []Update) int { return uq.q.EnqueueBatch(us) }
+
 // Drain applies every queued update to ix, returning the count. Data
 // thread only; called between packet batches.
 func (uq *UpdateQueue) Drain(ix *Indexes) int {

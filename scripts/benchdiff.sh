@@ -1,0 +1,55 @@
+#!/bin/sh
+# benchdiff.sh — regenerate the tracked figures (5 and 6: data-plane
+# throughput under interleaved signaling) with pepcbench -json and compare
+# them against the checked-in baselines in bench/baseline/, failing on a
+# >10% throughput drop at any swept point of the gated (PEPC) series.
+#
+# Knobs (environment):
+#   BENCHDIFF_THRESHOLD=0.15   widen the tolerance on noisy hosts
+#   BENCHDIFF_SERIES=""        gate every series, not just PEPC*
+#   BENCHDIFF_FIGS="5 6"       which figures to regenerate
+#   BENCHDIFF_RUNS=3           runs folded into the baseline on --update
+#
+# Refresh the baselines after an intentional performance change with
+#   ./scripts/benchdiff.sh --update
+# which ratchets each point to the minimum across BENCHDIFF_RUNS runs —
+# a conservative floor, so ordinary run-to-run noise stays inside the
+# threshold and only genuine regressions trip the gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${BENCHDIFF_THRESHOLD:-0.10}"
+SERIES="${BENCHDIFF_SERIES-PEPC}"
+FIGS="${BENCHDIFF_FIGS:-5 6}"
+RUNS="${BENCHDIFF_RUNS:-3}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== build"
+go build -o "$OUT/pepcbench" ./cmd/pepcbench
+go build -o "$OUT/benchdiff" ./cmd/benchdiff
+
+run_figs() {
+    for f in $FIGS; do
+        (cd "$OUT" && ./pepcbench -fig "$f" -json >/dev/null)
+    done
+}
+
+if [ "${1:-}" = "--update" ]; then
+    rm -f bench/baseline/BENCH_fig*.json
+    i=1
+    while [ "$i" -le "$RUNS" ]; do
+        echo "== baseline run $i/$RUNS (figures: $FIGS)"
+        run_figs
+        "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" -update
+        i=$((i + 1))
+    done
+    echo "baselines updated in bench/baseline/"
+    exit 0
+fi
+
+echo "== run figures: $FIGS"
+run_figs
+"$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
+    -threshold "$THRESHOLD" -series "$SERIES"
