@@ -69,6 +69,8 @@ func main() {
 	freshDir := flag.String("fresh", ".", "directory with freshly generated BENCH_*.json results")
 	threshold := flag.Float64("threshold", 0.10, "maximum tolerated fractional drop per point")
 	prefix := flag.String("series", "", "only gate series whose name starts with this prefix (empty = all)")
+	only := flag.String("only", "", "only compare baseline files whose name matches this glob (empty = all)")
+	skip := flag.String("skip", "", "skip baseline files whose name matches this glob")
 	update := flag.Bool("update", false, "ratchet baselines down to min(baseline, fresh) instead of comparing")
 	flag.Parse()
 
@@ -89,6 +91,16 @@ func main() {
 	failures := 0
 	for _, basePath := range paths {
 		name := filepath.Base(basePath)
+		if *only != "" {
+			if m, _ := filepath.Match(*only, name); !m {
+				continue
+			}
+		}
+		if *skip != "" {
+			if m, _ := filepath.Match(*skip, name); m {
+				continue
+			}
+		}
 		base, err := load(basePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", basePath, err)

@@ -264,6 +264,7 @@ func (cp *ControlPlane) allocUE() (*state.UE, uint32, uint32, error) {
 			cp.retLen--
 			r.ue.Recycle()
 			cp.Recycles.Add(1)
+			cp.bindHot(r.ue)
 			return r.ue, r.teid, r.ueAddr, nil
 		}
 	}
@@ -271,7 +272,17 @@ func (cp *ControlPlane) allocUE() (*state.UE, uint32, uint32, error) {
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	return &state.UE{}, teid, ueAddr, nil
+	ue := &state.UE{}
+	cp.bindHot(ue)
+	return ue, teid, ueAddr, nil
+}
+
+// bindHot binds a context to an arena hot slot in the handle layout
+// (no-op in the pointer layout, where the inline hot half serves).
+func (cp *ControlPlane) bindHot(ue *state.UE) {
+	if cp.s.arena != nil {
+		cp.s.arena.Alloc(ue, cp.s.data.syncSeq.Load())
+	}
 }
 
 // retire parks a detached context on the free list, stamped with the
@@ -406,6 +417,9 @@ func (cp *ControlPlane) Detach(imsi uint64) error {
 	cp.collector.Forget(imsi)
 	if cp.proxy != nil {
 		_ = cp.proxy.TerminateGxSession(imsi)
+	}
+	if cp.s.arena != nil {
+		cp.s.arena.Retire(ue.Handle(), cp.s.data.syncSeq.Load())
 	}
 	cp.retire(ue, teid, ueAddr)
 	cp.Detaches.Add(1)
@@ -555,6 +569,9 @@ func (cp *ControlPlane) extract(imsi uint64) (state.ControlState, state.CounterS
 		}
 	}
 	cs, cnt := ue.Snapshot()
+	if cp.s.arena != nil {
+		cp.s.arena.Retire(ue.Handle(), cp.s.data.syncSeq.Load())
+	}
 	cp.collector.Forget(imsi)
 	return cs, cnt, nil
 }
@@ -563,6 +580,7 @@ func (cp *ControlPlane) extract(imsi uint64) (state.ControlState, state.CounterS
 // preserving identifiers.
 func (cp *ControlPlane) install(cs state.ControlState, cnt state.CounterState, now int64) error {
 	ue := &state.UE{}
+	cp.bindHot(ue)
 	ue.Restore(cs, cnt)
 	if err := cp.s.cp.Insert(ue); err != nil {
 		return err

@@ -29,13 +29,13 @@ func (dp *DataPlane) initPaging() {
 // paged and did not answer before the retry).
 func (dp *DataPlane) parkForPaging(b *pkt.Buf, ue *state.UE) {
 	if b.Meta.Paged {
-		dp.countDrop(ue)
+		dp.countDrop(ue.Hot())
 		dp.drop(b)
 		return
 	}
 	b.Meta.Paged = true
 	if !dp.paging.Enqueue(b) {
-		dp.countDrop(ue)
+		dp.countDrop(ue.Hot())
 		dp.drop(b)
 		return
 	}

@@ -30,6 +30,20 @@ const (
 	TableTwoLevel
 )
 
+// StateLayout selects how the data-plane indexes store per-user state
+// (DESIGN.md §4.10).
+type StateLayout uint8
+
+const (
+	// LayoutPointer maps key→*UE; each user's hot state is embedded in
+	// its heap-allocated context. The baseline layout.
+	LayoutPointer StateLayout = iota
+	// LayoutHandle maps key→generation+slot handle in pointer-free
+	// indexes, with hot state packed into state.Arena slabs: denser in
+	// cache and invisible to the GC mark phase at large populations.
+	LayoutHandle
+)
+
 // SliceConfig parameterizes a PEPC slice.
 type SliceConfig struct {
 	// ID distinguishes slices within a node and seeds identifier
@@ -37,6 +51,9 @@ type SliceConfig struct {
 	ID int
 	// TableMode selects single vs two-level state storage.
 	TableMode TableMode
+	// StateLayout selects pointer vs handle state storage for the
+	// data-plane indexes.
+	StateLayout StateLayout
 	// PrimaryHint sizes the two-level primary table (active devices).
 	PrimaryHint int
 	// UserHint pre-sizes tables for the expected population.
@@ -106,6 +123,10 @@ type Slice struct {
 	ix *state.Indexes
 	tl *state.TwoLevel
 
+	// arena backs the handle state layout (nil in pointer layout): UE
+	// hot state in slabs, resolved from the indexes by handle.
+	arena *state.Arena
+
 	// pcefTable is the slice's match-action table (shared, internally
 	// synchronized; installs are control-side, classification data-side).
 	pcefTable *pcef.Table
@@ -145,11 +166,22 @@ func NewSlice(cfg SliceConfig) *Slice {
 		Egress:    ring.MustSPSC[*pkt.Buf](cfg.RingCapacity),
 		ctrlCmds:  make(chan func(), 256),
 	}
+	if cfg.StateLayout == LayoutHandle {
+		s.arena = state.NewArena(cfg.UserHint)
+	}
 	switch cfg.TableMode {
 	case TableTwoLevel:
-		s.tl = state.NewTwoLevel(cfg.PrimaryHint, cfg.UserHint)
+		if s.arena != nil {
+			s.tl = state.NewTwoLevelHandles(cfg.PrimaryHint, cfg.UserHint, s.arena)
+		} else {
+			s.tl = state.NewTwoLevel(cfg.PrimaryHint, cfg.UserHint)
+		}
 	default:
-		s.ix = state.NewIndexes(cfg.UserHint)
+		if s.arena != nil {
+			s.ix = state.NewHandleIndexes(cfg.UserHint, s.arena)
+		} else {
+			s.ix = state.NewIndexes(cfg.UserHint)
+		}
 	}
 	s.ctrl = newControlPlane(s)
 	s.data = newDataPlane(s)
@@ -224,16 +256,21 @@ type dpScratch struct {
 	plens   []int       // inner byte length for accounting
 	runOf   []int32     // packet index → key-run index
 	allowed []bool      // per-packet policing verdict (fallback path)
-	runKeys []uint32    // distinct consecutive keys of the batch
-	runUEs  []*state.UE // resolved state, one per key run
-	runSec  []bool      // two-level: run resolved from the secondary
+	runKeys []uint32       // distinct consecutive keys of the batch
+	runHot  []*state.HotUE // resolved hot state, one per key run
+	runSec  []bool         // two-level: run resolved from the secondary
 	rules   pcef.RuleSet
 
-	// ctrl receives the seqlock snapshot of the current run's control
-	// state (see state.UE.ReadCtrlSnapshot): the verdict stage works on
-	// this stable copy instead of holding the per-user read lock, so a
-	// concurrent control write never stalls the run.
-	ctrl state.ControlState
+	// fast receives the seqlock snapshot of the current run's fast-path
+	// control view (see state.HotUE.ReadFast): the verdict stage works
+	// on this stable ~44-byte copy instead of holding a per-user lock or
+	// copying the whole control state, so a concurrent control write
+	// never stalls the run and the copy stays within a cache line.
+	fast state.FastCtrl
+
+	// cold receives the full control snapshot on the rare rebuild path
+	// (policed users whose control epoch advanced).
+	cold state.ControlState
 }
 
 func (sc *dpScratch) ensure(n int) {
@@ -247,7 +284,7 @@ func (sc *dpScratch) ensure(n int) {
 	sc.runOf = make([]int32, n)
 	sc.allowed = make([]bool, n)
 	sc.runKeys = make([]uint32, n)
-	sc.runUEs = make([]*state.UE, n)
+	sc.runHot = make([]*state.HotUE, n)
 	sc.runSec = make([]bool, n)
 }
 
@@ -282,10 +319,7 @@ func (dp *DataPlane) SyncUpdates() int {
 // secondary hit requests promotion through the control plane.
 func (dp *DataPlane) lookup(key uint32, uplink bool) *state.UE {
 	if dp.s.ix != nil {
-		if uplink {
-			return dp.s.ix.ByTEID.Get(key)
-		}
-		return dp.s.ix.ByIP.Get(key)
+		return dp.s.ix.GetUE(key, uplink)
 	}
 	ue, fromSecondary := dp.s.tl.Lookup(key, uplink)
 	if fromSecondary {
@@ -391,8 +425,8 @@ func (dp *DataPlane) uplinkChunk(batch []*pkt.Buf, now int64) {
 			i++
 			continue
 		}
-		ue := sc.runUEs[sc.runOf[i]]
-		if ue == nil {
+		hot := sc.runHot[sc.runOf[i]]
+		if hot == nil {
 			dp.Missed.Add(1)
 			dp.drop(batch[i])
 			i++
@@ -402,7 +436,7 @@ func (dp *DataPlane) uplinkChunk(batch []*pkt.Buf, now int64) {
 		for j < n && sc.live[j] && sc.runOf[j] == sc.runOf[i] && sc.flows[j] == sc.flows[i] {
 			j++
 		}
-		dp.uplinkRun(batch, i, j, ue, now)
+		dp.uplinkRun(batch, i, j, hot, now)
 		i = j
 	}
 }
@@ -431,35 +465,32 @@ func (dp *DataPlane) lookupRuns(batch []*pkt.Buf, uplink bool) {
 		return
 	}
 	if dp.s.ix != nil {
-		if uplink {
-			dp.s.ix.ByTEID.GetBatch(sc.runKeys[:nruns], sc.runUEs[:nruns])
-		} else {
-			dp.s.ix.ByIP.GetBatch(sc.runKeys[:nruns], sc.runUEs[:nruns])
-		}
+		dp.s.ix.GetHotBatch(sc.runKeys[:nruns], uplink, sc.runHot[:nruns])
 		return
 	}
-	dp.s.tl.LookupBatch(sc.runKeys[:nruns], uplink, sc.runUEs[:nruns], sc.runSec[:nruns])
+	dp.s.tl.LookupHotBatch(sc.runKeys[:nruns], uplink, sc.runHot[:nruns], sc.runSec[:nruns])
 	for r := 0; r < nruns; r++ {
 		if sc.runSec[r] {
-			dp.s.ctrl.requestPromotion(sc.runUEs[r])
+			dp.s.ctrl.requestPromotion(sc.runHot[r].U)
 		}
 	}
 }
 
 // uplinkRun applies classification, policing, charging and forwarding to
 // batch[lo:hi], a run of packets from one user sharing one 5-tuple. The
-// run costs one PCEF match, one seqlock control snapshot, one aggregate
-// token-bucket call and one WriteCounters; when the aggregate bucket
-// check cannot admit the whole run it consumes nothing and the run falls
-// back to per-packet policing against the same snapshot, reproducing the
-// packet-at-a-time semantics exactly.
-func (dp *DataPlane) uplinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now int64) {
+// run costs one PCEF match, one seqlock fast-view snapshot (~44 bytes,
+// not the whole control state), one aggregate token-bucket call and one
+// WriteCounters; when the aggregate bucket check cannot admit the whole
+// run it consumes nothing and the run falls back to per-packet policing
+// against the same snapshot, reproducing the packet-at-a-time semantics
+// exactly.
+func (dp *DataPlane) uplinkRun(batch []*pkt.Buf, lo, hi int, hot *state.HotUE, now int64) {
 	sc := &dp.scratch
 	flow := sc.flows[lo]
 	count := uint64(hi - lo)
 	verdict := sc.rules.ClassifyFlow(flow)
 	if verdict.Action == pcef.ActionDrop {
-		ue.WriteCounters(func(c *state.CounterState) { c.DroppedPackets += count })
+		hot.WriteCounters(func(c *state.CounterState) { c.DroppedPackets += count })
 		for k := lo; k < hi; k++ {
 			dp.drop(batch[k])
 		}
@@ -473,37 +504,37 @@ func (dp *DataPlane) uplinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now i
 	ruleSlot := -1
 	allowedAll := true
 	partial := false
-	c := &sc.ctrl
-	ue.ReadCtrlSnapshot(c)
-	if c.Epoch != ue.Priv.Epoch {
-		rebuildPriv(ue, c)
+	f := &sc.fast
+	hot.ReadFast(f)
+	if f.Epoch != hot.Priv.Epoch {
+		dp.rebuildPriv(hot, f)
 	}
-	for i := 0; i < int(c.RuleCount); i++ {
-		if c.RuleIDs[i] == verdict.RuleID {
+	for i := 0; i < int(f.RuleCount); i++ {
+		if f.RuleIDs[i] == verdict.RuleID {
 			ruleSlot = i
 			break
 		}
 	}
-	if ue.Priv.Limiter != nil {
-		bearer := c.SelectBearer(flow)
+	if hot.Priv.Limiter != nil {
+		bearer := hot.Priv.SelectBearer(flow)
 		if count == 1 {
-			allowedAll = ue.Priv.Limiter.AllowUplink(now, bearer, total)
-		} else if !ue.Priv.Limiter.AllowUplinkRun(now, bearer, total) {
+			allowedAll = hot.Priv.Limiter.AllowUplink(now, bearer, total)
+		} else if !hot.Priv.Limiter.AllowUplinkRun(now, bearer, total) {
 			allowedAll = false
 			partial = true
 			for k := lo; k < hi; k++ {
-				sc.allowed[k] = ue.Priv.Limiter.AllowUplink(now, bearer, uint64(sc.plens[k]))
+				sc.allowed[k] = hot.Priv.Limiter.AllowUplink(now, bearer, uint64(sc.plens[k]))
 			}
 		}
 	}
 
 	if !partial {
 		if !allowedAll { // single-packet run, denied
-			dp.countDrop(ue)
+			dp.countDrop(hot)
 			dp.drop(batch[lo])
 			return
 		}
-		ue.WriteCounters(func(c *state.CounterState) {
+		hot.WriteCounters(func(c *state.CounterState) {
 			c.UplinkPackets += count
 			c.UplinkBytes += total
 			if ruleSlot >= 0 {
@@ -525,7 +556,7 @@ func (dp *DataPlane) uplinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now i
 			bytesAllowed += uint64(sc.plens[k])
 		}
 	}
-	ue.WriteCounters(func(c *state.CounterState) {
+	hot.WriteCounters(func(c *state.CounterState) {
 		c.UplinkPackets += nAllowed
 		c.UplinkBytes += bytesAllowed
 		if ruleSlot >= 0 {
@@ -595,8 +626,8 @@ func (dp *DataPlane) downlinkChunk(batch []*pkt.Buf, now int64) {
 			i++
 			continue
 		}
-		ue := sc.runUEs[sc.runOf[i]]
-		if ue == nil {
+		hot := sc.runHot[sc.runOf[i]]
+		if hot == nil {
 			dp.Missed.Add(1)
 			dp.drop(batch[i])
 			i++
@@ -606,7 +637,7 @@ func (dp *DataPlane) downlinkChunk(batch []*pkt.Buf, now int64) {
 		for j < n && sc.live[j] && sc.runOf[j] == sc.runOf[i] && sc.flows[j] == sc.flows[i] {
 			j++
 		}
-		dp.downlinkRun(batch, i, j, ue, now)
+		dp.downlinkRun(batch, i, j, hot, now)
 		i = j
 	}
 }
@@ -614,13 +645,13 @@ func (dp *DataPlane) downlinkChunk(batch []*pkt.Buf, now int64) {
 // downlinkRun is uplinkRun for the downlink direction, adding the
 // tunnel-endpoint read (paging when the user is idle) and per-packet
 // GTP-U encapsulation before the aggregated counter write.
-func (dp *DataPlane) downlinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now int64) {
+func (dp *DataPlane) downlinkRun(batch []*pkt.Buf, lo, hi int, hot *state.HotUE, now int64) {
 	sc := &dp.scratch
 	flow := sc.flows[lo]
 	count := uint64(hi - lo)
 	verdict := sc.rules.ClassifyFlow(flow)
 	if verdict.Action == pcef.ActionDrop {
-		ue.WriteCounters(func(c *state.CounterState) { c.DroppedPackets += count })
+		hot.WriteCounters(func(c *state.CounterState) { c.DroppedPackets += count })
 		for k := lo; k < hi; k++ {
 			dp.drop(batch[k])
 		}
@@ -634,27 +665,27 @@ func (dp *DataPlane) downlinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now
 	ruleSlot := -1
 	allowedAll := true
 	partial := false
-	c := &sc.ctrl
-	ue.ReadCtrlSnapshot(c)
-	if c.Epoch != ue.Priv.Epoch {
-		rebuildPriv(ue, c)
+	f := &sc.fast
+	hot.ReadFast(f)
+	if f.Epoch != hot.Priv.Epoch {
+		dp.rebuildPriv(hot, f)
 	}
-	teid, enbAddr := c.DownlinkTEID, c.ENBAddr
-	for i := 0; i < int(c.RuleCount); i++ {
-		if c.RuleIDs[i] == verdict.RuleID {
+	teid, enbAddr := f.DownlinkTEID, f.ENBAddr
+	for i := 0; i < int(f.RuleCount); i++ {
+		if f.RuleIDs[i] == verdict.RuleID {
 			ruleSlot = i
 			break
 		}
 	}
-	if ue.Priv.Limiter != nil {
-		bearer := c.SelectBearer(flow)
+	if hot.Priv.Limiter != nil {
+		bearer := hot.Priv.SelectBearer(flow)
 		if count == 1 {
-			allowedAll = ue.Priv.Limiter.AllowDownlink(now, bearer, total)
-		} else if !ue.Priv.Limiter.AllowDownlinkRun(now, bearer, total) {
+			allowedAll = hot.Priv.Limiter.AllowDownlink(now, bearer, total)
+		} else if !hot.Priv.Limiter.AllowDownlinkRun(now, bearer, total) {
 			allowedAll = false
 			partial = true
 			for k := lo; k < hi; k++ {
-				sc.allowed[k] = ue.Priv.Limiter.AllowDownlink(now, bearer, uint64(sc.plens[k]))
+				sc.allowed[k] = hot.Priv.Limiter.AllowDownlink(now, bearer, uint64(sc.plens[k]))
 			}
 		}
 	}
@@ -662,12 +693,12 @@ func (dp *DataPlane) downlinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now
 		// Idle user (S1 released): park the whole run for paging rather
 		// than drop.
 		for k := lo; k < hi; k++ {
-			dp.parkForPaging(batch[k], ue)
+			dp.parkForPaging(batch[k], hot.U)
 		}
 		return
 	}
 	if !partial && !allowedAll { // single-packet run, denied
-		dp.countDrop(ue)
+		dp.countDrop(hot)
 		dp.drop(batch[lo])
 		return
 	}
@@ -691,7 +722,7 @@ func (dp *DataPlane) downlinkRun(batch []*pkt.Buf, lo, hi int, ue *state.UE, now
 		nFwd++
 		bytesFwd += uint64(sc.plens[k])
 	}
-	ue.WriteCounters(func(c *state.CounterState) {
+	hot.WriteCounters(func(c *state.CounterState) {
 		c.DownlinkPackets += nFwd
 		c.DownlinkBytes += bytesFwd
 		if ruleSlot >= 0 {
@@ -729,33 +760,34 @@ func (dp *DataPlane) drop(b *pkt.Buf) {
 	b.Free()
 }
 
-func (dp *DataPlane) countDrop(ue *state.UE) {
-	ue.WriteCounters(func(c *state.CounterState) { c.DroppedPackets++ })
+func (dp *DataPlane) countDrop(hot *state.HotUE) {
+	hot.WriteCounters(func(c *state.CounterState) { c.DroppedPackets++ })
 }
 
-// rebuildPriv refreshes data-thread-private derived state from a
-// snapshot of the control half (c points at the caller's seqlock copy,
-// or at u.Ctrl under the read lock on the locked paths).
-func rebuildPriv(ue *state.UE, c *state.ControlState) {
-	policed := c.AMBRUplink > 0 || c.AMBRDownlink > 0
-	for i := 0; i < int(c.BearerCount); i++ {
-		if c.Bearers[i].MBRUplink > 0 || c.Bearers[i].MBRDownlink > 0 {
-			policed = true
-		}
-	}
-	if !policed {
-		ue.Priv.Limiter = nil
-		ue.Priv.Epoch = c.Epoch
+// rebuildPriv refreshes data-thread-private derived state after the hot
+// view's epoch moved. Unpoliced users (the common case, precomputed into
+// FastCtrl) settle without ever touching the cold half; policed users
+// take one wait-free cold snapshot to reconfigure the limiter and
+// refresh the cached bearer TFTs.
+func (dp *DataPlane) rebuildPriv(hot *state.HotUE, f *state.FastCtrl) {
+	if !f.Policed {
+		hot.Priv.Limiter = nil
+		hot.Priv.NTFT = 0
+		hot.Priv.Epoch = f.Epoch
 		return
 	}
-	if ue.Priv.Limiter == nil {
-		ue.Priv.Limiter = &qos.UserLimiter{}
+	c := &dp.scratch.cold
+	hot.U.ReadCtrlSnapshot(c)
+	if hot.Priv.Limiter == nil {
+		hot.Priv.Limiter = &qos.UserLimiter{}
 	}
-	ue.Priv.Limiter.ConfigureUser(c.AMBRUplink, c.AMBRDownlink)
+	hot.Priv.Limiter.ConfigureUser(c.AMBRUplink, c.AMBRDownlink)
 	for i := 0; i < int(c.BearerCount); i++ {
-		ue.Priv.Limiter.ConfigureBearer(i, c.Bearers[i].MBRUplink, c.Bearers[i].MBRDownlink)
+		hot.Priv.Limiter.ConfigureBearer(i, c.Bearers[i].MBRUplink, c.Bearers[i].MBRDownlink)
+		hot.Priv.TFTs[i] = c.Bearers[i].TFT
 	}
-	ue.Priv.Epoch = c.Epoch
+	hot.Priv.NTFT = c.BearerCount
+	hot.Priv.Epoch = c.Epoch
 }
 
 // parseInner extracts the 5-tuple from the (decapsulated) inner IPv4

@@ -72,6 +72,12 @@ type Scale struct {
 	// points directly (the pre-batching behaviour, kept for comparison).
 	Fig5Mode string
 	Fig6Mode string
+	// Fig14Mode selects the Figure 14 sweep: ""/"paper" reproduces the
+	// paper's always-on-fraction sweep, "population" runs the
+	// population-scaling sweep comparing the pointer and handle state
+	// layouts at a fixed active set as the total population grows
+	// (DESIGN.md §4.10).
+	Fig14Mode string
 }
 
 // Quick is the default scale used by `go test -bench` and CI: every

@@ -1,0 +1,195 @@
+package state
+
+import "sync/atomic"
+
+// Handle addresses a HotUE slot in an Arena: 8 bits of generation over
+// 24 bits of slot index. Handle 0 is invalid (generations start at 1),
+// so handle maps can use 0 the way pointer maps use nil. A retired
+// slot's generation is bumped before the slot is reused, so a stale
+// handle left in an index (or held by a racing batch) resolves to nil
+// instead of aliasing the slot's next occupant.
+type Handle uint32
+
+const (
+	handleSlotBits = 24
+	handleSlotMask = 1<<handleSlotBits - 1
+	handleGenMask  = 0xff
+)
+
+// MakeHandle assembles a handle from generation and slot (tests).
+func MakeHandle(gen, slot uint32) Handle {
+	return Handle(gen&handleGenMask<<handleSlotBits | slot&handleSlotMask)
+}
+
+func (h Handle) slot() uint32 { return uint32(h) & handleSlotMask }
+func (h Handle) gen() uint32  { return uint32(h) >> handleSlotBits }
+
+const (
+	slabShift = 10
+	slabSize  = 1 << slabShift // HotUEs per slab (~a quarter MB)
+	slabMask  = slabSize - 1
+)
+
+type hotSlab [slabSize]HotUE
+
+// Arena is the slab allocator behind the handle state layout: UE hot
+// state lives in fixed-size slabs of HotUE, addressed by handle, so
+// (a) the active population's per-packet state is dense in memory
+// instead of scattered across millions of heap objects, and (b) the
+// indexes over it are pointer-free, which together keep both the cache
+// and the garbage collector's mark phase indifferent to how large the
+// total population grows.
+//
+// Single-writer discipline: only the control thread allocates and
+// retires; the data thread resolves handles via At. The slab directory
+// is copy-on-grow behind an atomic pointer so resolution never races
+// growth. Slot reuse is gated by the caller-provided sync fence — the
+// same update-queue fence that gates UE recycling (DESIGN.md §4.9) —
+// so a data-path batch that resolved a handle before the retire can
+// finish writing counters into the (dead, but intact) slot.
+type Arena struct {
+	dir      atomic.Pointer[[]*hotSlab]
+	nextSlot uint32
+	pending  []pendingSlot
+	pendHead int
+}
+
+type pendingSlot struct {
+	slot  uint32
+	stamp uint64 // update-queue sync sequence observed at retire
+}
+
+// NewArena returns an arena pre-sized for sizeHint users.
+func NewArena(sizeHint int) *Arena {
+	a := &Arena{}
+	nslabs := (sizeHint + slabSize - 1) / slabSize
+	if nslabs < 1 {
+		nslabs = 1
+	}
+	slabs := make([]*hotSlab, nslabs)
+	for i := range slabs {
+		slabs[i] = new(hotSlab)
+	}
+	a.dir.Store(&slabs)
+	return a
+}
+
+// At resolves a handle to its hot slot, or nil when the handle is
+// invalid or stale (slot retired or rebound since the handle was
+// issued). Safe to call from the data thread concurrently with
+// control-thread Alloc/Retire.
+func (a *Arena) At(h Handle) *HotUE {
+	if h == 0 {
+		return nil
+	}
+	slot := h.slot()
+	slabs := *a.dir.Load()
+	si := slot >> slabShift
+	if int(si) >= len(slabs) {
+		return nil
+	}
+	e := &slabs[si][slot&slabMask]
+	if e.gen.Load() != h.gen() {
+		return nil
+	}
+	return e
+}
+
+// Alloc binds u to a hot slot and returns its handle. A retired slot is
+// reused only once the data plane's sync sequence has advanced two
+// steps past the retire stamp (the PR 2 recycle fence: every data-path
+// reference taken before the index delete synced has drained);
+// otherwise a never-used slot is taken. Control thread only.
+func (a *Arena) Alloc(u *UE, syncSeq uint64) Handle {
+	slot, ok := a.popPending(syncSeq)
+	if !ok {
+		slot = a.freshSlot()
+	}
+	e := a.entry(slot)
+	gen := e.gen.Load()
+	if gen == 0 {
+		gen = 1
+		e.gen.Store(1)
+	}
+	e.reset()
+	e.U = u
+	e.self = Handle(gen<<handleSlotBits | slot)
+	u.hot.Store(e)
+	return e.self
+}
+
+// Retire unbinds a handle: the generation is bumped so the handle (and
+// any stale index entry carrying it) stops resolving, and the slot is
+// queued for reuse behind the sync fence. The back-pointer is left in
+// place for in-flight data-path references. Control thread only.
+func (a *Arena) Retire(h Handle, syncSeq uint64) {
+	if h == 0 {
+		return
+	}
+	slot := h.slot()
+	slabs := *a.dir.Load()
+	if int(slot>>slabShift) >= len(slabs) {
+		return
+	}
+	e := a.entry(slot)
+	if e.gen.Load() != h.gen() {
+		return // already retired or rebound
+	}
+	ng := (h.gen() + 1) & handleGenMask
+	if ng == 0 {
+		ng = 1 // generation 0 is reserved for "never bound"
+	}
+	e.gen.Store(ng)
+	// Unbind the cold context's forward pointer (CAS: never clobber a
+	// newer binding). Without this, recycling the UE later would reset a
+	// slot that may already belong to another user.
+	if u := e.U; u != nil {
+		u.hot.CompareAndSwap(e, nil)
+	}
+	a.pending = append(a.pending, pendingSlot{slot: slot, stamp: syncSeq})
+}
+
+// Len returns the number of slots ever bound minus those pending reuse
+// — i.e. currently live bindings.
+func (a *Arena) Len() int {
+	return int(a.nextSlot) - (len(a.pending) - a.pendHead)
+}
+
+// Slots returns the arena's current capacity in slots (diagnostics).
+func (a *Arena) Slots() int { return len(*a.dir.Load()) * slabSize }
+
+func (a *Arena) entry(slot uint32) *HotUE {
+	slabs := *a.dir.Load()
+	return &slabs[slot>>slabShift][slot&slabMask]
+}
+
+func (a *Arena) popPending(syncSeq uint64) (uint32, bool) {
+	if a.pendHead < len(a.pending) {
+		p := a.pending[a.pendHead]
+		if syncSeq >= p.stamp+2 {
+			a.pendHead++
+			if a.pendHead == len(a.pending) {
+				a.pending = a.pending[:0]
+				a.pendHead = 0
+			}
+			return p.slot, true
+		}
+	}
+	return 0, false
+}
+
+func (a *Arena) freshSlot() uint32 {
+	slot := a.nextSlot
+	if slot > handleSlotMask {
+		panic("state: arena full (2^24 slots)")
+	}
+	a.nextSlot++
+	slabs := *a.dir.Load()
+	if int(slot>>slabShift) >= len(slabs) {
+		grown := make([]*hotSlab, len(slabs)+1)
+		copy(grown, slabs)
+		grown[len(slabs)] = new(hotSlab)
+		a.dir.Store(&grown)
+	}
+	return slot
+}

@@ -1,0 +1,164 @@
+package state
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FastCtrl is the per-packet subset of ControlState: the handful of
+// fields the data plane's verdict stage actually reads for every run.
+// It is pointer-free and about half a cache line, so the forwarding
+// path can snapshot it with one short seqlock copy instead of copying
+// the ~300-byte full control state. It is derived (published) from
+// ControlState on every control write; the full state stays on the
+// cold UE for signaling, migration and policed-user rebuilds.
+type FastCtrl struct {
+	UEAddr       uint32
+	DownlinkTEID uint32
+	ENBAddr      uint32
+	Epoch        uint32
+	RuleIDs      [4]uint32
+	RuleCount    uint8
+	BearerCount  uint8
+	Attached     bool
+	IoT          bool
+	// Policed is precomputed from AMBR/MBR configuration so the data
+	// thread can skip the limiter rebuild's cold-state read entirely for
+	// unpoliced users (the common case at population scale).
+	Policed bool
+}
+
+// fastView derives the published fast-path view. Caller holds the
+// control write lock.
+func (c *ControlState) fastView(f *FastCtrl) {
+	f.UEAddr = c.UEAddr
+	f.DownlinkTEID = c.DownlinkTEID
+	f.ENBAddr = c.ENBAddr
+	f.Epoch = c.Epoch
+	f.RuleIDs = c.RuleIDs
+	f.RuleCount = c.RuleCount
+	f.BearerCount = c.BearerCount
+	f.Attached = c.Attached
+	f.IoT = c.IoT
+	f.Policed = c.policed()
+}
+
+// policed reports whether any rate bound is configured; mirrors the
+// limiter-rebuild condition in the data plane.
+func (c *ControlState) policed() bool {
+	if c.AMBRUplink != 0 || c.AMBRDownlink != 0 {
+		return true
+	}
+	for i := 0; i < int(c.BearerCount); i++ {
+		b := &c.Bearers[i]
+		if b.MBRUplink != 0 || b.MBRDownlink != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HotUE is the per-user state the data plane touches per packet: the
+// fast-path control view behind its own small seqlock, the data-written
+// counters, and the data-thread-private derived state. In the handle
+// layout these live contiguously in Arena slabs (dense, pointer-light
+// memory the index resolves into); in the pointer layout every UE
+// embeds one inline.
+//
+// Single-writer split, as on the cold half: the control thread writes
+// Fast (via publish) and reads Counters; the data thread reads Fast
+// (ReadFast) and writes Counters; Priv is data-thread-private.
+type HotUE struct {
+	// seq is the fast-view sequence counter: odd while a publish is in
+	// progress, even otherwise (same protocol as UE.seq).
+	seq  atomic.Uint32
+	Fast FastCtrl
+
+	// fmu serializes publishers and backs the race-build fallback for
+	// ReadFast (the optimistic copy is a deliberate validated race).
+	fmu sync.RWMutex
+
+	cmu      sync.RWMutex
+	Counters CounterState
+
+	// Priv is data-thread-private derived state (see DataPriv): no lock.
+	Priv DataPriv
+
+	// U points back at the owning cold context, for the rare fast-path
+	// escapes (policed-user rebuilds, promotion requests, paging parks).
+	// Set when the slot is bound; left in place on retire so in-flight
+	// data-path references never observe nil.
+	U *UE
+
+	// self is the handle this slot was last bound under (0 for inline
+	// hot state, which is never handle-addressed).
+	self Handle
+
+	// gen is the slot's current generation (1..255, 8 bits significant).
+	// Arena.At validates a handle's generation against it, so handles
+	// retired before a recycle miss instead of aliasing the new
+	// occupant. Atomic because the control thread bumps it while the
+	// data thread resolves handles.
+	gen atomic.Uint32
+}
+
+// ReadFast copies the fast-path control view into dst without blocking
+// the publisher: optimistic copy-and-validate with a bounded retry,
+// then a locked fallback — the same protocol as UE.ReadCtrlSnapshot
+// but over ~44 bytes instead of the whole control state.
+func (h *HotUE) ReadFast(dst *FastCtrl) {
+	if !raceEnabled {
+		for try := 0; try < seqlockRetries; try++ {
+			s1 := h.seq.Load()
+			if s1&1 == 0 {
+				*dst = h.Fast
+				if h.seq.Load() == s1 {
+					return
+				}
+			}
+		}
+	}
+	h.fmu.RLock()
+	*dst = h.Fast
+	h.fmu.RUnlock()
+}
+
+// publish installs a new fast view under the seqlock protocol. Control
+// thread only (called from the UE control-write path).
+func (h *HotUE) publish(f *FastCtrl) {
+	h.fmu.Lock()
+	h.seq.Add(1)
+	h.Fast = *f
+	h.seq.Add(1)
+	h.fmu.Unlock()
+}
+
+// WriteCounters runs fn with exclusive access to the counters (data
+// thread only).
+func (h *HotUE) WriteCounters(fn func(*CounterState)) {
+	h.cmu.Lock()
+	fn(&h.Counters)
+	h.cmu.Unlock()
+}
+
+// ReadCounters runs fn with shared access to the counters (control
+// thread, usage reporting).
+func (h *HotUE) ReadCounters(fn func(*CounterState)) {
+	h.cmu.RLock()
+	fn(&h.Counters)
+	h.cmu.RUnlock()
+}
+
+// Handle returns the handle this hot slot is addressed by (0 when the
+// user lives in the pointer layout).
+func (h *HotUE) Handle() Handle { return h.self }
+
+// reset clears the occupant-specific hot state for reuse. Same caller
+// contract as UE.Recycle: the retire fence guarantees no data-thread
+// reference is live.
+func (h *HotUE) reset() {
+	h.Fast = FastCtrl{}
+	h.Counters = CounterState{}
+	h.Priv = DataPriv{}
+	h.seq.Store(0)
+}

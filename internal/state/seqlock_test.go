@@ -34,8 +34,8 @@ func TestSeqlockParity(t *testing.T) {
 	if cs.IMSI != 0 || cs.Epoch != 0 {
 		t.Fatalf("recycled control state not zeroed: %+v", cs)
 	}
-	if ue.Priv.Limiter != nil || ue.Priv.Epoch != 0 {
-		t.Fatalf("recycled Priv not zeroed: %+v", ue.Priv)
+	if ue.Hot().Priv.Limiter != nil || ue.Hot().Priv.Epoch != 0 {
+		t.Fatalf("recycled Priv not zeroed: %+v", ue.Hot().Priv)
 	}
 	_, cnt := ue.Snapshot()
 	if cnt != (CounterState{}) {

@@ -107,8 +107,8 @@ func TestUEConcurrentSingleWriterDiscipline(t *testing.T) {
 		}
 	}()
 	wg.Wait()
-	if ue.Counters.UplinkBytes != 1000 {
-		t.Fatalf("uplink bytes = %d", ue.Counters.UplinkBytes)
+	if _, cnt := ue.Snapshot(); cnt.UplinkBytes != 1000 {
+		t.Fatalf("uplink bytes = %d", cnt.UplinkBytes)
 	}
 }
 

@@ -258,7 +258,7 @@ func (t *Table) dataPath(key uint32, idx *U32Map, fn func(*ControlState, *Counte
 			t.giantMu.RUnlock()
 			return false
 		}
-		fn(&ue.Ctrl, &ue.Counters)
+		fn(&ue.Ctrl, &ue.Hot().Counters)
 		t.giantMu.RUnlock()
 		return true
 	case LockModeDatapathWriter:
@@ -274,7 +274,7 @@ func (t *Table) dataPath(key uint32, idx *U32Map, fn func(*ControlState, *Counte
 		// One combined record: the data thread writes it, so it must
 		// take the exclusive per-user lock for every packet.
 		ue.ctrlMu.Lock()
-		fn(&ue.Ctrl, &ue.Counters)
+		fn(&ue.Ctrl, &ue.Hot().Counters)
 		ue.ctrlMu.Unlock()
 		return true
 	default: // LockModePEPC
@@ -287,9 +287,10 @@ func (t *Table) dataPath(key uint32, idx *U32Map, fn func(*ControlState, *Counte
 		// lock — the data thread is its only writer, so it never blocks
 		// on control activity.
 		ue.ReadCtrlSnapshot(&t.dpCtrl)
-		ue.ctrMu.Lock()
-		fn(&t.dpCtrl, &ue.Counters)
-		ue.ctrMu.Unlock()
+		h := ue.Hot()
+		h.cmu.Lock()
+		fn(&t.dpCtrl, &h.Counters)
+		h.cmu.Unlock()
 		return true
 	}
 }
@@ -322,7 +323,7 @@ func (t *Table) dataPathBatch(keys []uint32, idx *U32Map, fn func(i int, c *Cont
 			if ue == nil {
 				continue
 			}
-			fn(i, &ue.Ctrl, &ue.Counters)
+			fn(i, &ue.Ctrl, &ue.Hot().Counters)
 			found++
 		}
 		t.giantMu.RUnlock()
@@ -339,7 +340,7 @@ func (t *Table) dataPathBatch(keys []uint32, idx *U32Map, fn func(i int, c *Cont
 				continue
 			}
 			ue.ctrlMu.Lock()
-			fn(i, &ue.Ctrl, &ue.Counters)
+			fn(i, &ue.Ctrl, &ue.Hot().Counters)
 			ue.ctrlMu.Unlock()
 			found++
 		}
@@ -362,9 +363,10 @@ func (t *Table) dataPathBatch(keys []uint32, idx *U32Map, fn func(i int, c *Cont
 			if !reuse {
 				ue.ReadCtrlSnapshot(&t.dpCtrl)
 			}
-			ue.ctrMu.Lock()
-			fn(i, &t.dpCtrl, &ue.Counters)
-			ue.ctrMu.Unlock()
+			h := ue.Hot()
+			h.cmu.Lock()
+			fn(i, &t.dpCtrl, &h.Counters)
+			h.cmu.Unlock()
 			found++
 		}
 	}
@@ -401,11 +403,11 @@ func (t *Table) CtrlReadCounters(ue *UE, fn func(*CounterState)) {
 		// exclusive lock to avoid tearing — stalling the whole data
 		// plane, which is exactly the giant-lock pathology.
 		t.giantMu.Lock()
-		fn(&ue.Counters)
+		fn(&ue.Hot().Counters)
 		t.giantMu.Unlock()
 	case LockModeDatapathWriter:
 		ue.ctrlMu.Lock()
-		fn(&ue.Counters)
+		fn(&ue.Hot().Counters)
 		ue.ctrlMu.Unlock()
 	default:
 		ue.ReadCounters(fn)

@@ -1,12 +1,19 @@
 package state
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // TwoLevel is PEPC's two-level state storage (§3.2, §4.2, Figure 14): a
 // small primary table holding state for active devices, backed by a
 // secondary table holding all devices. Both levels keep per-domain
 // indexes (uplink TEID and UE address), like the flat Indexes, so a
-// lookup probes a table containing only its own key type.
+// lookup probes a table containing only its own key type. Both levels
+// share a storage layout — pointer (NewTwoLevel) or handle
+// (NewTwoLevelHandles); in the handle layout a multi-million-entry
+// secondary is pointer-free arrays plus dense arena slabs instead of
+// millions of GC-scanned heap objects.
 //
 // The data thread reads the primary without any table-level locking (it
 // is the primary's only reader, and structural changes arrive from the
@@ -25,12 +32,13 @@ type TwoLevel struct {
 	secondary *Indexes
 
 	// misses counts primary misses served from the secondary; the control
-	// plane uses it to size the primary.
-	misses uint64
+	// plane uses it to size the primary. Atomic: the data thread bumps it
+	// on its lookup path while the control plane reads it concurrently.
+	misses atomic.Uint64
 }
 
-// NewTwoLevel returns a two-level store sized for primaryHint active and
-// totalHint overall devices.
+// NewTwoLevel returns a pointer-layout two-level store sized for
+// primaryHint active and totalHint overall devices.
 func NewTwoLevel(primaryHint, totalHint int) *TwoLevel {
 	return &TwoLevel{
 		primary:   NewIndexes(primaryHint),
@@ -38,28 +46,32 @@ func NewTwoLevel(primaryHint, totalHint int) *TwoLevel {
 	}
 }
 
+// NewTwoLevelHandles returns a handle-layout two-level store resolving
+// into a.
+func NewTwoLevelHandles(primaryHint, totalHint int, a *Arena) *TwoLevel {
+	return &TwoLevel{
+		primary:   NewHandleIndexes(primaryHint, a),
+		secondary: NewHandleIndexes(totalHint, a),
+	}
+}
+
+// Handles reports whether the store uses the handle layout.
+func (t *TwoLevel) Handles() bool { return t.primary.Handles() }
+
 // Lookup finds a user by key in the given domain (uplink=TEID,
 // downlink=UE address). It returns the user and whether it came from the
 // secondary table — in which case the caller should ask the control
 // thread to promote it. Data-thread only.
 func (t *TwoLevel) Lookup(key uint32, uplink bool) (ue *UE, fromSecondary bool) {
-	if uplink {
-		ue = t.primary.ByTEID.Get(key)
-	} else {
-		ue = t.primary.ByIP.Get(key)
-	}
+	ue = t.primary.GetUE(key, uplink)
 	if ue != nil {
 		return ue, false
 	}
 	t.secMu.RLock()
-	if uplink {
-		ue = t.secondary.ByTEID.Get(key)
-	} else {
-		ue = t.secondary.ByIP.Get(key)
-	}
+	ue = t.secondary.GetUE(key, uplink)
 	t.secMu.RUnlock()
 	if ue != nil {
-		t.misses++
+		t.misses.Add(1)
 	}
 	return ue, ue != nil
 }
@@ -76,13 +88,9 @@ func (t *TwoLevel) LookupBatch(keys []uint32, uplink bool, out []*UE, fromSecond
 	}
 	_ = out[len(keys)-1]
 	_ = fromSecondary[len(keys)-1]
-	prim, sec := t.primary.ByTEID, t.secondary.ByTEID
-	if !uplink {
-		prim, sec = t.primary.ByIP, t.secondary.ByIP
-	}
 	missed := 0
 	for i, k := range keys {
-		out[i] = prim.Get(k)
+		out[i] = t.primary.GetUE(k, uplink)
 		fromSecondary[i] = false
 		if out[i] == nil {
 			missed++
@@ -91,37 +99,81 @@ func (t *TwoLevel) LookupBatch(keys []uint32, uplink bool, out []*UE, fromSecond
 	if missed == 0 {
 		return
 	}
+	served := uint64(0)
 	t.secMu.RLock()
 	for i, k := range keys {
 		if out[i] != nil {
 			continue
 		}
-		if ue := sec.Get(k); ue != nil {
+		if ue := t.secondary.GetUE(k, uplink); ue != nil {
 			out[i] = ue
 			fromSecondary[i] = true
-			t.misses++
+			served++
 		}
 	}
 	t.secMu.RUnlock()
+	if served != 0 {
+		t.misses.Add(served)
+	}
+}
+
+// LookupHotBatch is the data plane's batch lookup: keys[i] resolve to
+// hot halves out[i] (nil on miss), secondary-served entries flagged in
+// fromSecondary. The primary probe uses the layout's software-pipelined
+// batch path (GetHotBatch); secondary fallbacks share one read-lock
+// acquisition. Zero allocations.
+func (t *TwoLevel) LookupHotBatch(keys []uint32, uplink bool, out []*HotUE, fromSecondary []bool) {
+	if len(keys) == 0 {
+		return
+	}
+	_ = out[len(keys)-1]
+	_ = fromSecondary[len(keys)-1]
+	t.primary.GetHotBatch(keys, uplink, out)
+	missed := 0
+	for i := range keys {
+		fromSecondary[i] = false
+		if out[i] == nil {
+			missed++
+		}
+	}
+	if missed == 0 {
+		return
+	}
+	served := uint64(0)
+	t.secMu.RLock()
+	for i, k := range keys {
+		if out[i] != nil {
+			continue
+		}
+		if ue := t.secondary.GetUE(k, uplink); ue != nil {
+			out[i] = ue.Hot()
+			fromSecondary[i] = true
+			served++
+		}
+	}
+	t.secMu.RUnlock()
+	if served != 0 {
+		t.misses.Add(served)
+	}
 }
 
 // LookupPrimaryOnly performs a primary-table uplink lookup without
 // secondary fallback; used to measure the primary's residency benefit in
 // isolation and by tests.
 func (t *TwoLevel) LookupPrimaryOnly(teid uint32) *UE {
-	return t.primary.ByTEID.Get(teid)
+	return t.primary.GetUE(teid, true)
 }
 
 // Misses returns the number of secondary-served lookups so far.
-func (t *TwoLevel) Misses() uint64 { return t.misses }
+func (t *TwoLevel) Misses() uint64 { return t.misses.Load() }
 
 // PrimaryLen returns the primary-table population (uplink index).
-func (t *TwoLevel) PrimaryLen() int { return t.primary.ByTEID.Len() }
+func (t *TwoLevel) PrimaryLen() int { return t.primary.lenTEID() }
 
 // SecondaryLen returns the secondary-table population (uplink index).
 func (t *TwoLevel) SecondaryLen() int {
 	t.secMu.RLock()
-	n := t.secondary.ByTEID.Len()
+	n := t.secondary.lenTEID()
 	t.secMu.RUnlock()
 	return n
 }
@@ -130,12 +182,7 @@ func (t *TwoLevel) SecondaryLen() int {
 // table under both its keys (0 skips a domain). Control thread.
 func (t *TwoLevel) InsertSecondary(teid, ip uint32, ue *UE) {
 	t.secMu.Lock()
-	if teid != 0 {
-		t.secondary.ByTEID.Put(teid, ue)
-	}
-	if ip != 0 {
-		t.secondary.ByIP.Put(ip, ue)
-	}
+	t.secondary.put(teid, ip, ue)
 	t.secMu.Unlock()
 }
 
@@ -143,12 +190,7 @@ func (t *TwoLevel) InsertSecondary(teid, ip uint32, ue *UE) {
 // caller must also evict it from the primary via the update queue.
 func (t *TwoLevel) RemoveSecondary(teid, ip uint32) {
 	t.secMu.Lock()
-	if teid != 0 {
-		t.secondary.ByTEID.Delete(teid)
-	}
-	if ip != 0 {
-		t.secondary.ByIP.Delete(ip)
-	}
+	t.secondary.del(teid, ip)
 	t.secMu.Unlock()
 }
 
@@ -157,24 +199,14 @@ func (t *TwoLevel) RemoveSecondary(teid, ip uint32) {
 // update queue; in single-threaded setups (tests, Figure 14 sweeps) the
 // control logic may call it directly.
 func (t *TwoLevel) Promote(teid, ip uint32, ue *UE) {
-	if teid != 0 {
-		t.primary.ByTEID.Put(teid, ue)
-	}
-	if ip != 0 {
-		t.primary.ByIP.Put(ip, ue)
-	}
+	t.primary.put(teid, ip, ue)
 }
 
 // Evict removes a device from the primary table (idle timeout or explicit
 // release); its state remains in the secondary. Runs on the data thread
 // via the update queue, like Promote.
 func (t *TwoLevel) Evict(teid, ip uint32) {
-	if teid != 0 {
-		t.primary.ByTEID.Delete(teid)
-	}
-	if ip != 0 {
-		t.primary.ByIP.Delete(ip)
-	}
+	t.primary.del(teid, ip)
 }
 
 // EvictIdle scans the primary and evicts devices idle for longer than
@@ -184,7 +216,7 @@ func (t *TwoLevel) Evict(teid, ip uint32) {
 func (t *TwoLevel) EvictIdle(now, idleNs int64, apply func(teid, ip uint32)) int {
 	type pair struct{ teid, ip uint32 }
 	var idle []pair
-	t.primary.ByTEID.Range(func(teid uint32, ue *UE) bool {
+	t.primary.rangeUE(func(teid uint32, ue *UE) bool {
 		ue.ReadCtrl(func(c *ControlState) {
 			if now-c.LastActive > idleNs {
 				idle = append(idle, pair{teid, c.UEAddr})

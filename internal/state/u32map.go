@@ -1,79 +1,90 @@
 package state
 
-import "pepc/internal/pkt"
-
-// U32Map is an open-addressing hash table from uint32 keys (TEIDs, IPv4
-// addresses) to *UE, tuned for the data path: no allocation on lookup,
-// linear probing for cache locality, and a load factor capped at 3/4.
-// Key 0 is reserved (never a valid TEID or UE address in this system).
+// U32Map is a hash table from uint32 keys (TEIDs, IPv4 addresses) to
+// *UE, tuned for the data path: no allocation on lookup, fingerprinted
+// group probing (see group.go) so a probe usually costs one control-word
+// load plus one key compare, and a load factor capped at 3/4. Key 0 is
+// reserved (never a valid TEID or UE address in this system), as is
+// ^uint32(0) (the historical tombstone sentinel, kept reserved for
+// compatibility).
 //
 // A U32Map is not internally synchronized: in PEPC each thread owns its
 // own index map (Listing 1's dp_state / cp_state) and cross-thread changes
 // arrive through the update queue. The giant-lock baseline wraps one map
 // in a table-level lock instead.
 type U32Map struct {
-	keys  []uint32
-	vals  []*UE
-	mask  uint64
-	n     int
-	grave int // tombstone count
+	g *g32[*UE]
 }
 
 const u32MapMinCap = 16
 
-// NewU32Map returns a map pre-sized for sizeHint entries.
-func NewU32Map(sizeHint int) *U32Map {
-	capacity := u32MapMinCap
-	for capacity*3/4 < sizeHint {
-		capacity <<= 1
-	}
-	return &U32Map{
-		keys: make([]uint32, capacity),
-		vals: make([]*UE, capacity),
-		mask: uint64(capacity - 1),
-	}
-}
-
-// tombstone marks a deleted slot; probes continue past it.
+// tombstone is the reserved all-ones key (kept from the linear-probe
+// implementation's sentinel; still rejected at the API).
 const tombstone = ^uint32(0)
 
+const tombstone64 = ^uint64(0)
+
+// NewU32Map returns a map pre-sized for sizeHint entries.
+func NewU32Map(sizeHint int) *U32Map {
+	return &U32Map{g: newG32[*UE](sizeHint)}
+}
+
 // Len returns the number of live entries.
-func (m *U32Map) Len() int { return m.n }
+func (m *U32Map) Len() int { return m.g.n }
 
 // Cap returns the current slot count (diagnostics; tracks table size for
 // the cache-behaviour experiments).
-func (m *U32Map) Cap() int { return len(m.keys) }
+func (m *U32Map) Cap() int { return m.g.slots() }
 
 // Get returns the value for key, or nil.
 func (m *U32Map) Get(key uint32) *UE {
 	if key == 0 || key == tombstone {
 		return nil
 	}
-	i := pkt.HashUint32(key) & m.mask
-	for {
-		k := m.keys[i]
-		if k == key {
-			return m.vals[i]
-		}
-		if k == 0 {
-			return nil
-		}
-		i = (i + 1) & m.mask
-	}
+	v, _ := m.g.get(key)
+	return v
 }
 
-// GetBatch resolves keys[i] into out[i] for all i (nil on miss). One
-// call for a whole batch keeps the probe loop hot in the instruction
-// cache and amortizes the per-call overhead across the batch — the
-// stage-oriented data plane resolves all of a batch's distinct keys
-// through it.
+// GetBatch resolves keys[i] into out[i] for all i (nil on miss). The
+// batch is processed in two passes per chunk — hash and home-group
+// control word for every key first, then the probes — so the group
+// loads are software-pipelined instead of serializing behind each
+// probe's cache miss.
 func (m *U32Map) GetBatch(keys []uint32, out []*UE) {
 	if len(keys) == 0 {
 		return
 	}
 	_ = out[len(keys)-1]
-	for i, k := range keys {
-		out[i] = m.Get(k)
+	for len(keys) > batchChunk {
+		m.g.getChunk(keys[:batchChunk], out[:batchChunk])
+		keys, out = keys[batchChunk:], out[batchChunk:]
+	}
+	m.g.getChunk(keys, out)
+}
+
+// GetHotBatch resolves keys[i] into the users' hot halves (nil on
+// miss). Same pipelining as GetBatch; the *UE→*HotUE hop happens while
+// the chunk's map lines are still warm.
+func (m *U32Map) GetHotBatch(keys []uint32, out []*HotUE) {
+	if len(keys) == 0 {
+		return
+	}
+	_ = out[len(keys)-1]
+	var ues [batchChunk]*UE
+	for len(keys) > 0 {
+		c := len(keys)
+		if c > batchChunk {
+			c = batchChunk
+		}
+		m.g.getChunk(keys[:c], ues[:c])
+		for i, ue := range ues[:c] {
+			if ue != nil {
+				out[i] = ue.Hot()
+			} else {
+				out[i] = nil
+			}
+		}
+		keys, out = keys[c:], out[c:]
 	}
 }
 
@@ -83,32 +94,8 @@ func (m *U32Map) Put(key uint32, v *UE) bool {
 	if key == 0 || key == tombstone || v == nil {
 		return false
 	}
-	if (m.n+m.grave+1)*4 >= len(m.keys)*3 {
-		m.grow()
-	}
-	i := pkt.HashUint32(key) & m.mask
-	firstTomb := -1
-	for {
-		k := m.keys[i]
-		if k == key {
-			m.vals[i] = v
-			return true
-		}
-		if k == tombstone && firstTomb < 0 {
-			firstTomb = int(i)
-		}
-		if k == 0 {
-			if firstTomb >= 0 {
-				i = uint64(firstTomb)
-				m.grave--
-			}
-			m.keys[i] = key
-			m.vals[i] = v
-			m.n++
-			return true
-		}
-		i = (i + 1) & m.mask
-	}
+	m.g.put(key, v)
+	return true
 }
 
 // Delete removes key, returning the previous value.
@@ -116,98 +103,51 @@ func (m *U32Map) Delete(key uint32) *UE {
 	if key == 0 || key == tombstone {
 		return nil
 	}
-	i := pkt.HashUint32(key) & m.mask
-	for {
-		k := m.keys[i]
-		if k == key {
-			v := m.vals[i]
-			m.keys[i] = tombstone
-			m.vals[i] = nil
-			m.n--
-			m.grave++
-			return v
-		}
-		if k == 0 {
-			return nil
-		}
-		i = (i + 1) & m.mask
-	}
+	v, _ := m.g.del(key)
+	return v
 }
 
 // Range calls fn for each entry until fn returns false.
-func (m *U32Map) Range(fn func(key uint32, v *UE) bool) {
-	for i, k := range m.keys {
-		if k != 0 && k != tombstone {
-			if !fn(k, m.vals[i]) {
-				return
-			}
-		}
-	}
-}
-
-func (m *U32Map) grow() {
-	newCap := len(m.keys)
-	if m.n*2 >= newCap { // genuine growth, not just tombstone cleanup
-		newCap <<= 1
-	}
-	keys := m.keys
-	vals := m.vals
-	m.keys = make([]uint32, newCap)
-	m.vals = make([]*UE, newCap)
-	m.mask = uint64(newCap - 1)
-	m.n = 0
-	m.grave = 0
-	for i, k := range keys {
-		if k != 0 && k != tombstone {
-			m.Put(k, vals[i])
-		}
-	}
-}
+func (m *U32Map) Range(fn func(key uint32, v *UE) bool) { m.g.rng(fn) }
 
 // U64Map is the 64-bit-keyed variant for IMSI/GUTI indexes on the control
 // path. Key 0 is reserved.
 type U64Map struct {
-	keys  []uint64
-	vals  []*UE
-	mask  uint64
-	n     int
-	grave int
+	g *g64[*UE]
 }
-
-const tombstone64 = ^uint64(0)
 
 // NewU64Map returns a map pre-sized for sizeHint entries.
 func NewU64Map(sizeHint int) *U64Map {
-	capacity := u32MapMinCap
-	for capacity*3/4 < sizeHint {
-		capacity <<= 1
-	}
-	return &U64Map{
-		keys: make([]uint64, capacity),
-		vals: make([]*UE, capacity),
-		mask: uint64(capacity - 1),
-	}
+	return &U64Map{g: newG64[*UE](sizeHint)}
 }
 
 // Len returns the number of live entries.
-func (m *U64Map) Len() int { return m.n }
+func (m *U64Map) Len() int { return m.g.n }
+
+// Cap returns the current slot count.
+func (m *U64Map) Cap() int { return m.g.slots() }
 
 // Get returns the value for key, or nil.
 func (m *U64Map) Get(key uint64) *UE {
 	if key == 0 || key == tombstone64 {
 		return nil
 	}
-	i := pkt.HashUint64(key) & m.mask
-	for {
-		k := m.keys[i]
-		if k == key {
-			return m.vals[i]
-		}
-		if k == 0 {
-			return nil
-		}
-		i = (i + 1) & m.mask
+	v, _ := m.g.get(key)
+	return v
+}
+
+// GetBatch resolves keys[i] into out[i] for all i (nil on miss),
+// software-pipelined like U32Map.GetBatch.
+func (m *U64Map) GetBatch(keys []uint64, out []*UE) {
+	if len(keys) == 0 {
+		return
 	}
+	_ = out[len(keys)-1]
+	for len(keys) > batchChunk {
+		m.g.getChunk(keys[:batchChunk], out[:batchChunk])
+		keys, out = keys[batchChunk:], out[batchChunk:]
+	}
+	m.g.getChunk(keys, out)
 }
 
 // Put inserts or replaces the value for key.
@@ -215,32 +155,8 @@ func (m *U64Map) Put(key uint64, v *UE) bool {
 	if key == 0 || key == tombstone64 || v == nil {
 		return false
 	}
-	if (m.n+m.grave+1)*4 >= len(m.keys)*3 {
-		m.grow()
-	}
-	i := pkt.HashUint64(key) & m.mask
-	firstTomb := -1
-	for {
-		k := m.keys[i]
-		if k == key {
-			m.vals[i] = v
-			return true
-		}
-		if k == tombstone64 && firstTomb < 0 {
-			firstTomb = int(i)
-		}
-		if k == 0 {
-			if firstTomb >= 0 {
-				i = uint64(firstTomb)
-				m.grave--
-			}
-			m.keys[i] = key
-			m.vals[i] = v
-			m.n++
-			return true
-		}
-		i = (i + 1) & m.mask
-	}
+	m.g.put(key, v)
+	return true
 }
 
 // Delete removes key, returning the previous value.
@@ -248,50 +164,96 @@ func (m *U64Map) Delete(key uint64) *UE {
 	if key == 0 || key == tombstone64 {
 		return nil
 	}
-	i := pkt.HashUint64(key) & m.mask
-	for {
-		k := m.keys[i]
-		if k == key {
-			v := m.vals[i]
-			m.keys[i] = tombstone64
-			m.vals[i] = nil
-			m.n--
-			m.grave++
-			return v
-		}
-		if k == 0 {
-			return nil
-		}
-		i = (i + 1) & m.mask
-	}
+	v, _ := m.g.del(key)
+	return v
 }
 
 // Range calls fn for each entry until fn returns false.
-func (m *U64Map) Range(fn func(key uint64, v *UE) bool) {
-	for i, k := range m.keys {
-		if k != 0 && k != tombstone64 {
-			if !fn(k, m.vals[i]) {
-				return
-			}
+func (m *U64Map) Range(fn func(key uint64, v *UE) bool) { m.g.rng(fn) }
+
+// H32Map maps uint32 keys to Arena handles. It is the pointer-free
+// index used by the handle state layout: the key, value and control
+// arrays contain no pointers at all, so a multi-million-entry secondary
+// index is invisible to the garbage collector's mark phase. Handle 0
+// (invalid) plays the role nil plays in U32Map.
+type H32Map struct {
+	g *g32[Handle]
+}
+
+// NewH32Map returns a handle map pre-sized for sizeHint entries.
+func NewH32Map(sizeHint int) *H32Map {
+	return &H32Map{g: newG32[Handle](sizeHint)}
+}
+
+// Len returns the number of live entries.
+func (m *H32Map) Len() int { return m.g.n }
+
+// Cap returns the current slot count.
+func (m *H32Map) Cap() int { return m.g.slots() }
+
+// Get returns the handle for key, or 0.
+func (m *H32Map) Get(key uint32) Handle {
+	if key == 0 || key == tombstone {
+		return 0
+	}
+	h, _ := m.g.get(key)
+	return h
+}
+
+// GetBatch resolves keys[i] into out[i] for all i (0 on miss),
+// software-pipelined like U32Map.GetBatch.
+func (m *H32Map) GetBatch(keys []uint32, out []Handle) {
+	if len(keys) == 0 {
+		return
+	}
+	_ = out[len(keys)-1]
+	for len(keys) > batchChunk {
+		m.g.getChunk(keys[:batchChunk], out[:batchChunk])
+		keys, out = keys[batchChunk:], out[batchChunk:]
+	}
+	m.g.getChunk(keys, out)
+}
+
+// GetHotBatch resolves keys[i] through a into hot slots (nil on miss or
+// stale generation). The handle probe touches only pointer-free arrays;
+// the slab access is the batch's single dependent load.
+func (m *H32Map) GetHotBatch(keys []uint32, out []*HotUE, a *Arena) {
+	if len(keys) == 0 {
+		return
+	}
+	_ = out[len(keys)-1]
+	var hs [batchChunk]Handle
+	for len(keys) > 0 {
+		c := len(keys)
+		if c > batchChunk {
+			c = batchChunk
 		}
+		m.g.getChunk(keys[:c], hs[:c])
+		for i, h := range hs[:c] {
+			out[i] = a.At(h)
+		}
+		keys, out = keys[c:], out[c:]
 	}
 }
 
-func (m *U64Map) grow() {
-	newCap := len(m.keys)
-	if m.n*2 >= newCap {
-		newCap <<= 1
+// Put inserts or replaces the handle for key. Returns false for
+// reserved keys or the invalid handle.
+func (m *H32Map) Put(key uint32, h Handle) bool {
+	if key == 0 || key == tombstone || h == 0 {
+		return false
 	}
-	keys := m.keys
-	vals := m.vals
-	m.keys = make([]uint64, newCap)
-	m.vals = make([]*UE, newCap)
-	m.mask = uint64(newCap - 1)
-	m.n = 0
-	m.grave = 0
-	for i, k := range keys {
-		if k != 0 && k != tombstone64 {
-			m.Put(k, vals[i])
-		}
-	}
+	m.g.put(key, h)
+	return true
 }
+
+// Delete removes key, returning the previous handle (0 if absent).
+func (m *H32Map) Delete(key uint32) Handle {
+	if key == 0 || key == tombstone {
+		return 0
+	}
+	h, _ := m.g.del(key)
+	return h
+}
+
+// Range calls fn for each entry until fn returns false.
+func (m *H32Map) Range(fn func(key uint32, h Handle) bool) { m.g.rng(fn) }

@@ -105,17 +105,24 @@ type CounterState struct {
 	RuleBytes [4]uint64
 }
 
-// UE is the consolidated per-user state of a PEPC slice: both halves of
-// the context, each behind its own read/write lock, mirroring Listing 1's
-// HashMap<id, RwLock<UEContext>> with the additional single-writer split.
+// UE is the consolidated per-user state of a PEPC slice, split hot/cold
+// for cache locality (DESIGN.md §4.10): the cold half — the full
+// ControlState plus its locks — lives here; the hot half — the
+// per-packet FastCtrl view, counters and data-private derived state —
+// lives in a HotUE, either embedded inline (pointer layout) or in an
+// Arena slab (handle layout). This mirrors Listing 1's
+// HashMap<id, RwLock<UEContext>> with the single-writer split.
 //
 // Locking discipline (§3.2, extended with seqlock publication — see
 // DESIGN.md §4.9):
 //
-//	control thread: ctrlMu.Lock + seq bump for writes to Ctrl;
-//	                ctrMu.RLock to read Counters
-//	data thread:    ReadCtrlSnapshot (wait-free seqlock copy, locked
-//	                fallback) to read Ctrl; ctrMu.Lock to write Counters
+//	control thread: ctrlMu.Lock + seq bump for writes to Ctrl (which
+//	                republishes the hot FastCtrl view);
+//	                Hot().ReadCounters to read counters
+//	data thread:    Hot().ReadFast (wait-free seqlock copy, locked
+//	                fallback) for per-packet control reads;
+//	                ReadCtrlSnapshot for full-state reads;
+//	                Hot().WriteCounters to write counters
 //
 // Use the accessor methods, which encode the discipline, rather than the
 // locks directly.
@@ -129,25 +136,54 @@ type UE struct {
 	ctrlMu sync.RWMutex
 	Ctrl   ControlState
 
-	ctrMu    sync.RWMutex
-	Counters CounterState
-
-	// Priv is data-thread-private scratch attached to the user: derived
-	// fast-path state (QoS limiter instances, cached bearer selection)
-	// rebuilt from the control half whenever Ctrl.Epoch advances. Only
-	// the data thread touches it, so it needs no lock — the single-writer
-	// principle applied to derived state.
-	Priv DataPriv
+	// hot points at the user's Arena slot in the handle layout; when
+	// unset, hotInline is used. Atomic because the control plane rebinds
+	// recycled contexts while stale data-side references (parked paging
+	// entries) may still call Hot.
+	hot       atomic.Pointer[HotUE]
+	hotInline HotUE
 }
 
-// DataPriv is the data-thread-private derived state; see UE.Priv. The
-// limiter is allocated lazily: unpoliced users (no AMBR/MBR configured)
-// carry no limiter, keeping the common-case context compact.
+// Hot returns the user's hot half: the Arena slot when bound, the
+// inline hot state otherwise.
+func (u *UE) Hot() *HotUE {
+	if h := u.hot.Load(); h != nil {
+		return h
+	}
+	return &u.hotInline
+}
+
+// Handle returns the user's Arena handle (0 in the pointer layout).
+func (u *UE) Handle() Handle { return u.Hot().self }
+
+// DataPriv is the data-thread-private derived state; see HotUE.Priv.
+// The limiter is allocated lazily: unpoliced users (no AMBR/MBR
+// configured) carry no limiter, keeping the common-case context
+// compact. TFTs are cached here at rebuild so bearer classification for
+// policed users stays inside the hot half.
 type DataPriv struct {
 	Limiter *qos.UserLimiter
 	// Epoch records which control-state epoch the derived state was
 	// built from; a mismatch tells the data thread to rebuild.
 	Epoch uint32
+	// Cached dedicated-bearer TFTs (indexes 1..NTFT-1 of Bearers; slot 0
+	// unused) copied from the control state at rebuild.
+	NTFT uint8
+	TFTs [MaxBearers]bpf.FilterSpec
+}
+
+// SelectBearer maps a flow to a bearer index using the cached TFTs,
+// mirroring ControlState.SelectBearer without touching cold state.
+func (p *DataPriv) SelectBearer(f pkt.Flow) int {
+	for i := 1; i < int(p.NTFT); i++ {
+		if p.TFTs[i].MatchFlow(f) {
+			return i
+		}
+	}
+	if p.NTFT == 0 {
+		return -1
+	}
+	return 0
 }
 
 // WriteCtrl runs fn with exclusive access to the control half. Only the
@@ -161,7 +197,22 @@ func (u *UE) WriteCtrl(fn func(*ControlState)) {
 	fn(&u.Ctrl)
 	u.Ctrl.Epoch++
 	u.seq.Add(1) // even: write published
+	u.publishFast()
 	u.ctrlMu.Unlock()
+}
+
+// publishFast re-derives and publishes the hot FastCtrl view. Caller
+// holds the control write lock.
+func (u *UE) publishFast() {
+	h := u.Hot()
+	var f FastCtrl
+	u.Ctrl.fastView(&f)
+	if h.U == nil {
+		// First publish on an inline hot half: bind the back-pointer
+		// (arena slots are bound by Alloc before any publish).
+		h.U = u
+	}
+	h.publish(&f)
 }
 
 // ReadCtrl runs fn with shared access to the control half. Control-
@@ -214,29 +265,22 @@ func (u *UE) ReadCtrlSnapshot(dst *ControlState) {
 func (u *UE) CtrlSeq() uint32 { return u.seq.Load() }
 
 // WriteCounters runs fn with exclusive access to the counter half. Only
-// the data thread may call it.
-func (u *UE) WriteCounters(fn func(*CounterState)) {
-	u.ctrMu.Lock()
-	fn(&u.Counters)
-	u.ctrMu.Unlock()
-}
+// the data thread may call it. (Convenience delegate to the hot half.)
+func (u *UE) WriteCounters(fn func(*CounterState)) { u.Hot().WriteCounters(fn) }
 
 // ReadCounters runs fn with shared access to the counter half (control
 // thread, for usage reporting).
-func (u *UE) ReadCounters(fn func(*CounterState)) {
-	u.ctrMu.RLock()
-	fn(&u.Counters)
-	u.ctrMu.RUnlock()
-}
+func (u *UE) ReadCounters(fn func(*CounterState)) { u.Hot().ReadCounters(fn) }
 
 // Snapshot copies both halves consistently for migration or debugging.
 func (u *UE) Snapshot() (ControlState, CounterState) {
 	u.ctrlMu.RLock()
 	cs := u.Ctrl
 	u.ctrlMu.RUnlock()
-	u.ctrMu.RLock()
-	cnt := u.Counters
-	u.ctrMu.RUnlock()
+	h := u.Hot()
+	h.cmu.RLock()
+	cnt := h.Counters
+	h.cmu.RUnlock()
 	return cs, cnt
 }
 
@@ -248,10 +292,12 @@ func (u *UE) Restore(cs ControlState, cnt CounterState) {
 	u.seq.Add(1)
 	u.Ctrl = cs
 	u.seq.Add(1)
+	u.publishFast()
 	u.ctrlMu.Unlock()
-	u.ctrMu.Lock()
-	u.Counters = cnt
-	u.ctrMu.Unlock()
+	h := u.Hot()
+	h.cmu.Lock()
+	h.Counters = cnt
+	h.cmu.Unlock()
 }
 
 // Recycle clears the context for reuse from a free list (the control
@@ -259,11 +305,13 @@ func (u *UE) Restore(cs ControlState, cnt CounterState) {
 // thread holds no reference — in PEPC that means the detach's index
 // delete has been synced through the update queue (the control plane's
 // retire fence). Field-by-field reset keeps the mutexes (both unlocked
-// here by contract) untouched.
+// here by contract) untouched. The hot half is reset too: for an
+// arena-bound context this scrubs the retired slot (rebinding to a
+// fresh slot happens at the next Alloc), for the inline layout it
+// clears the half directly.
 func (u *UE) Recycle() {
 	u.Ctrl = ControlState{}
-	u.Counters = CounterState{}
-	u.Priv = DataPriv{}
+	u.Hot().reset()
 	u.seq.Store(0)
 }
 

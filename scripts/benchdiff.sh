@@ -1,14 +1,24 @@
 #!/bin/sh
-# benchdiff.sh — regenerate the tracked figures (5 and 6: data-plane
-# throughput under interleaved signaling) with pepcbench -json and compare
-# them against the checked-in baselines in bench/baseline/, failing on a
-# >10% throughput drop at any swept point of the gated (PEPC) series.
+# benchdiff.sh — regenerate the tracked figures (5/6: data-plane
+# throughput under interleaved signaling, 7: multi-core scaling, 14:
+# population scaling of the state layouts) with pepcbench -json and
+# compare them against the checked-in baselines in bench/baseline/,
+# failing on a >10% throughput drop at any swept point of the gated
+# (PEPC) series.
 #
 # Knobs (environment):
-#   BENCHDIFF_THRESHOLD=0.15   widen the tolerance on noisy hosts
-#   BENCHDIFF_SERIES=""        gate every series, not just PEPC*
-#   BENCHDIFF_FIGS="5 6"       which figures to regenerate
-#   BENCHDIFF_RUNS=3           runs folded into the baseline on --update
+#   BENCHDIFF_THRESHOLD=0.15        widen the tolerance on noisy hosts
+#   BENCHDIFF_FIG14_THRESHOLD=0.35  figure 14's own (wider) tolerance
+#   BENCHDIFF_SERIES=""             gate every series, not just PEPC*
+#   BENCHDIFF_FIGS="5 6 7 14"       which figures to regenerate
+#   BENCHDIFF_RUNS=3                runs folded into the baseline on --update
+#
+# Figure 14 (population scaling) is gated separately at a wider
+# threshold: its points are dominated by forced-GC pause time, which
+# swings far more run-to-run on shared hosts than packet-processing
+# throughput does. The layout *comparison* it exists for (handle
+# degrades less than pointer) is reported in the figure's Notes and
+# tracked in EXPERIMENTS.md; this gate only catches wholesale collapses.
 #
 # Refresh the baselines after an intentional performance change with
 #   ./scripts/benchdiff.sh --update
@@ -20,8 +30,9 @@ set -eu
 cd "$(dirname "$0")/.."
 
 THRESHOLD="${BENCHDIFF_THRESHOLD:-0.10}"
+FIG14_THRESHOLD="${BENCHDIFF_FIG14_THRESHOLD:-0.35}"
 SERIES="${BENCHDIFF_SERIES-PEPC}"
-FIGS="${BENCHDIFF_FIGS:-5 6}"
+FIGS="${BENCHDIFF_FIGS:-5 6 7 14}"
 RUNS="${BENCHDIFF_RUNS:-3}"
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
@@ -32,7 +43,13 @@ go build -o "$OUT/benchdiff" ./cmd/benchdiff
 
 run_figs() {
     for f in $FIGS; do
-        (cd "$OUT" && ./pepcbench -fig "$f" -json >/dev/null)
+        # Figure 14 is tracked in its population-scaling mode (the paper
+        # sweep has no PEPC-gated layout comparison).
+        if [ "$f" = 14 ]; then
+            (cd "$OUT" && ./pepcbench -fig 14 -fig14 population -json >/dev/null)
+        else
+            (cd "$OUT" && ./pepcbench -fig "$f" -json >/dev/null)
+        fi
     done
 }
 
@@ -52,4 +69,10 @@ fi
 echo "== run figures: $FIGS"
 run_figs
 "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
-    -threshold "$THRESHOLD" -series "$SERIES"
+    -threshold "$THRESHOLD" -series "$SERIES" -skip BENCH_fig14.json
+case " $FIGS " in
+*" 14 "*)
+    "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
+        -threshold "$FIG14_THRESHOLD" -series "$SERIES" -only BENCH_fig14.json
+    ;;
+esac

@@ -20,4 +20,11 @@ go test ./...
 echo "== go test -race internal/core internal/state"
 go test -race ./internal/core/ ./internal/state/
 
+# Allocation guards: the per-packet path (batch lookups, arena access,
+# steady-state forwarding, recycled signaling) must stay at 0 allocs/op.
+# Run them apart from the main suite with -count=1 so a cached pass can't
+# mask a fresh allocation, and without -race (the race runtime allocates).
+echo "== allocation guards (ZeroAlloc tests)"
+go test -run 'ZeroAlloc' -count=1 ./internal/core/ ./internal/state/
+
 echo "CI green"
