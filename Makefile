@@ -17,6 +17,7 @@ race:
 
 bench:
 	go test -bench=Pipeline -benchmem -run='^$$' .
+	go run ./cmd/pepcbench -fig 8 -fig8 pktsize
 
 # Regenerate Figures 5/6 and fail on a >10% throughput regression against
 # the checked-in baselines (bench/baseline/). Not part of `make ci`:

@@ -64,13 +64,26 @@ func save(path string, r result) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// matchAny reports whether name matches any of the comma-separated globs.
+func matchAny(globs, name string) bool {
+	for _, g := range strings.Split(globs, ",") {
+		if g == "" {
+			continue
+		}
+		if m, _ := filepath.Match(g, name); m {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	baseDir := flag.String("baseline", "bench/baseline", "directory with checked-in BENCH_*.json baselines")
 	freshDir := flag.String("fresh", ".", "directory with freshly generated BENCH_*.json results")
 	threshold := flag.Float64("threshold", 0.10, "maximum tolerated fractional drop per point")
 	prefix := flag.String("series", "", "only gate series whose name starts with this prefix (empty = all)")
-	only := flag.String("only", "", "only compare baseline files whose name matches this glob (empty = all)")
-	skip := flag.String("skip", "", "skip baseline files whose name matches this glob")
+	only := flag.String("only", "", "only compare baseline files whose name matches one of these comma-separated globs (empty = all)")
+	skip := flag.String("skip", "", "skip baseline files whose name matches one of these comma-separated globs")
 	update := flag.Bool("update", false, "ratchet baselines down to min(baseline, fresh) instead of comparing")
 	flag.Parse()
 
@@ -91,15 +104,11 @@ func main() {
 	failures := 0
 	for _, basePath := range paths {
 		name := filepath.Base(basePath)
-		if *only != "" {
-			if m, _ := filepath.Match(*only, name); !m {
-				continue
-			}
+		if *only != "" && !matchAny(*only, name) {
+			continue
 		}
-		if *skip != "" {
-			if m, _ := filepath.Match(*skip, name); m {
-				continue
-			}
+		if *skip != "" && matchAny(*skip, name) {
+			continue
 		}
 		base, err := load(basePath)
 		if err != nil {

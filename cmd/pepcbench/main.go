@@ -31,6 +31,7 @@ func main() {
 	fig7Mode := flag.String("fig7", "auto", "figure 7 aggregation: auto, parallel (concurrent workers) or sum (measure-and-sum)")
 	fig5Mode := flag.String("fig5", "batched", "figure 5 signaling execution: batched (control fast path) or inline")
 	fig6Mode := flag.String("fig6", "batched", "figure 6 signaling execution: batched (control fast path) or inline")
+	fig8Mode := flag.String("fig8", "paper", "figure 8 experiment: paper (migration impact) or pktsize (header-engine packet-size sweep)")
 	fig14Mode := flag.String("fig14", "paper", "figure 14 sweep: paper (always-on fraction) or population (pointer vs handle state layout)")
 	jsonOut := flag.Bool("json", false, "also write each result as machine-readable BENCH_<name>.json")
 	list := flag.Bool("list", false, "list available experiments")
@@ -80,6 +81,13 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Fig6Mode = *fig6Mode
+	switch *fig8Mode {
+	case "", "paper", "pktsize":
+	default:
+		fmt.Fprintf(os.Stderr, "pepcbench: -fig8 must be paper or pktsize (got %q)\n", *fig8Mode)
+		os.Exit(2)
+	}
+	sc.Fig8Mode = *fig8Mode
 	switch *fig14Mode {
 	case "", "paper", "population":
 	default:

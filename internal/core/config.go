@@ -33,6 +33,10 @@ type SliceSpec struct {
 	// key→*UE indexes, "handle" for pointer-free key→handle indexes over
 	// slab-allocated hot state (DESIGN.md §4.10).
 	StateLayout string `json:"state_layout,omitempty"`
+	// EncapMode selects downlink GTP-U encapsulation: "" or "template"
+	// stamps the per-user precomputed outer header, "serialize" builds
+	// the headers field by field per packet (DESIGN.md §4.11).
+	EncapMode string `json:"encap_mode,omitempty"`
 	// PrimarySize hints the two-level primary table capacity.
 	PrimarySize int `json:"primary_size,omitempty"`
 	// SyncEvery overrides the data plane's update batching interval.
@@ -124,6 +128,14 @@ func BuildNode(cfg OperatorConfig) (*Node, error) {
 			sc.StateLayout = LayoutHandle
 		default:
 			return nil, fmt.Errorf("core: slice %d: unknown state_layout %q", sp.ID, sp.StateLayout)
+		}
+		switch sp.EncapMode {
+		case "", "template":
+			sc.EncapMode = EncapTemplate
+		case "serialize":
+			sc.EncapMode = EncapSerialize
+		default:
+			return nil, fmt.Errorf("core: slice %d: unknown encap_mode %q", sp.ID, sp.EncapMode)
 		}
 		if sp.IoTPoolSize > 0 {
 			sc.IoTTEIDBase = 0xE000_0000 | uint32(sp.ID)<<20

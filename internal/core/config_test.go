@@ -28,6 +28,7 @@ const sampleConfig = `{
       "primary_size": 64,
       "sync_every": 16,
       "batch_size": 8,
+      "encap_mode": "serialize",
       "iot_pool_size": 100
     }
   ]
@@ -89,6 +90,15 @@ func TestBuildNodeFromConfig(t *testing.T) {
 	if n.Slice(1).Config().SyncEvery != 16 || n.Slice(1).Config().BatchSize != 8 {
 		t.Fatalf("slice 1 sync_every=%d batch_size=%d",
 			n.Slice(1).Config().SyncEvery, n.Slice(1).Config().BatchSize)
+	}
+	if n.Slice(0).Config().EncapMode != EncapTemplate || n.Slice(1).Config().EncapMode != EncapSerialize {
+		t.Fatalf("encap modes: slice0=%d slice1=%d",
+			n.Slice(0).Config().EncapMode, n.Slice(1).Config().EncapMode)
+	}
+	if bad, err := LoadOperatorConfig(strings.NewReader(`{"slices": [{"id": 1, "encap_mode": "psychic"}]}`)); err != nil {
+		t.Fatal(err)
+	} else if _, err := BuildNode(bad); err == nil || !strings.Contains(err.Error(), "encap_mode") {
+		t.Fatalf("unknown encap_mode accepted: %v", err)
 	}
 	// The configured drop rule is live: SMTP is blocked on slice 0.
 	res, err := n.AttachUser(0, AttachSpec{IMSI: 1, ENBAddr: 1, DownlinkTEID: 2})

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"pepc/internal/gtp"
+	"pepc/internal/pkt"
+	"pepc/internal/sim"
+)
+
+// TestGTPUEchoWithSequenceAnswered covers the 29.281 path-management
+// contract: an echo request carrying a sequence number is answered with
+// the same sequence number (§7.2.2 — the response echoes the request's
+// sequence), reversed addressing, and a still-valid outer checksum (the
+// in-place swap relies on ones-complement commutativity).
+func TestGTPUEchoWithSequenceAnswered(t *testing.T) {
+	s := NewSlice(SliceConfig{ID: 21, UserHint: 16})
+	pool := pkt.NewPool(2048, 128)
+	b := pool.Get()
+	const seq = uint16(0xBEEF)
+	gtpLen := gtp.HeaderLenOpt
+	total := pkt.IPv4HeaderLen + pkt.UDPHeaderLen + gtpLen
+	data, _ := b.Append(total)
+	enb, coreAddr := pkt.IPv4Addr(192, 168, 0, 7), s.Config().CoreAddr
+	ip := pkt.IPv4{Length: uint16(total), TTL: 64, Protocol: pkt.ProtoUDP, Src: enb, Dst: coreAddr}
+	ip.SerializeTo(data)
+	u := pkt.UDP{SrcPort: gtp.PortGTPU, DstPort: gtp.PortGTPU, Length: uint16(pkt.UDPHeaderLen + gtpLen)}
+	u.SerializeTo(data[pkt.IPv4HeaderLen:])
+	h := gtp.Header{Type: gtp.MsgEchoRequest, HasSeq: true, Seq: seq, Length: 4}
+	if _, err := h.SerializeTo(data[pkt.IPv4HeaderLen+pkt.UDPHeaderLen:]); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Data().ProcessUplinkBatch([]*pkt.Buf{b}, sim.Now())
+	if s.Data().EchoReplies.Load() != 1 {
+		t.Fatalf("echo replies = %d (dropped=%d)", s.Data().EchoReplies.Load(), s.Data().Dropped.Load())
+	}
+	out, ok := s.Egress.Dequeue()
+	if !ok {
+		t.Fatal("no echo response on egress")
+	}
+	defer out.Free()
+	var oip pkt.IPv4
+	if err := oip.DecodeFromBytes(out.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if oip.Dst != enb || oip.Src != coreAddr {
+		t.Fatalf("echo response addressing: %s -> %s", pkt.FormatIPv4(oip.Src), pkt.FormatIPv4(oip.Dst))
+	}
+	if !pkt.VerifyChecksum(out.Bytes()[:pkt.IPv4HeaderLen]) {
+		t.Fatal("echo response checksum invalid after address swap")
+	}
+	var g gtp.Header
+	if err := g.DecodeFromBytes(out.Bytes()[oip.HeaderLen()+pkt.UDPHeaderLen:]); err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != gtp.MsgEchoResponse {
+		t.Fatalf("message type = %#x", g.Type)
+	}
+	if !g.HasSeq || g.Seq != seq {
+		t.Fatalf("sequence not echoed: HasSeq=%v Seq=%#x want %#x", g.HasSeq, g.Seq, seq)
+	}
+}

@@ -198,27 +198,35 @@ func (d *Demux) LookupSliceByIMSI(imsi uint64) (int, bool) {
 
 // SteerUplink routes one uplink (GTP-U) packet: into the owning slice's
 // uplink ring, into a migration buffer, or dropped when unknown. The
-// caller relinquishes the buffer.
+// caller relinquishes the buffer. The outer envelope is parsed exactly
+// once here and the validated result recorded in the packet metadata, so
+// the slice's decap is a TrimFront rather than a second header walk.
 func (n *Node) SteerUplink(b *pkt.Buf) {
-	teid, err := gtp.PeekTEID(b.Bytes())
+	teid, hdrLen, err := gtp.ParseOuter(b.Bytes())
 	if err != nil {
 		n.demux.Unknown.Add(1)
 		b.Free()
 		return
 	}
+	b.Meta.TEID = teid
+	b.Meta.OuterLen = uint16(hdrLen)
+	b.Meta.OuterParsed = true
 	n.steer(teid, b, true)
 }
 
 // SteerDownlink routes one downlink (plain IP) packet by destination UE
-// address.
+// address. The inner flow parsed for steering is recorded in the packet
+// metadata so the slice's parse stage reuses it.
 func (n *Node) SteerDownlink(b *pkt.Buf) {
-	var ip pkt.IPv4
-	if err := ip.DecodeFromBytes(b.Bytes()); err != nil {
+	flow, _, ok := parseInner(b)
+	if !ok {
 		n.demux.Unknown.Add(1)
 		b.Free()
 		return
 	}
-	n.steer(ip.Dst, b, false)
+	b.Meta.Flow = flow
+	b.Meta.FlowParsed = true
+	n.steer(flow.Dst, b, false)
 }
 
 func (n *Node) steer(key uint32, b *pkt.Buf, uplink bool) {

@@ -39,6 +39,10 @@ type ShardedData struct {
 	// owns the prefix.
 	byTEID [256]int16
 	byIP   [256]int16
+
+	// egressCache batches the driver's DrainEgress frees back to the
+	// shared buffer pool (driver-owned, like the spray side).
+	egressCache pkt.PoolCache
 }
 
 // ErrNoShards reports an empty shard set.
@@ -85,11 +89,16 @@ func (sd *ShardedData) Slice(i int) *Slice { return sd.slices[i] }
 // SteerUplink returns the shard owning an encapsulated uplink packet.
 // Packets that do not parse as G-PDUs (echo requests, malformed input)
 // go to shard 0, whose data plane serves the echo fast path or drops.
+// Validated parses are recorded in the packet metadata so the owning
+// shard's decap does not re-walk the outer headers.
 func (sd *ShardedData) SteerUplink(b *pkt.Buf) int {
-	teid, err := gtp.PeekTEID(b.Bytes())
+	teid, hdrLen, err := gtp.ParseOuter(b.Bytes())
 	if err != nil {
 		return 0
 	}
+	b.Meta.TEID = teid
+	b.Meta.OuterLen = uint16(hdrLen)
+	b.Meta.OuterParsed = true
 	if s := sd.byTEID[byte(teid>>24)]; s >= 0 {
 		return int(s)
 	}
@@ -121,7 +130,9 @@ func (sd *ShardedData) SprayDownlink(b *pkt.Buf) bool {
 }
 
 // DrainEgress frees every packet currently queued on the shards' egress
-// rings and returns the count. The driver is the rings' only consumer.
+// rings and returns the count. The driver is the rings' only consumer;
+// frees go through the driver's pool cache so a drained batch costs one
+// shared-pool interaction.
 func (sd *ShardedData) DrainEgress() int {
 	n := 0
 	for _, s := range sd.slices {
@@ -130,12 +141,16 @@ func (sd *ShardedData) DrainEgress() int {
 			if !ok {
 				break
 			}
-			b.Free()
+			sd.egressCache.Put(b)
 			n++
 		}
 	}
 	return n
 }
+
+// FlushCaches returns the driver-side cached buffers to the shared pool;
+// call after a measurement run.
+func (sd *ShardedData) FlushCaches() { sd.egressCache.Flush() }
 
 // Terminal returns the total number of packets the shards have brought
 // to a terminal state (forwarded or dropped); the driver uses the delta
@@ -174,6 +189,7 @@ func (sd *ShardedData) Run(stop <-chan struct{}) {
 					s.data.ProcessDownlinkBatch(batch, sim.Now())
 				},
 				Housekeep: func() { s.data.SyncUpdates() },
+				Cache:     &s.data.cache,
 			}
 			w.Run(stop)
 		}(i, s)

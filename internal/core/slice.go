@@ -44,6 +44,21 @@ const (
 	LayoutHandle
 )
 
+// EncapMode selects how downlink GTP-U envelopes are emitted
+// (DESIGN.md §4.11).
+type EncapMode uint8
+
+const (
+	// EncapTemplate stamps the per-user precomputed outer header cached
+	// in hot state and patches the length fields with an incremental
+	// checksum update. The default.
+	EncapTemplate EncapMode = iota
+	// EncapSerialize builds the outer headers field by field with a full
+	// header checksum per packet — the pre-template path, kept as the
+	// comparison mode of the fig8 sweep.
+	EncapSerialize
+)
+
 // SliceConfig parameterizes a PEPC slice.
 type SliceConfig struct {
 	// ID distinguishes slices within a node and seeds identifier
@@ -78,6 +93,9 @@ type SliceConfig struct {
 	// CoreAddr is the slice's data-plane IP used as the outer source for
 	// downlink GTP-U encapsulation.
 	CoreAddr uint32
+	// EncapMode selects template-stamped vs field-serialized downlink
+	// encapsulation.
+	EncapMode EncapMode
 }
 
 func (c SliceConfig) withDefaults() SliceConfig {
@@ -235,6 +253,12 @@ type DataPlane struct {
 
 	// Latency histogram (single-writer: data thread).
 	lat *sim.Histogram
+
+	// cache is the data thread's level of the two-level buffer pool:
+	// drops and tail-drops release into it so a batch of frees costs one
+	// shared-pool interaction. It lazily binds to the ingress pool of the
+	// first freed buffer; the worker flushes it on exit.
+	cache pkt.PoolCache
 
 	sinceSync int
 
@@ -600,15 +624,25 @@ func (dp *DataPlane) downlinkChunk(batch []*pkt.Buf, now int64) {
 	sc.ensure(n)
 	sc.rules = dp.s.pcefTable.Snapshot()
 
-	// Stage 1: parse, key extraction.
+	// Stage 1: parse, key extraction. The demux's steering parse is
+	// reused when present (Meta.FlowParsed), so no inner header byte is
+	// decoded twice between ingress and verdict.
 	for i, b := range batch {
 		sc.live[i] = false
-		flow, plen, ok := parseInner(b)
-		if !ok {
-			dp.drop(b)
-			continue
+		var flow pkt.Flow
+		var plen int
+		if b.Meta.FlowParsed {
+			flow, plen = b.Meta.Flow, b.Len()
+			b.Meta.FlowParsed = false
+		} else {
+			var ok bool
+			flow, plen, ok = parseInner(b)
+			if !ok {
+				dp.drop(b)
+				continue
+			}
+			b.Meta.Flow = flow
 		}
-		b.Meta.Flow = flow
 		b.Meta.UEIP = flow.Dst
 		b.Meta.Uplink = false
 		sc.live[i] = true
@@ -705,6 +739,12 @@ func (dp *DataPlane) downlinkRun(batch []*pkt.Buf, lo, hi int, hot *state.HotUE,
 
 	// Encap each admitted packet, then settle the run's counters in one
 	// write and forward. sc.allowed doubles as the forward mask here.
+	// Template mode stamps the envelope cached in hot state (rebuilt
+	// above if the epoch moved, so it matches this run's teid/enbAddr
+	// snapshot); serialize mode keeps the field-by-field path for
+	// comparison.
+	tmpl := &hot.Priv.Encap
+	useTmpl := dp.s.cfg.EncapMode == EncapTemplate && tmpl.Valid() && tmpl.TEID() == teid
 	var nFwd, bytesFwd, nDrop uint64
 	for k := lo; k < hi; k++ {
 		if partial && !sc.allowed[k] {
@@ -712,7 +752,13 @@ func (dp *DataPlane) downlinkRun(batch []*pkt.Buf, lo, hi int, hot *state.HotUE,
 			dp.drop(batch[k])
 			continue
 		}
-		if err := gtp.EncapGPDU(batch[k], teid, dp.s.cfg.CoreAddr, enbAddr); err != nil {
+		var err error
+		if useTmpl {
+			err = tmpl.Apply(batch[k])
+		} else {
+			err = gtp.EncapGPDU(batch[k], teid, dp.s.cfg.CoreAddr, enbAddr)
+		}
+		if err != nil {
 			sc.allowed[k] = false
 			nDrop++
 			dp.drop(batch[k])
@@ -751,14 +797,18 @@ func (dp *DataPlane) forward(b *pkt.Buf, now int64) {
 		// Egress backpressure: account and release, like a NIC tail
 		// drop.
 		dp.Dropped.Add(1)
-		b.Free()
+		dp.cache.Put(b)
 	}
 }
 
 func (dp *DataPlane) drop(b *pkt.Buf) {
 	dp.Dropped.Add(1)
-	b.Free()
+	dp.cache.Put(b)
 }
+
+// FlushCache spills the data thread's buffer cache back to the shared
+// pool; worker loops call it on exit so cached buffers are not stranded.
+func (dp *DataPlane) FlushCache() { dp.cache.Flush() }
 
 func (dp *DataPlane) countDrop(hot *state.HotUE) {
 	hot.WriteCounters(func(c *state.CounterState) { c.DroppedPackets++ })
@@ -768,16 +818,25 @@ func (dp *DataPlane) countDrop(hot *state.HotUE) {
 // view's epoch moved. Unpoliced users (the common case, precomputed into
 // FastCtrl) settle without ever touching the cold half; policed users
 // take one wait-free cold snapshot to reconfigure the limiter and
-// refresh the cached bearer TFTs.
+// refresh the cached bearer TFTs. Both branches rebuild the downlink
+// encap template from the same FastCtrl snapshot the caller is acting
+// on, so the cached envelope always matches the tunnel of the current
+// run.
 func (dp *DataPlane) rebuildPriv(hot *state.HotUE, f *state.FastCtrl) {
 	if !f.Policed {
+		hot.Priv.Encap.Init(f.DownlinkTEID, dp.s.cfg.CoreAddr, f.ENBAddr)
 		hot.Priv.Limiter = nil
 		hot.Priv.NTFT = 0
 		hot.Priv.Epoch = f.Epoch
 		return
 	}
+	// Policed: everything derived — template included — comes from one
+	// cold snapshot so the recorded epoch matches what was cached (the
+	// snapshot may be newer than f; downlinkRun re-checks the template's
+	// TEID against its own view).
 	c := &dp.scratch.cold
 	hot.U.ReadCtrlSnapshot(c)
+	hot.Priv.Encap.Init(c.DownlinkTEID, dp.s.cfg.CoreAddr, c.ENBAddr)
 	if hot.Priv.Limiter == nil {
 		hot.Priv.Limiter = &qos.UserLimiter{}
 	}
@@ -831,6 +890,7 @@ func (s *Slice) RunData(stop <-chan struct{}) {
 			s.data.ProcessDownlinkBatch(batch, sim.Now())
 		},
 		Housekeep: func() { s.data.SyncUpdates() },
+		Cache:     &s.data.cache,
 	}
 	w.Run(stop)
 }
@@ -861,12 +921,16 @@ func (dp *DataPlane) answerEcho(b *pkt.Buf, now int64) bool {
 	if len(data) < off+gtp.HeaderLen || data[off+1] != gtp.MsgEchoRequest {
 		return false
 	}
-	// Swap outer src/dst and rewrite the type in place; recompute the
-	// header checksum.
-	ip.Src, ip.Dst = ip.Dst, ip.Src
-	if ip.SerializeTo(data) != nil {
-		return false
-	}
+	// Swap outer src/dst words in place and rewrite the type. The ones-
+	// complement sum is commutative, so exchanging two address words
+	// leaves the IPv4 checksum valid — no recompute. Optional GTP fields
+	// (a 29.281 echo request carries a sequence number) ride along
+	// untouched, which is exactly the echo-response contract: same
+	// sequence number back.
+	var src [4]byte
+	copy(src[:], data[12:16])
+	copy(data[12:16], data[16:20])
+	copy(data[16:20], src[:])
 	data[off+1] = gtp.MsgEchoResponse
 	dp.EchoReplies.Add(1)
 	dp.forward(b, now)

@@ -72,6 +72,12 @@ type Scale struct {
 	// points directly (the pre-batching behaviour, kept for comparison).
 	Fig5Mode string
 	Fig6Mode string
+	// Fig8Mode selects the Figure 8 experiment: ""/"paper" reproduces
+	// the paper's migration-impact sweep, "pktsize" runs the
+	// header-engine packet-size sweep comparing template-stamped vs
+	// field-serialized downlink encap and single-parse vs double-parse
+	// uplink demux across packet sizes (DESIGN.md §4.11).
+	Fig8Mode string
 	// Fig14Mode selects the Figure 14 sweep: ""/"paper" reproduces the
 	// paper's always-on-fraction sweep, "population" runs the
 	// population-scaling sweep comparing the pointer and handle state

@@ -144,6 +144,35 @@ func TestFig8Smoke(t *testing.T) {
 	}
 }
 
+func TestFig8PktSizeSmoke(t *testing.T) {
+	sc := micro
+	sc.Fig8Mode = "pktsize"
+	r, err := Fig8(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	if len(r.Series) != 4 {
+		t.Fatalf("variant series = %d, want 4", len(r.Series))
+	}
+	for i, want := range []string{"PEPC DL encap template", "PEPC DL encap serialize",
+		"PEPC UL single-parse", "PEPC UL double-parse"} {
+		if r.Series[i].Name != want {
+			t.Fatalf("series %d = %q, want %q", i, r.Series[i].Name, want)
+		}
+		if got := r.Series[i].Points[0].X; got != 64 {
+			t.Fatalf("first swept size = %v, want 64", got)
+		}
+	}
+	// The template must not lose to field serialization at 64B, where
+	// header work dominates; 0.95 leaves margin for shared-CPU noise
+	// (the benchdiff ratchet tracks the real >=15% gain).
+	tmpl, ser := r.Series[0].Points[0].Y, r.Series[1].Points[0].Y
+	if tmpl < 0.95*ser {
+		t.Fatalf("64B template %.2f Mpps below serialize %.2f Mpps", tmpl, ser)
+	}
+}
+
 func TestFig9Smoke(t *testing.T) {
 	r, err := Fig9(micro)
 	if err != nil {

@@ -1,0 +1,259 @@
+package gtp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pepc/internal/pkt"
+)
+
+// mkSeqGPDU builds a G-PDU with the sequence flag set and a correct
+// 29.281 Length: the field counts every byte after the 8 mandatory ones,
+// so the 4 optional bytes are included alongside the payload.
+func mkSeqGPDU(seq uint16, payload []byte) []byte {
+	b := []byte{
+		1<<5 | 1<<4 | flagSequence, MsgGPDU,
+		byte((4 + len(payload)) >> 8), byte(4 + len(payload)),
+		0, 0, 0, 7, // TEID
+		byte(seq >> 8), byte(seq), 0, 0, // seq, npdu, next-ext
+	}
+	return append(b, payload...)
+}
+
+func TestDecodeSeqGPDULengthCoversOptions(t *testing.T) {
+	payload := []byte("abcdefgh")
+	var d Header
+	if err := d.DecodeFromBytes(mkSeqGPDU(0x0102, payload)); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasSeq || d.Seq != 0x0102 {
+		t.Fatalf("seq: %+v", d)
+	}
+	if d.HdrBytes != HeaderLenOpt {
+		t.Fatalf("HdrBytes = %d, want %d", d.HdrBytes, HeaderLenOpt)
+	}
+	if int(d.Length) != 4+len(payload) {
+		t.Fatalf("Length = %d, want %d", d.Length, 4+len(payload))
+	}
+}
+
+func TestDecodeSeqGPDULengthBelowOptions(t *testing.T) {
+	// Regression for the Length-validation fix: the sequence flag claims
+	// 4 optional bytes but Length says fewer than 4 bytes follow the
+	// mandatory header — the options are not covered and the message is
+	// malformed, not silently accepted with a payload-relative Length.
+	for _, l := range []int{0, 1, 3} {
+		b := mkSeqGPDU(9, make([]byte, 8))
+		b[2], b[3] = byte(l>>8), byte(l)
+		var d Header
+		if err := d.DecodeFromBytes(b); err != ErrBadMessage {
+			t.Fatalf("Length=%d: want ErrBadMessage, got %v", l, err)
+		}
+	}
+}
+
+func TestDecodeLengthCheckedBeforeOptions(t *testing.T) {
+	// A Length larger than the available bytes must fail as truncated
+	// even when the option flags are set (the truncation check runs
+	// before option parsing, so the ext walk never reads past Length).
+	b := mkSeqGPDU(9, make([]byte, 4))
+	b[2], b[3] = 0xff, 0xff
+	var d Header
+	if err := d.DecodeFromBytes(b); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestDecodeExtGPDUPayloadAfterExt(t *testing.T) {
+	// Ext-header G-PDU with payload after the extension: Length covers
+	// options (4) + ext (4) + payload; HdrBytes lands on the payload.
+	payload := []byte{0xde, 0xad}
+	b := []byte{
+		1<<5 | 1<<4 | flagExtension, MsgGPDU,
+		0, byte(4 + 4 + len(payload)),
+		0, 0, 0, 9,
+		0, 0, 0, 0x85, // next-ext = 0x85
+		1, 0xaa, 0xbb, 0x00, // ext: 1 unit, next=0
+	}
+	b = append(b, payload...)
+	var d Header
+	if err := d.DecodeFromBytes(b); err != nil {
+		t.Fatal(err)
+	}
+	if d.HdrBytes != 16 {
+		t.Fatalf("HdrBytes = %d, want 16", d.HdrBytes)
+	}
+	if !bytes.Equal(b[d.HdrBytes:HeaderLen+int(d.Length)], payload) {
+		t.Fatal("payload not where HdrBytes says")
+	}
+}
+
+func TestDecodeExtWalkBoundedByLength(t *testing.T) {
+	// The extension chain claims another header but Length ends first:
+	// the walk must stop at the declared message end, not stray into
+	// payload bytes that happen to look like an extension.
+	b := []byte{
+		1<<5 | 1<<4 | flagExtension, MsgGPDU,
+		0, 8, // Length: options + one ext only
+		0, 0, 0, 9,
+		0, 0, 0, 0x85,
+		1, 0xaa, 0xbb, 0x32, // next = 0x32, but Length is exhausted
+		1, 0xcc, 0xdd, 0x00, // payload bytes beyond the declared end
+	}
+	var d Header
+	if err := d.DecodeFromBytes(b); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestDecapSeqGPDU(t *testing.T) {
+	// An encapsulated G-PDU whose GTP header carries a sequence number:
+	// ParseOuter/DecapGPDU must account the 4 option bytes to the outer
+	// header, returning exactly the inner packet.
+	inner := innerPacket("seq-payload")
+	orig := append([]byte(nil), inner.Bytes()...)
+	g := mkSeqGPDU(0x55, orig)
+	outer := make([]byte, pkt.IPv4HeaderLen+pkt.UDPHeaderLen+len(g))
+	ip := pkt.IPv4{Length: uint16(len(outer)), TTL: 64, Protocol: pkt.ProtoUDP, Src: 1, Dst: 2}
+	ip.SerializeTo(outer)
+	u := pkt.UDP{SrcPort: PortGTPU, DstPort: PortGTPU, Length: uint16(pkt.UDPHeaderLen + len(g))}
+	u.SerializeTo(outer[pkt.IPv4HeaderLen:])
+	copy(outer[pkt.IPv4HeaderLen+pkt.UDPHeaderLen:], g)
+
+	teid, hdrLen, err := ParseOuter(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teid != 7 {
+		t.Fatalf("teid = %d", teid)
+	}
+	if want := pkt.IPv4HeaderLen + pkt.UDPHeaderLen + HeaderLenOpt; hdrLen != want {
+		t.Fatalf("hdrLen = %d, want %d", hdrLen, want)
+	}
+	buf := pkt.NewBuf(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	buf.SetBytes(outer)
+	got, err := DecapGPDU(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 || !bytes.Equal(buf.Bytes(), orig) {
+		t.Fatalf("decap teid=%d innerEqual=%v", got, bytes.Equal(buf.Bytes(), orig))
+	}
+}
+
+func TestEncapTemplateMatchesEncapGPDU(t *testing.T) {
+	src, dst := pkt.IPv4Addr(172, 16, 0, 1), pkt.IPv4Addr(192, 168, 3, 4)
+	for _, teid := range []uint32{1, 0xcafe, 0xffff_ffff} {
+		var tmpl EncapTemplate
+		tmpl.Init(teid, src, dst)
+		if !tmpl.Valid() || tmpl.TEID() != teid {
+			t.Fatalf("template invalid for teid %#x", teid)
+		}
+		for _, size := range []int{0, 1, 7, 36, 128, 1472} {
+			payload := make([]byte, size)
+			rand.New(rand.NewSource(int64(size))).Read(payload)
+
+			a := pkt.NewBuf(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+			a.SetBytes(payload)
+			if err := EncapGPDU(a, teid, src, dst); err != nil {
+				t.Fatal(err)
+			}
+			b := pkt.NewBuf(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+			b.SetBytes(payload)
+			if err := tmpl.Apply(b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("teid %#x size %d: template output differs from serialize", teid, size)
+			}
+			if !pkt.VerifyChecksum(b.Bytes()[:pkt.IPv4HeaderLen]) {
+				t.Fatalf("teid %#x size %d: template checksum invalid", teid, size)
+			}
+		}
+	}
+}
+
+func TestEncapTemplateZeroTEIDInvalid(t *testing.T) {
+	var tmpl EncapTemplate
+	tmpl.Init(0, 1, 2)
+	if tmpl.Valid() {
+		t.Fatal("teid-0 template must be invalid")
+	}
+	b := innerPacket("x")
+	if err := tmpl.Apply(b); err != ErrBadMessage {
+		t.Fatalf("want ErrBadMessage, got %v", err)
+	}
+}
+
+// TestEncapTemplateApplyZeroAlloc guards the downlink hot path: stamping
+// the template must not allocate.
+func TestEncapTemplateApplyZeroAlloc(t *testing.T) {
+	var tmpl EncapTemplate
+	tmpl.Init(0xbeef, 1, 2)
+	b := innerPacket("hot-path")
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := tmpl.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.TrimFront(EncapOverhead); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("EncapTemplate.Apply allocates %.1f/op", avg)
+	}
+}
+
+// TestParseOuterZeroAlloc guards the demux hot path: the single-pass
+// outer parse must not allocate.
+func TestParseOuterZeroAlloc(t *testing.T) {
+	b := innerPacket("demux")
+	if err := EncapGPDU(b, 0xbeef, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	data := b.Bytes()
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, _, err := ParseOuter(data); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("ParseOuter allocates %.1f/op", avg)
+	}
+}
+
+// TestDecapConsumesRecordedParse checks the parse-once handoff: when the
+// demux records its parse in the metadata, decap trims without
+// re-walking, clears the flag, and yields the same inner packet.
+func TestDecapConsumesRecordedParse(t *testing.T) {
+	mk := func() (*pkt.Buf, []byte) {
+		b := innerPacket("once")
+		orig := append([]byte(nil), b.Bytes()...)
+		if err := EncapGPDU(b, 0x77, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		return b, orig
+	}
+	plain, orig := mk()
+	t1, err := DecapGPDU(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded, _ := mk()
+	teid, hdrLen, err := ParseOuter(recorded.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded.Meta.TEID = teid
+	recorded.Meta.OuterLen = uint16(hdrLen)
+	recorded.Meta.OuterParsed = true
+	t2, err := DecapGPDU(recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded.Meta.OuterParsed {
+		t.Fatal("OuterParsed not cleared by decap")
+	}
+	if t1 != t2 || !bytes.Equal(plain.Bytes(), orig) || !bytes.Equal(recorded.Bytes(), orig) {
+		t.Fatalf("recorded-parse decap diverged: teid %#x vs %#x", t1, t2)
+	}
+}

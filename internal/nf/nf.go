@@ -98,6 +98,10 @@ type Worker struct {
 	HousekeepEvery int
 	// BatchSize is the per-poll dequeue budget (default DefaultBatchSize).
 	BatchSize int
+	// Cache optionally attaches the worker's level of the two-level
+	// buffer pool (the handlers' free path). The worker flushes it when
+	// the loop exits so cached buffers return to the shared pool.
+	Cache *pkt.PoolCache
 
 	stats Stats
 }
@@ -116,6 +120,9 @@ func (w *Worker) Stats() StatsSnapshot {
 // so co-scheduled workers (test environments with fewer physical cores
 // than workers) make progress.
 func (w *Worker) Run(stop <-chan struct{}) {
+	if w.Cache != nil {
+		defer w.Cache.Flush()
+	}
 	batchSize := w.BatchSize
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
@@ -174,6 +181,9 @@ func (w *Worker) Run(stop <-chan struct{}) {
 // variant benchmarks use so a run has a defined end without wall-clock
 // coupling. Housekeeping behaves as in Run.
 func (w *Worker) RunN(total int) {
+	if w.Cache != nil {
+		defer w.Cache.Flush()
+	}
 	batchSize := w.BatchSize
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize

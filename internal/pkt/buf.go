@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"pepc/internal/ring"
 )
 
 // Buffer geometry. DefaultHeadroom is sized to fit the largest
@@ -63,8 +65,20 @@ type Metadata struct {
 	// TSNanos is the generator or RX timestamp used for latency
 	// measurement, in nanoseconds of an arbitrary monotonic epoch.
 	TSNanos int64
+	// OuterLen is the byte count of the validated outer IPv4+UDP+GTP-U
+	// envelope, recorded by the demux's single outer parse (gtp.ParseOuter).
+	// Meaningful only while OuterParsed is set.
+	OuterLen uint16
 	// Uplink records the traffic direction chosen by the demux stage.
 	Uplink bool
+	// OuterParsed marks TEID and OuterLen as carrying a validated outer
+	// parse, letting the slice decapsulate with a bounds-checked TrimFront
+	// instead of re-walking the outer headers. Cleared by the decap.
+	OuterParsed bool
+	// FlowParsed marks Flow as filled by an earlier stage (the downlink
+	// demux parses the inner header to steer by UE address), so the slice
+	// parse stage can skip its own header walk.
+	FlowParsed bool
 	// Paged marks a downlink packet already parked once for an idle
 	// user; a second pass while still idle drops it.
 	Paged bool
@@ -159,13 +173,36 @@ func (b *Buf) TrimBack(n int) error {
 }
 
 // Clone copies the packet (contents and metadata) into a new buffer drawn
-// from the same pool when pooled, or freshly allocated otherwise.
+// from the same pool when pooled, or freshly allocated otherwise. When the
+// pooled buffer cannot hold the packet at its offset, an unpooled buffer
+// of sufficient size is allocated instead of truncating.
 func (b *Buf) Clone() *Buf {
-	var c *Buf
 	if b.pool != nil {
-		c = b.pool.Get()
-	} else {
-		c = NewBuf(len(b.data), b.off)
+		return b.clonePooled(b.pool)
+	}
+	c := NewBuf(len(b.data), b.off)
+	c.off = b.off
+	c.len = b.len
+	copy(c.data[c.off:c.off+c.len], b.Bytes())
+	c.Meta = b.Meta
+	return c
+}
+
+// ClonePooled copies the packet into a buffer drawn from pl — the
+// cross-pool clone migration buffering uses. A source larger than pl's
+// buffers (e.g. an unpooled jumbo buffer) is cloned into a fresh unpooled
+// allocation rather than silently truncated.
+func (b *Buf) ClonePooled(pl *Pool) *Buf {
+	return b.clonePooled(pl)
+}
+
+func (b *Buf) clonePooled(pl *Pool) *Buf {
+	c := pl.Get()
+	if b.off+b.len > len(c.data) {
+		// The pooled buffer cannot hold the packet at its offset: return
+		// it and allocate an exact-fit unpooled buffer.
+		c.Free()
+		c = NewBuf(b.off+b.len, b.off)
 	}
 	c.off = b.off
 	c.len = b.len
@@ -187,12 +224,33 @@ func (b *Buf) String() string {
 	return fmt.Sprintf("Buf{len=%d headroom=%d tailroom=%d}", b.len, b.Headroom(), b.Tailroom())
 }
 
+// PoolFreeListCap bounds the shared free list of a Pool in buffers.
+// Frees beyond it fall to the garbage collector, so a pool never retains
+// more than PoolFreeListCap × size bytes.
+const PoolFreeListCap = 1 << 12
+
+// DefaultCacheSize is the per-worker PoolCache capacity in buffers; the
+// refill/spill quantum is half of it.
+const DefaultCacheSize = 64
+
 // Pool recycles packet buffers so the data path performs no steady-state
-// allocation. It is safe for concurrent use.
+// allocation. It is the shared level of an mbuf-style two-level allocator
+// (DPDK mempool shape): a bounded MPSC-ring free list that any thread may
+// free into lock-free, with a mutex serializing the (single-consumer)
+// dequeue side. Hot paths should front it with a per-worker PoolCache so
+// a refill or spill touches the shared list once per batch instead of
+// once per packet. Unlike the sync.Pool it replaces, the free list
+// survives garbage collections and Get returns a *Buf with no interface
+// conversion.
 type Pool struct {
 	size     int
 	headroom int
-	p        sync.Pool
+
+	// free is the shared free list. Producers (Buf.Free, PutBatch,
+	// PoolCache spills) enqueue lock-free from any thread; mu serializes
+	// consumers so the MPSC ring's single-consumer contract holds.
+	free *ring.MPSC[*Buf]
+	mu   sync.Mutex
 }
 
 // NewPool returns a pool of buffers with the given capacity and reserved
@@ -204,20 +262,163 @@ func NewPool(size, headroom int) *Pool {
 	if headroom < 0 {
 		headroom = DefaultHeadroom
 	}
-	pl := &Pool{size: size, headroom: headroom}
-	pl.p.New = func() any {
-		b := NewBuf(pl.size, pl.headroom)
-		b.pool = pl
-		return b
+	return &Pool{
+		size:     size,
+		headroom: headroom,
+		free:     ring.MustMPSC[*Buf](PoolFreeListCap),
 	}
-	return pl
+}
+
+// BufSize returns the pool's buffer capacity in bytes.
+func (pl *Pool) BufSize() int { return pl.size }
+
+func (pl *Pool) newBuf() *Buf {
+	b := NewBuf(pl.size, pl.headroom)
+	b.pool = pl
+	return b
 }
 
 // Get returns an empty buffer with the pool's headroom reserved.
 func (pl *Pool) Get() *Buf {
-	b := pl.p.Get().(*Buf)
+	pl.mu.Lock()
+	b, ok := pl.free.Dequeue()
+	pl.mu.Unlock()
+	if !ok {
+		b = pl.newBuf()
+	}
 	b.Reset(pl.headroom)
 	return b
 }
 
-func (pl *Pool) put(b *Buf) { pl.p.Put(b) }
+// GetBatch fills dst with empty buffers (headroom reserved), touching the
+// shared free list once; misses are satisfied by fresh allocations.
+func (pl *Pool) GetBatch(dst []*Buf) {
+	pl.mu.Lock()
+	n := pl.free.DequeueBatch(dst)
+	pl.mu.Unlock()
+	for i := n; i < len(dst); i++ {
+		dst[i] = pl.newBuf()
+	}
+	for _, b := range dst {
+		b.Reset(pl.headroom)
+	}
+}
+
+// PutBatch returns bs to the shared free list in one ring operation.
+// Buffers beyond the free-list capacity (or foreign/unpooled buffers)
+// are left to the garbage collector.
+func (pl *Pool) PutBatch(bs []*Buf) {
+	n := 0
+	for _, b := range bs {
+		if b != nil && b.pool == pl {
+			bs[n] = b
+			n++
+		}
+	}
+	pl.free.EnqueueBatch(bs[:n])
+}
+
+// put is the single-buffer free path (Buf.Free): a lock-free MPSC
+// enqueue; on overflow the buffer is left to the garbage collector.
+func (pl *Pool) put(b *Buf) { pl.free.Enqueue(b) }
+
+// PoolCache is the per-worker level of the two-level allocator: a plain
+// LIFO stack of buffers owned by one goroutine, refilled from and spilled
+// to the shared Pool half a cache at a time (the DPDK mempool per-lcore
+// cache, substituted with a free list since Go gives no per-CPU storage;
+// per-worker ownership provides the same no-contention property under the
+// run-to-completion model). Get and Put are single-threaded and
+// allocation free in the steady state; recently freed buffers are reused
+// warm. Not safe for concurrent use.
+//
+// The zero value is a valid free-side cache: it binds itself to the pool
+// of the first buffer Put into it, so a consumer that only releases
+// buffers (e.g. a drop path) needs no explicit pool wiring.
+type PoolCache struct {
+	pool *Pool
+	bufs []*Buf
+	half int
+}
+
+// NewCache returns a cache over pl holding at most size buffers
+// (DefaultCacheSize when size <= 0); refills and spills move size/2
+// buffers per shared-pool interaction.
+func (pl *Pool) NewCache(size int) *PoolCache {
+	c := &PoolCache{}
+	c.bind(pl, size)
+	return c
+}
+
+func (c *PoolCache) bind(pl *Pool, size int) {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	if size < 2 {
+		size = 2
+	}
+	c.pool = pl
+	c.bufs = make([]*Buf, 0, size)
+	c.half = size / 2
+}
+
+// Pool returns the shared pool the cache is bound to (nil until the
+// first Put binds a zero-value cache).
+func (c *PoolCache) Pool() *Pool { return c.pool }
+
+// Get returns an empty buffer, from the local stack when possible; an
+// empty stack triggers one batched refill from the shared pool. The cache
+// must be bound (constructed by NewCache, or seeded by a prior Put).
+func (c *PoolCache) Get() *Buf {
+	if n := len(c.bufs); n > 0 {
+		b := c.bufs[n-1]
+		c.bufs[n-1] = nil
+		c.bufs = c.bufs[:n-1]
+		return b
+	}
+	c.bufs = c.bufs[:c.half]
+	c.pool.GetBatch(c.bufs)
+	n := len(c.bufs)
+	b := c.bufs[n-1]
+	c.bufs[n-1] = nil
+	c.bufs = c.bufs[:n-1]
+	return b
+}
+
+// Put releases a buffer into the local stack; a full stack spills half a
+// cache to the shared pool in one batch. Unpooled buffers are left to the
+// garbage collector and buffers from a different pool take the direct
+// shared-list path, so Put is safe for any buffer.
+func (c *PoolCache) Put(b *Buf) {
+	if b == nil || b.pool == nil {
+		return
+	}
+	if c.pool != b.pool {
+		if c.pool != nil {
+			b.Free()
+			return
+		}
+		c.bind(b.pool, DefaultCacheSize)
+	}
+	if len(c.bufs) == cap(c.bufs) {
+		spill := c.bufs[c.half:]
+		c.pool.PutBatch(spill)
+		for i := range spill {
+			spill[i] = nil
+		}
+		c.bufs = c.bufs[:c.half]
+	}
+	c.bufs = append(c.bufs, b)
+}
+
+// Flush spills every cached buffer back to the shared pool. Call when a
+// worker exits so its cached buffers are not stranded.
+func (c *PoolCache) Flush() {
+	if c.pool == nil || len(c.bufs) == 0 {
+		return
+	}
+	c.pool.PutBatch(c.bufs)
+	for i := range c.bufs {
+		c.bufs[i] = nil
+	}
+	c.bufs = c.bufs[:0]
+}

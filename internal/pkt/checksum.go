@@ -25,6 +25,31 @@ func PseudoHeaderChecksum(proto uint8, src, dst uint32, seg []byte) uint16 {
 	return finishChecksum(s)
 }
 
+// ChecksumPartial accumulates the 16-bit big-endian words of b into acc
+// without folding or complementing. Precomputed header templates keep the
+// partial sum of their constant words and finish it per packet with
+// FoldChecksum after adding the variable words.
+func ChecksumPartial(b []byte, acc uint32) uint32 {
+	return sum16(b, acc)
+}
+
+// FoldChecksum folds an unfolded partial sum to 16 bits and complements
+// it, producing the final Internet checksum.
+func FoldChecksum(s uint32) uint16 {
+	return finishChecksum(s)
+}
+
+// ChecksumUpdate16 computes the incremental checksum update of RFC 1624
+// (eq. 3): given a header whose current checksum is hc, return the new
+// checksum after one 16-bit word changes from old to new, without
+// re-summing the header. HC' = ~(~HC + ~m + m').
+func ChecksumUpdate16(hc, old, new uint16) uint16 {
+	s := uint32(^hc) & 0xffff
+	s += uint32(^old) & 0xffff
+	s += uint32(new)
+	return finishChecksum(s)
+}
+
 // sum16 accumulates 16-bit big-endian words of b into acc without folding.
 func sum16(b []byte, acc uint32) uint32 {
 	n := len(b)

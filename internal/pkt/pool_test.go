@@ -1,0 +1,160 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPoolGetBatchPutBatchRecycles(t *testing.T) {
+	pl := NewPool(512, 64)
+	bs := make([]*Buf, 8)
+	pl.GetBatch(bs)
+	for i, b := range bs {
+		if b == nil || b.Len() != 0 || b.Headroom() != 64 {
+			t.Fatalf("buf %d: %v", i, b)
+		}
+		b.SetBytes([]byte{byte(i)})
+	}
+	seen := map[*Buf]bool{}
+	for _, b := range bs {
+		seen[b] = true
+	}
+	pl.PutBatch(bs)
+	got := make([]*Buf, 8)
+	pl.GetBatch(got)
+	recycled := 0
+	for _, b := range got {
+		if b.Len() != 0 || b.Headroom() != 64 {
+			t.Fatalf("recycled buf not reset: %v", b)
+		}
+		if seen[b] {
+			recycled++
+		}
+	}
+	if recycled != 8 {
+		t.Fatalf("recycled %d of 8 buffers", recycled)
+	}
+}
+
+func TestPoolPutBatchSkipsForeignAndNil(t *testing.T) {
+	pl := NewPool(512, 64)
+	other := NewPool(512, 64)
+	bs := []*Buf{pl.Get(), nil, other.Get(), NewBuf(512, 64), pl.Get()}
+	pl.PutBatch(bs) // must not panic or adopt foreign buffers
+	got := make([]*Buf, 2)
+	pl.GetBatch(got)
+	for _, b := range got {
+		if b.pool != pl {
+			t.Fatal("foreign buffer adopted into pool")
+		}
+	}
+}
+
+func TestPoolCacheRefillAndSpill(t *testing.T) {
+	pl := NewPool(512, 64)
+	c := pl.NewCache(8)
+	// Fill past capacity: the 9th Put spills half back to the pool.
+	var bs []*Buf
+	for i := 0; i < 9; i++ {
+		bs = append(bs, pl.Get())
+	}
+	for _, b := range bs {
+		c.Put(b)
+	}
+	if len(c.bufs) > 8 {
+		t.Fatalf("cache overfilled: %d", len(c.bufs))
+	}
+	// Drain below empty: Get refills from the shared pool in batches.
+	for i := 0; i < 16; i++ {
+		b := c.Get()
+		if b == nil || b.pool != pl {
+			t.Fatalf("get %d: %v", i, b)
+		}
+		b.Free()
+	}
+	c.Flush()
+	if len(c.bufs) != 0 {
+		t.Fatalf("flush left %d buffers", len(c.bufs))
+	}
+}
+
+func TestPoolCacheZeroValueBindsOnPut(t *testing.T) {
+	pl := NewPool(512, 64)
+	var c PoolCache
+	c.Put(NewBuf(512, 64)) // unpooled: dropped, no bind
+	if c.Pool() != nil {
+		t.Fatal("unpooled Put bound the cache")
+	}
+	c.Put(pl.Get())
+	if c.Pool() != pl {
+		t.Fatal("first pooled Put did not bind the cache")
+	}
+	other := NewPool(512, 64)
+	c.Put(other.Get()) // foreign: routed to its own pool, not cached
+	if got := c.Get(); got.pool != pl {
+		t.Fatal("foreign buffer surfaced from cache")
+	}
+}
+
+// TestPoolCacheZeroAllocSteadyState guards the two-level allocator's hot
+// path: a warm Get/Put cycle must not allocate.
+func TestPoolCacheZeroAllocSteadyState(t *testing.T) {
+	pl := NewPool(512, 64)
+	c := pl.NewCache(8)
+	for i := 0; i < 4; i++ {
+		c.Put(pl.Get())
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		b := c.Get()
+		c.Put(b)
+	}); avg != 0 {
+		t.Fatalf("PoolCache Get/Put allocates %.1f/op", avg)
+	}
+}
+
+// TestPoolBatchZeroAllocWarm guards the shared level: batched get/put
+// against a populated free list must not allocate.
+func TestPoolBatchZeroAllocWarm(t *testing.T) {
+	pl := NewPool(512, 64)
+	bs := make([]*Buf, 16)
+	pl.GetBatch(bs) // populate (allocates the buffers once)
+	pl.PutBatch(bs)
+	if avg := testing.AllocsPerRun(500, func() {
+		pl.GetBatch(bs)
+		pl.PutBatch(bs)
+	}); avg != 0 {
+		t.Fatalf("Pool GetBatch/PutBatch allocates %.1f/op", avg)
+	}
+}
+
+func TestClonePooledAllocatesWhenTooBig(t *testing.T) {
+	// A jumbo source larger than the destination pool's buffers must be
+	// cloned whole into a fresh allocation, never truncated.
+	pl := NewPool(256, 32)
+	src := NewBuf(4096, 128)
+	big := make([]byte, 3000)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	if err := src.SetBytes(big); err != nil {
+		t.Fatal(err)
+	}
+	src.Meta.TEID = 42
+	c := src.ClonePooled(pl)
+	if c.pool != nil {
+		t.Fatal("oversized clone claims to be pooled")
+	}
+	if !bytes.Equal(c.Bytes(), big) {
+		t.Fatalf("clone truncated: %d of %d bytes", c.Len(), len(big))
+	}
+	if c.Meta.TEID != 42 {
+		t.Fatal("metadata not cloned")
+	}
+	// The fitting case still draws from the pool.
+	small := NewBuf(128, 16)
+	small.SetBytes([]byte("fits"))
+	d := small.ClonePooled(pl)
+	if d.pool != pl || !bytes.Equal(d.Bytes(), []byte("fits")) {
+		t.Fatalf("fitting clone: pool=%v bytes=%q", d.pool, d.Bytes())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"pepc/internal/bpf"
+	"pepc/internal/gtp"
 	"pepc/internal/pkt"
 	"pepc/internal/qos"
 )
@@ -170,6 +171,11 @@ type DataPriv struct {
 	// unused) copied from the control state at rebuild.
 	NTFT uint8
 	TFTs [MaxBearers]bpf.FilterSpec
+	// Encap is the precomputed downlink GTP-U envelope for the user's
+	// current tunnel (DownlinkTEID/ENBAddr), rebuilt on the same epoch
+	// bump: downlink encapsulation becomes one template copy plus three
+	// length stores instead of field-by-field serialization.
+	Encap gtp.EncapTemplate
 }
 
 // SelectBearer maps a flow to a bearer index using the cached TFTs,

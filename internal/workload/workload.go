@@ -95,6 +95,10 @@ type TrafficGen struct {
 	cfg   TrafficConfig
 	users []User
 	pool  *pkt.Pool
+	// cache fronts the pool with the generator's level of the two-level
+	// allocator: one shared-pool interaction per half-cache of packets
+	// (the generator is single-threaded by contract).
+	cache *pkt.PoolCache
 
 	upTmpl []byte // full outer+GTPU+inner template
 	dnTmpl []byte // inner-only template
@@ -110,10 +114,12 @@ type TrafficGen struct {
 // NewTrafficGen builds a generator over the given users.
 func NewTrafficGen(cfg TrafficConfig, users []User) *TrafficGen {
 	cfg = cfg.withDefaults()
+	pool := pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
 	g := &TrafficGen{
 		cfg:    cfg,
 		users:  users,
-		pool:   pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom),
+		pool:   pool,
+		cache:  pool.NewCache(pkt.DefaultCacheSize),
 		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
 		mixUp:  cfg.UplinkRatio,
 		mixTot: cfg.UplinkRatio + cfg.DownlinkRatio,
@@ -169,7 +175,7 @@ func (g *TrafficGen) NextUplink() *pkt.Buf {
 
 // UplinkFor emits an uplink packet for a specific user.
 func (g *TrafficGen) UplinkFor(u User) *pkt.Buf {
-	b := g.pool.Get()
+	b := g.cache.Get()
 	if err := b.SetBytes(g.upTmpl); err != nil {
 		panic(err)
 	}
@@ -189,7 +195,7 @@ func (g *TrafficGen) NextDownlink() *pkt.Buf {
 
 // DownlinkFor emits a downlink packet for a specific user.
 func (g *TrafficGen) DownlinkFor(u User) *pkt.Buf {
-	b := g.pool.Get()
+	b := g.cache.Get()
 	if err := b.SetBytes(g.dnTmpl); err != nil {
 		panic(err)
 	}

@@ -25,6 +25,12 @@ go test -race ./internal/core/ ./internal/state/
 # Run them apart from the main suite with -count=1 so a cached pass can't
 # mask a fresh allocation, and without -race (the race runtime allocates).
 echo "== allocation guards (ZeroAlloc tests)"
-go test -run 'ZeroAlloc' -count=1 ./internal/core/ ./internal/state/
+go test -run 'ZeroAlloc' -count=1 ./internal/pkt/ ./internal/gtp/ ./internal/core/ ./internal/state/
+
+# Fuzz seed corpora: run every fuzz target's checked-in seeds once as
+# plain tests (no -fuzz exploration in CI; a failing seed is a
+# regression in the parse-once codec surface).
+echo "== fuzz seeds"
+go test -run 'Fuzz' -count=1 ./internal/gtp/
 
 echo "CI green"
