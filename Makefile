@@ -1,6 +1,6 @@
 # Developer entry points. `make ci` is what a PR must keep green.
 
-.PHONY: ci build test race bench benchdiff
+.PHONY: ci build test race bench benchdiff soak soak-short
 
 ci:
 	./scripts/ci.sh
@@ -18,6 +18,14 @@ race:
 bench:
 	go test -bench=Pipeline -benchmem -run='^$$' .
 	go run ./cmd/pepcbench -fig 8 -fig8 pktsize
+
+# Chaos soak (DESIGN.md §4.12): `soak-short` is the race-enabled CI
+# smoke (also run by `make ci`); `soak` is the full seeded run.
+soak:
+	./scripts/soak.sh
+
+soak-short:
+	./scripts/soak.sh -short
 
 # Regenerate Figures 5/6 and fail on a >10% throughput regression against
 # the checked-in baselines (bench/baseline/). Not part of `make ci`:

@@ -65,8 +65,13 @@ func save(path string, r result) error {
 }
 
 // matchAny reports whether name matches any of the comma-separated globs.
+// Empty tokens — a trailing or doubled comma, or a lone comma — are
+// skipped rather than treated as patterns, so "-skip 'BENCH_fig4*,'"
+// never silently skips every baseline; tokens are trimmed so spaces
+// after commas don't defeat a match.
 func matchAny(globs, name string) bool {
 	for _, g := range strings.Split(globs, ",") {
+		g = strings.TrimSpace(g)
 		if g == "" {
 			continue
 		}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+// TestMatchAnyEmptyTokens pins the comma-glob parsing: empty tokens from
+// trailing, doubled or lone commas must be inert, not patterns. Before
+// the guard, "-only 'BENCH_fig4*,'" fed "" to filepath.Match and a
+// "-skip" list ending in a comma could skip nothing or, with a later
+// match-all interpretation, everything.
+func TestMatchAnyEmptyTokens(t *testing.T) {
+	cases := []struct {
+		globs, name string
+		want        bool
+	}{
+		// Plain matching still works.
+		{"BENCH_fig4.json", "BENCH_fig4.json", true},
+		{"BENCH_fig4*", "BENCH_fig4.json", true},
+		{"BENCH_fig5*", "BENCH_fig4.json", false},
+		{"BENCH_fig5*,BENCH_fig4*", "BENCH_fig4.json", true},
+		// Empty tokens are skipped, wherever they appear.
+		{"BENCH_fig4*,", "BENCH_fig5.json", false},
+		{",BENCH_fig4*", "BENCH_fig5.json", false},
+		{"BENCH_fig4*,,BENCH_fig6*", "BENCH_fig5.json", false},
+		{",", "BENCH_fig5.json", false},
+		{",,", "BENCH_fig5.json", false},
+		// An all-empty list matches nothing (callers gate on "" already,
+		// but a lone comma must not differ from that).
+		{",", "", false},
+		// Spaces after commas are trimmed, not made part of the pattern.
+		{"BENCH_fig4*, BENCH_fig5*", "BENCH_fig5.json", true},
+		{" BENCH_fig4* ", "BENCH_fig4.json", true},
+		// A malformed glob fails that token quietly, not the whole list.
+		{"[,BENCH_fig4*", "BENCH_fig4.json", true},
+	}
+	for _, c := range cases {
+		if got := matchAny(c.globs, c.name); got != c.want {
+			t.Errorf("matchAny(%q, %q) = %v, want %v", c.globs, c.name, got, c.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	pepcbench -fig 5              # regenerate Figure 5
+//	pepcbench -fig faults         # robustness: outage sweep + chaos soak
 //	pepcbench -table 1            # print Table 1
 //	pepcbench -all                # every table and figure
 //	pepcbench -all -scale full    # paper-scale populations (slow, GBs)
@@ -15,13 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"pepc"
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure number to regenerate (4-15)")
+	fig := flag.String("fig", "", "figure to regenerate: a number (4-15) or a name (e.g. faults)")
 	table := flag.Int("table", 0, "table number to print (1-2)")
 	all := flag.Bool("all", false, "run every table and figure")
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
@@ -33,6 +35,8 @@ func main() {
 	fig6Mode := flag.String("fig6", "batched", "figure 6 signaling execution: batched (control fast path) or inline")
 	fig8Mode := flag.String("fig8", "paper", "figure 8 experiment: paper (migration impact) or pktsize (header-engine packet-size sweep)")
 	fig14Mode := flag.String("fig14", "paper", "figure 14 sweep: paper (always-on fraction) or population (pointer vs handle state layout)")
+	faultSeed := flag.Uint64("faultseed", 0, "faults experiment: injector seed (0 = default)")
+	faultEpochs := flag.Int("faultepochs", 0, "faults experiment: chaos soak epochs (0 = default)")
 	jsonOut := flag.Bool("json", false, "also write each result as machine-readable BENCH_<name>.json")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
@@ -95,13 +99,20 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Fig14Mode = *fig14Mode
+	sc.FaultSeed = *faultSeed
+	sc.FaultEpochs = *faultEpochs
 
 	var names []string
 	switch {
 	case *all:
 		names = pepc.ExperimentNames()
-	case *fig != 0:
-		names = []string{fmt.Sprintf("fig%d", *fig)}
+	case *fig != "":
+		name := *fig
+		// Bare numbers keep the historical spelling: -fig 5 means fig5.
+		if _, err := strconv.Atoi(name); err == nil {
+			name = "fig" + name
+		}
+		names = []string{name}
 	case *table != 0:
 		names = []string{fmt.Sprintf("table%d", *table)}
 	default:

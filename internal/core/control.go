@@ -66,6 +66,12 @@ type ControlPlane struct {
 	// across procedures so rule parsing never allocates in steady state.
 	ruleScratch []pcef.Rule
 
+	// degraded is the control thread's repair backlog: users attached
+	// with the default-bearer-only profile while the PCRF was dark (Gx
+	// establish failed). Maintain retries their Gx session once the
+	// proxy's Gx breaker reports the backend back. Control-thread-only.
+	degraded []uint64
+
 	// Event counters.
 	Attaches   atomic.Uint64
 	Handovers  atomic.Uint64
@@ -80,6 +86,15 @@ type ControlPlane struct {
 	SigDrops atomic.Uint64
 	// Recycles counts attaches served from the context free list.
 	Recycles atomic.Uint64
+	// DegradedAttaches counts attaches completed with the default-bearer
+	// profile because the PCRF was unreachable.
+	DegradedAttaches atomic.Uint64
+	// Repairs counts degraded users whose Gx session was later
+	// re-established by the control thread.
+	Repairs atomic.Uint64
+	// RepairDrops counts degraded users dropped from the (bounded)
+	// repair backlog; they keep the default-bearer profile.
+	RepairDrops atomic.Uint64
 }
 
 type promoteReq struct {
@@ -108,6 +123,14 @@ const sigRingCap = 1 << 12
 // sigDrainBatch is DrainSignaling's default (and maximum) batch size.
 const sigDrainBatch = 256
 
+// degradedCap bounds the repair backlog; beyond it, degraded users keep
+// the default-bearer profile permanently (counted in RepairDrops).
+const degradedCap = 1 << 14
+
+// repairBatch bounds how many degraded users one Maintain round repairs,
+// so repair traffic never monopolizes the control thread.
+const repairBatch = 64
+
 func newControlPlane(s *Slice) *ControlPlane {
 	return &ControlPlane{
 		s:          s,
@@ -124,27 +147,33 @@ func newControlPlane(s *Slice) *ControlPlane {
 
 // CtrlStats is a snapshot of the control plane's event counters.
 type CtrlStats struct {
-	Attaches     uint64
-	Handovers    uint64
-	Detaches     uint64
-	Promotions   uint64
-	PromoteDrops uint64
-	Evictions    uint64
-	SigDrops     uint64
-	Recycles     uint64
+	Attaches         uint64
+	Handovers        uint64
+	Detaches         uint64
+	Promotions       uint64
+	PromoteDrops     uint64
+	Evictions        uint64
+	SigDrops         uint64
+	Recycles         uint64
+	DegradedAttaches uint64
+	Repairs          uint64
+	RepairDrops      uint64
 }
 
 // Stats snapshots the control plane's counters (any thread).
 func (cp *ControlPlane) Stats() CtrlStats {
 	return CtrlStats{
-		Attaches:     cp.Attaches.Load(),
-		Handovers:    cp.Handovers.Load(),
-		Detaches:     cp.Detaches.Load(),
-		Promotions:   cp.Promotions.Load(),
-		PromoteDrops: cp.PromoteDrops.Load(),
-		Evictions:    cp.Evictions.Load(),
-		SigDrops:     cp.SigDrops.Load(),
-		Recycles:     cp.Recycles.Load(),
+		Attaches:         cp.Attaches.Load(),
+		Handovers:        cp.Handovers.Load(),
+		Detaches:         cp.Detaches.Load(),
+		Promotions:       cp.Promotions.Load(),
+		PromoteDrops:     cp.PromoteDrops.Load(),
+		Evictions:        cp.Evictions.Load(),
+		SigDrops:         cp.SigDrops.Load(),
+		Recycles:         cp.Recycles.Load(),
+		DegradedAttaches: cp.DegradedAttaches.Load(),
+		Repairs:          cp.Repairs.Load(),
+		RepairDrops:      cp.RepairDrops.Load(),
 	}
 }
 
@@ -236,10 +265,18 @@ func (cp *ControlPlane) Attach(spec AttachSpec) (AttachResult, error) {
 	if cp.proxy != nil {
 		rules, err := cp.proxy.EstablishGxSessionInto(spec.IMSI, cp.ruleScratch[:0])
 		if err != nil {
-			return res, err
+			// Graceful degradation: a dark PCRF must not fail the attach
+			// (the paper's availability argument cuts both ways — a slice
+			// that refuses service during a backend outage is a worse
+			// outage). The user proceeds on the default bearer installed
+			// above, with no PCC rules; the control thread re-establishes
+			// the Gx session from the repair backlog once the backend
+			// answers again.
+			cp.markDegraded(spec.IMSI)
+		} else {
+			cp.ruleScratch = rules[:0]
+			cp.installRules(ue, rules)
 		}
-		cp.ruleScratch = rules[:0]
-		cp.installRules(ue, rules)
 	}
 
 	if err := cp.s.cp.Insert(ue); err != nil {
@@ -249,6 +286,61 @@ func (cp *ControlPlane) Attach(spec AttachSpec) (AttachResult, error) {
 	cp.Attaches.Add(1)
 	res = AttachResult{UplinkTEID: teid, UEAddr: ueAddr, GUTI: guti}
 	return res, nil
+}
+
+// markDegraded records a user attached without its PCC rules for later
+// repair. Control thread only.
+func (cp *ControlPlane) markDegraded(imsi uint64) {
+	cp.DegradedAttaches.Add(1)
+	if len(cp.degraded) >= degradedCap {
+		cp.RepairDrops.Add(1)
+		return
+	}
+	cp.degraded = append(cp.degraded, imsi)
+}
+
+// DegradedBacklog returns the number of users awaiting Gx repair.
+func (cp *ControlPlane) DegradedBacklog() int { return len(cp.degraded) }
+
+// RepairDegraded retries the Gx establishment of up to max degraded
+// users (all of them when max <= 0). It stops early when the backend is
+// still failing, leaving the remainder queued for the next round.
+// Returns the number repaired. Control thread only.
+func (cp *ControlPlane) RepairDegraded(max int) int {
+	if cp.proxy == nil || len(cp.degraded) == 0 {
+		return 0
+	}
+	if !cp.proxy.GxAvailable() {
+		return 0 // breaker still open: don't waste a probe per user
+	}
+	if max <= 0 || max > len(cp.degraded) {
+		max = len(cp.degraded)
+	}
+	repaired := 0
+	i := 0
+	for ; i < max; i++ {
+		imsi := cp.degraded[i]
+		ue := cp.s.cp.LookupIMSI(imsi)
+		if ue == nil {
+			continue // detached meanwhile: nothing to repair
+		}
+		rules, err := cp.proxy.EstablishGxSessionInto(imsi, cp.ruleScratch[:0])
+		if err != nil {
+			// Backend still failing: stop, keep this and the rest queued.
+			break
+		}
+		cp.ruleScratch = rules[:0]
+		cp.installRules(ue, rules)
+		cp.Repairs.Add(1)
+		repaired++
+	}
+	// Drop the processed prefix; an early break keeps the user that
+	// failed (cp.degraded[i]) at the head for the next round.
+	if i > 0 {
+		n := copy(cp.degraded, cp.degraded[i:])
+		cp.degraded = cp.degraded[:n]
+	}
+	return repaired
 }
 
 // allocUE produces a context plus its identifier pair for an attach:
@@ -535,6 +627,7 @@ func (cp *ControlPlane) Maintain(now, idleNs int64) int {
 		})
 		actions += n
 	}
+	actions += cp.RepairDegraded(repairBatch)
 	return actions
 }
 

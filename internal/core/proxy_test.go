@@ -7,6 +7,7 @@ import (
 	"pepc/internal/diameter"
 	"pepc/internal/hss"
 	"pepc/internal/pcrf"
+	"pepc/internal/state"
 )
 
 // failingHandler injects backend failures: errors, failure result codes,
@@ -98,17 +99,35 @@ func TestAttachFailsCleanlyWhenHSSRejects(t *testing.T) {
 	}
 }
 
-func TestAttachFailsCleanlyWhenPCRFDown(t *testing.T) {
+// A dark PCRF no longer fails the attach: the user proceeds in degraded
+// mode on the default bearer, with no PCC rules, queued for Gx repair.
+func TestAttachDegradesWhenPCRFDown(t *testing.T) {
 	h := hss.New()
 	h.ProvisionRange(1, 10, 10e6, 50e6)
 	fh := &failingHandler{mode: "error"}
 	s := NewSlice(SliceConfig{ID: 1, UserHint: 16})
 	s.Control().SetProxy(NewProxy(h, fh))
-	if _, err := s.Control().Attach(AttachSpec{IMSI: 3}); err == nil {
-		t.Fatal("attach succeeded with PCRF down")
+	if _, err := s.Control().Attach(AttachSpec{IMSI: 3}); err != nil {
+		t.Fatalf("attach must degrade, not fail: %v", err)
 	}
-	if s.Control().Lookup(3) != nil {
-		t.Fatal("partial state left behind")
+	ue := s.Control().Lookup(3)
+	if ue == nil {
+		t.Fatal("degraded user not attached")
+	}
+	ue.ReadCtrl(func(c *state.ControlState) {
+		if !c.Attached || c.BearerCount != 1 || c.Bearers[0].EBI != 5 {
+			t.Fatalf("degraded profile: attached=%v bearers=%d", c.Attached, c.BearerCount)
+		}
+		if c.RuleCount != 0 {
+			t.Fatalf("degraded user has %d PCC rules, want 0", c.RuleCount)
+		}
+	})
+	st := s.Control().Stats()
+	if st.DegradedAttaches != 1 {
+		t.Fatalf("DegradedAttaches = %d", st.DegradedAttaches)
+	}
+	if s.Control().DegradedBacklog() != 1 {
+		t.Fatalf("backlog = %d", s.Control().DegradedBacklog())
 	}
 }
 

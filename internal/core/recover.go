@@ -1,0 +1,215 @@
+package core
+
+import (
+	"io"
+
+	"pepc/internal/fault"
+	"pepc/internal/state"
+)
+
+// This file implements slice crash recovery on top of the checkpoint
+// stream (checkpoint.go): a replacement slice is rebuilt from the last
+// checkpoint plus whatever survives the crash in memory — the
+// control→data update queue and the undrained signaling ring. The
+// consolidated per-user state makes the reconciliation rule simple:
+// every surviving update references a context whose current snapshot is
+// by construction at least as new as the checkpoint, so replay is
+// "snapshot and reinstall", never a byte-level log merge.
+
+// RecoveryReport summarizes one RecoverFrom pass.
+type RecoveryReport struct {
+	// Restored counts users installed from the checkpoint stream.
+	Restored int
+	// Replayed counts post-checkpoint attaches resurrected from the
+	// surviving update queue (users absent from the checkpoint).
+	Replayed int
+	// Refreshed counts checkpointed users whose surviving context was
+	// newer than the checkpoint copy (counters or tunnel state moved
+	// after the snapshot was taken).
+	Refreshed int
+	// CompletedDetaches counts users removed because a queued delete
+	// proved their detach completed on the control side before the
+	// crash.
+	CompletedDetaches int
+	// EvictionsReplayed counts two-level primary evictions re-applied
+	// from the queue.
+	EvictionsReplayed int
+	// SignalsAdopted counts signaling events moved from the crashed
+	// slice's ring into the new slice's ring (still to be executed).
+	SignalsAdopted int
+	// Synced is the number of index updates applied by the final sync.
+	Synced int
+}
+
+// RecoverFrom rebuilds this (fresh) slice from a checkpoint stream plus
+// the surviving in-memory state of the crashed slice: its update queue
+// is reconciled against the restored population and its undrained
+// signaling ring is adopted for the new control thread to execute.
+// crashed may be nil (checkpoint-only recovery, e.g. a cold standby
+// node). Neither plane of the crashed slice may still be running.
+//
+// Invariants on return: the new slice shares no *UE with the crashed
+// one (contexts are snapshotted, then reinstalled through the normal
+// attach path, so arena handles cannot leak across slices); counters of
+// every user referenced by the surviving queue are exact, and counters
+// of untouched users are stale by at most the checkpoint age — the
+// paper's per-user crash consistency (§8).
+func (s *Slice) RecoverFrom(r io.Reader, crashed *Slice) (RecoveryReport, error) {
+	var rep RecoveryReport
+	restored, err := s.RestoreCheckpoint(r)
+	rep.Restored = restored
+	if err != nil {
+		return rep, err
+	}
+	if crashed != nil {
+		s.reconcileSurvivors(crashed, &rep)
+		rep.SignalsAdopted = s.transferSignals(crashed)
+	}
+	rep.Synced = s.data.SyncUpdates()
+	return rep, nil
+}
+
+// reconcileSurvivors replays the crashed slice's undrained update queue
+// against the restored population, in queue order. Inserts and rekeys
+// carry a context pointer: its *current* snapshot (final pre-crash
+// state) is installed — resurrecting post-checkpoint attaches and
+// refreshing stale checkpoint copies. Deletes carry only keys: a key
+// still owned by a user in the crashed control store is an eviction
+// (two-level) or a recycled key superseded by a later re-insert
+// (single-level, skipped); a key with no surviving owner proves the
+// detach completed before the crash, so the restored copy is removed —
+// a queued detach is never lost, a completed one never resurrected.
+func (s *Slice) reconcileSurvivors(crashed *Slice, rep *RecoveryReport) {
+	seen := make(map[uint64]struct{})
+	crashed.updates.DrainFunc(func(u state.Update) {
+		switch u.Op {
+		case state.OpInsert, state.OpRekey:
+			if u.UE == nil {
+				return
+			}
+			// The snapshot reads the context's final state, so every
+			// queued update for one user replays identically; dedup.
+			cs, cnt := u.UE.Snapshot()
+			if cs.IMSI == 0 {
+				return
+			}
+			if _, dup := seen[cs.IMSI]; dup {
+				return
+			}
+			seen[cs.IMSI] = struct{}{}
+			if existing := s.cp.LookupIMSI(cs.IMSI); existing != nil {
+				var oldTEID, oldAddr uint32
+				existing.ReadCtrl(func(c *state.ControlState) {
+					oldTEID, oldAddr = c.UplinkTEID, c.UEAddr
+				})
+				if oldTEID == cs.UplinkTEID && oldAddr == cs.UEAddr {
+					// Same identifiers: refresh control state and
+					// counters in place, indexes stay valid.
+					existing.Restore(cs, cnt)
+				} else {
+					// A surviving rekey outran the checkpoint copy:
+					// replace it wholesale so the old keys are removed.
+					s.dropUser(cs.IMSI)
+					if s.ctrl.install(cs, cnt, cs.LastActive) != nil {
+						return
+					}
+				}
+				rep.Refreshed++
+				return
+			}
+			if s.ctrl.install(cs, cnt, cs.LastActive) == nil {
+				rep.Replayed++
+			}
+		case state.OpDelete:
+			if crashed.cp.LookupTEID(u.TEID) != nil {
+				// Owner still attached at crash time. Two-level: a
+				// primary eviction, replay it (the user stays reachable
+				// through the secondary). Single-level: a delete of a
+				// recycled key, superseded by the re-insert that follows
+				// it in the queue — skip.
+				if s.tl != nil {
+					s.updates.Push(u)
+					rep.EvictionsReplayed++
+				}
+				return
+			}
+			if ue := s.cp.LookupTEID(u.TEID); ue != nil {
+				var imsi uint64
+				ue.ReadCtrl(func(c *state.ControlState) { imsi = c.IMSI })
+				s.dropUser(imsi)
+				rep.CompletedDetaches++
+			}
+		}
+	})
+}
+
+// dropUser removes a restored user again (its detach completed before
+// the crash, or its identifiers changed), unwinding everything install
+// set up: control store entry, data-plane keys, arena binding, charging
+// baseline.
+func (s *Slice) dropUser(imsi uint64) {
+	ue, err := s.cp.Remove(imsi)
+	if err != nil {
+		return
+	}
+	var teid, addr uint32
+	ue.ReadCtrl(func(c *state.ControlState) {
+		teid, addr = c.UplinkTEID, c.UEAddr
+	})
+	s.ctrl.notifyDelete(teid, addr)
+	if s.arena != nil {
+		s.arena.Retire(ue.Handle(), s.data.syncSeq.Load())
+	}
+	s.ctrl.collector.Forget(imsi)
+}
+
+// transferSignals drains the crashed slice's undrained signaling ring
+// into the new slice's ring, preserving order. The adopted events are
+// executed by the new control thread's next DrainSignaling — a detach
+// that was queued but not yet drained at the crash is carried over, not
+// lost; events the crashed thread already drained are gone from the
+// ring and therefore never run twice.
+func (s *Slice) transferSignals(crashed *Slice) int {
+	var buf [64]SigEvent
+	moved := 0
+	for {
+		n := crashed.ctrl.sigQ.DequeueBatch(buf[:])
+		if n == 0 {
+			return moved
+		}
+		for i := 0; i < n; i++ {
+			if s.ctrl.EnqueueSignal(buf[i]) {
+				moved++
+			}
+		}
+	}
+}
+
+// ArenaLive returns the number of live hot-state slots in the slice's
+// arena, the leak invariant crash recovery and the chaos soak assert
+// against Users(). Pointer-layout slices have no arena; -1 signals
+// "not applicable".
+func (s *Slice) ArenaLive() int {
+	if s.arena == nil {
+		return -1
+	}
+	return s.arena.Len()
+}
+
+// SetFaults arms fault injection across the slice: the signaling ring
+// consults fault.RingOverflow on every enqueue (injected backpressure,
+// surfacing as SigDrops) and the data worker started by a later RunData
+// consults fault.WorkerStall between batches. Call before the planes
+// run; a nil injector disarms. The Diameter-side faults are armed
+// separately on the Proxy (SetS6aFaults/SetGxFaults).
+func (s *Slice) SetFaults(inj *fault.Injector) {
+	s.faults = inj
+	if inj == nil {
+		s.ctrl.sigQ.FaultHook = nil
+		return
+	}
+	s.ctrl.sigQ.FaultHook = func() bool { return inj.Fire(fault.RingOverflow) }
+}
+
+// Faults returns the slice's injector (nil when none is armed).
+func (s *Slice) Faults() *fault.Injector { return s.faults }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"pepc/internal/fault"
 	"pepc/internal/gtp"
 	"pepc/internal/nf"
 	"pepc/internal/pcef"
@@ -161,6 +162,10 @@ type Slice struct {
 	ctrl *ControlPlane
 	data *DataPlane
 
+	// faults is the slice's fault injector (nil when none armed); see
+	// SetFaults for what it reaches.
+	faults *fault.Injector
+
 	// ctrlCmds is the migration/command channel between the node
 	// scheduler and the slice control thread (Listing 1's
 	// from_node_sched/to_node_sched pair): when the control loop runs,
@@ -274,12 +279,12 @@ type DataPlane struct {
 // pipeline. Arrays grow to the largest batch seen and are then reused,
 // keeping the steady-state fast path allocation free.
 type dpScratch struct {
-	live    []bool      // packet survived the parse stage
-	keys    []uint32    // lookup key (uplink TEID / downlink UE address)
-	flows   []pkt.Flow  // parsed inner 5-tuple
-	plens   []int       // inner byte length for accounting
-	runOf   []int32     // packet index → key-run index
-	allowed []bool      // per-packet policing verdict (fallback path)
+	live    []bool         // packet survived the parse stage
+	keys    []uint32       // lookup key (uplink TEID / downlink UE address)
+	flows   []pkt.Flow     // parsed inner 5-tuple
+	plens   []int          // inner byte length for accounting
+	runOf   []int32        // packet index → key-run index
+	allowed []bool         // per-packet policing verdict (fallback path)
 	runKeys []uint32       // distinct consecutive keys of the batch
 	runHot  []*state.HotUE // resolved hot state, one per key run
 	runSec  []bool         // two-level: run resolved from the secondary
@@ -891,6 +896,7 @@ func (s *Slice) RunData(stop <-chan struct{}) {
 		},
 		Housekeep: func() { s.data.SyncUpdates() },
 		Cache:     &s.data.cache,
+		Faults:    s.faults,
 	}
 	w.Run(stop)
 }

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Application ids.
@@ -320,4 +321,51 @@ func Call(h Handler, req *Message) (*Message, error) {
 		return nil, fmt.Errorf("diameter: answer encode: %w", err)
 	}
 	return back, nil
+}
+
+// ErrDeadline is returned by CallTimeout when the backend does not
+// answer within the deadline. The exchange is abandoned — RFC 6733's Tc
+// timer semantics: a late answer is discarded, the hop-by-hop id is
+// never reused, and the caller decides whether to retry.
+var ErrDeadline = errors.New("diameter: request deadline exceeded")
+
+// CallTimeout is Call bounded by a deadline. The handler runs in its own
+// goroutine so a hung backend cannot block the caller past d; its
+// eventual answer (or error) is discarded after the deadline fires.
+// d <= 0 means no deadline (plain Call).
+func CallTimeout(h Handler, req *Message, d time.Duration) (*Message, error) {
+	if d <= 0 {
+		return Call(h, req)
+	}
+	wire := req.Marshal()
+	decoded, err := Unmarshal(wire)
+	if err != nil {
+		return nil, fmt.Errorf("diameter: self-check encode: %w", err)
+	}
+	type callResult struct {
+		ans *Message
+		err error
+	}
+	ch := make(chan callResult, 1) // buffered: a late answer never leaks the goroutine
+	go func() {
+		ans, err := h.Handle(decoded)
+		if err != nil {
+			ch <- callResult{nil, err}
+			return
+		}
+		back, err := Unmarshal(ans.Marshal())
+		if err != nil {
+			ch <- callResult{nil, fmt.Errorf("diameter: answer encode: %w", err)}
+			return
+		}
+		ch <- callResult{back, nil}
+	}()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.ans, r.err
+	case <-t.C:
+		return nil, ErrDeadline
+	}
 }

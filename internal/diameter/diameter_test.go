@@ -2,8 +2,10 @@ package diameter
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestMessageRoundTrip(t *testing.T) {
@@ -150,5 +152,48 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCallTimeoutAnswersInTime(t *testing.T) {
+	h := HandlerFunc(func(req *Message) (*Message, error) {
+		return req.Answer(ResultSuccess), nil
+	})
+	req := NewRequest(CmdUpdateLocation, AppS6a, 1, 1, U64AVP(AVPUserName, 7))
+	ans, err := CallTimeout(h, req, time.Second)
+	if err != nil {
+		t.Fatalf("CallTimeout: %v", err)
+	}
+	if ans.ResultCode() != ResultSuccess {
+		t.Fatalf("result = %d, want %d", ans.ResultCode(), ResultSuccess)
+	}
+}
+
+func TestCallTimeoutHungBackend(t *testing.T) {
+	release := make(chan struct{})
+	h := HandlerFunc(func(req *Message) (*Message, error) {
+		<-release // hang until the test lets go
+		return req.Answer(ResultSuccess), nil
+	})
+	req := NewRequest(CmdUpdateLocation, AppS6a, 2, 2, U64AVP(AVPUserName, 7))
+	start := time.Now()
+	_, err := CallTimeout(h, req, 10*time.Millisecond)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("deadline took %v, want ~10ms", el)
+	}
+	close(release) // unblock the abandoned goroutine
+}
+
+func TestCallTimeoutZeroMeansNoDeadline(t *testing.T) {
+	h := HandlerFunc(func(req *Message) (*Message, error) {
+		return req.Answer(ResultSuccess), nil
+	})
+	req := NewRequest(CmdCreditControl, AppGx, 3, 3)
+	ans, err := CallTimeout(h, req, 0)
+	if err != nil || ans.ResultCode() != ResultSuccess {
+		t.Fatalf("d=0 path: ans=%v err=%v", ans, err)
 	}
 }

@@ -84,6 +84,12 @@ type Scale struct {
 	// layouts at a fixed active set as the total population grows
 	// (DESIGN.md §4.10).
 	Fig14Mode string
+	// FaultSeed seeds the "faults" experiment's deterministic injector
+	// (0 means seed 1); the same seed reproduces the same fault stream.
+	FaultSeed uint64
+	// FaultEpochs is the number of chaos-soak epochs the "faults"
+	// experiment runs (0 means 3).
+	FaultEpochs int
 }
 
 // Quick is the default scale used by `go test -bench` and CI: every

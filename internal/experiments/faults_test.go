@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+// TestChaosSoakShort is the CI-facing soak smoke: a short, race-enabled
+// (scripts/soak.sh -short runs it under -race) chaos run that must
+// complete with zero invariant violations. Determinism note: the fault
+// plan is a pure function of (seed, epoch); wall-clock interleaving
+// varies, but the invariants must hold under any interleaving.
+func TestChaosSoakShort(t *testing.T) {
+	stats, violations := runChaosSoak(1, 2, 64)
+	for _, v := range violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if stats.Epochs != 2 {
+		t.Fatalf("epochs = %d", stats.Epochs)
+	}
+	if stats.Attaches == 0 || stats.Detaches == 0 || stats.Handovers == 0 || stats.Migrations == 0 {
+		t.Fatalf("soak did no work: %+v", stats)
+	}
+	if stats.Recoveries != 2 {
+		t.Fatalf("recoveries = %d", stats.Recoveries)
+	}
+}
+
+// The outage sweep's zero-duration point is the control: no outage, no
+// degraded attaches, nothing to repair.
+func TestOutagePointHealthy(t *testing.T) {
+	deg, _, short, err := outagePoint(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != 0 {
+		t.Fatalf("degraded %% = %v with healthy PCRF", deg)
+	}
+	if short != 0 {
+		t.Fatalf("short circuits = %d with healthy PCRF", short)
+	}
+}
+
+// A long outage relative to the attach storm degrades everyone, and
+// repair brings everyone back.
+func TestOutagePointDark(t *testing.T) {
+	deg, rep, _, err := outagePoint(1000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != 100 {
+		t.Fatalf("degraded %% = %v, want 100 (outage outlasts the storm)", deg)
+	}
+	if rep != 100 {
+		t.Fatalf("repaired %% = %v, want 100", rep)
+	}
+}

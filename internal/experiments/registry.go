@@ -23,6 +23,7 @@ var registry = map[string]runner{
 	"fig13":  Fig13,
 	"fig14":  Fig14,
 	"fig15":  Fig15,
+	"faults": Faults,
 }
 
 // Run regenerates the named table or figure.

@@ -1,0 +1,259 @@
+// Package fault is PEPC's deterministic fault-injection subsystem: a
+// seedable source of drop/delay/error decisions that the diameter proxy,
+// the SCTP wires, the rings, the data workers and the slices consult at
+// their failure points. Every decision is a pure function of (seed, kind,
+// per-kind call sequence), so a failing chaos run replays bit-identically
+// from its seed — the property that makes soak-test failures debuggable.
+//
+// The injector is nil-safe and allocation free on the decision path: a
+// disarmed kind costs one atomic increment and one load, so production
+// paths can keep the hooks wired permanently and tests arm them at will.
+package fault
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Kind identifies one injectable failure mode.
+type Kind uint8
+
+// Failure modes.
+const (
+	// DiameterDrop loses a Diameter request: the backend never answers
+	// and the caller's deadline must fire.
+	DiameterDrop Kind = iota
+	// DiameterDelay answers a Diameter request late by the armed delay.
+	DiameterDelay
+	// DiameterError makes the backend answer with a failure result code
+	// (DIAMETER_UNABLE_TO_COMPLY) instead of processing the request.
+	DiameterError
+	// SCTPLoss drops an SCTP packet on the wire; persistent loss
+	// exhausts the association's retransmission budget (path failure).
+	SCTPLoss
+	// RingOverflow makes a ring enqueue report full, exercising the
+	// producers' backpressure paths (SigDrops, tail drops).
+	RingOverflow
+	// WorkerStall freezes a data worker for the armed delay between
+	// batches, simulating a preempted or wedged data core.
+	WorkerStall
+	// SliceCrash marks a slice for crash-and-recover in the soak
+	// harness: the slice is abandoned and rebuilt from checkpoint plus
+	// its surviving update queue.
+	SliceCrash
+
+	// NumKinds is the number of failure modes.
+	NumKinds = 7
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case DiameterDrop:
+		return "diameter-drop"
+	case DiameterDelay:
+		return "diameter-delay"
+	case DiameterError:
+		return "diameter-error"
+	case SCTPLoss:
+		return "sctp-loss"
+	case RingOverflow:
+		return "ring-overflow"
+	case WorkerStall:
+		return "worker-stall"
+	case SliceCrash:
+		return "slice-crash"
+	}
+	return "unknown"
+}
+
+// ErrInjected is the error surfaced by injection points that fail a call
+// outright (a dropped Diameter exchange with no deadline to absorb it).
+var ErrInjected = errors.New("fault: injected failure")
+
+// RateMax is the rate denominator: Arm with RateMax fires on every
+// decision, RateMax/2 on half of them, and so on.
+const RateMax = 1 << 16
+
+// kindState is one failure mode's armed configuration and accounting.
+// rate and delay are written by the (test/harness) controller and read
+// on the decision path; seq orders decisions so they are deterministic
+// per kind regardless of which thread asks.
+type kindState struct {
+	rate  atomic.Uint32 // 0 (disarmed) .. RateMax
+	delay atomic.Int64  // nanoseconds, for the delay kinds
+	seq   atomic.Uint64 // decision sequence number
+	fired atomic.Uint64 // decisions that injected
+}
+
+// Injector is a deterministic fault source. The zero value and the nil
+// pointer are both valid, permanently-disarmed injectors.
+type Injector struct {
+	seed  uint64
+	kinds [NumKinds]kindState
+}
+
+// New returns an injector whose decision stream is fully determined by
+// seed (and the per-kind order of Fire calls).
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed}
+}
+
+// Seed returns the injector's seed.
+func (i *Injector) Seed() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.seed
+}
+
+// Arm sets kind's firing probability to rate/RateMax (clamped). Rate 0
+// disarms the kind.
+func (i *Injector) Arm(k Kind, rate uint32) {
+	if i == nil || int(k) >= NumKinds {
+		return
+	}
+	if rate > RateMax {
+		rate = RateMax
+	}
+	i.kinds[k].rate.Store(rate)
+}
+
+// ArmDelay arms kind with both a probability and a delay (the delay
+// kinds: DiameterDelay, WorkerStall; DiameterDrop uses it as hold time).
+func (i *Injector) ArmDelay(k Kind, rate uint32, d time.Duration) {
+	if i == nil || int(k) >= NumKinds {
+		return
+	}
+	i.kinds[k].delay.Store(int64(d))
+	i.Arm(k, rate)
+}
+
+// Disarm stops kind from firing.
+func (i *Injector) Disarm(k Kind) { i.Arm(k, 0) }
+
+// DisarmAll stops every kind.
+func (i *Injector) DisarmAll() {
+	if i == nil {
+		return
+	}
+	for k := 0; k < NumKinds; k++ {
+		i.kinds[k].rate.Store(0)
+	}
+}
+
+// Rate returns kind's armed probability numerator.
+func (i *Injector) Rate(k Kind) uint32 {
+	if i == nil || int(k) >= NumKinds {
+		return 0
+	}
+	return i.kinds[k].rate.Load()
+}
+
+// Fire consumes one decision for kind and reports whether the fault
+// should inject. Disarmed (or nil-injector) decisions never fire and do
+// not advance the sequence, so arming mid-run does not shift the stream
+// of a different kind.
+func (i *Injector) Fire(k Kind) bool {
+	if i == nil || int(k) >= NumKinds {
+		return false
+	}
+	ks := &i.kinds[k]
+	rate := ks.rate.Load()
+	if rate == 0 {
+		return false
+	}
+	seq := ks.seq.Add(1)
+	h := Hash64(i.seed ^ Hash64(uint64(k)+1) ^ seq)
+	if uint32(h&(RateMax-1)) >= rate {
+		return false
+	}
+	ks.fired.Add(1)
+	return true
+}
+
+// FireDelay is Fire returning the armed delay when the decision injects
+// and 0 otherwise.
+func (i *Injector) FireDelay(k Kind) time.Duration {
+	if !i.Fire(k) {
+		return 0
+	}
+	return time.Duration(i.kinds[k].delay.Load())
+}
+
+// Delay returns kind's armed delay.
+func (i *Injector) Delay(k Kind) time.Duration {
+	if i == nil || int(k) >= NumKinds {
+		return 0
+	}
+	return time.Duration(i.kinds[k].delay.Load())
+}
+
+// Fired returns how many of kind's decisions injected.
+func (i *Injector) Fired(k Kind) uint64 {
+	if i == nil || int(k) >= NumKinds {
+		return 0
+	}
+	return i.kinds[k].fired.Load()
+}
+
+// Calls returns how many decisions kind has consumed while armed.
+func (i *Injector) Calls(k Kind) uint64 {
+	if i == nil || int(k) >= NumKinds {
+		return 0
+	}
+	return i.kinds[k].seq.Load()
+}
+
+// Hash64 is the splitmix64 finalizer: a cheap, well-mixed bijection used
+// for decision hashing and for deterministic jitter in retry backoff.
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Plan is a full per-kind configuration, applied atomically enough for
+// chaos epochs (each kind's rate/delay pair is set individually; the
+// harness quiesces between epochs).
+type Plan struct {
+	Rates  [NumKinds]uint32
+	Delays [NumKinds]time.Duration
+}
+
+// Apply installs p.
+func (i *Injector) Apply(p Plan) {
+	if i == nil {
+		return
+	}
+	for k := 0; k < NumKinds; k++ {
+		i.kinds[k].delay.Store(int64(p.Delays[k]))
+		i.Arm(Kind(k), p.Rates[k])
+	}
+}
+
+// EpochPlan derives a deterministic pseudo-random plan for one chaos
+// epoch: each kind in kinds gets a rate in [0, maxRate] and a delay in
+// [0, maxDelay], both functions of (seed, epoch, kind) only. Kinds not
+// listed stay disarmed.
+func EpochPlan(seed uint64, epoch int, maxRate uint32, maxDelay time.Duration, kinds ...Kind) Plan {
+	var p Plan
+	if maxRate > RateMax {
+		maxRate = RateMax
+	}
+	for _, k := range kinds {
+		if int(k) >= NumKinds {
+			continue
+		}
+		h := Hash64(seed ^ Hash64(uint64(epoch)<<8|uint64(k)))
+		if maxRate > 0 {
+			p.Rates[k] = uint32(h % uint64(maxRate+1))
+		}
+		if maxDelay > 0 {
+			p.Delays[k] = time.Duration(Hash64(h) % uint64(maxDelay+1))
+		}
+	}
+	return p
+}

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// Two injectors with the same seed must produce identical decision
+// streams per kind, independent of interleaving with other kinds.
+func TestDeterministicStream(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	a.Arm(DiameterDrop, RateMax/3)
+	a.Arm(SCTPLoss, RateMax/7)
+	b.Arm(DiameterDrop, RateMax/3)
+	b.Arm(SCTPLoss, RateMax/7)
+
+	for n := 0; n < 1000; n++ {
+		if a.Fire(DiameterDrop) != b.Fire(DiameterDrop) {
+			t.Fatalf("drop stream diverged at decision %d", n)
+		}
+		// Interleave extra SCTPLoss decisions on a only; the drop
+		// stream must not shift.
+		_ = a.Fire(SCTPLoss)
+	}
+	if a.Fired(DiameterDrop) != b.Fired(DiameterDrop) {
+		t.Fatalf("fired counts diverged: %d vs %d", a.Fired(DiameterDrop), b.Fired(DiameterDrop))
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	i := New(7)
+	i.Arm(RingOverflow, RateMax) // always
+	for n := 0; n < 100; n++ {
+		if !i.Fire(RingOverflow) {
+			t.Fatalf("rate RateMax must always fire (decision %d)", n)
+		}
+	}
+	i.Arm(RingOverflow, 0) // disarmed
+	for n := 0; n < 100; n++ {
+		if i.Fire(RingOverflow) {
+			t.Fatal("disarmed kind fired")
+		}
+	}
+	// A mid-range rate should land near its expectation over many trials.
+	i.Arm(WorkerStall, RateMax/2)
+	fired := 0
+	const trials = 20000
+	for n := 0; n < trials; n++ {
+		if i.Fire(WorkerStall) {
+			fired++
+		}
+	}
+	frac := float64(fired) / trials
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("rate 1/2 fired fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var i *Injector
+	if i.Fire(DiameterDrop) {
+		t.Fatal("nil injector fired")
+	}
+	if i.FireDelay(WorkerStall) != 0 {
+		t.Fatal("nil injector returned a delay")
+	}
+	i.Arm(DiameterDrop, RateMax)
+	i.ArmDelay(WorkerStall, RateMax, time.Millisecond)
+	i.Disarm(DiameterDrop)
+	i.DisarmAll()
+	i.Apply(Plan{})
+	if i.Seed() != 0 || i.Rate(SCTPLoss) != 0 || i.Fired(SCTPLoss) != 0 || i.Calls(SCTPLoss) != 0 {
+		t.Fatal("nil injector accessors must return zero")
+	}
+}
+
+func TestFireDelay(t *testing.T) {
+	i := New(3)
+	i.ArmDelay(DiameterDelay, RateMax, 5*time.Millisecond)
+	if d := i.FireDelay(DiameterDelay); d != 5*time.Millisecond {
+		t.Fatalf("FireDelay = %v, want 5ms", d)
+	}
+	if i.Delay(DiameterDelay) != 5*time.Millisecond {
+		t.Fatal("Delay accessor mismatch")
+	}
+}
+
+func TestEpochPlanDeterministic(t *testing.T) {
+	p1 := EpochPlan(99, 4, RateMax/4, 2*time.Millisecond, DiameterDrop, SCTPLoss, WorkerStall)
+	p2 := EpochPlan(99, 4, RateMax/4, 2*time.Millisecond, DiameterDrop, SCTPLoss, WorkerStall)
+	if p1 != p2 {
+		t.Fatal("EpochPlan is not deterministic")
+	}
+	p3 := EpochPlan(99, 5, RateMax/4, 2*time.Millisecond, DiameterDrop, SCTPLoss, WorkerStall)
+	if p1 == p3 {
+		t.Fatal("EpochPlan does not vary with epoch")
+	}
+	if p1.Rates[DiameterError] != 0 {
+		t.Fatal("unlisted kind must stay disarmed")
+	}
+	if p1.Rates[DiameterDrop] > RateMax/4 {
+		t.Fatalf("rate %d exceeds maxRate", p1.Rates[DiameterDrop])
+	}
+	// Kinds-specific: armed kinds in range.
+	if p1.Delays[WorkerStall] > 2*time.Millisecond {
+		t.Fatalf("delay %v exceeds maxDelay", p1.Delays[WorkerStall])
+	}
+}
+
+func TestArmingOneKindDoesNotShiftAnother(t *testing.T) {
+	a := New(11)
+	b := New(11)
+	a.Arm(DiameterError, RateMax/5)
+	b.Arm(DiameterError, RateMax/5)
+	// b additionally consumes disarmed decisions, which must not advance
+	// any sequence.
+	for n := 0; n < 500; n++ {
+		_ = b.Fire(SliceCrash) // disarmed: no seq advance
+		if a.Fire(DiameterError) != b.Fire(DiameterError) {
+			t.Fatalf("error stream diverged at %d", n)
+		}
+	}
+	if b.Calls(SliceCrash) != 0 {
+		t.Fatal("disarmed Fire advanced the sequence")
+	}
+}

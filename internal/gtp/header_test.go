@@ -2,6 +2,7 @@ package gtp
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 
@@ -174,6 +175,165 @@ func TestEncapTemplateMatchesEncapGPDU(t *testing.T) {
 	}
 }
 
+// checkTemplateUDPChecksum encaps payload through both the
+// field-serializing path and the checksummed template and asserts the
+// template's incremental UDP checksum equals a full pseudo-header
+// recompute, with every other byte identical.
+func checkTemplateUDPChecksum(t *testing.T, tmpl *EncapTemplate, teid, src, dst uint32, payload []byte) uint16 {
+	t.Helper()
+	a := pkt.NewBuf(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	a.SetBytes(payload)
+	if err := EncapGPDU(a, teid, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	b := pkt.NewBuf(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	b.SetBytes(payload)
+	if err := tmpl.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	got, want := b.Bytes(), a.Bytes()
+	ck := binary.BigEndian.Uint16(got[tmplUDPSumOff:])
+	zeroed := append([]byte(nil), got...)
+	zeroed[tmplUDPSumOff], zeroed[tmplUDPSumOff+1] = 0, 0
+	if !bytes.Equal(zeroed, want) {
+		t.Fatalf("teid %#x size %d: checksummed template differs beyond the UDP checksum field", teid, len(payload))
+	}
+	full := pkt.PseudoHeaderChecksum(pkt.ProtoUDP, src, dst, want[pkt.IPv4HeaderLen:])
+	if full == 0 {
+		full = 0xffff // RFC 768: computed zero ships as all-ones
+	}
+	if ck != full {
+		t.Fatalf("teid %#x size %d: incremental checksum %#04x, full recompute %#04x", teid, len(payload), ck, full)
+	}
+	if ck == 0 {
+		t.Fatalf("teid %#x size %d: emitted the RFC 768 'checksum disabled' sentinel", teid, len(payload))
+	}
+	// Receiver view: summing with the transmitted checksum in place must
+	// verify (0xFFFF is one's-complement zero, so the zero-mapped case
+	// verifies too).
+	if v := pkt.PseudoHeaderChecksum(pkt.ProtoUDP, src, dst, got[pkt.IPv4HeaderLen:]); v != 0 {
+		t.Fatalf("teid %#x size %d: transmitted checksum does not verify (residual %#04x)", teid, len(payload), v)
+	}
+	return ck
+}
+
+// TestEncapTemplateUDPChecksum is the incremental-vs-recompute
+// equivalence sweep for the optional outer UDP checksum: for each tunnel
+// and payload size the template's constant-sum-plus-patch checksum must
+// equal a full pseudo-header recompute, and the output must be
+// byte-identical to EncapGPDU everywhere else.
+func TestEncapTemplateUDPChecksum(t *testing.T) {
+	src, dst := pkt.IPv4Addr(10, 0, 0, 9), pkt.IPv4Addr(10, 9, 0, 200)
+	for _, teid := range []uint32{1, 0xcafe, 0xffff_ffff} {
+		var tmpl EncapTemplate
+		tmpl.EnableUDPChecksum()
+		tmpl.Init(teid, src, dst) // the mode must be sticky across Init
+		if !tmpl.Valid() {
+			t.Fatalf("template invalid for teid %#x", teid)
+		}
+		for _, size := range []int{0, 1, 7, 36, 128, 1472} {
+			payload := make([]byte, size)
+			rand.New(rand.NewSource(int64(size)<<8 | int64(teid&0xff))).Read(payload)
+			checkTemplateUDPChecksum(t, &tmpl, teid, src, dst, payload)
+		}
+	}
+}
+
+// TestEncapTemplateUDPChecksumZeroFold crafts a payload whose UDP
+// checksum computes to exactly 0x0000 and proves the template transmits
+// 0xFFFF for it — the RFC 768 rule the pre-fix fold violated (a plain
+// fold would write the 'checksum disabled' sentinel and the packet would
+// cross the network unprotected).
+func TestEncapTemplateUDPChecksumZeroFold(t *testing.T) {
+	src, dst := pkt.IPv4Addr(172, 16, 4, 4), pkt.IPv4Addr(172, 16, 9, 9)
+	const teid = 0xbeef
+	var tmpl EncapTemplate
+	tmpl.Init(teid, src, dst)
+	tmpl.EnableUDPChecksum() // enable-after-Init must work too
+
+	// Encap once with a zeroed tweak word; the checksum returned for that
+	// segment is exactly the word value that drives the folded sum to
+	// 0xFFFF, i.e. the computed checksum to 0x0000.
+	payload := make([]byte, 32)
+	probe := pkt.NewBuf(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	probe.SetBytes(payload)
+	if err := EncapGPDU(probe, teid, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	tweak := pkt.PseudoHeaderChecksum(pkt.ProtoUDP, src, dst, probe.Bytes()[pkt.IPv4HeaderLen:])
+	binary.BigEndian.PutUint16(payload[30:], tweak)
+
+	ck := checkTemplateUDPChecksum(t, &tmpl, teid, src, dst, payload)
+	if ck != 0xffff {
+		t.Fatalf("zero-fold payload transmitted %#04x, want 0xffff", ck)
+	}
+}
+
+// TestCloneDemuxedGPDUAcrossPools is the end-to-end regression for the
+// clone-time metadata audit: a G-PDU that went through the demux's
+// parse-once path (Meta.OuterParsed recorded) is cloned into a pool of a
+// different buffer class and must still decap by metadata; a clone taken
+// after the envelope was already consumed must NOT inherit the stale
+// claim — before the audit, the metadata-trusting DecapGPDU would
+// TrimFront OuterLen bytes of pure payload off the copy and hand the
+// corrupted remainder on as "the inner packet".
+func TestCloneDemuxedGPDUAcrossPools(t *testing.T) {
+	src, dst := pkt.IPv4Addr(1, 2, 3, 4), pkt.IPv4Addr(5, 6, 7, 8)
+	inner := make([]byte, 64)
+	rand.New(rand.NewSource(64)).Read(inner)
+	inner[0] = 0x60 // "IPv6" inner: visibly not an IPv4 outer envelope
+	pool := pkt.NewPool(2048, 128)
+	b := pool.Get()
+	if err := b.SetBytes(inner); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncapGPDU(b, 0x77, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	teid, hdrLen, err := ParseOuter(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record the parse-once result exactly as the demux does.
+	b.Meta.TEID = teid
+	b.Meta.OuterLen = uint16(hdrLen)
+	b.Meta.OuterParsed = true
+
+	// Cross-pool clone before decap: the claim holds for the copied
+	// bytes, so the copy decaps by metadata in a differing buffer class.
+	c := b.ClonePooled(pkt.NewPool(1024, 16))
+	if !c.Meta.OuterParsed {
+		t.Fatal("valid outer parse dropped by cross-pool clone")
+	}
+	if got, err := DecapGPDU(c); err != nil || got != 0x77 {
+		t.Fatalf("clone decap: teid=%#x err=%v", got, err)
+	}
+	if !bytes.Equal(c.Bytes(), inner) {
+		t.Fatal("clone decap yields wrong inner bytes")
+	}
+
+	// Consume the original's envelope, then re-arm the stale claim as a
+	// buggy stage holding the old metadata would: the clone must shed it
+	// and fall back to a real parse (which correctly rejects the payload)
+	// instead of trimming 36 payload bytes.
+	if _, err := DecapGPDU(b); err != nil {
+		t.Fatal(err)
+	}
+	b.Meta.TEID = teid
+	b.Meta.OuterLen = uint16(hdrLen)
+	b.Meta.OuterParsed = true
+	stale := b.Clone()
+	if stale.Meta.OuterParsed {
+		t.Fatal("stale outer parse survived the clone")
+	}
+	if _, err := DecapGPDU(stale); err == nil {
+		t.Fatal("stale clone decapped payload bytes as an envelope")
+	}
+	if !bytes.Equal(stale.Bytes(), inner) {
+		t.Fatal("failed decap must leave the clone's contents intact")
+	}
+}
+
 func TestEncapTemplateZeroTEIDInvalid(t *testing.T) {
 	var tmpl EncapTemplate
 	tmpl.Init(0, 1, 2)
@@ -201,6 +361,19 @@ func TestEncapTemplateApplyZeroAlloc(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Fatalf("EncapTemplate.Apply allocates %.1f/op", avg)
+	}
+	// The checksummed variant sums the payload but must still not
+	// allocate.
+	tmpl.EnableUDPChecksum()
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := tmpl.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.TrimFront(EncapOverhead); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("checksummed EncapTemplate.Apply allocates %.1f/op", avg)
 	}
 }
 

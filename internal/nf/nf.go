@@ -9,7 +9,9 @@ package nf
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
+	"pepc/internal/fault"
 	"pepc/internal/pkt"
 	"pepc/internal/ring"
 )
@@ -102,8 +104,28 @@ type Worker struct {
 	// buffer pool (the handlers' free path). The worker flushes it when
 	// the loop exits so cached buffers return to the shared pool.
 	Cache *pkt.PoolCache
+	// Faults optionally injects data-worker stalls: between iterations
+	// the loop consults fault.WorkerStall and sleeps the armed delay when
+	// it fires — a preempted or wedged data core. Nil disables.
+	Faults *fault.Injector
+
+	// Stalls counts injected worker stalls.
+	Stalls atomic.Uint64
 
 	stats Stats
+}
+
+// maybeStall consults the injector between batches; run-to-completion
+// means a stall never lands mid-packet, matching the paper's
+// no-preemption model even under fault injection.
+func (w *Worker) maybeStall() {
+	if w.Faults == nil {
+		return
+	}
+	if d := w.Faults.FireDelay(fault.WorkerStall); d > 0 {
+		w.Stalls.Add(1)
+		time.Sleep(d)
+	}
 }
 
 // Stats returns a snapshot of the worker counters.
@@ -140,6 +162,7 @@ func (w *Worker) Run(stop <-chan struct{}) {
 			return
 		default:
 		}
+		w.maybeStall()
 		n := w.In.DequeueBatch(batch)
 		if n > 0 {
 			w.Handler(batch[:n])
@@ -196,6 +219,7 @@ func (w *Worker) RunN(total int) {
 	sinceHK := 0
 	done := 0
 	for done < total {
+		w.maybeStall()
 		budget := batchSize
 		if rem := total - done; rem < budget {
 			budget = rem

@@ -3,8 +3,11 @@ package nf
 import (
 	"sync"
 	"testing"
+	"time"
 
+	"pepc/internal/fault"
 	"pepc/internal/pkt"
+	"pepc/internal/ring"
 )
 
 func TestWorkerProcessesAllPackets(t *testing.T) {
@@ -95,5 +98,30 @@ func TestPortPeer(t *testing.T) {
 func TestNewPortRejectsBadCapacity(t *testing.T) {
 	if _, err := NewPort(3); err == nil {
 		t.Fatal("bad capacity accepted")
+	}
+}
+
+// An armed WorkerStall must freeze the loop between batches (counted in
+// Stalls) without losing packets.
+func TestWorkerStallInjection(t *testing.T) {
+	in := ring.MustSPSC[*pkt.Buf](64)
+	inj := fault.New(1)
+	inj.ArmDelay(fault.WorkerStall, fault.RateMax, 100*time.Microsecond)
+	var got int
+	w := &Worker{
+		In:      in,
+		Faults:  inj,
+		Handler: func(batch []*pkt.Buf) { got += len(batch) },
+	}
+	const total = 16
+	for i := 0; i < total; i++ {
+		in.Enqueue(pkt.NewBuf(64, 0))
+	}
+	w.RunN(total)
+	if got != total {
+		t.Fatalf("processed %d packets, want %d", got, total)
+	}
+	if w.Stalls.Load() == 0 {
+		t.Fatal("no stalls injected despite RateMax arm")
 	}
 }

@@ -131,13 +131,15 @@ func (b *Buf) SetBytes(p []byte) error {
 }
 
 // Prepend grows the packet by n bytes at the front and returns the new
-// leading bytes for the caller to fill in. It never copies.
+// leading bytes for the caller to fill in. It never copies. A recorded
+// outer parse described the old front, so the claim is dropped.
 func (b *Buf) Prepend(n int) ([]byte, error) {
 	if n > b.off {
 		return nil, ErrNoHeadroom
 	}
 	b.off -= n
 	b.len += n
+	b.Meta.OuterParsed = false
 	return b.data[b.off : b.off+n], nil
 }
 
@@ -154,12 +156,16 @@ func (b *Buf) Append(n int) ([]byte, error) {
 
 // TrimFront removes n bytes from the front of the packet (decapsulation).
 // The removed bytes become headroom, so a later Prepend can reuse them.
+// A recorded outer parse described the pre-trim front, so the claim is
+// dropped; the decap that consumes the parse reads the metadata before
+// trimming.
 func (b *Buf) TrimFront(n int) error {
 	if n > b.len {
 		return ErrTooShort
 	}
 	b.off += n
 	b.len -= n
+	b.Meta.OuterParsed = false
 	return nil
 }
 
@@ -184,8 +190,33 @@ func (b *Buf) Clone() *Buf {
 	c.off = b.off
 	c.len = b.len
 	copy(c.data[c.off:c.off+c.len], b.Bytes())
-	c.Meta = b.Meta
+	c.copyMetaFrom(b)
 	return c
+}
+
+// copyMetaFrom copies b's metadata into c, re-validating the claim that
+// is only meaningful relative to the packet bytes: Meta.OuterParsed
+// promises the first OuterLen bytes are a demux-validated IPv4+UDP+GTP-U
+// envelope of the whole packet. A clone taken after the source mutated
+// (or a stage re-armed stale metadata) must not carry that promise into
+// a copy it no longer describes — a metadata-trusting decap would
+// TrimFront payload bytes off it. The audit re-checks the structural
+// invariants visible at this layer: the claimed envelope fits the
+// contents, leads with an IPv4 header whose options stay inside the
+// claim, and carries UDP. Claims that fail are cleared, sending the
+// copy down the decap's full re-parse path instead.
+func (c *Buf) copyMetaFrom(b *Buf) {
+	c.Meta = b.Meta
+	if !c.Meta.OuterParsed {
+		return
+	}
+	n := int(c.Meta.OuterLen)
+	p := c.Bytes()
+	if n < IPv4HeaderLen+UDPHeaderLen || n > len(p) ||
+		p[0]>>4 != 4 || int(p[0]&0x0f)*4+UDPHeaderLen > n || p[9] != ProtoUDP {
+		c.Meta.OuterParsed = false
+		c.Meta.OuterLen = 0
+	}
 }
 
 // ClonePooled copies the packet into a buffer drawn from pl — the
@@ -207,7 +238,7 @@ func (b *Buf) clonePooled(pl *Pool) *Buf {
 	c.off = b.off
 	c.len = b.len
 	copy(c.data[c.off:c.off+c.len], b.Bytes())
-	c.Meta = b.Meta
+	c.copyMetaFrom(b)
 	return c
 }
 

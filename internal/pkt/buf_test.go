@@ -100,6 +100,66 @@ func TestBufClonePreservesContentAndMeta(t *testing.T) {
 	}
 }
 
+// TestCloneRevalidatesOuterParse pins the clone-time metadata audit: an
+// OuterParsed/OuterLen claim that no longer describes the packet bytes
+// (the source was mutated, or a stage re-armed stale metadata) must not
+// reach the copy — a metadata-trusting decap would TrimFront payload
+// bytes off it. A claim whose structural invariants still hold survives
+// the clone untouched.
+func TestCloneRevalidatesOuterParse(t *testing.T) {
+	mk := func() *Buf {
+		b := NewBuf(256, 64)
+		b.SetBytes(make([]byte, 80))
+		p := b.Bytes()
+		p[0] = 0x45     // IPv4, IHL 5 — the prefix the demux validated
+		p[9] = ProtoUDP // protocol
+		b.Meta.TEID = 7
+		b.Meta.OuterParsed = true
+		b.Meta.OuterLen = 36
+		return b
+	}
+	// Valid claim: preserved on both clone paths.
+	if c := mk().Clone(); !c.Meta.OuterParsed || c.Meta.OuterLen != 36 || c.Meta.TEID != 7 {
+		t.Fatalf("valid outer parse not preserved by Clone: %+v", c.Meta)
+	}
+	if c := mk().ClonePooled(NewPool(512, 16)); !c.Meta.OuterParsed || c.Meta.OuterLen != 36 {
+		t.Fatalf("valid outer parse not preserved by ClonePooled: %+v", c.Meta)
+	}
+	// Front mutations invalidate the recorded parse at the source.
+	b := mk()
+	if err := b.TrimFront(4); err != nil {
+		t.Fatal(err)
+	}
+	if b.Meta.OuterParsed {
+		t.Fatal("TrimFront kept the recorded outer parse")
+	}
+	b = mk()
+	if _, err := b.Prepend(4); err != nil {
+		t.Fatal(err)
+	}
+	if b.Meta.OuterParsed {
+		t.Fatal("Prepend kept the recorded outer parse")
+	}
+	// A stale claim re-armed on mutated contents (what a stage holding
+	// old metadata would do) is cleared by the clone audit: after the
+	// trim the claimed envelope no longer fits the remaining bytes.
+	b = mk()
+	if err := b.TrimFront(60); err != nil {
+		t.Fatal(err)
+	}
+	b.Meta.OuterParsed, b.Meta.OuterLen = true, 36
+	if c := b.Clone(); c.Meta.OuterParsed || c.Meta.OuterLen != 0 {
+		t.Fatalf("stale outer parse survived Clone: %+v", c.Meta)
+	}
+	if c := b.ClonePooled(NewPool(512, 16)); c.Meta.OuterParsed || c.Meta.OuterLen != 0 {
+		t.Fatalf("stale outer parse survived ClonePooled: %+v", c.Meta)
+	}
+	// The unrelated metadata still travels.
+	if c := b.Clone(); c.Meta.TEID != 7 {
+		t.Fatalf("TEID lost in re-validation: %+v", c.Meta)
+	}
+}
+
 func TestPoolRecyclesBuffers(t *testing.T) {
 	p := NewPool(512, 64)
 	b := p.Get()

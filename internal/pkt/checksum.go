@@ -39,6 +39,21 @@ func FoldChecksum(s uint32) uint16 {
 	return finishChecksum(s)
 }
 
+// FoldChecksumUDP folds an unfolded partial sum like FoldChecksum and
+// applies the RFC 768 transmission rule for UDP: an all-zero checksum
+// field on the wire means "checksum disabled", so a checksum that
+// computes to 0x0000 must be transmitted as its one's-complement
+// equivalent 0xFFFF. Incremental encap paths that wrote the folded sum
+// directly would emit the "disabled" sentinel roughly once per 65536
+// payloads and have the packet silently unprotected.
+func FoldChecksumUDP(s uint32) uint16 {
+	c := finishChecksum(s)
+	if c == 0 {
+		return 0xffff
+	}
+	return c
+}
+
 // ChecksumUpdate16 computes the incremental checksum update of RFC 1624
 // (eq. 3): given a header whose current checksum is hc, return the new
 // checksum after one 16-bit word changes from old to new, without

@@ -49,6 +49,34 @@ func TestChecksumUpdate16MatchesRecompute(t *testing.T) {
 	}
 }
 
+// TestFoldChecksumUDPZeroMapsToAllOnes pins the RFC 768 transmission
+// rule: a UDP checksum that computes to 0x0000 must be sent as 0xFFFF
+// (zero on the wire means "no checksum"); every other value folds like
+// FoldChecksum.
+func TestFoldChecksumUDPZeroMapsToAllOnes(t *testing.T) {
+	// A partial sum that folds to 0xFFFF complements to 0x0000.
+	for _, s := range []uint32{0xffff, 0x1fffe, 0xfffe0001} {
+		if FoldChecksum(s) != 0 {
+			t.Fatalf("test vector %#x does not fold to zero", s)
+		}
+		if got := FoldChecksumUDP(s); got != 0xffff {
+			t.Fatalf("FoldChecksumUDP(%#x) = %#04x, want 0xffff", s, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(768))
+	for trial := 0; trial < 2000; trial++ {
+		s := rng.Uint32()
+		want := FoldChecksum(s)
+		got := FoldChecksumUDP(s)
+		if want == 0 {
+			want = 0xffff
+		}
+		if got != want {
+			t.Fatalf("FoldChecksumUDP(%#x) = %#04x, want %#04x", s, got, want)
+		}
+	}
+}
+
 // TestChecksumPartialFoldComposes checks the streaming form: summing a
 // buffer in arbitrary splits and folding once equals the one-shot sum.
 func TestChecksumPartialFoldComposes(t *testing.T) {

@@ -146,6 +146,13 @@ type MPSC[T any] struct {
 	buf  []slot[T]
 	mask uint64
 
+	// FaultHook, when non-nil, is consulted before each enqueue; returning
+	// true makes the enqueue report a full ring, driving the producers'
+	// backpressure paths (signaling sheds, tail drops) under fault
+	// injection. Install it before concurrent use; nil costs one
+	// predictable branch.
+	FaultHook func() bool
+
 	_    [64]byte
 	head atomic.Uint64 // consumer position
 	_    [64]byte
@@ -194,6 +201,9 @@ func (q *MPSC[T]) Len() int {
 // Enqueue adds one item, reporting false if the ring is full. Safe for
 // concurrent producers (Vyukov bounded MPMC algorithm, producer side).
 func (q *MPSC[T]) Enqueue(v T) bool {
+	if q.FaultHook != nil && q.FaultHook() {
+		return false // injected overflow
+	}
 	for {
 		tail := q.tail.Load()
 		s := &q.buf[tail&q.mask]

@@ -256,3 +256,40 @@ func BenchmarkSPSCBatch32(b *testing.B) {
 		r.DequeueBatch(out)
 	}
 }
+
+// A FaultHook that reports overflow must make enqueues fail without
+// corrupting the ring: items accepted before and after stay FIFO.
+func TestMPSCFaultHook(t *testing.T) {
+	q := MustMPSC[int](8)
+	inject := false
+	q.FaultHook = func() bool { return inject }
+	if !q.Enqueue(1) {
+		t.Fatal("enqueue failed with hook disarmed")
+	}
+	inject = true
+	if q.Enqueue(2) {
+		t.Fatal("enqueue succeeded under injected overflow")
+	}
+	inject = false
+	if !q.Enqueue(3) {
+		t.Fatal("enqueue failed after hook disarmed")
+	}
+	if n := q.EnqueueBatch([]int{4, 5}); n != 2 {
+		t.Fatalf("EnqueueBatch = %d, want 2", n)
+	}
+	inject = true
+	if n := q.EnqueueBatch([]int{6}); n != 0 {
+		t.Fatalf("EnqueueBatch under injection = %d, want 0", n)
+	}
+	inject = false
+	want := []int{1, 3, 4, 5}
+	for _, w := range want {
+		v, ok := q.Dequeue()
+		if !ok || v != w {
+			t.Fatalf("dequeue = %d,%v want %d", v, ok, w)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("ring not empty")
+	}
+}

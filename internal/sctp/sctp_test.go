@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"pepc/internal/fault"
 )
 
 func establish(t *testing.T, clientCfg, serverCfg Config) (*Assoc, *Assoc, *PipeWire, *PipeWire) {
@@ -296,4 +298,60 @@ func BenchmarkSendRecv64B(b *testing.B) {
 	b.StopTimer()
 	client.Close()
 	server.Close()
+}
+
+// FaultDropFn threads the deterministic injector into the wire: total
+// SCTPLoss black-holes every packet, so the retransmission budget runs
+// out and the association reports injected path failure.
+func TestFaultInjectedAssociationLoss(t *testing.T) {
+	client, _, cw, _ := establish(t, Config{RTO: 5 * time.Millisecond, MaxRetrans: 3}, Config{Tag: 6})
+	inj := fault.New(21)
+	inj.Arm(fault.SCTPLoss, fault.RateMax)
+	cw.SetDropFn(FaultDropFn(inj))
+	client.Send(0, PPIDS1AP, []byte("doomed"))
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("association did not abort under injected loss")
+		default:
+		}
+		if client.closed() {
+			if err := client.Err(); err != ErrRetransLimit {
+				t.Fatalf("terminal error: %v", err)
+			}
+			if inj.Fired(fault.SCTPLoss) == 0 {
+				t.Fatal("injector recorded no drops")
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Partial injected loss must be recovered by retransmission, exactly
+// like organic loss.
+func TestFaultInjectedLossRecovers(t *testing.T) {
+	client, server, cw, _ := establish(t, Config{RTO: 20 * time.Millisecond}, Config{Tag: 11})
+	inj := fault.New(5)
+	inj.Arm(fault.SCTPLoss, fault.RateMax/5) // ~20% loss
+	cw.SetDropFn(FaultDropFn(inj))
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := client.Send(0, PPIDS1AP, []byte{byte(i)}); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := server.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if int(m.Data[0]) != i {
+			t.Fatalf("out of order: got %d want %d", m.Data[0], i)
+		}
+	}
 }

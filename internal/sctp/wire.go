@@ -4,6 +4,8 @@ import (
 	"errors"
 	"net"
 	"sync"
+
+	"pepc/internal/fault"
 )
 
 // Wire is the datagram substrate an association runs over. Implementations
@@ -61,6 +63,14 @@ func (w *PipeWire) SetDropFn(fn func(b []byte) bool) {
 	w.mu.Lock()
 	w.DropFn = fn
 	w.mu.Unlock()
+}
+
+// FaultDropFn adapts a fault.Injector to the wire's DropFn hook: each
+// outgoing packet consumes one fault.SCTPLoss decision. Persistent loss
+// exhausts the association's retransmission budget and surfaces as
+// ErrRetransLimit — injected path failure. A nil injector never drops.
+func FaultDropFn(inj *fault.Injector) func(b []byte) bool {
+	return func([]byte) bool { return inj.Fire(fault.SCTPLoss) }
 }
 
 // Send implements Wire.

@@ -226,6 +226,23 @@ func (uq *UpdateQueue) Drain(ix *Indexes) int {
 	}
 }
 
+// DrainFunc dequeues every queued update into fn without applying it,
+// returning the count. This is the raw drain crash recovery uses: the
+// surviving queue of a failed slice is replayed against the restored
+// checkpoint by snapshotting the referenced contexts, never by aliasing
+// them into the new slice's indexes. Single consumer only.
+func (uq *UpdateQueue) DrainFunc(fn func(Update)) int {
+	n := 0
+	for {
+		u, ok := uq.q.Dequeue()
+		if !ok {
+			return n
+		}
+		fn(u)
+		n++
+	}
+}
+
 // DrainTwoLevel applies queued updates to a two-level store's primary
 // table (promotions and evictions). Data thread only.
 func (uq *UpdateQueue) DrainTwoLevel(t *TwoLevel) int {

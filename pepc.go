@@ -26,10 +26,12 @@ package pepc
 
 import (
 	"io"
+	"time"
 
 	"pepc/internal/core"
 	"pepc/internal/enb"
 	"pepc/internal/experiments"
+	"pepc/internal/fault"
 	"pepc/internal/hss"
 	"pepc/internal/pcef"
 	"pepc/internal/pcrf"
@@ -91,7 +93,51 @@ type (
 	ExperimentScale = experiments.Scale
 	// ExperimentResult is one regenerated table/figure.
 	ExperimentResult = experiments.Result
+
+	// CallPolicy bounds proxy backend calls: per-call deadline, bounded
+	// retries with backoff and a circuit breaker (DESIGN.md §4.12).
+	// Install with Proxy.SetPolicy; the zero value (no policy) keeps the
+	// legacy synchronous path.
+	CallPolicy = core.CallPolicy
+	// ProxyStats counts proxy requests, retries, timeouts, breaker
+	// opens and short-circuited calls.
+	ProxyStats = core.ProxyStats
+	// RecoveryReport summarizes what Slice.RecoverFrom rebuilt after a
+	// slice crash: checkpointed users restored, queued updates replayed,
+	// detaches completed, signaling events adopted.
+	RecoveryReport = core.RecoveryReport
+	// FaultInjector is the deterministic, seedable fault injector the
+	// chaos soak drives; arm it on a Proxy (SetS6aFaults/SetGxFaults) or
+	// a Slice (SetFaults).
+	FaultInjector = fault.Injector
+	// FaultKind identifies one injectable failure class.
+	FaultKind = fault.Kind
+	// FaultPlan is a reproducible set of per-kind rates and delays.
+	FaultPlan = fault.Plan
 )
+
+// Injectable failure classes, re-exported for soak drivers.
+const (
+	FaultDiameterDrop  = fault.DiameterDrop
+	FaultDiameterDelay = fault.DiameterDelay
+	FaultDiameterError = fault.DiameterError
+	FaultSCTPLoss      = fault.SCTPLoss
+	FaultRingOverflow  = fault.RingOverflow
+	FaultWorkerStall   = fault.WorkerStall
+	FaultSliceCrash    = fault.SliceCrash
+	// FaultRateMax is the always-fire rate denominator.
+	FaultRateMax = fault.RateMax
+)
+
+// NewFaultInjector creates a disarmed injector; the same seed replays
+// the same fault decisions.
+func NewFaultInjector(seed uint64) *FaultInjector { return fault.New(seed) }
+
+// FaultEpochPlan derives the deterministic fault plan the chaos soak
+// applies for one (seed, epoch) pair over the given kinds.
+func FaultEpochPlan(seed uint64, epoch int, maxRate uint32, maxDelay time.Duration, kinds ...FaultKind) FaultPlan {
+	return fault.EpochPlan(seed, epoch, maxRate, maxDelay, kinds...)
+}
 
 // Table modes for SliceConfig.TableMode.
 const (

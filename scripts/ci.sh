@@ -20,6 +20,12 @@ go test ./...
 echo "== go test -race internal/core internal/state"
 go test -race ./internal/core/ ./internal/state/
 
+# Chaos soak smoke: the short, time-bounded soak under the race detector
+# (seeded fault plans; zero invariant violations required). See
+# DESIGN.md §4.12 and scripts/soak.sh for the full harness.
+echo "== soak smoke (scripts/soak.sh -short)"
+./scripts/soak.sh -short
+
 # Allocation guards: the per-packet path (batch lookups, arena access,
 # steady-state forwarding, recycled signaling) must stay at 0 allocs/op.
 # Run them apart from the main suite with -count=1 so a cached pass can't
