@@ -3,29 +3,58 @@
 // S1AP-over-SCTP signaling on a UDP socket (one association per eNodeB),
 // and forwards GTP-U user traffic received on a second UDP socket.
 //
+// The user-plane path is vectorized end to end: bursts of datagrams land
+// directly in pool-backed packet buffers with one recvmmsg per burst, are
+// steered in batches through the node demux into the slice rings, and
+// egress re-coalesces per destination and leaves with one sendmmsg per
+// burst — uplink toward the SGi next-hop, downlink back to the eNodeB
+// tunnel endpoint learned from the uplink outer headers.
+//
 // Usage:
 //
 //	pepcd -slices 2 -s1ap :36412 -gtpu :2152 -subscribers 100000
 //	pepcd -config operator.json            # slices + PCC rules from file
+//	pepcd -sgi 10.0.0.2:9000 -rxbatch 32 -linger 100us
 //
 // Pair it with cmd/enbsim, which attaches UEs over the same wire format
 // and sources uplink traffic.
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"net/netip"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pepc"
-	"pepc/internal/core"
-	"pepc/internal/gtp"
+	"pepc/internal/nf"
 	"pepc/internal/pkt"
 	"pepc/internal/sctp"
+	"pepc/internal/sockio"
 )
+
+// wireStats aggregates the daemon-level wire-path counters the per-loop
+// components report into.
+type wireStats struct {
+	// s1apDrops counts signaling datagrams dropped because a peer's
+	// delivery queue overflowed (SCTP retransmission recovers them).
+	s1apDrops atomic.Uint64
+	// egressSent / egressErrs / egressNoRoute count user-plane egress:
+	// datagrams transmitted, flushes that failed, and packets dropped
+	// because no destination was known (no -sgi next-hop, or an eNodeB
+	// tunnel endpoint not yet learned from uplink).
+	egressSent    atomic.Uint64
+	egressErrs    atomic.Uint64
+	egressNoRoute atomic.Uint64
+}
 
 func main() {
 	slices := flag.Int("slices", 1, "number of PEPC slices")
@@ -34,6 +63,11 @@ func main() {
 	subscribers := flag.Int("subscribers", 100_000, "subscribers to provision in the HSS (IMSIs from 1)")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
 	configPath := flag.String("config", "", "operator configuration file (JSON); overrides -slices")
+	sgiAddr := flag.String("sgi", "", "SGi next-hop for decapsulated uplink (host:port; empty drops+counts)")
+	rxBatch := flag.Int("rxbatch", sockio.DefaultBatch, "GTP-U receive burst size (datagrams per recvmmsg)")
+	txBatch := flag.Int("txbatch", sockio.DefaultBatch, "egress burst size (datagrams per sendmmsg)")
+	linger := flag.Duration("linger", sockio.DefaultLinger, "max time a partial egress burst waits for companions")
+	pprofAddr := flag.String("pprof", "", "net/http/pprof listen address (empty disables)")
 	flag.Parse()
 
 	var node *pepc.Node
@@ -42,12 +76,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("pepcd: %v", err)
 		}
-		opCfg, err := core.LoadOperatorConfig(f)
+		opCfg, err := pepc.LoadOperatorConfig(f)
 		f.Close()
 		if err != nil {
 			log.Fatalf("pepcd: %v", err)
 		}
-		node, err = core.BuildNode(opCfg)
+		node, err = pepc.BuildNode(opCfg)
 		if err != nil {
 			log.Fatalf("pepcd: %v", err)
 		}
@@ -59,17 +93,48 @@ func main() {
 		node = pepc.NewNode(cfgs...)
 	}
 
+	var sgi netip.AddrPort
+	if *sgiAddr != "" {
+		ap, err := netip.ParseAddrPort(*sgiAddr)
+		if err != nil {
+			log.Fatalf("pepcd: -sgi: %v", err)
+		}
+		sgi = ap
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pepcd: pprof on %s", *pprofAddr)
+			log.Printf("pepcd: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+
 	hss := pepc.NewHSS()
 	hss.ProvisionRange(1, *subscribers, 50e6, 100e6)
 	pcrf := pepc.NewPCRF()
 	node.AttachProxy(pepc.NewProxy(hss, pcrf))
 
 	stop := make(chan struct{})
+	stats := &wireStats{}
 
-	// Data planes.
+	// User traffic socket, shared by the rx loop and every slice's egress
+	// worker (replies must leave from the bound GTP-U port).
+	gtpuConn, err := net.ListenPacket("udp", *gtpuAddr)
+	if err != nil {
+		log.Fatalf("pepcd: gtpu listen: %v", err)
+	}
+	gtpuIO, err := sockio.NewConn(gtpuConn.(*net.UDPConn))
+	if err != nil {
+		log.Fatalf("pepcd: gtpu socket: %v", err)
+	}
+	pool := pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	peers := sockio.NewPeerTable()
+
+	// Data planes and egress workers.
 	for i := 0; i < node.NumSlices(); i++ {
-		go node.Slice(i).RunData(stop)
-		go drainEgress(node.Slice(i), stop)
+		s := node.Slice(i)
+		go s.RunData(stop)
+		go runEgress(s, gtpuIO, peers, sgi, *txBatch, *linger, stats, stop)
 	}
 
 	// Signaling listener: each new peer address becomes one SCTP
@@ -78,17 +143,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("pepcd: s1ap listen: %v", err)
 	}
-	go serveS1AP(node, s1apConn, stop)
+	go serveS1AP(node, s1apConn, stats, stop)
 
-	// User traffic listener.
-	gtpuConn, err := net.ListenPacket("udp", *gtpuAddr)
-	if err != nil {
-		log.Fatalf("pepcd: gtpu listen: %v", err)
+	go runGTPURx(node, gtpuIO, pool, peers, *rxBatch, stop)
+
+	mode := "fallback (one datagram per syscall)"
+	if sockio.Batched() {
+		mode = "recvmmsg/sendmmsg"
 	}
-	go serveGTPU(node, gtpuConn, stop)
-
-	log.Printf("pepcd: %d slices, %d subscribers, S1AP on %s, GTP-U on %s",
-		*slices, *subscribers, *s1apAddr, *gtpuAddr)
+	log.Printf("pepcd: %d slices, %d subscribers, S1AP on %s, GTP-U on %s (%s, rx burst %d)",
+		node.NumSlices(), *subscribers, *s1apAddr, *gtpuAddr, mode, *rxBatch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -106,34 +170,138 @@ func main() {
 				log.Printf("slice %d: users=%d forwarded=%d dropped=%d missed=%d",
 					i, s.Users(), s.Data().Forwarded.Load(), s.Data().Dropped.Load(), s.Data().Missed.Load())
 			}
+			st := gtpuIO.Stats()
+			log.Printf("wire: rx=%d pkts/%d calls tx=%d pkts/%d calls peers=%d "+
+				"egress sent=%d noroute=%d errs=%d s1ap-drops=%d",
+				st.RxPackets, st.RxCalls, st.TxPackets, st.TxCalls, peers.Len(),
+				stats.egressSent.Load(), stats.egressNoRoute.Load(),
+				stats.egressErrs.Load(), stats.s1apDrops.Load())
 		}
 	}
 }
 
-func drainEgress(s *pepc.Slice, stop <-chan struct{}) {
+// runGTPURx is the user-plane receive loop: one vectorized read lands a
+// burst of datagrams directly in pool buffers (encap headroom intact),
+// eNodeB tunnel endpoints are learned from the outer headers, and the
+// whole burst steers through the node demux in one pass.
+func runGTPURx(node *pepc.Node, conn *sockio.Conn, pool *pkt.Pool, peers *sockio.PeerTable, batch int, stop <-chan struct{}) {
+	rcv := sockio.NewReceiver(conn, pool, batch)
+	defer rcv.Close()
+	ws := node.NewWireSteer(batch, rcv.Cache())
+	scratch := make([]*pkt.Buf, 0, batch)
+	uc := conn.UDPConn()
 	for {
 		select {
 		case <-stop:
+			conn.Close()
 			return
 		default:
 		}
-		b, ok := s.Egress.Dequeue()
-		if !ok {
-			time.Sleep(100 * time.Microsecond)
-			continue
+		uc.SetReadDeadline(time.Now().Add(time.Second))
+		n, err := rcv.Recv()
+		if n == 0 {
+			if err == sockio.ErrClosed {
+				return
+			}
+			continue // deadline tick: re-check stop
 		}
-		// A production node would transmit toward the SGi/S1-U networks;
-		// the reference daemon accounts and releases.
-		b.Free()
+		for i := 0; i < n; i++ {
+			learnPeer(peers, rcv.Buf(i).Bytes(), rcv.From(i))
+		}
+		scratch = rcv.TakeAll(scratch[:0])
+		ws.Steer(scratch)
 	}
 }
 
+// learnPeer records the outer source address of anything shaped like a
+// GTP-U envelope (IPv4 carrying UDP), mapping the eNodeB's tunnel-plane
+// IPv4 to the UDP endpoint it actually sends from, so downlink egress can
+// address it. A stray learn keyed by a non-eNB source is never looked up.
+func learnPeer(peers *sockio.PeerTable, data []byte, from netip.AddrPort) {
+	if len(data) < pkt.IPv4HeaderLen+pkt.UDPHeaderLen || data[0]>>4 != 4 || data[9] != pkt.ProtoUDP {
+		return
+	}
+	peers.Learn(binary.BigEndian.Uint32(data[12:16]), from)
+}
+
+// runEgress drains one slice's egress ring onto the wire: uplink
+// (decapsulated plain IP) goes to the SGi next-hop, downlink (re-encapped
+// GTP-U) to the eNodeB whose tunnel address is in the outer header.
+// Bursts coalesce into vectorized writes; a linger budget bounds how long
+// a partial burst waits, enforced from the worker's housekeeping slot.
+func runEgress(s *pepc.Slice, conn *sockio.Conn, peers *sockio.PeerTable, sgi netip.AddrPort,
+	batch int, linger time.Duration, stats *wireStats, stop <-chan struct{}) {
+	snd := sockio.NewSender(conn, batch, linger)
+	defer snd.Close()
+	var prevSent, prevErrs uint64
+	account := func() {
+		if d := snd.Sent - prevSent; d > 0 {
+			stats.egressSent.Add(d)
+			prevSent = snd.Sent
+		}
+		if d := snd.Errs - prevErrs; d > 0 {
+			stats.egressErrs.Add(d)
+			prevErrs = snd.Errs
+		}
+	}
+	w := &nf.Worker{
+		In:        s.Egress,
+		BatchSize: batch,
+		Handler: func(batch []*pkt.Buf) {
+			for _, b := range batch {
+				if b.Meta.Uplink {
+					if !sgi.IsValid() {
+						stats.egressNoRoute.Add(1)
+						snd.Cache().Put(b)
+						continue
+					}
+					snd.Queue(b, sgi)
+					continue
+				}
+				data := b.Bytes()
+				if len(data) < pkt.IPv4HeaderLen {
+					stats.egressNoRoute.Add(1)
+					snd.Cache().Put(b)
+					continue
+				}
+				dst, ok := peers.Lookup(binary.BigEndian.Uint32(data[16:20]))
+				if !ok {
+					stats.egressNoRoute.Add(1)
+					snd.Cache().Put(b)
+					continue
+				}
+				snd.Queue(b, dst)
+			}
+		},
+		Housekeep: func() {
+			snd.FlushExpired(time.Now())
+			account()
+		},
+		// Bounded park on idle: this is a daemon sharing cores with the
+		// data planes, not a pinned benchmark loop.
+		IdlePark: 200 * time.Microsecond,
+	}
+	w.Run(stop)
+	account()
+}
+
+// sctpBufSize is the pooled receive-copy size for signaling datagrams;
+// every SCTP-over-UDP packet this wire produces fits (the association
+// MTU is far below it). Larger datagrams fall back to a one-off
+// allocation.
+const sctpBufSize = 4096
+
 // serveS1AP accepts one association per remote address over UDP.
-func serveS1AP(node *pepc.Node, pc net.PacketConn, stop <-chan struct{}) {
-	type peer struct{ wire *demuxWire }
-	peers := make(map[string]*peer)
+// Signaling datagrams are copied into pooled buffers that recycle once
+// the association has consumed them, a full per-peer queue counts a drop
+// instead of silently discarding, and peers whose serving goroutine
+// exited are evicted so a restarting eNodeB re-accepts cleanly.
+func serveS1AP(node *pepc.Node, pc net.PacketConn, stats *wireStats, stop <-chan struct{}) {
+	peers := make(map[string]*demuxWire)
+	gone := make(chan string, 128)
 	next := 0
-	buf := make([]byte, 64*1024)
+	bufPool := &sync.Pool{New: func() any { b := make([]byte, sctpBufSize); return &b }}
+	rd := make([]byte, 64*1024)
 	for {
 		select {
 		case <-stop:
@@ -142,20 +310,38 @@ func serveS1AP(node *pepc.Node, pc net.PacketConn, stop <-chan struct{}) {
 		default:
 		}
 		pc.SetReadDeadline(time.Now().Add(time.Second))
-		n, from, err := pc.ReadFrom(buf)
+		n, from, err := pc.ReadFrom(rd)
 		if err != nil {
 			continue
 		}
+		// Evict peers whose association ended: the serving goroutine
+		// reports its key on exit, and removing the entry lets the next
+		// datagram from that address start a fresh association. Drained
+		// after the read so an INIT from a restarted eNodeB is never
+		// matched against an entry already reported gone.
+		for {
+			select {
+			case key := <-gone:
+				if w, ok := peers[key]; ok {
+					delete(peers, key)
+					w.drainRecycle()
+				}
+				continue
+			default:
+			}
+			break
+		}
 		key := from.String()
-		p, ok := peers[key]
+		w, ok := peers[key]
 		if !ok {
-			w := newDemuxWire(pc, from)
-			p = &peer{wire: w}
-			peers[key] = p
+			w = newDemuxWire(pc, from, bufPool)
+			peers[key] = w
 			sliceIdx := next % node.NumSlices()
 			next++
-			go func() {
-				assoc, err := pepc.SCTPAccept(w, pepc.SCTPConfig{Tag: uint32(next + 1)})
+			tag := uint32(next + 1)
+			go func(key string, w *demuxWire) {
+				defer func() { gone <- key }()
+				assoc, err := pepc.SCTPAccept(w, pepc.SCTPConfig{Tag: tag})
 				if err != nil {
 					log.Printf("pepcd: accept from %s: %v", key, err)
 					return
@@ -169,30 +355,70 @@ func serveS1AP(node *pepc.Node, pc net.PacketConn, stop <-chan struct{}) {
 				if err := srv.Serve(stop); err != nil {
 					log.Printf("pepcd: association %s closed: %v", key, err)
 				}
-			}()
+			}(key, w)
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		p.wire.deliver(pkt)
+		cp := w.getBuf(n)
+		copy(cp, rd[:n])
+		if !w.deliver(cp) {
+			stats.s1apDrops.Add(1)
+			w.recycle(cp)
+		}
 	}
 }
 
 // demuxWire adapts one remote address of a shared PacketConn to the SCTP
-// Wire interface.
+// Wire interface. Inbound datagrams are pooled copies: the association
+// copies any payload it keeps before asking for the next packet, so each
+// buffer recycles when the Recv after it is called.
 type demuxWire struct {
 	pc   net.PacketConn
 	to   net.Addr
 	inCh chan []byte
+	pool *sync.Pool
+	prev []byte // last buffer handed out by Recv, recycled on the next call
 }
 
-func newDemuxWire(pc net.PacketConn, to net.Addr) *demuxWire {
-	return &demuxWire{pc: pc, to: to, inCh: make(chan []byte, 1024)}
+func newDemuxWire(pc net.PacketConn, to net.Addr, pool *sync.Pool) *demuxWire {
+	return &demuxWire{pc: pc, to: to, inCh: make(chan []byte, 1024), pool: pool}
 }
 
-func (w *demuxWire) deliver(b []byte) {
+// getBuf returns an n-byte buffer, pooled when n fits the pooled size.
+func (w *demuxWire) getBuf(n int) []byte {
+	if n <= sctpBufSize {
+		return (*w.pool.Get().(*[]byte))[:n]
+	}
+	return make([]byte, n)
+}
+
+// recycle returns a pooled buffer; one-off large buffers go to the GC.
+func (w *demuxWire) recycle(b []byte) {
+	if cap(b) >= sctpBufSize {
+		b = b[:cap(b)]
+		w.pool.Put(&b)
+	}
+}
+
+// deliver hands an inbound datagram to the association, reporting whether
+// it was accepted (false on queue overflow; SCTP retransmission recovers).
+func (w *demuxWire) deliver(b []byte) bool {
 	select {
 	case w.inCh <- b:
-	default: // drop on overflow; SCTP retransmission recovers
+		return true
+	default:
+		return false
+	}
+}
+
+// drainRecycle reclaims datagrams still queued when the association ends.
+// The buffer last handed out by Recv stays with the exited reader (GC).
+func (w *demuxWire) drainRecycle() {
+	for {
+		select {
+		case b := <-w.inCh:
+			w.recycle(b)
+		default:
+			return
+		}
 	}
 }
 
@@ -202,46 +428,20 @@ func (w *demuxWire) Send(b []byte) error {
 	return err
 }
 
-// Recv implements sctp.Wire.
+// Recv implements sctp.Wire. The previously returned buffer recycles
+// here: the association never retains Recv'd bytes past its next Recv.
 func (w *demuxWire) Recv() ([]byte, error) {
+	if w.prev != nil {
+		w.recycle(w.prev)
+		w.prev = nil
+	}
 	b, ok := <-w.inCh
 	if !ok {
 		return nil, sctp.ErrWireClosed
 	}
+	w.prev = b
 	return b, nil
 }
 
 // Close implements sctp.Wire.
 func (w *demuxWire) Close() error { return nil }
-
-// serveGTPU reads user packets off the wire and steers them through the
-// node demux.
-func serveGTPU(node *pepc.Node, pc net.PacketConn, stop <-chan struct{}) {
-	pool := pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
-	raw := make([]byte, 64*1024)
-	for {
-		select {
-		case <-stop:
-			pc.Close()
-			return
-		default:
-		}
-		pc.SetReadDeadline(time.Now().Add(time.Second))
-		n, _, err := pc.ReadFrom(raw)
-		if err != nil {
-			continue
-		}
-		b := pool.Get()
-		if err := b.SetBytes(raw[:n]); err != nil {
-			b.Free()
-			continue
-		}
-		// The wire carries the outer IP/UDP/GTP-U stack for uplink and
-		// plain IP for downlink; distinguish by a GTP-U peek.
-		if _, err := gtp.PeekTEID(b.Bytes()); err == nil {
-			node.SteerUplink(b)
-		} else {
-			node.SteerDownlink(b)
-		}
-	}
-}

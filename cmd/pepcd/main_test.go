@@ -2,18 +2,25 @@ package main
 
 import (
 	"net"
+	"net/netip"
 	"testing"
 	"time"
 
 	"pepc"
+	"pepc/internal/gtp"
+	"pepc/internal/pkt"
 	"pepc/internal/sctp"
+	"pepc/internal/sockio"
 	"pepc/internal/workload"
 )
 
 // TestPepcdOverRealUDP is the daemon-level integration test: a node
 // serving S1AP-over-SCTP and GTP-U on real loopback UDP sockets, driven
 // the same way cmd/enbsim drives it — full attach with mutual
-// authentication, then uplink traffic through the demux and data plane.
+// authentication, then a vectorized uplink burst through the batched rx
+// path, the demux, the data plane and the batched egress path out to an
+// SGi sink, and a downlink packet back through the learned eNodeB tunnel
+// endpoint.
 func TestPepcdOverRealUDP(t *testing.T) {
 	// Node with backends, as main() builds it.
 	node := pepc.NewNode(pepc.SliceConfig{ID: 1, UserHint: 256})
@@ -22,20 +29,35 @@ func TestPepcdOverRealUDP(t *testing.T) {
 	node.AttachProxy(pepc.NewProxy(hss, pepc.NewPCRF()))
 
 	stop := make(chan struct{})
-	defer close(stop)
+	stats := &wireStats{}
 	go node.Slice(0).RunData(stop)
-	go drainEgress(node.Slice(0), stop)
+
+	// SGi sink: where decapsulated uplink should come out.
+	sgiSink, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	defer sgiSink.Close()
+	sgi := sgiSink.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	gtpuConn, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	gtpuIO, err := sockio.NewConn(gtpuConn.(*net.UDPConn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	peers := sockio.NewPeerTable()
+	go runEgress(node.Slice(0), gtpuIO, peers, sgi, 8, time.Millisecond, stats, stop)
+	go runGTPURx(node, gtpuIO, pool, peers, 16, stop)
 
 	s1apConn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Skipf("loopback UDP unavailable: %v", err)
 	}
-	gtpuConn, err := net.ListenPacket("udp", "127.0.0.1:0")
-	if err != nil {
-		t.Skipf("loopback UDP unavailable: %v", err)
-	}
-	go serveS1AP(node, s1apConn, stop)
-	go serveGTPU(node, gtpuConn, stop)
+	go serveS1AP(node, s1apConn, stats, stop)
 
 	// eNodeB side, as cmd/enbsim does it.
 	conn, err := net.Dial("udp", s1apConn.LocalAddr().String())
@@ -59,35 +81,166 @@ func TestPepcdOverRealUDP(t *testing.T) {
 		users = append(users, workload.User{IMSI: ue.IMSI, UplinkTEID: ue.UplinkTEID, UEAddr: ue.UEAddr})
 	}
 
-	// Uplink traffic over the GTP-U socket. Loopback UDP silently drops
-	// under CPU contention (socket buffer overflow is invisible to the
-	// sender), so the test is a closed loop: keep offering batches until
-	// the data plane has forwarded the target count.
-	dconn, err := net.Dial("udp", gtpuConn.LocalAddr().String())
+	// Uplink bursts over the GTP-U socket, vectorized as cmd/enbsim's
+	// burst mode sends them. Loopback UDP silently drops under CPU
+	// contention (socket buffer overflow is invisible to the sender), so
+	// the test is a closed loop: keep offering bursts until the data
+	// plane has forwarded the target count.
+	dconn, err := net.Dial("udp4", gtpuIO.LocalAddrPort().String())
 	if err != nil {
 		t.Fatal(err)
 	}
+	dio, err := sockio.NewConn(dconn.(*net.UDPConn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd := sockio.NewSender(dio, 16, time.Hour)
 	gen := workload.NewTrafficGen(workload.TrafficConfig{ENBAddr: base.Addr}, users)
-	const want = 500
+	want := uint64(500)
+	if testing.Short() {
+		want = 100
+	}
 	deadline := time.After(20 * time.Second)
 	sent := 0
 	for node.Slice(0).Data().Forwarded.Load() < want {
 		select {
 		case <-deadline:
-			t.Fatalf("forwarded only %d of %d after %d sent (missed=%d dropped=%d unknown=%d)",
+			t.Fatalf("forwarded only %d of %d after %d sent (missed=%d dropped=%d unknown=%d noroute=%d)",
 				node.Slice(0).Data().Forwarded.Load(), want, sent,
 				node.Slice(0).Data().Missed.Load(), node.Slice(0).Data().Dropped.Load(),
-				node.Demux().Unknown.Load())
+				node.Demux().Unknown.Load(), stats.egressNoRoute.Load())
 		default:
 		}
 		for i := 0; i < 32; i++ {
-			b := gen.NextUplink()
-			if _, err := dconn.Write(b.Bytes()); err != nil {
+			if err := snd.Queue(gen.NextUplink(), netip.AddrPort{}); err != nil {
 				t.Fatal(err)
 			}
-			b.Free()
 			sent++
 		}
+		if err := snd.Flush(); err != nil {
+			t.Fatal(err)
+		}
 		time.Sleep(2 * time.Millisecond) // let the reader and workers drain
+	}
+	if sockio.Batched() {
+		st := dio.Stats()
+		if st.TxCalls >= st.TxPackets {
+			t.Fatalf("sender made %d syscalls for %d packets; bursts were not vectorized", st.TxCalls, st.TxPackets)
+		}
+	}
+
+	// Decapsulated uplink must actually arrive at the SGi next-hop.
+	buf := make([]byte, 2048)
+	sgiSink.SetReadDeadline(time.Now().Add(10 * time.Second))
+	n, _, err := sgiSink.ReadFrom(buf)
+	if err != nil {
+		t.Fatalf("nothing reached the SGi sink: %v (egress sent=%d errs=%d noroute=%d)",
+			err, stats.egressSent.Load(), stats.egressErrs.Load(), stats.egressNoRoute.Load())
+	}
+	var ip pkt.IPv4
+	if err := ip.DecodeFromBytes(buf[:n]); err != nil {
+		t.Fatalf("SGi sink got a non-IP datagram: %v", err)
+	}
+	if ip.Src != users[0].UEAddr && ip.Protocol != pkt.ProtoUDP {
+		t.Fatalf("SGi sink datagram not a decapped UE packet: src=%08x proto=%d", ip.Src, ip.Protocol)
+	}
+
+	// Downlink: plain IP toward a UE address, injected from the SGi side,
+	// must come back GTP-U encapsulated to the eNodeB endpoint the rx
+	// path learned (this very socket).
+	down := gen.DownlinkFor(users[0])
+	if _, err := sgiSink.WriteTo(down.Bytes(), gtpuConn.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	down.Free()
+	dl := make([]byte, 2048)
+	dconn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for {
+		n, err := dconn.Read(dl)
+		if err != nil {
+			t.Fatalf("downlink never reached the eNodeB endpoint: %v", err)
+		}
+		teid, _, perr := gtp.ParseOuter(dl[:n])
+		if perr != nil {
+			continue // stray uplink echo etc.
+		}
+		if teid == 0 {
+			t.Fatal("downlink GTP-U with zero TEID")
+		}
+		break
+	}
+
+	// Clean shutdown: stop everything and let the rx loop close the
+	// socket; a second burst must not panic anything.
+	close(stop)
+	time.Sleep(50 * time.Millisecond)
+	snd.Close()
+}
+
+// TestS1APPeerEviction covers the serveS1AP satellite: when an
+// association's serving goroutine exits, the peer entry is evicted so the
+// same remote address can attach again with a fresh association.
+func TestS1APPeerEviction(t *testing.T) {
+	node := pepc.NewNode(pepc.SliceConfig{ID: 1, UserHint: 64})
+	hss := pepc.NewHSS()
+	hss.ProvisionRange(1, 100, 50e6, 100e6)
+	node.AttachProxy(pepc.NewProxy(hss, pepc.NewPCRF()))
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go node.Slice(0).RunData(stop)
+
+	s1apConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	stats := &wireStats{}
+	go serveS1AP(node, s1apConn, stats, stop)
+
+	// An eNodeB restart: the S1AP source address (IP and port) stays the
+	// same across rounds, but each round is a fresh socket and a fresh
+	// association. Without eviction, round 2's INIT would be queued on the
+	// dead round-1 wire and the handshake would stall.
+	raddr, err := net.ResolveUDPAddr("udp", s1apConn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var laddr *net.UDPAddr
+	for round := 0; round < 2; round++ {
+		conn, err := net.DialUDP("udp", laddr, raddr)
+		if err != nil {
+			t.Fatalf("round %d: dial: %v", round, err)
+		}
+		laddr = conn.LocalAddr().(*net.UDPAddr)
+
+		type dialRes struct {
+			a   *sctp.Assoc
+			err error
+		}
+		ch := make(chan dialRes, 1)
+		go func() {
+			a, err := pepc.SCTPDial(sctp.NewUDPWire(conn), pepc.SCTPConfig{Tag: uint32(0x100 + round)})
+			ch <- dialRes{a, err}
+		}()
+		var assoc *sctp.Assoc
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatalf("round %d: sctp dial: %v", round, r.err)
+			}
+			assoc = r.a
+		case <-time.After(15 * time.Second):
+			t.Fatalf("round %d: handshake stalled — stale peer entry not evicted", round)
+		}
+
+		base := pepc.NewENB(0xC0A83201, 1, 0x10, assoc)
+		ue := pepc.NewUE(uint64(10 + round))
+		if err := base.Attach(ue); err != nil {
+			t.Fatalf("round %d: attach: %v", round, err)
+		}
+		assoc.Close()
+		conn.Close()
+		// Give the serving goroutine time to exit and report itself gone.
+		time.Sleep(300 * time.Millisecond)
 	}
 }

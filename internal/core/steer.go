@@ -1,0 +1,173 @@
+package core
+
+import (
+	"pepc/internal/gtp"
+	"pepc/internal/pkt"
+)
+
+// WireSteer is the batched demux entry point for the real-socket data
+// plane: it takes a burst of raw wire datagrams (as the vectorized rx
+// path lands them), classifies each exactly once — a GTP-U outer parse
+// whose validated result is recorded in the packet metadata, or the
+// downlink inner-flow parse — resolves every packet's owning slice under
+// a single demux read lock, and enqueues runs of consecutive packets for
+// the same (slice, direction) with one ring operation per run. It
+// replaces the daemon's old peek-then-steer loop, which walked the outer
+// headers twice per uplink packet and took the demux lock once per
+// packet.
+//
+// Packets caught mid-migration fall back to the per-packet steer slow
+// path (which handles the buffering handshake); everything else stays on
+// the batch path. Single goroutine (one rx loop per WireSteer); the
+// demux lock makes concurrent WireSteers over one node safe.
+type WireSteer struct {
+	n *Node
+	// cache, when non-nil, is the free path for dropped packets —
+	// typically the rx loop's PoolCache, so drops recycle into the same
+	// per-worker level refills come from.
+	cache *pkt.PoolCache
+
+	live  []*pkt.Buf
+	keys  []uint32
+	up    []bool
+	slice []int32
+}
+
+// Slice indices in WireSteer.slice with special meaning.
+const (
+	steerUnknown   int32 = -1
+	steerMigrating int32 = -2
+)
+
+// NewWireSteer returns a steerer for bursts of up to batch packets
+// (scratch grows if larger bursts arrive). cache may be nil.
+func (n *Node) NewWireSteer(batch int, cache *pkt.PoolCache) *WireSteer {
+	if batch <= 0 {
+		batch = 32
+	}
+	ws := &WireSteer{n: n, cache: cache}
+	ws.ensure(batch)
+	return ws
+}
+
+func (ws *WireSteer) ensure(n int) {
+	if cap(ws.live) >= n {
+		return
+	}
+	ws.live = make([]*pkt.Buf, 0, n)
+	ws.keys = make([]uint32, n)
+	ws.up = make([]bool, n)
+	ws.slice = make([]int32, n)
+}
+
+func (ws *WireSteer) free(b *pkt.Buf) {
+	if ws.cache != nil {
+		ws.cache.Put(b)
+		return
+	}
+	b.Free()
+}
+
+// Steer classifies and routes one rx burst. It takes ownership of every
+// buffer: each is enqueued to a slice ring, diverted to a migration
+// buffer, or freed (unparsable, unknown user, ring full).
+func (ws *WireSteer) Steer(bufs []*pkt.Buf) {
+	d := ws.n.demux
+	ws.ensure(len(bufs))
+
+	// Stage 1: parse once and compact. GTP-U envelopes steer by TEID
+	// with the validated outer parse recorded for the slice's decap;
+	// everything else is downlink plain IP steering by destination UE
+	// address. Non-G-PDU GTP messages and unparsable packets drop here,
+	// as the per-packet path did.
+	live := ws.live[:0]
+	var unknown uint64
+	for _, b := range bufs {
+		if teid, hdrLen, err := gtp.ParseOuter(b.Bytes()); err == nil {
+			b.Meta.TEID = teid
+			b.Meta.OuterLen = uint16(hdrLen)
+			b.Meta.OuterParsed = true
+			ws.keys[len(live)] = teid
+			ws.up[len(live)] = true
+			live = append(live, b)
+		} else if flow, _, ok := parseInner(b); ok {
+			b.Meta.Flow = flow
+			b.Meta.FlowParsed = true
+			ws.keys[len(live)] = flow.Dst
+			ws.up[len(live)] = false
+			live = append(live, b)
+		} else {
+			unknown++
+			ws.free(b)
+		}
+	}
+
+	// Stage 2: resolve owners under one demux read lock for the whole
+	// burst instead of one per packet.
+	d.mu.RLock()
+	for i := range live {
+		if d.migrating[ws.keys[i]] != nil {
+			ws.slice[i] = steerMigrating
+			continue
+		}
+		var s int
+		var ok bool
+		if ws.up[i] {
+			s, ok = d.byTEID[ws.keys[i]]
+		} else {
+			s, ok = d.byIP[ws.keys[i]]
+		}
+		if !ok {
+			ws.slice[i] = steerUnknown
+			continue
+		}
+		ws.slice[i] = int32(s)
+	}
+	d.mu.RUnlock()
+
+	// Stage 3: enqueue maximal runs of consecutive packets bound for the
+	// same slice and direction with one ring operation per run — wire
+	// bursts from one eNodeB are exactly such runs.
+	var steered uint64
+	i := 0
+	for i < len(live) {
+		switch ws.slice[i] {
+		case steerUnknown:
+			unknown++
+			ws.free(live[i])
+			i++
+			continue
+		case steerMigrating:
+			// Slow path: re-resolves and buffers under the write lock.
+			ws.n.steer(ws.keys[i], live[i], ws.up[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(live) && ws.slice[j] == ws.slice[i] && ws.up[j] == ws.up[i] {
+			j++
+		}
+		s := ws.n.slices[ws.slice[i]]
+		var acc int
+		if ws.up[i] {
+			acc = s.Uplink.EnqueueBatch(live[i:j])
+		} else {
+			acc = s.Downlink.EnqueueBatch(live[i:j])
+		}
+		steered += uint64(acc)
+		for k := i + acc; k < j; k++ {
+			ws.free(live[k]) // ring full: tail drop
+		}
+		i = j
+	}
+	if steered > 0 {
+		d.Steered.Add(steered)
+	}
+	if unknown > 0 {
+		d.Unknown.Add(unknown)
+	}
+	for i := range live {
+		live[i] = nil
+	}
+	ws.live = live[:0]
+}

@@ -24,6 +24,7 @@ var registry = map[string]runner{
 	"fig14":  Fig14,
 	"fig15":  Fig15,
 	"faults": Faults,
+	"sockio": Sockio,
 }
 
 // Run regenerates the named table or figure.

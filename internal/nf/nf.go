@@ -108,6 +108,13 @@ type Worker struct {
 	// the loop consults fault.WorkerStall and sleeps the armed delay when
 	// it fires — a preempted or wedged data core. Nil disables.
 	Faults *fault.Injector
+	// IdlePark, when positive, makes a persistently idle worker sleep
+	// that long instead of pure busy-polling with Gosched. Daemon-mode
+	// workers (socket egress, co-scheduled slices on small hosts) set it
+	// to trade bounded wakeup latency for not burning a core while the
+	// wire is quiet; benchmark workers leave it 0 to keep the
+	// run-to-completion loop hot.
+	IdlePark time.Duration
 
 	// Stalls counts injected worker stalls.
 	Stalls atomic.Uint64
@@ -187,7 +194,11 @@ func (w *Worker) Run(stop <-chan struct{}) {
 			}
 			idle++
 			if idle > 64 {
-				runtime.Gosched()
+				if w.IdlePark > 0 {
+					time.Sleep(w.IdlePark)
+				} else {
+					runtime.Gosched()
+				}
 				idle = 0
 			}
 			continue

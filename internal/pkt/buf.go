@@ -130,6 +130,23 @@ func (b *Buf) SetBytes(p []byte) error {
 	return nil
 }
 
+// RecvSlice returns the buffer's writable region from the current packet
+// offset to the end of the buffer — the iovec a vectorized socket read
+// scatters a datagram into. Headroom before the offset stays reserved, so
+// a packet received this way can still take the zero-copy encap prepend.
+// Pair with SetRecvLen once the external writer reports the byte count.
+func (b *Buf) RecvSlice() []byte { return b.data[b.off:] }
+
+// SetRecvLen records that an external writer (a batched socket read)
+// filled the first n bytes of RecvSlice, making them the packet contents.
+func (b *Buf) SetRecvLen(n int) error {
+	if n < 0 || n > len(b.data)-b.off {
+		return ErrNoTailroom
+	}
+	b.len = n
+	return nil
+}
+
 // Prepend grows the packet by n bytes at the front and returns the new
 // leading bytes for the caller to fill in. It never copies. A recorded
 // outer parse described the old front, so the claim is dropped.
@@ -413,6 +430,37 @@ func (c *PoolCache) Get() *Buf {
 	c.bufs[n-1] = nil
 	c.bufs = c.bufs[:n-1]
 	return b
+}
+
+// GetBatch fills dst with empty buffers (headroom reserved), draining the
+// local stack first and satisfying the remainder with one shared-pool
+// GetBatch — the rx-burst allocation path: one call arms a whole
+// vectorized socket read.
+func (c *PoolCache) GetBatch(dst []*Buf) {
+	n := 0
+	for n < len(dst) {
+		l := len(c.bufs)
+		if l == 0 {
+			break
+		}
+		dst[n] = c.bufs[l-1]
+		c.bufs[l-1] = nil
+		c.bufs = c.bufs[:l-1]
+		n++
+	}
+	if n < len(dst) {
+		c.pool.GetBatch(dst[n:])
+	}
+}
+
+// PutBatch releases bs into the cache, spilling to the shared pool in
+// half-cache batches as the stack fills — the tx-burst free path: one
+// call retires a whole transmitted batch. Nil, unpooled and foreign
+// buffers are handled as in Put.
+func (c *PoolCache) PutBatch(bs []*Buf) {
+	for _, b := range bs {
+		c.Put(b)
+	}
 }
 
 // Put releases a buffer into the local stack; a full stack spills half a

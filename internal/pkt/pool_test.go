@@ -158,3 +158,72 @@ func TestClonePooledAllocatesWhenTooBig(t *testing.T) {
 		t.Fatalf("fitting clone: pool=%v bytes=%q", d.pool, d.Bytes())
 	}
 }
+
+func TestRecvSliceSetRecvLen(t *testing.T) {
+	b := NewBuf(256, 32)
+	rs := b.RecvSlice()
+	if len(rs) != 256-32 {
+		t.Fatalf("RecvSlice len = %d, want %d", len(rs), 256-32)
+	}
+	// External writer (a vectorized socket read) fills the region.
+	copy(rs, []byte("datagram"))
+	if err := b.SetRecvLen(8); err != nil {
+		t.Fatal(err)
+	}
+	if string(b.Bytes()) != "datagram" {
+		t.Fatalf("Bytes = %q", b.Bytes())
+	}
+	if b.Headroom() != 32 {
+		t.Fatalf("headroom = %d, want 32 (preserved for encap prepend)", b.Headroom())
+	}
+	if _, err := b.Prepend(32); err != nil {
+		t.Fatalf("prepend into preserved headroom: %v", err)
+	}
+	if err := b.SetRecvLen(1 << 20); err == nil {
+		t.Fatal("oversized SetRecvLen accepted")
+	}
+	if err := b.SetRecvLen(-1); err == nil {
+		t.Fatal("negative SetRecvLen accepted")
+	}
+}
+
+func TestPoolCacheGetBatchPutBatch(t *testing.T) {
+	pl := NewPool(512, 64)
+	c := pl.NewCache(16)
+	bs := make([]*Buf, 12)
+	c.GetBatch(bs)
+	for i, b := range bs {
+		if b == nil || b.Headroom() != 64 || b.Len() != 0 {
+			t.Fatalf("buf %d: %v", i, b)
+		}
+	}
+	seen := map[*Buf]bool{}
+	for _, b := range bs {
+		seen[b] = true
+	}
+	c.PutBatch(bs)
+	// The cache holds at most its capacity; the rest spilled to the pool.
+	got := make([]*Buf, 12)
+	c.GetBatch(got)
+	recycled := 0
+	for _, b := range got {
+		if seen[b] {
+			recycled++
+		}
+	}
+	if recycled == 0 {
+		t.Fatal("no buffers recycled through the cache batch path")
+	}
+}
+
+func TestPoolCacheGetBatchDrainsLocalFirst(t *testing.T) {
+	pl := NewPool(512, 64)
+	c := pl.NewCache(16)
+	warm := c.Get()
+	c.Put(warm)
+	bs := make([]*Buf, 2)
+	c.GetBatch(bs)
+	if bs[0] != warm {
+		t.Fatal("GetBatch did not reuse the locally cached buffer first")
+	}
+}

@@ -1,0 +1,217 @@
+package sockio
+
+import (
+	"net/netip"
+	"time"
+
+	"pepc/internal/pkt"
+)
+
+// Receiver scatters rx bursts from a Conn directly into pool-backed
+// packet buffers: one ReadBatch lands up to batch datagrams, each in its
+// own pkt.Buf with the pool's encap headroom preserved, refilled from a
+// per-receiver PoolCache so the steady state touches the shared pool once
+// per half-cache rather than once per packet. Single goroutine (the rx
+// loop).
+type Receiver struct {
+	conn  *Conn
+	cache *pkt.PoolCache
+	msgs  []Message
+	bufs  []*pkt.Buf
+	n     int
+}
+
+// NewReceiver builds a receiver reading bursts of up to batch datagrams
+// into buffers drawn from pool.
+func NewReceiver(conn *Conn, pool *pkt.Pool, batch int) *Receiver {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	cacheSize := 4 * batch
+	if cacheSize < pkt.DefaultCacheSize {
+		cacheSize = pkt.DefaultCacheSize
+	}
+	return &Receiver{
+		conn:  conn,
+		cache: pool.NewCache(cacheSize),
+		msgs:  make([]Message, batch),
+		bufs:  make([]*pkt.Buf, batch),
+	}
+}
+
+// Conn returns the receiver's socket.
+func (r *Receiver) Conn() *Conn { return r.conn }
+
+// Cache returns the receiver's pool cache — shared with the steering
+// stage so drops free back into the same per-worker level the refills
+// come from.
+func (r *Receiver) Cache() *pkt.PoolCache { return r.cache }
+
+// Recv performs one batched read and returns the number of datagrams
+// landed. Each datagram i is in Buf(i) (length set, headroom intact) with
+// its source address at From(i). Buffers not taken with Take before the
+// next Recv are recycled. Blocks per the conn's read deadline.
+func (r *Receiver) Recv() (int, error) {
+	for i := range r.bufs {
+		if r.bufs[i] == nil {
+			r.bufs[i] = r.cache.Get()
+		}
+		r.msgs[i].Buf = r.bufs[i].RecvSlice()
+	}
+	n, err := r.conn.ReadBatch(r.msgs)
+	for i := 0; i < n; i++ {
+		if serr := r.bufs[i].SetRecvLen(r.msgs[i].N); serr != nil {
+			// Datagram larger than the buffer (truncated by the kernel):
+			// drop it rather than forward a clipped packet.
+			r.bufs[i].SetRecvLen(0)
+		}
+	}
+	r.n = n
+	return n, err
+}
+
+// Buf returns datagram i of the last Recv without transferring ownership.
+func (r *Receiver) Buf(i int) *pkt.Buf { return r.bufs[i] }
+
+// Take transfers ownership of datagram i to the caller; the next Recv
+// draws a fresh buffer for that slot.
+func (r *Receiver) Take(i int) *pkt.Buf {
+	b := r.bufs[i]
+	r.bufs[i] = nil
+	return b
+}
+
+// TakeAll transfers ownership of every datagram of the last Recv,
+// appending them to dst in arrival order.
+func (r *Receiver) TakeAll(dst []*pkt.Buf) []*pkt.Buf {
+	for i := 0; i < r.n; i++ {
+		dst = append(dst, r.bufs[i])
+		r.bufs[i] = nil
+	}
+	return dst
+}
+
+// From returns the source address of datagram i of the last Recv.
+func (r *Receiver) From(i int) netip.AddrPort { return r.msgs[i].Addr }
+
+// Close releases the receiver's cached buffers back to the shared pool.
+func (r *Receiver) Close() {
+	for i := range r.bufs {
+		if r.bufs[i] != nil {
+			r.cache.Put(r.bufs[i])
+			r.bufs[i] = nil
+		}
+	}
+	r.cache.Flush()
+}
+
+// Sender coalesces egress packet buffers into gathered tx bursts: Queue
+// stages a buffer for a destination, a full batch flushes in one
+// WriteBatch, and a small linger budget bounds how long a partial batch
+// may wait for companions. Sent buffers are released through a PoolCache
+// so the free path is batched too. Single goroutine (one egress worker);
+// several senders may share one Conn.
+type Sender struct {
+	conn   *Conn
+	msgs   []Message
+	bufs   []*pkt.Buf
+	n      int
+	linger time.Duration
+	since  time.Time // when the oldest pending message was queued
+	cache  pkt.PoolCache
+
+	// Sent and Errs count transmitted datagrams and failed flushes
+	// (single-writer; read between runs or via the owner's stats hook).
+	Sent uint64
+	Errs uint64
+}
+
+// DefaultLinger bounds how long a partial tx batch waits for more egress
+// before flushing: long enough to aggregate a burst arriving back to
+// back, far below any latency budget.
+const DefaultLinger = 100 * time.Microsecond
+
+// NewSender builds a sender flushing bursts of up to batch datagrams,
+// holding partial batches at most linger (0 selects DefaultLinger;
+// negative disables lingering, flushing every Queue immediately).
+func NewSender(conn *Conn, batch int, linger time.Duration) *Sender {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	if linger == 0 {
+		linger = DefaultLinger
+	}
+	return &Sender{
+		conn:   conn,
+		msgs:   make([]Message, batch),
+		bufs:   make([]*pkt.Buf, batch),
+		linger: linger,
+	}
+}
+
+// Conn returns the sender's socket.
+func (s *Sender) Conn() *Conn { return s.conn }
+
+// Cache returns the sender's free-side pool cache (bound lazily by the
+// first flushed buffer). Callers that drop packets instead of queueing
+// them (no route, closed peer) should free through it so the drop path
+// stays batched, and sources that build packets to send can draw from it
+// so the sender's free cycle feeds its own allocation.
+func (s *Sender) Cache() *pkt.PoolCache { return &s.cache }
+
+// Pending returns the number of staged, unflushed datagrams.
+func (s *Sender) Pending() int { return s.n }
+
+// Queue stages b for transmission to dst, taking ownership. A zero dst
+// sends on the connected socket's peer. The batch flushes when full (or
+// immediately when lingering is disabled).
+func (s *Sender) Queue(b *pkt.Buf, dst netip.AddrPort) error {
+	if s.n == 0 {
+		s.since = time.Now()
+	}
+	s.msgs[s.n].Buf = b.Bytes()
+	s.msgs[s.n].N = b.Len()
+	s.msgs[s.n].Addr = dst
+	s.bufs[s.n] = b
+	s.n++
+	if s.n == len(s.msgs) || s.linger < 0 {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush transmits every staged datagram in one vectorized write and
+// releases their buffers. Buffers are released on error too (the packets
+// are gone either way).
+func (s *Sender) Flush() error {
+	if s.n == 0 {
+		return nil
+	}
+	n, err := s.conn.WriteBatch(s.msgs[:s.n])
+	s.Sent += uint64(n)
+	if err != nil {
+		s.Errs++
+	}
+	for i := 0; i < s.n; i++ {
+		s.cache.Put(s.bufs[i])
+		s.bufs[i] = nil
+	}
+	s.n = 0
+	return err
+}
+
+// FlushExpired flushes the pending batch if it has lingered past the
+// budget. Call from the tx loop's idle path with the current time.
+func (s *Sender) FlushExpired(now time.Time) error {
+	if s.n == 0 || now.Sub(s.since) < s.linger {
+		return nil
+	}
+	return s.Flush()
+}
+
+// Close flushes pending datagrams and spills the free-side cache.
+func (s *Sender) Close() error {
+	err := s.Flush()
+	s.cache.Flush()
+	return err
+}

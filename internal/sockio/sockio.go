@@ -1,0 +1,198 @@
+// Package sockio is the vectorized UDP I/O layer between the kernel and
+// PEPC's batch machinery: it reads and writes many datagrams per syscall
+// boundary (recvmmsg/sendmmsg on Linux, a portable one-at-a-time fallback
+// elsewhere) and lands receive bursts directly in pool-backed pkt.Bufs
+// with their encap headroom preserved, so the wire path feeds the same
+// zero-copy staged pipeline the in-memory substrate runs on.
+//
+// The layer has two levels. Conn wraps a *net.UDPConn with ReadBatch and
+// WriteBatch over a caller-owned []Message — the raw vectorized syscall
+// surface, allocation free in the steady state. Receiver and Sender sit
+// on top and own the pkt.PoolCache glue: a Receiver scatters each rx
+// burst into fresh pool buffers (headroom intact) and a Sender coalesces
+// egress buffers into gathered bursts, flushed when a batch fills or a
+// small linger budget expires. PeerTable remembers which UDP endpoint
+// each outer tunnel source address arrived from, so downlink egress can
+// be routed back to the eNodeB's socket without configuration.
+package sockio
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// DefaultBatch is the default rx/tx burst size in datagrams — large
+// enough to amortize a syscall across a worker batch (nf.DefaultBatchSize
+// packets), small enough to keep the linger budget's latency contribution
+// trivial.
+const DefaultBatch = 32
+
+// Message describes one datagram of a batch: the payload region and the
+// peer address. On receive, Buf is the scatter target (typically a
+// pkt.Buf's RecvSlice), N is set to the datagram length and Addr to the
+// source. On send, Buf[:N] is the datagram and Addr the destination; a
+// zero Addr sends on the connected socket's peer.
+type Message struct {
+	Buf  []byte
+	N    int
+	Addr netip.AddrPort
+}
+
+// Stats counts the conn's syscall boundary: calls are actual kernel
+// crossings, packets the datagrams they moved. syscalls/packet =
+// Calls/Packets is the number the batching exists to shrink.
+type Stats struct {
+	RxCalls   atomic.Uint64
+	RxPackets atomic.Uint64
+	TxCalls   atomic.Uint64
+	TxPackets atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	RxCalls   uint64
+	RxPackets uint64
+	TxCalls   uint64
+	TxPackets uint64
+}
+
+// Conn is a UDP socket with vectorized batch I/O. At most one goroutine
+// may call ReadBatch and one WriteBatch concurrently (the rx loop / tx
+// worker split); WriteBatch itself is internally serialized so several
+// egress workers may share one socket.
+type Conn struct {
+	uc *net.UDPConn
+	rc syscall.RawConn
+
+	stats Stats
+
+	rx rxState
+	// txMu serializes WriteBatch callers: replies must leave from the
+	// bound GTP-U port, so every slice's egress worker shares this conn.
+	txMu sync.Mutex
+	tx   txState
+}
+
+// NewConn wraps uc for batch I/O. The socket stays usable through uc
+// (deadlines, close).
+func NewConn(uc *net.UDPConn) (*Conn, error) {
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{uc: uc, rc: rc}
+	c.initOS()
+	return c, nil
+}
+
+// UDPConn returns the wrapped socket (for deadlines and addresses).
+func (c *Conn) UDPConn() *net.UDPConn { return c.uc }
+
+// LocalAddrPort returns the socket's bound address.
+func (c *Conn) LocalAddrPort() netip.AddrPort {
+	a, _ := c.uc.LocalAddr().(*net.UDPAddr)
+	if a == nil {
+		return netip.AddrPort{}
+	}
+	return a.AddrPort()
+}
+
+// Stats returns a snapshot of the syscall counters.
+func (c *Conn) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		RxCalls:   c.stats.RxCalls.Load(),
+		RxPackets: c.stats.RxPackets.Load(),
+		TxCalls:   c.stats.TxCalls.Load(),
+		TxPackets: c.stats.TxPackets.Load(),
+	}
+}
+
+// Close closes the underlying socket, unblocking pending batch calls.
+func (c *Conn) Close() error { return c.uc.Close() }
+
+// ReadBatch blocks until at least one datagram is available (or the
+// socket's read deadline expires / the socket closes), then fills ms with
+// as many datagrams as one kernel crossing yields, up to len(ms). It
+// returns the count; ms[i].N and ms[i].Addr describe each datagram.
+// Allocation free in the steady state.
+func (c *Conn) ReadBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	n, err := c.readBatch(ms)
+	if n > 0 {
+		// readBatch counts its own kernel crossings (including EAGAIN
+		// probes); only the packet tally lives here.
+		c.stats.RxPackets.Add(uint64(n))
+	}
+	return n, err
+}
+
+// WriteBatch sends every message in ms, looping on partial progress, and
+// returns the count sent. Allocation free in the steady state.
+func (c *Conn) WriteBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	c.txMu.Lock()
+	n, err := c.writeBatch(ms)
+	c.txMu.Unlock()
+	if n > 0 {
+		// writeBatch counts its own kernel crossings (including
+		// partial-resend loops); only the packet tally lives here.
+		c.stats.TxPackets.Add(uint64(n))
+	}
+	return n, err
+}
+
+// ErrClosed is returned once batch I/O observes the socket closed.
+var ErrClosed = errors.New("sockio: connection closed")
+
+// PeerTable maps outer tunnel source addresses (the eNodeB's S1-U IPv4,
+// host order) to the UDP endpoint the tunnel's packets arrive from, so
+// downlink egress — whose outer destination is that same S1-U address —
+// can be transmitted back over the wire without static routing. The rx
+// loop learns, egress workers look up.
+type PeerTable struct {
+	mu sync.RWMutex
+	m  map[uint32]netip.AddrPort
+}
+
+// NewPeerTable returns an empty table.
+func NewPeerTable() *PeerTable {
+	return &PeerTable{m: make(map[uint32]netip.AddrPort)}
+}
+
+// Learn records ip → from. The common case (mapping unchanged) takes only
+// the read lock.
+func (t *PeerTable) Learn(ip uint32, from netip.AddrPort) {
+	t.mu.RLock()
+	cur, ok := t.m[ip]
+	t.mu.RUnlock()
+	if ok && cur == from {
+		return
+	}
+	t.mu.Lock()
+	t.m[ip] = from
+	t.mu.Unlock()
+}
+
+// Lookup resolves the UDP endpoint for an outer destination address.
+func (t *PeerTable) Lookup(ip uint32) (netip.AddrPort, bool) {
+	t.mu.RLock()
+	ap, ok := t.m[ip]
+	t.mu.RUnlock()
+	return ap, ok
+}
+
+// Len returns the number of learned peers.
+func (t *PeerTable) Len() int {
+	t.mu.RLock()
+	n := len(t.m)
+	t.mu.RUnlock()
+	return n
+}

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package sockio
+
+// The stdlib syscall table predates sendmmsg; the numbers are ABI-frozen
+// per architecture, so defining them locally is safe.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -17,8 +17,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race internal/core internal/state"
-go test -race ./internal/core/ ./internal/state/
+echo "== go test -race internal/core internal/state internal/sockio"
+go test -race ./internal/core/ ./internal/state/ ./internal/sockio/
 
 # Chaos soak smoke: the short, time-bounded soak under the race detector
 # (seeded fault plans; zero invariant violations required). See
@@ -31,7 +31,14 @@ echo "== soak smoke (scripts/soak.sh -short)"
 # Run them apart from the main suite with -count=1 so a cached pass can't
 # mask a fresh allocation, and without -race (the race runtime allocates).
 echo "== allocation guards (ZeroAlloc tests)"
-go test -run 'ZeroAlloc' -count=1 ./internal/pkt/ ./internal/gtp/ ./internal/core/ ./internal/state/
+go test -run 'ZeroAlloc' -count=1 ./internal/pkt/ ./internal/gtp/ ./internal/core/ ./internal/state/ ./internal/sockio/
+
+# Socket I/O smoke: the vectorized loopback sweep end to end (recvmmsg ->
+# batched steer -> inline pipeline -> sendmmsg), asserting syscalls/packet
+# falls with burst size. See DESIGN.md §4.13; benchdiff.sh gates the
+# absolute rates against bench/baseline/BENCH_sockio.json.
+echo "== sockio loopback smoke"
+go test -run 'TestSockioSmoke' -count=1 ./internal/experiments/
 
 # Fuzz seed corpora: run every fuzz target's checked-in seeds once as
 # plain tests (no -fuzz exploration in CI; a failing seed is a
