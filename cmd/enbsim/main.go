@@ -5,9 +5,16 @@
 // vectorized bursts (-burst datagrams per sendmmsg where the platform
 // supports it); -burst 1 restores one datagram per syscall.
 //
+// -sources N spreads the load over N sender sockets with distinct local
+// ports, each sourcing uplink for its own share of the UEs at rate/N
+// packets per second — the shape a multi-queue pepcd (-rxqueues)
+// balances across its SO_REUSEPORT group, and enough source-port entropy
+// for the kernel's 4-tuple hash when cBPF flow steering is unavailable.
+//
 // Usage:
 //
 //	enbsim -core 127.0.0.1:36412 -gtpu 127.0.0.1:2152 -ues 100 -rate 10000 -duration 10s
+//	enbsim -gtpu 127.0.0.1:2152 -ues 400 -sources 4 -rate 400000
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"log"
 	"net"
 	"net/netip"
+	"sync"
 	"time"
 
 	"pepc"
@@ -33,7 +41,11 @@ func main() {
 	rate := flag.Float64("rate", 10_000, "uplink packets/s after attach (0 = attach only)")
 	duration := flag.Duration("duration", 10*time.Second, "traffic duration")
 	burst := flag.Int("burst", sockio.DefaultBatch, "uplink burst size (datagrams per send syscall)")
+	sources := flag.Int("sources", 1, "GTP-U sender sockets (distinct local ports, rate split evenly)")
 	flag.Parse()
+	if *sources < 1 {
+		*sources = 1
+	}
 
 	// Signaling association.
 	conn, err := net.Dial("udp", *coreAddr)
@@ -66,42 +78,79 @@ func main() {
 
 	// User traffic, coalesced into vectorized bursts: the pacer grants a
 	// quantum, the sender queues it and flushes in as few kernel
-	// crossings as the batch size allows.
-	dconn, err := net.Dial("udp", *gtpuAddr)
-	if err != nil {
-		log.Fatalf("enbsim: dial gtpu: %v", err)
+	// crossings as the batch size allows. With -sources N the UEs split
+	// into N shares, each sourced from its own socket (distinct local
+	// port) at rate/N packets per second — one goroutine per source, no
+	// shared state past the aggregate counters collected at the end.
+	nSrc := *sources
+	if nSrc > len(users) {
+		nSrc = len(users)
 	}
-	sconn, err := sockio.NewConn(dconn.(*net.UDPConn))
-	if err != nil {
-		log.Fatalf("enbsim: gtpu socket: %v", err)
+	type source struct {
+		conn *sockio.Conn
+		gen  *workload.TrafficGen
+		sent int
 	}
-	snd := sockio.NewSender(sconn, *burst, time.Hour) // flushed explicitly per quantum
-	gen := workload.NewTrafficGen(workload.TrafficConfig{ENBAddr: base.Addr}, users)
-	pacer := sim.NewPacer(*rate, 256)
-	deadline := time.Now().Add(*duration)
-	sent := 0
-	for time.Now().Before(deadline) {
-		n := pacer.Take(sim.Now(), *burst)
-		if n == 0 {
-			time.Sleep(200 * time.Microsecond)
-			continue
+	srcs := make([]*source, nSrc)
+	for s := 0; s < nSrc; s++ {
+		dconn, err := net.Dial("udp", *gtpuAddr)
+		if err != nil {
+			log.Fatalf("enbsim: dial gtpu: %v", err)
 		}
-		for i := 0; i < n; i++ {
-			if err := snd.Queue(gen.NextUplink(), netip.AddrPort{}); err != nil {
-				log.Fatalf("enbsim: send: %v", err)
+		sconn, err := sockio.NewConn(dconn.(*net.UDPConn))
+		if err != nil {
+			log.Fatalf("enbsim: gtpu socket: %v", err)
+		}
+		// Share s sources UEs s, s+nSrc, s+2*nSrc, ...
+		var share []workload.User
+		for i := s; i < len(users); i += nSrc {
+			share = append(share, users[i])
+		}
+		srcs[s] = &source{
+			conn: sconn,
+			gen:  workload.NewTrafficGen(workload.TrafficConfig{ENBAddr: base.Addr}, share),
+		}
+	}
+	var wg sync.WaitGroup
+	for _, src := range srcs {
+		wg.Add(1)
+		go func(src *source) {
+			defer wg.Done()
+			snd := sockio.NewSender(src.conn, *burst, time.Hour) // flushed explicitly per quantum
+			defer snd.Close()
+			pacer := sim.NewPacer(*rate/float64(nSrc), 256)
+			deadline := time.Now().Add(*duration)
+			for time.Now().Before(deadline) {
+				n := pacer.Take(sim.Now(), *burst)
+				if n == 0 {
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				for i := 0; i < n; i++ {
+					if err := snd.Queue(src.gen.NextUplink(), netip.AddrPort{}); err != nil {
+						log.Fatalf("enbsim: send: %v", err)
+					}
+					src.sent++
+				}
+				if err := snd.Flush(); err != nil {
+					log.Fatalf("enbsim: flush: %v", err)
+				}
 			}
-			sent++
-		}
-		if err := snd.Flush(); err != nil {
-			log.Fatalf("enbsim: flush: %v", err)
-		}
+		}(src)
 	}
-	snd.Close()
-	st := sconn.Stats()
-	perCall := float64(st.TxPackets)
-	if st.TxCalls > 0 {
-		perCall /= float64(st.TxCalls)
+	wg.Wait()
+	sent := 0
+	var calls, packets uint64
+	for _, src := range srcs {
+		sent += src.sent
+		st := src.conn.Stats()
+		calls += st.TxCalls
+		packets += st.TxPackets
 	}
-	log.Printf("enbsim: sent %d uplink packets over %s (%d syscalls, %.1f pkts/syscall)",
-		sent, *duration, st.TxCalls, perCall)
+	perCall := float64(packets)
+	if calls > 0 {
+		perCall /= float64(calls)
+	}
+	log.Printf("enbsim: sent %d uplink packets over %s from %d source(s) (%d syscalls, %.1f pkts/syscall)",
+		sent, *duration, nSrc, calls, perCall)
 }

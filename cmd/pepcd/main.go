@@ -10,11 +10,24 @@
 // burst — uplink toward the SGi next-hop, downlink back to the eNodeB
 // tunnel endpoint learned from the uplink outer headers.
 //
+// The wire path scales past one core with -rxqueues N: the GTP-U address
+// is served by an SO_REUSEPORT group of N sockets (sockio.Group), each
+// with its own rx loop (Receiver + PoolCache + WireSteer) and its own
+// egress loop (one coalescing Sender draining the egress rings of the
+// slices assigned to that queue round-robin), so rx parsing, demux
+// steering, and tx syscalls all run per queue with no shared hot state.
+// The only cross-queue structures are the read-mostly PeerTable
+// (copy-on-write, wait-free lookups) and the per-conn atomic stats. Where
+// the kernel accepts it, a cBPF program steers by flow (GTP TEID mod N,
+// IPv4 dst mod N) so one UE's packets stay on one queue; otherwise the
+// kernel's 4-tuple hash distributes across source ports.
+//
 // Usage:
 //
 //	pepcd -slices 2 -s1ap :36412 -gtpu :2152 -subscribers 100000
 //	pepcd -config operator.json            # slices + PCC rules from file
 //	pepcd -sgi 10.0.0.2:9000 -rxbatch 32 -linger 100us
+//	pepcd -slices 4 -rxqueues 4            # one rx/tx queue per slice
 //
 // Pair it with cmd/enbsim, which attaches UEs over the same wire format
 // and sources uplink traffic.
@@ -23,6 +36,7 @@ package main
 import (
 	"encoding/binary"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -30,12 +44,12 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pepc"
-	"pepc/internal/nf"
 	"pepc/internal/pkt"
 	"pepc/internal/sctp"
 	"pepc/internal/sockio"
@@ -67,6 +81,7 @@ func main() {
 	rxBatch := flag.Int("rxbatch", sockio.DefaultBatch, "GTP-U receive burst size (datagrams per recvmmsg)")
 	txBatch := flag.Int("txbatch", sockio.DefaultBatch, "egress burst size (datagrams per sendmmsg)")
 	linger := flag.Duration("linger", sockio.DefaultLinger, "max time a partial egress burst waits for companions")
+	rxQueues := flag.Int("rxqueues", 1, "GTP-U rx/tx queues: SO_REUSEPORT sockets, one rx loop and one egress loop each (1 = single socket)")
 	pprofAddr := flag.String("pprof", "", "net/http/pprof listen address (empty disables)")
 	flag.Parse()
 
@@ -117,25 +132,26 @@ func main() {
 	stop := make(chan struct{})
 	stats := &wireStats{}
 
-	// User traffic socket, shared by the rx loop and every slice's egress
-	// worker (replies must leave from the bound GTP-U port).
-	gtpuConn, err := net.ListenPacket("udp", *gtpuAddr)
+	// User traffic sockets: an SO_REUSEPORT group of -rxqueues lanes (a
+	// single plain socket at 1), each lane owned by one rx loop and one
+	// egress loop. Replies must leave from the bound GTP-U port, which
+	// every queue of the group shares.
+	group, err := sockio.ListenGroup("udp", *gtpuAddr, *rxQueues)
 	if err != nil {
 		log.Fatalf("pepcd: gtpu listen: %v", err)
 	}
-	gtpuIO, err := sockio.NewConn(gtpuConn.(*net.UDPConn))
-	if err != nil {
-		log.Fatalf("pepcd: gtpu socket: %v", err)
+	if group.Size() < *rxQueues {
+		log.Printf("pepcd: multi-queue rx unavailable on this platform; running %d queue(s)", group.Size())
 	}
 	pool := pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
 	peers := sockio.NewPeerTable()
 
-	// Data planes and egress workers.
+	// Data planes, then the wire loops: one rx loop and one egress loop
+	// per queue, slices assigned to egress queues round-robin.
 	for i := 0; i < node.NumSlices(); i++ {
-		s := node.Slice(i)
-		go s.RunData(stop)
-		go runEgress(s, gtpuIO, peers, sgi, *txBatch, *linger, stats, stop)
+		go node.Slice(i).RunData(stop)
 	}
+	startWirePlanes(node, group, pool, peers, sgi, *rxBatch, *txBatch, *linger, stats, stop)
 
 	// Signaling listener: each new peer address becomes one SCTP
 	// association served by an S1AP server bound round-robin to a slice.
@@ -145,14 +161,16 @@ func main() {
 	}
 	go serveS1AP(node, s1apConn, stats, stop)
 
-	go runGTPURx(node, gtpuIO, pool, peers, *rxBatch, stop)
-
 	mode := "fallback (one datagram per syscall)"
 	if sockio.Batched() {
 		mode = "recvmmsg/sendmmsg"
 	}
-	log.Printf("pepcd: %d slices, %d subscribers, S1AP on %s, GTP-U on %s (%s, rx burst %d)",
-		node.NumSlices(), *subscribers, *s1apAddr, *gtpuAddr, mode, *rxBatch)
+	steer := "kernel 4-tuple hash"
+	if group.Steered() {
+		steer = "cBPF flow steering"
+	}
+	log.Printf("pepcd: %d slices, %d subscribers, S1AP on %s, GTP-U on %s (%s, rx burst %d, %d queue(s), %s)",
+		node.NumSlices(), *subscribers, *s1apAddr, *gtpuAddr, mode, *rxBatch, group.Size(), steer)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -170,20 +188,60 @@ func main() {
 				log.Printf("slice %d: users=%d forwarded=%d dropped=%d missed=%d",
 					i, s.Users(), s.Data().Forwarded.Load(), s.Data().Dropped.Load(), s.Data().Missed.Load())
 			}
-			st := gtpuIO.Stats()
+			st := group.Stats()
 			log.Printf("wire: rx=%d pkts/%d calls tx=%d pkts/%d calls peers=%d "+
-				"egress sent=%d noroute=%d errs=%d s1ap-drops=%d",
+				"egress sent=%d noroute=%d errs=%d s1ap-drops=%d%s",
 				st.RxPackets, st.RxCalls, st.TxPackets, st.TxCalls, peers.Len(),
 				stats.egressSent.Load(), stats.egressNoRoute.Load(),
-				stats.egressErrs.Load(), stats.s1apDrops.Load())
+				stats.egressErrs.Load(), stats.s1apDrops.Load(), queueStatsSuffix(group))
 		}
 	}
 }
 
-// runGTPURx is the user-plane receive loop: one vectorized read lands a
-// burst of datagrams directly in pool buffers (encap headroom intact),
-// eNodeB tunnel endpoints are learned from the outer headers, and the
-// whole burst steers through the node demux in one pass.
+// startWirePlanes spawns the multi-queue wire path over an open socket
+// group: one rx loop per queue, and one egress loop per queue draining
+// the egress rings of the slices assigned to it (slice i → queue i mod
+// Q). Each queue owns its Receiver, PoolCache, WireSteer, and Sender;
+// the PeerTable and per-conn stats are the only cross-queue state.
+func startWirePlanes(node *pepc.Node, group *sockio.Group, pool *pkt.Pool, peers *sockio.PeerTable,
+	sgi netip.AddrPort, rxBatch, txBatch int, linger time.Duration, stats *wireStats, stop <-chan struct{}) {
+	q := group.Size()
+	for qi := 0; qi < q; qi++ {
+		var own []*pepc.Slice
+		for i := qi; i < node.NumSlices(); i += q {
+			own = append(own, node.Slice(i))
+		}
+		if len(own) > 0 {
+			go runQueueEgress(own, group.Queue(qi), peers, sgi, txBatch, linger, stats, stop)
+		}
+		go runGTPURx(node, group.Queue(qi), pool, peers, rxBatch, stop)
+	}
+}
+
+// queueStatsSuffix renders the per-queue rx/tx packet breakdown appended
+// to the wire stats line for multi-queue groups (empty at one queue).
+func queueStatsSuffix(group *sockio.Group) string {
+	if group.Size() <= 1 {
+		return ""
+	}
+	out := " queues="
+	for i := 0; i < group.Size(); i++ {
+		st := group.QueueStats(i)
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d:%d/%d", i, st.RxPackets, st.TxPackets)
+	}
+	return out
+}
+
+// runGTPURx is one queue's user-plane receive loop: one vectorized read
+// lands a burst of datagrams directly in pool buffers (encap headroom
+// intact), eNodeB tunnel endpoints are learned from the outer headers,
+// and the whole burst steers through the node demux in one pass. With
+// flow steering attached, every packet this loop receives belongs to a
+// flow pinned to this queue, so the queue's PoolCache and steer scratch
+// never see another queue's traffic.
 func runGTPURx(node *pepc.Node, conn *sockio.Conn, pool *pkt.Pool, peers *sockio.PeerTable, batch int, stop <-chan struct{}) {
 	rcv := sockio.NewReceiver(conn, pool, batch)
 	defer rcv.Close()
@@ -224,12 +282,16 @@ func learnPeer(peers *sockio.PeerTable, data []byte, from netip.AddrPort) {
 	peers.Learn(binary.BigEndian.Uint32(data[12:16]), from)
 }
 
-// runEgress drains one slice's egress ring onto the wire: uplink
-// (decapsulated plain IP) goes to the SGi next-hop, downlink (re-encapped
-// GTP-U) to the eNodeB whose tunnel address is in the outer header.
-// Bursts coalesce into vectorized writes; a linger budget bounds how long
-// a partial burst waits, enforced from the worker's housekeeping slot.
-func runEgress(s *pepc.Slice, conn *sockio.Conn, peers *sockio.PeerTable, sgi netip.AddrPort,
+// runQueueEgress is one queue's egress loop: it drains the egress rings
+// of every slice assigned to the queue into a single coalescing Sender on
+// the queue's socket, so egress from co-located slices shares sendmmsg
+// bursts. Uplink (decapsulated plain IP) goes to the SGi next-hop,
+// downlink (re-encapped GTP-U) to the eNodeB whose tunnel address is in
+// the outer header, resolved through the wait-free PeerTable. The linger
+// budget is enforced from the loop's housekeeping slot with one clock
+// read per pass — not one per slice — and the read is skipped entirely
+// while nothing is pending.
+func runQueueEgress(slices []*pepc.Slice, conn *sockio.Conn, peers *sockio.PeerTable, sgi netip.AddrPort,
 	batch int, linger time.Duration, stats *wireStats, stop <-chan struct{}) {
 	snd := sockio.NewSender(conn, batch, linger)
 	defer snd.Close()
@@ -244,45 +306,71 @@ func runEgress(s *pepc.Slice, conn *sockio.Conn, peers *sockio.PeerTable, sgi ne
 			prevErrs = snd.Errs
 		}
 	}
-	w := &nf.Worker{
-		In:        s.Egress,
-		BatchSize: batch,
-		Handler: func(batch []*pkt.Buf) {
-			for _, b := range batch {
-				if b.Meta.Uplink {
-					if !sgi.IsValid() {
-						stats.egressNoRoute.Add(1)
-						snd.Cache().Put(b)
-						continue
-					}
-					snd.Queue(b, sgi)
-					continue
-				}
-				data := b.Bytes()
-				if len(data) < pkt.IPv4HeaderLen {
-					stats.egressNoRoute.Add(1)
-					snd.Cache().Put(b)
-					continue
-				}
-				dst, ok := peers.Lookup(binary.BigEndian.Uint32(data[16:20]))
-				if !ok {
-					stats.egressNoRoute.Add(1)
-					snd.Cache().Put(b)
-					continue
-				}
-				snd.Queue(b, dst)
+	queueOne := func(b *pkt.Buf) {
+		if b.Meta.Uplink {
+			if !sgi.IsValid() {
+				stats.egressNoRoute.Add(1)
+				snd.Cache().Put(b)
+				return
 			}
-		},
-		Housekeep: func() {
-			snd.FlushExpired(time.Now())
-			account()
-		},
-		// Bounded park on idle: this is a daemon sharing cores with the
-		// data planes, not a pinned benchmark loop.
-		IdlePark: 200 * time.Microsecond,
+			snd.Queue(b, sgi)
+			return
+		}
+		data := b.Bytes()
+		if len(data) < pkt.IPv4HeaderLen {
+			stats.egressNoRoute.Add(1)
+			snd.Cache().Put(b)
+			return
+		}
+		dst, ok := peers.Lookup(binary.BigEndian.Uint32(data[16:20]))
+		if !ok {
+			stats.egressNoRoute.Add(1)
+			snd.Cache().Put(b)
+			return
+		}
+		snd.Queue(b, dst)
 	}
-	w.Run(stop)
-	account()
+	proc := make([]*pkt.Buf, batch)
+	// Bounded park on idle: this is a daemon sharing cores with the data
+	// planes, not a pinned benchmark loop.
+	const idlePark = 200 * time.Microsecond
+	idle := 0
+	for {
+		select {
+		case <-stop:
+			account()
+			return
+		default:
+		}
+		drained := 0
+		for _, s := range slices {
+			for {
+				m := s.Egress.DequeueBatch(proc)
+				if m == 0 {
+					break
+				}
+				drained += m
+				for _, b := range proc[:m] {
+					queueOne(b)
+				}
+			}
+		}
+		if drained > 0 {
+			idle = 0
+			continue
+		}
+		// Housekeeping slot: one clock read covers every sender this
+		// loop owns (just one today), skipped while nothing lingers.
+		if snd.Pending() > 0 {
+			snd.FlushExpired(time.Now())
+		}
+		account()
+		if idle++; idle >= 4 {
+			time.Sleep(idlePark)
+		} else {
+			runtime.Gosched()
+		}
+	}
 }
 
 // sctpBufSize is the pooled receive-copy size for signaling datagrams;

@@ -20,6 +20,18 @@ import (
 // path (which handles the buffering handshake); everything else stays on
 // the batch path. Single goroutine (one rx loop per WireSteer); the
 // demux lock makes concurrent WireSteers over one node safe.
+//
+// Rx-queue ↔ worker affinity contract: in the multi-queue wire data
+// plane (sockio.Group, pepcd -rxqueues) each rx queue owns exactly one
+// WireSteer and one PoolCache, and the group's flow-steering program
+// pins every flow (GTP TEID, or IPv4 dst for plain downlink) to one
+// queue. A WireSteer may therefore assume it never sees two queues'
+// interleavings of one flow — per-flow packet order within a steer batch
+// is arrival order — and its scratch and cache stay core-local. The
+// slice rings absorb the cross-queue fan-in: Uplink/Downlink are MPSC,
+// so several rx queues may enqueue into one slice concurrently, while
+// each slice's Egress ring stays SPSC and is drained by exactly one
+// queue's egress loop (slice i → queue i mod Q in pepcd).
 type WireSteer struct {
 	n *Node
 	// cache, when non-nil, is the free path for dropped packets —

@@ -84,6 +84,14 @@ type Scale struct {
 	// layouts at a fixed active set as the total population grows
 	// (DESIGN.md §4.10).
 	Fig14Mode string
+	// SockioQMode selects how the sockio experiment's multi-queue sweep
+	// aggregates across its share-nothing queue lanes: "parallel" runs
+	// every lane's rx loop and traffic source concurrently over one
+	// SO_REUSEPORT group, "sum" measures each lane alone and adds the
+	// rates (the single-CPU methodology, as Fig7Mode "sum"), and
+	// ""/"auto" picks parallel when GOMAXPROCS can host every lane's
+	// node loop plus its source.
+	SockioQMode string
 	// FaultSeed seeds the "faults" experiment's deterministic injector
 	// (0 means seed 1); the same seed reproduces the same fault stream.
 	FaultSeed uint64

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pepc/internal/core"
@@ -79,9 +82,36 @@ func Sockio(sc Scale) (Result, error) {
 		}
 	}
 
+	// Multi-queue sweep: aggregate rate over an SO_REUSEPORT group of
+	// share-nothing queue lanes at the default burst size, the -rxqueues
+	// scaling axis of cmd/pepcd.
+	mq := sim.Series{Name: "PEPC loopback multi-queue"}
+	qmode, qsteered := "", true
+	for _, q := range []int{1, 2, 4} {
+		rate, m, steered, lost, err := sockioQueueRun(q, total, nUsers, sc.SockioQMode)
+		if err != nil {
+			return Result{}, err
+		}
+		totalLost += lost
+		qmode = m
+		if !steered {
+			qsteered = false
+		}
+		mq.Points = append(mq.Points, sim.Point{X: float64(q), Y: rate})
+		gcNow()
+	}
+
 	mode := "portable fallback: one datagram per syscall regardless of burst"
 	if sockio.Batched() {
 		mode = "recvmmsg/sendmmsg: one kernel crossing per burst and direction"
+	}
+	steerNote := "multi-queue lanes share one address via SO_REUSEPORT with cBPF flow steering (TEID mod n)"
+	if !qsteered {
+		steerNote = "reuseport flow steering unavailable: multi-queue lanes emulated on separate sockets"
+	}
+	qmodeNote := fmt.Sprintf("multi-queue %s mode: every lane's rx loop and source run concurrently (GOMAXPROCS=%d)", qmode, runtime.GOMAXPROCS(0))
+	if qmode == "sum" {
+		qmodeNote = "multi-queue sum mode: share-nothing lanes measured independently and added (single-CPU methodology, as Figure 7)"
 	}
 	notes := []string{
 		"closed loop over loopback UDP: source and node event loops run concurrently (the deployed daemon shape), flow-controlled one burst in flight",
@@ -90,6 +120,10 @@ func Sockio(sc Scale) (Result, error) {
 		"per-packet reference: the replaced loop (ReadFrom + alloc/copy + locked steer + WriteTo, per-packet source), one syscall and one wakeup per datagram per direction",
 		fmt.Sprintf("batched best %.3f Mpps = %.2fx the per-packet reference (%.3f Mpps)", bestWire, bestWire/legacyMpps, legacyMpps),
 		mode,
+		steerNote,
+		qmodeNote,
+		fmt.Sprintf("multi-queue aggregate at burst %d: %.3f Mpps at 1 queue, %.3f at 4 (%.2fx)",
+			sockio.DefaultBatch, mq.Points[0].Y, mq.Points[2].Y, mq.Points[2].Y/mq.Points[0].Y),
 	}
 	if totalLost > 0 {
 		notes = append(notes, fmt.Sprintf("%d datagrams lost on loopback across the sweep (excluded from rates)", totalLost))
@@ -99,9 +133,338 @@ func Sockio(sc Scale) (Result, error) {
 		Title:  "Socket I/O batching: loopback Mpps and syscall tax vs burst size",
 		XLabel: "burst (datagrams/syscall)",
 		YLabel: "Mpps",
-		Series: []sim.Series{wire, legacy, mem, sys},
+		Series: []sim.Series{wire, legacy, mem, sys, mq},
 		Notes:  notes,
 	}, nil
+}
+
+// sockioQueueLane is one share-nothing lane of the multi-queue sweep:
+// its own node-side socket (a queue of the reuseport group), its own
+// slice, Receiver, WireSteer, egress Sender, and its own traffic source
+// socket generating only flows steered to this lane (TEID ≡ lane mod
+// queues, matching the group's cBPF program).
+type sockioQueueLane struct {
+	slice    *core.Slice
+	node     *core.Node
+	gen      *workload.TrafficGen
+	nodeConn *sockio.Conn
+	srcConn  *sockio.Conn
+	srcAddr  netip.AddrPort
+	srcSnd   *sockio.Sender
+	back     []sockio.Message
+	batch    int
+	lost     int
+	done     chan struct{}
+}
+
+// start spawns the lane's node-side event loop — the same per-queue rx +
+// inline pipeline + coalesced egress shape cmd/pepcd runs — which exits
+// when the lane's node socket closes.
+func (l *sockioQueueLane) start(pool *pkt.Pool) {
+	l.done = make(chan struct{})
+	go func() {
+		defer close(l.done)
+		rcv := sockio.NewReceiver(l.nodeConn, pool, l.batch)
+		defer rcv.Close()
+		ws := l.node.NewWireSteer(l.batch, rcv.Cache())
+		egSnd := sockio.NewSender(l.nodeConn, l.batch, time.Hour)
+		defer egSnd.Close()
+		scratch := make([]*pkt.Buf, 0, l.batch)
+		proc := make([]*pkt.Buf, l.batch)
+		for {
+			k, err := rcv.Recv()
+			if k == 0 {
+				if err != nil {
+					return // socket closed by the measuring side
+				}
+				continue
+			}
+			scratch = rcv.TakeAll(scratch[:0])
+			ws.Steer(scratch)
+			for {
+				m := l.slice.Uplink.DequeueBatch(proc)
+				if m == 0 {
+					break
+				}
+				l.slice.Data().ProcessUplinkBatch(proc[:m], sim.Now())
+			}
+			for {
+				eb, ok := l.slice.Egress.Dequeue()
+				if !ok {
+					break
+				}
+				if egSnd.Queue(eb, l.srcAddr) != nil {
+					return
+				}
+			}
+			if egSnd.Flush() != nil {
+				return
+			}
+		}
+	}()
+}
+
+// iterate offers one burst of n uplink packets from the lane's source and
+// waits for the echo, returning how many completed the round trip.
+func (l *sockioQueueLane) iterate(n int) (int, error) {
+	for i := 0; i < n; i++ {
+		if err := l.srcSnd.Queue(l.gen.NextUplink(), netip.AddrPort{}); err != nil {
+			return 0, err
+		}
+	}
+	if err := l.srcSnd.Flush(); err != nil {
+		return 0, err
+	}
+	l.srcConn.UDPConn().SetReadDeadline(time.Now().Add(2 * time.Second))
+	returned := 0
+	for returned < n {
+		k, err := l.srcConn.ReadBatch(l.back[:min(l.batch, n-returned)])
+		if err != nil {
+			l.lost += n - returned
+			break
+		}
+		returned += k
+	}
+	return returned, nil
+}
+
+// measure runs the lane's closed loop for quota packets and returns how
+// many completed round trips.
+func (l *sockioQueueLane) measure(quota int) (int, error) {
+	processed := 0
+	for processed < quota {
+		n := l.batch
+		if rem := quota - processed; rem < n {
+			n = rem
+		}
+		returned, err := l.iterate(n)
+		if err != nil {
+			return processed, err
+		}
+		if returned == 0 {
+			return processed, fmt.Errorf("sockio: loopback burst fully lost on a queue lane")
+		}
+		processed += returned
+	}
+	return processed, nil
+}
+
+// sockioQueueSetup builds the node (one slice per queue), the socket
+// group, and the per-queue lanes. When the platform provides a steered
+// reuseport group, all lanes share one local address and the kernel's
+// cBPF program delivers each lane's flows to its queue; otherwise the
+// lanes fall back to separate sockets (steered=false), preserving the
+// share-nothing shape without the shared address.
+func sockioQueueSetup(queues, nUsers, batch int) ([]*sockioQueueLane, func(), bool, error) {
+	cfgs := make([]core.SliceConfig, queues)
+	for i := range cfgs {
+		cfgs[i] = core.SliceConfig{ID: i + 1, UserHint: nUsers}
+	}
+	node := core.NewNode(cfgs...)
+	lanes := make([]*sockioQueueLane, queues)
+	for s := 0; s < queues; s++ {
+		sl := node.Slice(s)
+		users, err := attachPopulation(sl, nUsers, 1+uint64(s)*uint64(nUsers))
+		if err != nil {
+			return nil, nil, false, err
+		}
+		for _, u := range users {
+			node.Demux().Register(u.UplinkTEID, u.UEAddr, u.IMSI, s)
+		}
+		// Lane s sources only flows the steering program sends to queue
+		// s: sequential TEID allocation spans every residue class, so
+		// the subset with TEID ≡ s (mod queues) is about 1/queues of the
+		// attached population.
+		lane := users[:0:0]
+		for _, u := range users {
+			if int(u.UplinkTEID%uint32(queues)) == s {
+				lane = append(lane, u)
+			}
+		}
+		if len(lane) == 0 {
+			return nil, nil, false, fmt.Errorf("sockio: no flows with TEID residue %d of %d", s, queues)
+		}
+		lanes[s] = &sockioQueueLane{
+			slice: sl,
+			node:  node,
+			batch: batch,
+			gen: workload.NewTrafficGen(workload.TrafficConfig{
+				ENBAddr:    pkt.IPv4Addr(192, 168, 0, 1),
+				CoreAddr:   sl.Config().CoreAddr,
+				UplinkSize: 64,
+			}, lane),
+		}
+	}
+
+	var closers []func()
+	cleanup := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	group, err := sockio.ListenGroup("udp4", "127.0.0.1:0", queues)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("sockio: loopback unavailable: %w", err)
+	}
+	steered := group.Size() == queues && (queues == 1 || group.Steered())
+	if steered {
+		closers = append(closers, func() { group.Close() })
+		for q, l := range lanes {
+			l.nodeConn = group.Queue(q)
+		}
+	} else {
+		// No steered reuseport group on this platform: one plain socket
+		// per lane instead (distinct ports).
+		group.Close()
+		for _, l := range lanes {
+			npc, err := net.ListenPacket("udp4", "127.0.0.1:0")
+			if err != nil {
+				cleanup()
+				return nil, nil, false, fmt.Errorf("sockio: loopback unavailable: %w", err)
+			}
+			nc, err := sockio.NewConn(npc.(*net.UDPConn))
+			if err != nil {
+				npc.Close()
+				cleanup()
+				return nil, nil, false, err
+			}
+			l.nodeConn = nc
+			closers = append(closers, func() { nc.Close() })
+		}
+	}
+	for _, l := range lanes {
+		euc, err := net.Dial("udp4", l.nodeConn.LocalAddrPort().String())
+		if err != nil {
+			cleanup()
+			return nil, nil, false, err
+		}
+		sc, err := sockio.NewConn(euc.(*net.UDPConn))
+		if err != nil {
+			euc.Close()
+			cleanup()
+			return nil, nil, false, err
+		}
+		l.srcConn = sc
+		l.srcAddr = euc.LocalAddr().(*net.UDPAddr).AddrPort()
+		l.srcSnd = sockio.NewSender(sc, batch, time.Hour)
+		l.back = make([]sockio.Message, batch)
+		for i := range l.back {
+			l.back[i].Buf = make([]byte, 2048)
+		}
+		closers = append(closers, func() { sc.Close() })
+	}
+	return lanes, cleanup, steered, nil
+}
+
+// sockioQueueRun measures one queue-count point of the multi-queue sweep:
+// aggregate Mpps across the group's share-nothing lanes at the default
+// burst size. Two aggregation modes (Scale.SockioQMode): "parallel" runs
+// every lane's node loop and source concurrently and divides the total
+// completed round trips by the shared wall clock; "sum" measures each
+// lane alone and adds the rates — the Figure 7 single-CPU methodology,
+// honest because the lanes share no mutable state beyond the wait-free
+// PeerTable analog (none here) and the kernel's socket layer. ""/"auto"
+// picks parallel when GOMAXPROCS can host every lane's two goroutines.
+func sockioQueueRun(queues, total, nUsers int, mode string) (float64, string, bool, int, error) {
+	batch := sockio.DefaultBatch
+	if mode == "" || mode == "auto" {
+		if runtime.GOMAXPROCS(0) >= 2*queues {
+			mode = "parallel"
+		} else {
+			mode = "sum"
+		}
+	}
+	lanes, cleanup, steered, err := sockioQueueSetup(queues, nUsers, batch)
+	if err != nil {
+		return 0, mode, false, 0, err
+	}
+	stopLanes := func() {
+		cleanup()
+		for _, l := range lanes {
+			if l.done != nil {
+				<-l.done
+			}
+		}
+	}
+
+	pool := pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	for _, l := range lanes {
+		l.start(pool)
+	}
+	laneQuota := total / sockioWindows / queues
+	if laneQuota < batch {
+		laneQuota = batch
+	}
+	warm := laneQuota / 4
+	if warm > 1024 {
+		warm = 1024
+	}
+	for _, l := range lanes {
+		if _, err := l.measure(warm); err != nil {
+			stopLanes()
+			return 0, mode, steered, 0, err
+		}
+	}
+	gcNow()
+
+	best := 0.0
+	var ferr error
+	if mode == "parallel" {
+		for w := 0; w < sockioWindows && ferr == nil; w++ {
+			var wg sync.WaitGroup
+			var processed atomic.Int64
+			var errMu sync.Mutex
+			start := time.Now()
+			for _, l := range lanes {
+				wg.Add(1)
+				go func(l *sockioQueueLane) {
+					defer wg.Done()
+					p, err := l.measure(laneQuota)
+					processed.Add(int64(p))
+					if err != nil {
+						errMu.Lock()
+						ferr = err
+						errMu.Unlock()
+					}
+				}(l)
+			}
+			wg.Wait()
+			if r := mpps(int(processed.Load()), time.Since(start)); r > best {
+				best = r
+			}
+		}
+	} else {
+		// Sum mode: each lane measured alone (the other lanes' node
+		// loops stay parked in Recv), fastest of the windows per lane,
+		// rates added.
+		agg := 0.0
+		for _, l := range lanes {
+			laneBest := 0.0
+			for w := 0; w < sockioWindows && ferr == nil; w++ {
+				start := time.Now()
+				p, err := l.measure(laneQuota)
+				if err != nil {
+					ferr = err
+					break
+				}
+				if r := mpps(p, time.Since(start)); r > laneBest {
+					laneBest = r
+				}
+			}
+			agg += laneBest
+		}
+		best = agg
+	}
+
+	lost := 0
+	for _, l := range lanes {
+		lost += l.lost
+	}
+	stopLanes()
+	if ferr != nil {
+		return 0, mode, steered, lost, ferr
+	}
+	return best, mode, steered, lost, nil
 }
 
 // sockioNode builds the single-slice node and attached population every

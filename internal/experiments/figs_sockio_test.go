@@ -22,18 +22,30 @@ func TestSockioSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Series) != 4 {
-		t.Fatalf("want 4 series, got %d", len(res.Series))
+	if len(res.Series) != 5 {
+		t.Fatalf("want 5 series, got %d", len(res.Series))
 	}
-	for _, s := range res.Series {
-		if len(s.Points) != 7 {
-			t.Fatalf("series %q: want 7 points, got %d", s.Name, len(s.Points))
+	for i, s := range res.Series {
+		wantPts := 7
+		if i == 4 {
+			wantPts = 3 // multi-queue sweep: 1/2/4 queues
+		}
+		if len(s.Points) != wantPts {
+			t.Fatalf("series %q: want %d points, got %d", s.Name, wantPts, len(s.Points))
 		}
 		for _, p := range s.Points {
 			if p.Y <= 0 {
-				t.Fatalf("series %q: zero rate at burst %.0f", s.Name, p.X)
+				t.Fatalf("series %q: zero rate at x=%.0f", s.Name, p.X)
 			}
 		}
+	}
+	mq := res.Series[4]
+	if mq.Name != "PEPC loopback multi-queue" {
+		t.Fatalf("unexpected multi-queue series %q", mq.Name)
+	}
+	if mq.Points[2].Y < mq.Points[0].Y {
+		t.Errorf("aggregate rate fell with queues: %.3f Mpps at 1 queue vs %.3f at 4",
+			mq.Points[0].Y, mq.Points[2].Y)
 	}
 	sys := res.Series[3]
 	if sys.Name != "syscalls per packet" {

@@ -1,0 +1,33 @@
+//go:build linux && (amd64 || arm64)
+
+package sockio
+
+import "testing"
+
+// TestFlowSteerProgShape pins the steering program's structure so a
+// refactor cannot silently change the queue-selection contract (tested
+// behaviorally in TestGroupDistribution only on kernels that accept the
+// attach).
+func TestFlowSteerProgShape(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		prog := flowSteerProg(n)
+		if len(prog) != 11 {
+			t.Fatalf("n=%d: program length %d, want 11", n, len(prog))
+		}
+		if prog[9].k != uint32(n) || prog[9].code != bpfAluModK {
+			t.Fatalf("n=%d: mod operand %d (code %#x)", n, prog[9].k, prog[9].code)
+		}
+		if prog[8].k != 32 {
+			t.Fatalf("outer TEID load at offset %d, want 32", prog[8].k)
+		}
+		if prog[6].k != 16 {
+			t.Fatalf("IPv4 dst load at offset %d, want 16", prog[6].k)
+		}
+		if prog[5].k != 2152 || prog[5].jt != 2 {
+			t.Fatalf("GTP-U port jeq k=%d jt=%d, want k=2152 jt=2", prog[5].k, prog[5].jt)
+		}
+		if prog[1].k != 0x45 || prog[1].jf != 4 {
+			t.Fatalf("IPv4 check jeq k=%#x jf=%d, want k=0x45 jf=4", prog[1].k, prog[1].jf)
+		}
+	}
+}

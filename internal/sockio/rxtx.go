@@ -166,7 +166,9 @@ func (s *Sender) Pending() int { return s.n }
 // sends on the connected socket's peer. The batch flushes when full (or
 // immediately when lingering is disabled).
 func (s *Sender) Queue(b *pkt.Buf, dst netip.AddrPort) error {
-	if s.n == 0 {
+	if s.n == 0 && s.linger > 0 {
+		// The linger clock only matters when partial batches may wait;
+		// with lingering disabled every Queue flushes below.
 		s.since = time.Now()
 	}
 	s.msgs[s.n].Buf = b.Bytes()
@@ -201,7 +203,13 @@ func (s *Sender) Flush() error {
 }
 
 // FlushExpired flushes the pending batch if it has lingered past the
-// budget. Call from the tx loop's idle path with the current time.
+// budget. Call from the tx loop's idle path with the current time — one
+// clock read per housekeep pass, shared across every sender the loop
+// owns: with N queues × M slices a per-sender time.Now() would multiply
+// vDSO clock reads for no precision gain (the linger budget is orders of
+// magnitude coarser than the read). Callers should skip the clock read
+// entirely while Pending() is zero; with a zero now this is a no-op
+// unless the budget has genuinely expired against the zero time.
 func (s *Sender) FlushExpired(now time.Time) error {
 	if s.n == 0 || now.Sub(s.since) < s.linger {
 		return nil

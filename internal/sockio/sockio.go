@@ -156,43 +156,56 @@ var ErrClosed = errors.New("sockio: connection closed")
 // host order) to the UDP endpoint the tunnel's packets arrive from, so
 // downlink egress — whose outer destination is that same S1-U address —
 // can be transmitted back over the wire without static routing. The rx
-// loop learns, egress workers look up.
+// loops learn, egress workers look up.
+//
+// It is one of the two cross-queue structures of the multi-queue data
+// plane (Conn stats being the other) and is kept read-mostly: Lookup runs
+// once per egress packet on every queue, while Learn only mutates on the
+// first packet from a new eNodeB (or an eNodeB restart). The table is
+// therefore copy-on-write — readers follow an atomic pointer to an
+// immutable map (wait-free, no shared cache line bounced between queues)
+// and the rare writer clones the map under a writer-only mutex.
 type PeerTable struct {
-	mu sync.RWMutex
-	m  map[uint32]netip.AddrPort
+	// mu serializes writers only; readers never take it.
+	mu sync.Mutex
+	p  atomic.Pointer[map[uint32]netip.AddrPort]
 }
 
 // NewPeerTable returns an empty table.
 func NewPeerTable() *PeerTable {
-	return &PeerTable{m: make(map[uint32]netip.AddrPort)}
+	t := &PeerTable{}
+	m := make(map[uint32]netip.AddrPort)
+	t.p.Store(&m)
+	return t
 }
 
-// Learn records ip → from. The common case (mapping unchanged) takes only
-// the read lock.
+// Learn records ip → from. The common case (mapping already present and
+// unchanged) is a wait-free read; a new or moved peer clones the map.
 func (t *PeerTable) Learn(ip uint32, from netip.AddrPort) {
-	t.mu.RLock()
-	cur, ok := t.m[ip]
-	t.mu.RUnlock()
-	if ok && cur == from {
+	if cur, ok := (*t.p.Load())[ip]; ok && cur == from {
 		return
 	}
 	t.mu.Lock()
-	t.m[ip] = from
+	// Re-check under the writer lock: a racing Learn may have already
+	// published this exact mapping.
+	old := *t.p.Load()
+	if cur, ok := old[ip]; !ok || cur != from {
+		next := make(map[uint32]netip.AddrPort, len(old)+1)
+		for k, v := range old {
+			next[k] = v
+		}
+		next[ip] = from
+		t.p.Store(&next)
+	}
 	t.mu.Unlock()
 }
 
 // Lookup resolves the UDP endpoint for an outer destination address.
+// Wait-free: it runs per egress burst on every queue concurrently.
 func (t *PeerTable) Lookup(ip uint32) (netip.AddrPort, bool) {
-	t.mu.RLock()
-	ap, ok := t.m[ip]
-	t.mu.RUnlock()
+	ap, ok := (*t.p.Load())[ip]
 	return ap, ok
 }
 
 // Len returns the number of learned peers.
-func (t *PeerTable) Len() int {
-	t.mu.RLock()
-	n := len(t.m)
-	t.mu.RUnlock()
-	return n
-}
+func (t *PeerTable) Len() int { return len(*t.p.Load()) }

@@ -12,6 +12,7 @@
 #   BENCHDIFF_FIG8_THRESHOLD=0.35   figure 8's own (wider) tolerance
 #   BENCHDIFF_FIG14_THRESHOLD=0.35  figure 14's own (wider) tolerance
 #   BENCHDIFF_SOCKIO_THRESHOLD=0.35 sockio's own (wider) tolerance
+#   BENCHDIFF_SOCKIOQ_THRESHOLD=0.35 sockio multi-queue series tolerance
 #   BENCHDIFF_SERIES=""             gate every series, not just PEPC*
 #   BENCHDIFF_FIGS="5 6 7 8 14 sockio"  which figures to regenerate
 #   BENCHDIFF_RUNS=3                runs folded into the baseline on --update
@@ -36,6 +37,7 @@ THRESHOLD="${BENCHDIFF_THRESHOLD:-0.10}"
 FIG8_THRESHOLD="${BENCHDIFF_FIG8_THRESHOLD:-0.35}"
 FIG14_THRESHOLD="${BENCHDIFF_FIG14_THRESHOLD:-0.35}"
 SOCKIO_THRESHOLD="${BENCHDIFF_SOCKIO_THRESHOLD:-0.35}"
+SOCKIOQ_THRESHOLD="${BENCHDIFF_SOCKIOQ_THRESHOLD:-0.35}"
 SERIES="${BENCHDIFF_SERIES-PEPC}"
 FIGS="${BENCHDIFF_FIGS:-5 6 7 8 14 sockio}"
 RUNS="${BENCHDIFF_RUNS:-3}"
@@ -140,6 +142,18 @@ case " $FIGS " in
         (cd "$OUT" && ./pepcbench -fig sockio -json >/dev/null)
         "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
             -threshold "$SOCKIO_THRESHOLD" -series "$SERIES" -only BENCH_sockio.json
+    fi
+    # The multi-queue series (-rxqueues scaling over the SO_REUSEPORT
+    # group) gets its own gate at its own threshold: its lanes are
+    # share-nothing, so a drop here means the per-queue wire path or the
+    # steering program regressed, not batching. Same confirm-on-failure
+    # shape as above.
+    if ! "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
+        -threshold "$SOCKIOQ_THRESHOLD" -series "PEPC loopback multi-queue" -only BENCH_sockio.json; then
+        echo "== sockio multi-queue gate failed, regenerating to confirm"
+        (cd "$OUT" && ./pepcbench -fig sockio -json >/dev/null)
+        "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
+            -threshold "$SOCKIOQ_THRESHOLD" -series "PEPC loopback multi-queue" -only BENCH_sockio.json
     fi
     ;;
 esac

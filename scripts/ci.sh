@@ -20,6 +20,12 @@ go test ./...
 echo "== go test -race internal/core internal/state internal/sockio"
 go test -race ./internal/core/ ./internal/state/ ./internal/sockio/
 
+# Multi-queue daemon smoke: pepcd's -rxqueues 2 wiring end to end under
+# the race detector — per-queue rx and egress loops sharing only the
+# copy-on-write PeerTable and the per-conn atomic stats.
+echo "== pepcd multi-queue smoke (-rxqueues 2 under -race)"
+go test -race -run 'TestPepcdMultiQueue' -count=1 ./cmd/pepcd/
+
 # Chaos soak smoke: the short, time-bounded soak under the race detector
 # (seeded fault plans; zero invariant violations required). See
 # DESIGN.md §4.12 and scripts/soak.sh for the full harness.
