@@ -36,6 +36,7 @@ func main() {
 	fig8Mode := flag.String("fig8", "paper", "figure 8 experiment: paper (migration impact) or pktsize (header-engine packet-size sweep)")
 	fig14Mode := flag.String("fig14", "paper", "figure 14 sweep: paper (always-on fraction) or population (pointer vs handle state layout)")
 	sockioQMode := flag.String("sockioq", "auto", "sockio multi-queue aggregation: auto, parallel (concurrent lanes) or sum (measure-and-sum)")
+	clusterMode := flag.String("clustermode", "auto", "cluster experiment aggregation: auto, parallel (concurrent node lanes) or sum (measure-and-sum)")
 	faultSeed := flag.Uint64("faultseed", 0, "faults experiment: injector seed (0 = default)")
 	faultEpochs := flag.Int("faultepochs", 0, "faults experiment: chaos soak epochs (0 = default)")
 	jsonOut := flag.Bool("json", false, "also write each result as machine-readable BENCH_<name>.json")
@@ -107,6 +108,13 @@ func main() {
 		os.Exit(2)
 	}
 	sc.SockioQMode = *sockioQMode
+	switch *clusterMode {
+	case "", "auto", "parallel", "sum":
+	default:
+		fmt.Fprintf(os.Stderr, "pepcbench: -clustermode must be auto, parallel or sum (got %q)\n", *clusterMode)
+		os.Exit(2)
+	}
+	sc.ClusterMode = *clusterMode
 	sc.FaultSeed = *faultSeed
 	sc.FaultEpochs = *faultEpochs
 

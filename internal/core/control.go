@@ -7,6 +7,7 @@ import (
 
 	"pepc/internal/charging"
 	"pepc/internal/pcef"
+	"pepc/internal/qos"
 	"pepc/internal/ring"
 	"pepc/internal/sim"
 	"pepc/internal/state"
@@ -196,6 +197,16 @@ type AttachSpec struct {
 	AMBRUplink   uint64
 	AMBRDownlink uint64
 	QCI          uint8
+	// AssignedUplinkTEID/AssignedUEAddr, when both nonzero, bypass the
+	// slice's identifier allocator: the caller owns the identifier space
+	// and has derived the pair itself (the cluster layer embeds its
+	// global user key in both, so the Maglev steering key is recoverable
+	// from either identifier on the wire). The free-list recycle path is
+	// skipped — parked contexts are bound to allocator-owned pairs —
+	// and uniqueness across attaches is the caller's contract. Setting
+	// only one of the two is an error (ErrBadAssignment).
+	AssignedUplinkTEID uint32
+	AssignedUEAddr     uint32
 }
 
 // AttachResult reports the identifiers the network assigned.
@@ -233,8 +244,17 @@ func (cp *ControlPlane) Attach(spec AttachSpec) (AttachResult, error) {
 		}
 	}
 
-	ue, teid, ueAddr, err := cp.allocUE()
-	if err != nil {
+	var ue *state.UE
+	var teid, ueAddr uint32
+	var err error
+	if spec.AssignedUplinkTEID != 0 || spec.AssignedUEAddr != 0 {
+		if spec.AssignedUplinkTEID == 0 || spec.AssignedUEAddr == 0 {
+			return res, ErrBadAssignment
+		}
+		teid, ueAddr = spec.AssignedUplinkTEID, spec.AssignedUEAddr
+		ue = &state.UE{}
+		cp.bindHot(ue)
+	} else if ue, teid, ueAddr, err = cp.allocUE(); err != nil {
 		return res, err
 	}
 	guti := spec.IMSI ^ 0x00ff_feed_0000_0000
@@ -634,10 +654,14 @@ func (cp *ControlPlane) Maintain(now, idleNs int64) int {
 // extract snapshots a user and removes it from the slice (migration
 // source side). The data plane stops finding the user after its next
 // update sync; the node scheduler buffers in-flight packets meanwhile.
-func (cp *ControlPlane) extract(imsi uint64) (state.ControlState, state.CounterState, error) {
+// The returned QoSLevels carry the policing budget (token-bucket fill)
+// the user had accrued, captured from the data-private limiter once the
+// fence proves the data thread is done with it.
+func (cp *ControlPlane) extract(imsi uint64) (state.ControlState, state.CounterState, state.QoSLevels, error) {
+	var lv state.QoSLevels
 	ue, err := cp.s.cp.Remove(imsi)
 	if err != nil {
-		return state.ControlState{}, state.CounterState{}, ErrUserUnknown
+		return state.ControlState{}, state.CounterState{}, lv, ErrUserUnknown
 	}
 	var teid, ueAddr uint32
 	ue.ReadCtrl(func(c *state.ControlState) {
@@ -651,36 +675,77 @@ func (cp *ControlPlane) extract(imsi uint64) (state.ControlState, state.CounterS
 	// counters remains in flight, and the snapshot below is final. The
 	// timeout covers inline setups with no data worker running, where
 	// the caller is the only driver of both planes.
+	fenced := true
 	if cp.s.data.running.Load() {
 		seq0 := cp.s.data.syncSeq.Load()
 		deadline := time.Now().Add(50 * time.Millisecond)
 		for cp.s.data.syncSeq.Load() < seq0+2 {
 			if time.Now().After(deadline) {
+				fenced = false
 				break
 			}
 			runtime.Gosched()
 		}
 	}
 	cs, cnt := ue.Snapshot()
+	// The limiter is data-thread-private: only read it once the fence
+	// proves no data batch can still touch this user (the syncSeq load
+	// orders the data thread's writes before ours). On a fence timeout
+	// the levels are simply not captured and the target starts the
+	// limiter full — budget-conserving transfer is best effort, exact
+	// whenever the fence holds (always, absent a stalled worker).
+	if fenced {
+		if l := ue.Hot().Priv.Limiter; l != nil {
+			lv.Valid = true
+			lv.Levels = l.ExportLevels(sim.Now())
+		}
+	}
 	if cp.s.arena != nil {
 		cp.s.arena.Retire(ue.Handle(), cp.s.data.syncSeq.Load())
 	}
 	cp.collector.Forget(imsi)
-	return cs, cnt, nil
+	return cs, cnt, lv, nil
 }
 
 // install restores a migrated user into this slice (target side),
 // preserving identifiers.
 func (cp *ControlPlane) install(cs state.ControlState, cnt state.CounterState, now int64) error {
+	return cp.installLevels(cs, cnt, state.QoSLevels{}, now)
+}
+
+// installLevels is install carrying captured QoS token levels: the
+// limiter is pre-built on the (not yet published) hot half with the
+// migrated budget, so the data thread's first rebuild reapplies the
+// identical configuration and configurePreserving keeps the seeded
+// levels — a user cannot reset its policing budget by migrating.
+func (cp *ControlPlane) installLevels(cs state.ControlState, cnt state.CounterState, lv state.QoSLevels, now int64) error {
 	ue := &state.UE{}
 	cp.bindHot(ue)
 	ue.Restore(cs, cnt)
+	if lv.Valid {
+		cp.seedLimiter(ue, &cs, lv)
+	}
 	if err := cp.s.cp.Insert(ue); err != nil {
 		return err
 	}
 	cp.notifyInsert(cs.UplinkTEID, cs.UEAddr, ue)
 	cp.collector.Seed(cs.IMSI, charging.Snapshot(ue, cs.IMSI), now)
 	return nil
+}
+
+// seedLimiter pre-builds the data-private limiter with the exact
+// configuration rebuildPriv will derive from the control state, then
+// seeds the migrated token levels. It runs before the user is published
+// to the data plane (table insert + update sync), so the single-owner
+// rule on Priv holds.
+func (cp *ControlPlane) seedLimiter(ue *state.UE, cs *state.ControlState, lv state.QoSLevels) {
+	l := &qos.UserLimiter{}
+	l.ConfigureUser(cs.AMBRUplink, cs.AMBRDownlink)
+	for i := 0; i < int(cs.BearerCount); i++ {
+		l.ConfigureBearer(i, cs.Bearers[i].MBRUplink, cs.Bearers[i].MBRDownlink)
+	}
+	l.SeedLevels(lv.Levels, sim.Now())
+	ue.Hot().Priv.Limiter = l
 }
 
 // exec runs fn on the control thread when the control loop is active

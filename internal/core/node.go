@@ -356,9 +356,10 @@ func (sc *Scheduler) MigrateUser(imsi uint64, src, dst int) error {
 	// the single-writer rule holds.
 	var cs state.ControlState
 	var cnt state.CounterState
+	var lv state.QoSLevels
 	var err error
 	n.slices[src].ctrl.exec(func() {
-		cs, cnt, err = n.slices[src].ctrl.extract(imsi)
+		cs, cnt, lv, err = n.slices[src].ctrl.extract(imsi)
 	})
 	if err != nil {
 		sc.abortMigration(teid, ueIP)
@@ -370,14 +371,15 @@ func (sc *Scheduler) MigrateUser(imsi uint64, src, dst int) error {
 	// inter-node transfer would ship.
 	var msg StateTransferMessage
 	msg.IMSI = imsi
-	if _, err := state.MarshalSnapshot(msg.Data[:], &cs, &cnt); err != nil {
+	if _, err := state.MarshalSnapshotLevels(msg.Data[:], &cs, &cnt, &lv); err != nil {
 		sc.abortMigration(teid, ueIP)
 		sc.MigrationsFailed.Add(1)
 		return err
 	}
 	var cs2 state.ControlState
 	var cnt2 state.CounterState
-	if err := state.UnmarshalSnapshot(msg.Data[:], &cs2, &cnt2); err != nil {
+	var lv2 state.QoSLevels
+	if err := state.UnmarshalSnapshotLevels(msg.Data[:], &cs2, &cnt2, &lv2); err != nil {
 		sc.abortMigration(teid, ueIP)
 		sc.MigrationsFailed.Add(1)
 		return err
@@ -386,7 +388,7 @@ func (sc *Scheduler) MigrateUser(imsi uint64, src, dst int) error {
 	// 3. Install into the target slice (on its control thread).
 	var instErr error
 	n.slices[dst].ctrl.exec(func() {
-		instErr = n.slices[dst].ctrl.install(cs2, cnt2, sim.Now())
+		instErr = n.slices[dst].ctrl.installLevels(cs2, cnt2, lv2, sim.Now())
 	})
 	if instErr != nil {
 		sc.abortMigration(teid, ueIP)
@@ -502,9 +504,10 @@ func (sc *Scheduler) ExportUser(imsi uint64, src int) (StateTransferMessage, err
 	})
 	var cs state.ControlState
 	var cnt state.CounterState
+	var lv state.QoSLevels
 	var err error
 	n.slices[src].ctrl.exec(func() {
-		cs, cnt, err = n.slices[src].ctrl.extract(imsi)
+		cs, cnt, lv, err = n.slices[src].ctrl.extract(imsi)
 	})
 	if err != nil {
 		sc.MigrationsFailed.Add(1)
@@ -512,7 +515,7 @@ func (sc *Scheduler) ExportUser(imsi uint64, src int) (StateTransferMessage, err
 	}
 	n.demux.Unregister(teid, ueIP, imsi)
 	msg.IMSI = imsi
-	if _, err := state.MarshalSnapshot(msg.Data[:], &cs, &cnt); err != nil {
+	if _, err := state.MarshalSnapshotLevels(msg.Data[:], &cs, &cnt, &lv); err != nil {
 		sc.MigrationsFailed.Add(1)
 		return msg, err
 	}
@@ -529,16 +532,44 @@ func (sc *Scheduler) ImportUser(msg StateTransferMessage, dst int) error {
 	}
 	var cs state.ControlState
 	var cnt state.CounterState
-	if err := state.UnmarshalSnapshot(msg.Data[:], &cs, &cnt); err != nil {
+	var lv state.QoSLevels
+	if err := state.UnmarshalSnapshotLevels(msg.Data[:], &cs, &cnt, &lv); err != nil {
 		return err
 	}
 	var instErr error
 	n.slices[dst].ctrl.exec(func() {
-		instErr = n.slices[dst].ctrl.install(cs, cnt, sim.Now())
+		instErr = n.slices[dst].ctrl.installLevels(cs, cnt, lv, sim.Now())
 	})
 	if instErr != nil {
 		return instErr
 	}
 	n.demux.Register(cs.UplinkTEID, cs.UEAddr, cs.IMSI, dst)
+	return nil
+}
+
+// DetachUser runs the detach procedure on slice sliceIdx and removes the
+// user's identifiers from the demux — the inverse of AttachUser for
+// callers (the cluster layer) that route signaling per user rather than
+// through an S1AP server's registrar.
+func (n *Node) DetachUser(sliceIdx int, imsi uint64) error {
+	s := n.Slice(sliceIdx)
+	if s == nil {
+		return ErrSliceRange
+	}
+	ue := s.ctrl.Lookup(imsi)
+	if ue == nil {
+		return ErrUserUnknown
+	}
+	var teid, ueIP uint32
+	ue.ReadCtrl(func(c *state.ControlState) {
+		teid = c.UplinkTEID
+		ueIP = c.UEAddr
+	})
+	var err error
+	s.ctrl.exec(func() { err = s.ctrl.Detach(imsi) })
+	if err != nil {
+		return err
+	}
+	n.demux.Unregister(teid, ueIP, imsi)
 	return nil
 }

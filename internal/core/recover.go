@@ -185,6 +185,47 @@ func (s *Slice) transferSignals(crashed *Slice) int {
 	}
 }
 
+// DrainUsers extracts every user of the slice through the state-transfer
+// encoding, invoking fn for each message; a false return stops the walk.
+// On return the drained users are gone from this slice (extract removes
+// them), so the caller owns their state. The cluster layer uses this to
+// scatter a recovered slice's population to its Maglev-picked owners;
+// neither plane of the slice may be running concurrently with the drain
+// beyond the normal extract fence. Returns the number drained.
+func (s *Slice) DrainUsers(fn func(StateTransferMessage) bool) (int, error) {
+	// Collect IMSIs first: extract mutates the store the Range walks.
+	var imsis []uint64
+	s.cp.Range(func(ue *state.UE) bool {
+		ue.ReadCtrl(func(c *state.ControlState) {
+			imsis = append(imsis, c.IMSI)
+		})
+		return true
+	})
+	drained := 0
+	for _, imsi := range imsis {
+		var cs state.ControlState
+		var cnt state.CounterState
+		var lv state.QoSLevels
+		var err error
+		s.ctrl.exec(func() {
+			cs, cnt, lv, err = s.ctrl.extract(imsi)
+		})
+		if err != nil {
+			return drained, err
+		}
+		var msg StateTransferMessage
+		msg.IMSI = imsi
+		if _, err := state.MarshalSnapshotLevels(msg.Data[:], &cs, &cnt, &lv); err != nil {
+			return drained, err
+		}
+		drained++
+		if !fn(msg) {
+			break
+		}
+	}
+	return drained, nil
+}
+
 // ArenaLive returns the number of live hot-state slots in the slice's
 // arena, the leak invariant crash recovery and the chaos soak assert
 // against Users(). Pointer-layout slices have no arena; -1 signals

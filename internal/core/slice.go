@@ -906,6 +906,7 @@ var (
 	ErrUserExists    = errors.New("core: user already attached")
 	ErrUserUnknown   = errors.New("core: user not found")
 	ErrPoolExhausted = errors.New("core: identifier pool exhausted")
+	ErrBadAssignment = errors.New("core: assigned TEID and UE address must both be set")
 )
 
 // String implements fmt.Stringer.

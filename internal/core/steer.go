@@ -51,6 +51,35 @@ const (
 	steerMigrating int32 = -2
 )
 
+// ClassifyWire classifies one raw wire datagram for steering: a GTP-U
+// envelope yields its TEID (uplink), anything else parsing as IPv4
+// yields the destination UE address (downlink); ok is false for
+// unparsable packets. The validated parse is recorded in the packet
+// metadata, and metadata already recorded by an upstream classifier
+// (e.g. the cluster steerer, which classifies once before fanning a
+// burst out to per-node WireSteers) is trusted without re-walking the
+// headers. Zero-alloc.
+func ClassifyWire(b *pkt.Buf) (key uint32, uplink, ok bool) {
+	if b.Meta.OuterParsed {
+		return b.Meta.TEID, true, true
+	}
+	if b.Meta.FlowParsed {
+		return b.Meta.Flow.Dst, false, true
+	}
+	if teid, hdrLen, err := gtp.ParseOuter(b.Bytes()); err == nil {
+		b.Meta.TEID = teid
+		b.Meta.OuterLen = uint16(hdrLen)
+		b.Meta.OuterParsed = true
+		return teid, true, true
+	}
+	if flow, _, ok := parseInner(b); ok {
+		b.Meta.Flow = flow
+		b.Meta.FlowParsed = true
+		return flow.Dst, false, true
+	}
+	return 0, false, false
+}
+
 // NewWireSteer returns a steerer for bursts of up to batch packets
 // (scratch grows if larger bursts arrive). cache may be nil.
 func (n *Node) NewWireSteer(batch int, cache *pkt.PoolCache) *WireSteer {
@@ -91,27 +120,21 @@ func (ws *WireSteer) Steer(bufs []*pkt.Buf) {
 	// with the validated outer parse recorded for the slice's decap;
 	// everything else is downlink plain IP steering by destination UE
 	// address. Non-G-PDU GTP messages and unparsable packets drop here,
-	// as the per-packet path did.
+	// as the per-packet path did. A packet already classified upstream
+	// (the cluster steerer parses once for the whole fleet) is trusted
+	// via its metadata rather than re-walked.
 	live := ws.live[:0]
 	var unknown uint64
 	for _, b := range bufs {
-		if teid, hdrLen, err := gtp.ParseOuter(b.Bytes()); err == nil {
-			b.Meta.TEID = teid
-			b.Meta.OuterLen = uint16(hdrLen)
-			b.Meta.OuterParsed = true
-			ws.keys[len(live)] = teid
-			ws.up[len(live)] = true
-			live = append(live, b)
-		} else if flow, _, ok := parseInner(b); ok {
-			b.Meta.Flow = flow
-			b.Meta.FlowParsed = true
-			ws.keys[len(live)] = flow.Dst
-			ws.up[len(live)] = false
-			live = append(live, b)
-		} else {
+		key, up, ok := ClassifyWire(b)
+		if !ok {
 			unknown++
 			ws.free(b)
+			continue
 		}
+		ws.keys[len(live)] = key
+		ws.up[len(live)] = up
+		live = append(live, b)
 	}
 
 	// Stage 2: resolve owners under one demux read lock for the whole

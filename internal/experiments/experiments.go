@@ -92,6 +92,12 @@ type Scale struct {
 	// ""/"auto" picks parallel when GOMAXPROCS can host every lane's
 	// node loop plus its source.
 	SockioQMode string
+	// ClusterMode selects how the "cluster" experiment aggregates its
+	// per-node driver lanes: "parallel" runs one closed-loop lane per
+	// node concurrently, "sum" measures each lane alone and adds the
+	// rates (the single-CPU methodology, as Fig7Mode "sum"), and
+	// ""/"auto" picks parallel when GOMAXPROCS can host every lane.
+	ClusterMode string
 	// FaultSeed seeds the "faults" experiment's deterministic injector
 	// (0 means seed 1); the same seed reproduces the same fault stream.
 	FaultSeed uint64

@@ -264,3 +264,32 @@ func TestRatioEvents(t *testing.T) {
 		t.Fatal("sub-1 event rates must clamp to 1 per 1000")
 	}
 }
+
+func TestClusterSmoke(t *testing.T) {
+	sc := micro
+	sc.ClusterMode = "sum"
+	r, err := ClusterFig(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d, want aggregate + rebalance + recovery", len(r.Series))
+	}
+	agg := r.Series[0].Points
+	if len(agg) != 3 {
+		t.Fatalf("node-count points = %d", len(agg))
+	}
+	// Share-nothing lanes summed: 4 nodes must clearly out-aggregate 1.
+	if agg[2].Y < 2.5*agg[0].Y {
+		t.Fatalf("4-node aggregate %.2f < 2.5x 1-node %.2f", agg[2].Y, agg[0].Y)
+	}
+	// One membership change moves a bounded fraction of the population
+	// (Maglev remap bound; the experiment itself errors past the bound,
+	// this guards gross regressions).
+	for _, p := range r.Series[1].Points {
+		if p.Y <= 0 || p.Y > 60 {
+			t.Fatalf("rebalance moved %.1f%% of users", p.Y)
+		}
+	}
+}

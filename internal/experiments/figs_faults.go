@@ -13,6 +13,7 @@ import (
 	"pepc/internal/pcrf"
 	"pepc/internal/pkt"
 	"pepc/internal/sim"
+	"pepc/internal/state"
 	"pepc/internal/workload"
 )
 
@@ -78,8 +79,8 @@ func Faults(sc Scale) (Result, error) {
 	stats, violations := runChaosSoak(seed, epochs, sc.users(256))
 	notes := []string{
 		fmt.Sprintf("attaches during outage complete degraded (default bearer) and are repaired by Maintain once the breaker closes; budget per Gx round trip %v", soakPolicy.Deadline*time.Duration(soakPolicy.MaxRetries+1)),
-		fmt.Sprintf("chaos soak: %d epochs, %d attaches, %d detaches, %d handovers, %d migrations, %d recoveries, %d injected stalls, %d sig drops — %d invariant violations",
-			stats.Epochs, stats.Attaches, stats.Detaches, stats.Handovers, stats.Migrations, stats.Recoveries, stats.Stalls, stats.SigDrops, len(violations)),
+		fmt.Sprintf("chaos soak: %d epochs, %d attaches, %d detaches, %d handovers, %d migrations, %d cross-node moves, %d recoveries, %d injected stalls, %d sig drops — %d invariant violations",
+			stats.Epochs, stats.Attaches, stats.Detaches, stats.Handovers, stats.Migrations, stats.NodeMoves, stats.Recoveries, stats.Stalls, stats.SigDrops, len(violations)),
 	}
 	for _, v := range violations {
 		notes = append(notes, "VIOLATION: "+v)
@@ -150,6 +151,9 @@ type SoakStats struct {
 	Detaches   int
 	Handovers  int
 	Migrations int
+	// NodeMoves counts cross-node export/import transfers (the cluster
+	// migration path) exercised during the soak.
+	NodeMoves  int
 	Recoveries int
 	Stalls     uint64
 	SigDrops   uint64
@@ -186,6 +190,12 @@ func runChaosSoak(seed uint64, epochs, usersPerEpoch int) (SoakStats, []string) 
 	proxy.SetGxFaults(inj)
 	s0, s1 := n.Slice(0), n.Slice(1)
 	s0.SetFaults(inj)
+
+	// A peer node receives cross-node moves (the cluster migration
+	// path), extending the conservation invariants across the node
+	// boundary.
+	peer := core.NewNode(core.SliceConfig{ID: 3, UserHint: 1 << 12, StateLayout: core.LayoutHandle})
+	peerLive := map[uint64]struct{}{}
 
 	// The data worker for slice 0 runs for the whole soak; slice 1 (the
 	// migration target) is driven inline by the driver.
@@ -284,6 +294,47 @@ func runChaosSoak(seed uint64, epochs, usersPerEpoch int) (SoakStats, []string) 
 		}
 		s1.Data().SyncUpdates()
 
+		// Cross-node moves: ship a few slice-1 users to the peer node
+		// through the serialized export/import path, checking exact
+		// counter conservation across the node boundary.
+		exported := 0
+		for _, u := range epochUsers {
+			if exported >= 4 {
+				break
+			}
+			if sl, ok := live[u.IMSI]; !ok || sl != 1 {
+				continue
+			}
+			var want state.CounterState
+			if ue := s1.Control().Lookup(u.IMSI); ue != nil {
+				ue.ReadCounters(func(c *state.CounterState) { want = *c })
+			}
+			msg, err := n.Scheduler().ExportUser(u.IMSI, 1)
+			if err != nil {
+				fail("epoch %d: export %d: %v", e, u.IMSI, err)
+				continue
+			}
+			delete(live, u.IMSI)
+			if err := peer.Scheduler().ImportUser(msg, 0); err != nil {
+				fail("epoch %d: import %d: %v", e, u.IMSI, err)
+				continue
+			}
+			peerLive[u.IMSI] = struct{}{}
+			ue := peer.Slice(0).Control().Lookup(u.IMSI)
+			if ue == nil {
+				fail("epoch %d: user %d lost crossing nodes", e, u.IMSI)
+				continue
+			}
+			var got state.CounterState
+			ue.ReadCounters(func(c *state.CounterState) { got = *c })
+			if got != want {
+				fail("epoch %d: user %d counters diverged crossing nodes: %+v → %+v", e, u.IMSI, want, got)
+			}
+			stats.NodeMoves++
+			exported++
+		}
+		peer.Slice(0).Data().SyncUpdates()
+
 		// Crash/recovery cycle on an independent slice, seeded per epoch.
 		if v := crashCycle(seed, uint64(e)); v != "" { // per-epoch deterministic seed
 			fail("epoch %d: %s", e, v)
@@ -321,6 +372,12 @@ func runChaosSoak(seed uint64, epochs, usersPerEpoch int) (SoakStats, []string) 
 		}
 		if al := s1.ArenaLive(); al != s1.Users() {
 			fail("epoch %d: slice1 arena live = %d, users = %d (leak)", e, al, s1.Users())
+		}
+		if got := peer.Slice(0).Users(); got != len(peerLive) {
+			fail("epoch %d: peer users = %d, want %d (cross-node conservation)", e, got, len(peerLive))
+		}
+		if al := peer.Slice(0).ArenaLive(); al != peer.Slice(0).Users() {
+			fail("epoch %d: peer arena live = %d, users = %d (leak)", e, al, peer.Slice(0).Users())
 		}
 	}
 	stats.SigDrops = s0.Control().SigDrops.Load()

@@ -23,8 +23,9 @@ var registry = map[string]runner{
 	"fig13":  Fig13,
 	"fig14":  Fig14,
 	"fig15":  Fig15,
-	"faults": Faults,
-	"sockio": Sockio,
+	"faults":  Faults,
+	"sockio":  Sockio,
+	"cluster": ClusterFig,
 }
 
 // Run regenerates the named table or figure.

@@ -25,6 +25,7 @@ var (
 	ErrDuplicate  = errors.New("lb: backend already present")
 	ErrUnknown    = errors.New("lb: backend not present")
 	ErrTableSize  = errors.New("lb: table size must be positive")
+	ErrShortBatch = errors.New("lb: output batch shorter than key batch")
 )
 
 // Balancer maps user keys (TEIDs, UE addresses, IMSIs) to backend PEPC
@@ -105,6 +106,27 @@ func (b *Balancer) Pick(key uint64) (int, string, error) {
 	return int(idx), b.backends[idx], nil
 }
 
+// PickBatch resolves a burst of keys into backend indices in one lock
+// acquisition: out[i] is the index of keys[i]'s owner (as Pick's first
+// return). The steering hot path calls this once per rx burst, so it
+// must not allocate: out must already have len(keys) entries (the call
+// errors otherwise rather than growing it).
+func (b *Balancer) PickBatch(keys []uint64, out []int32) error {
+	if len(out) < len(keys) {
+		return ErrShortBatch
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if len(b.backends) == 0 {
+		return ErrNoBackends
+	}
+	tbl, size := b.table, uint64(b.size)
+	for i, k := range keys {
+		out[i] = tbl[pkt.HashUint64(k)%size]
+	}
+	return nil
+}
+
 // PickTEID steers uplink traffic.
 func (b *Balancer) PickTEID(teid uint32) (int, string, error) {
 	return b.Pick(uint64(teid) | 1<<40)
@@ -120,12 +142,46 @@ func (b *Balancer) PickIMSI(imsi uint64) (int, string, error) {
 	return b.Pick(imsi)
 }
 
+// TableSnapshot copies the current lookup table: entry i is the backend
+// index owning table slot i, or -1 when no backends exist. Diagnostics
+// and disruption accounting only (the tests assert Maglev's remap bound
+// over it); the hot path never calls it.
+func (b *Balancer) TableSnapshot() []int32 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]int32, len(b.table))
+	if len(b.backends) == 0 {
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	copy(out, b.table)
+	return out
+}
+
+// TableSize returns the (prime-rounded) lookup table size.
+func (b *Balancer) TableSize() int { return b.size }
+
+// Len returns the current backend count.
+func (b *Balancer) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.backends)
+}
+
 // rebuild runs the Maglev population algorithm. Caller holds the write
 // lock.
 func (b *Balancer) rebuild() {
 	n := len(b.backends)
 	b.table = make([]int32, b.size)
 	if n == 0 {
+		// All backends removed: poison the table so any path that
+		// bypasses the ErrNoBackends guard fails loudly (index -1)
+		// instead of silently steering everything to a stale backend 0.
+		for i := range b.table {
+			b.table[i] = -1
+		}
 		return
 	}
 	// Per-backend permutation parameters derived from the backend name.

@@ -185,3 +185,169 @@ func TestNextPrime(t *testing.T) {
 		}
 	}
 }
+
+func TestPickBatchMatchesPick(t *testing.T) {
+	b, _ := New(names(6), 0)
+	const n = 4096
+	keys := make([]uint64, n)
+	out := make([]int32, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 2654435761
+	}
+	if err := b.PickBatch(keys, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		want, _, err := b.Pick(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(out[i]) != want {
+			t.Fatalf("key %#x: batch picked %d, Pick picked %d", k, out[i], want)
+		}
+	}
+	if err := b.PickBatch(keys, out[:n-1]); err != ErrShortBatch {
+		t.Fatalf("short out batch: %v", err)
+	}
+}
+
+func TestPickBatchZeroAlloc(t *testing.T) {
+	b, _ := New(names(8), 0)
+	keys := make([]uint64, 64)
+	out := make([]int32, 64)
+	for i := range keys {
+		keys[i] = uint64(i) << 17
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := b.PickBatch(keys, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PickBatch allocates %.1f per burst, want 0", allocs)
+	}
+}
+
+// tableRemap counts lookup-table entries whose owner changed between two
+// snapshots.
+func tableRemap(before, after []int32) int {
+	moved := 0
+	for i := range before {
+		if before[i] != after[i] {
+			moved++
+		}
+	}
+	return moved
+}
+
+func TestDisruptionBoundOverTableEntries(t *testing.T) {
+	// Maglev's remap guarantee, asserted over the table itself (not a key
+	// sample): removing one of N backends may change at most ~2*M/N of
+	// the M table entries (the leaver's ~M/N share plus a reshuffle of
+	// comparable size; Eisenbud et al. measure the reshuffle well under
+	// the share itself at M >= 100*N). Adding it back is symmetric. Note
+	// indices shift on Remove, so the comparison maps indices to names.
+	const nodes = 8
+	b, _ := New(names(nodes), 0)
+	m := b.TableSize()
+	nameAt := func(snap []int32, i int, members []string) string {
+		if snap[i] < 0 {
+			return ""
+		}
+		return members[snap[i]]
+	}
+	before := b.TableSnapshot()
+	beforeMembers := b.Backends()
+	if err := b.Remove("pepc-node-5"); err != nil {
+		t.Fatal(err)
+	}
+	after := b.TableSnapshot()
+	afterMembers := b.Backends()
+	moved := 0
+	for i := 0; i < m; i++ {
+		if nameAt(before, i, beforeMembers) != nameAt(after, i, afterMembers) {
+			moved++
+		}
+	}
+	bound := 2 * m / nodes
+	if moved > bound {
+		t.Fatalf("remove: %d of %d table entries remapped, Maglev bound %d", moved, m, bound)
+	}
+	if moved < m/nodes*9/10 {
+		t.Fatalf("remove: only %d entries remapped; the leaver owned ~%d", moved, m/nodes)
+	}
+	// Adding a new backend to N members claims ~M/(N+1) entries, bounded
+	// the same way.
+	before, beforeMembers = after, afterMembers
+	if err := b.Add("pepc-node-8"); err != nil {
+		t.Fatal(err)
+	}
+	after = b.TableSnapshot()
+	afterMembers = b.Backends()
+	moved = 0
+	for i := 0; i < m; i++ {
+		if nameAt(before, i, beforeMembers) != nameAt(after, i, afterMembers) {
+			moved++
+		}
+	}
+	if bound := 2 * m / nodes; moved > bound {
+		t.Fatalf("add: %d of %d table entries remapped, Maglev bound %d", moved, m, bound)
+	}
+}
+
+func TestEmptyAddRemoveLifecycle(t *testing.T) {
+	// empty → Add → Remove-to-empty: every stage must answer with the
+	// typed error rather than panic or steer to a ghost backend.
+	b, err := New(nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []uint64{1, 2, 3}
+	out := make([]int32, 3)
+	if err := b.PickBatch(keys, out); err != ErrNoBackends {
+		t.Fatalf("empty PickBatch: %v", err)
+	}
+	for _, e := range b.TableSnapshot() {
+		if e != -1 {
+			t.Fatalf("empty table entry = %d, want -1", e)
+		}
+	}
+	if err := b.Add("only"); err != nil {
+		t.Fatal(err)
+	}
+	if _, name, err := b.Pick(7); err != nil || name != "only" {
+		t.Fatalf("single-backend pick: %q, %v", name, err)
+	}
+	if err := b.PickBatch(keys, out); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range out {
+		if o != 0 {
+			t.Fatalf("single-backend batch pick = %d", o)
+		}
+	}
+	if err := b.Remove("only"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Pick(7); err != ErrNoBackends {
+		t.Fatalf("all-removed pick: %v", err)
+	}
+	if err := b.PickBatch(keys, out); err != ErrNoBackends {
+		t.Fatalf("all-removed PickBatch: %v", err)
+	}
+	if err := b.Remove("only"); err != ErrUnknown {
+		t.Fatalf("double remove: %v", err)
+	}
+	for _, e := range b.TableSnapshot() {
+		if e != -1 {
+			t.Fatalf("all-removed table entry = %d, want -1", e)
+		}
+	}
+	// The set must be rebuildable after total drain.
+	if err := b.Add("again"); err != nil {
+		t.Fatal(err)
+	}
+	if _, name, err := b.Pick(7); err != nil || name != "again" {
+		t.Fatalf("re-add pick: %q, %v", name, err)
+	}
+}

@@ -158,6 +158,57 @@ func (tb *TokenBucket) configurePreserving(rate, burst uint64) {
 	tb.tokens = burst
 }
 
+// Levels is a flat export of a UserLimiter's current token levels, in
+// bucket bytes: the state a migrating user carries so policing budget is
+// conserved across the move (a user must not earn a fresh burst of
+// tokens by migrating, nor lose budget it had accrued).
+type Levels struct {
+	AMBRUp     uint64
+	AMBRDown   uint64
+	BearerUp   [4]uint64
+	BearerDown [4]uint64
+}
+
+// ExportLevels refills every bucket at now and returns the levels.
+// Owning thread only (migration extract runs after the data-plane
+// fence).
+func (ul *UserLimiter) ExportLevels(now int64) Levels {
+	return Levels{
+		AMBRUp:   ul.AMBRUp.Tokens(now),
+		AMBRDown: ul.AMBRDown.Tokens(now),
+		BearerUp: [4]uint64{
+			ul.BearerUp[0].Tokens(now), ul.BearerUp[1].Tokens(now),
+			ul.BearerUp[2].Tokens(now), ul.BearerUp[3].Tokens(now),
+		},
+		BearerDown: [4]uint64{
+			ul.BearerDown[0].Tokens(now), ul.BearerDown[1].Tokens(now),
+			ul.BearerDown[2].Tokens(now), ul.BearerDown[3].Tokens(now),
+		},
+	}
+}
+
+// SeedLevels overwrites every bucket's token level (clamped to its
+// configured depth) and stamps its refill clock to now, so a seeded
+// bucket resumes accruing from the seed rather than treating the epoch
+// gap as elapsed time and instantly refilling. Call after Configure*
+// on the owning thread, before the limiter serves packets.
+func (ul *UserLimiter) SeedLevels(lv Levels, now int64) {
+	ul.AMBRUp.seed(lv.AMBRUp, now)
+	ul.AMBRDown.seed(lv.AMBRDown, now)
+	for i := range ul.BearerUp {
+		ul.BearerUp[i].seed(lv.BearerUp[i], now)
+		ul.BearerDown[i].seed(lv.BearerDown[i], now)
+	}
+}
+
+func (tb *TokenBucket) seed(tokens uint64, now int64) {
+	if tokens > tb.burst {
+		tokens = tb.burst
+	}
+	tb.tokens = tokens
+	tb.last = now
+}
+
 // ConfigureUser initializes the limiter from AMBR values in bits/s.
 // Zero-valued rates disable the corresponding bucket (no policing).
 // Reapplying an unchanged configuration preserves token levels (see

@@ -3,6 +3,8 @@ package state
 import (
 	"encoding/binary"
 	"errors"
+
+	"pepc/internal/qos"
 )
 
 // Binary serialization of a UE snapshot for state migration (§4.3's
@@ -10,7 +12,7 @@ import (
 // transfer stays inside one operator's cluster, so there is no
 // cross-version concern beyond the embedded version byte.
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // ErrBadSnapshot reports a truncated or version-mismatched snapshot.
 var ErrBadSnapshot = errors.New("state: bad snapshot encoding")
@@ -19,13 +21,32 @@ const bearerWireLen = 3 + 8*4 + filterWireLen
 const filterWireLen = 4 + 1 + 4 + 1 + 1 + 2*4 + 4
 const ctrlFixedLen = 8 + 8 + 4 + 4 + 2 + 16 + 1 + 4 + 4 + 4 + 1 + 8 + 8 + 4*4 + 1 + 1 + 1 + 8 + 32 + 8 + 4
 const counterWireLen = 8*5 + 8*4
+const levelsWireLen = 1 + 8*2 + 8*int(MaxBearers)*2
 
 // SnapshotSize is the exact encoded size of a UE snapshot.
-const SnapshotSize = 1 + ctrlFixedLen + int(MaxBearers)*bearerWireLen + counterWireLen
+const SnapshotSize = 1 + ctrlFixedLen + int(MaxBearers)*bearerWireLen + counterWireLen + levelsWireLen
+
+// QoSLevels carries a migrating user's token-bucket fill levels (format
+// v2's trailing section). Valid marks levels actually captured from a
+// live limiter: migration extract sets it after the data-plane fence;
+// checkpoints leave it false because the control thread cannot read the
+// data-private limiter of a running slice, so crash recovery restarts
+// policed users with full buckets (documented in DESIGN.md §4.15).
+type QoSLevels struct {
+	Valid bool
+	qos.Levels
+}
 
 // MarshalSnapshot encodes a UE snapshot into dst, which must have at least
-// SnapshotSize bytes; it returns the bytes written.
+// SnapshotSize bytes; it returns the bytes written. Token levels are
+// encoded as not-captured; migration uses MarshalSnapshotLevels.
 func MarshalSnapshot(dst []byte, cs *ControlState, cnt *CounterState) (int, error) {
+	return MarshalSnapshotLevels(dst, cs, cnt, &QoSLevels{})
+}
+
+// MarshalSnapshotLevels is MarshalSnapshot carrying captured QoS token
+// levels, so policing budget is conserved across a migration.
+func MarshalSnapshotLevels(dst []byte, cs *ControlState, cnt *CounterState, lv *QoSLevels) (int, error) {
 	if len(dst) < SnapshotSize {
 		return 0, ErrBadSnapshot
 	}
@@ -113,11 +134,29 @@ func MarshalSnapshot(dst []byte, cs *ControlState, cnt *CounterState) (int, erro
 		le.PutUint64(dst[o:], rb)
 		o += 8
 	}
+	dst[o] = boolByte(lv.Valid)
+	o++
+	le.PutUint64(dst[o:], lv.AMBRUp)
+	le.PutUint64(dst[o+8:], lv.AMBRDown)
+	o += 16
+	for i := 0; i < int(MaxBearers); i++ {
+		le.PutUint64(dst[o:], lv.BearerUp[i])
+		le.PutUint64(dst[o+8:], lv.BearerDown[i])
+		o += 16
+	}
 	return o, nil
 }
 
-// UnmarshalSnapshot decodes a snapshot produced by MarshalSnapshot.
+// UnmarshalSnapshot decodes a snapshot produced by MarshalSnapshot,
+// discarding any captured token levels.
 func UnmarshalSnapshot(src []byte, cs *ControlState, cnt *CounterState) error {
+	var lv QoSLevels
+	return UnmarshalSnapshotLevels(src, cs, cnt, &lv)
+}
+
+// UnmarshalSnapshotLevels decodes a snapshot including its QoS token
+// levels section.
+func UnmarshalSnapshotLevels(src []byte, cs *ControlState, cnt *CounterState, lv *QoSLevels) error {
 	if len(src) < SnapshotSize || src[0] != snapshotVersion {
 		return ErrBadSnapshot
 	}
@@ -202,6 +241,16 @@ func UnmarshalSnapshot(src []byte, cs *ControlState, cnt *CounterState) error {
 	for i := range cnt.RuleBytes {
 		cnt.RuleBytes[i] = le.Uint64(src[o:])
 		o += 8
+	}
+	lv.Valid = src[o] != 0
+	o++
+	lv.AMBRUp = le.Uint64(src[o:])
+	lv.AMBRDown = le.Uint64(src[o+8:])
+	o += 16
+	for i := 0; i < int(MaxBearers); i++ {
+		lv.BearerUp[i] = le.Uint64(src[o:])
+		lv.BearerDown[i] = le.Uint64(src[o+8:])
+		o += 16
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"io"
 	"time"
 
+	"pepc/internal/cluster"
 	"pepc/internal/core"
 	"pepc/internal/enb"
 	"pepc/internal/experiments"
@@ -114,7 +115,29 @@ type (
 	FaultKind = fault.Kind
 	// FaultPlan is a reproducible set of per-kind rates and delays.
 	FaultPlan = fault.Plan
+
+	// Cluster fronts N PEPC nodes behind one Maglev table: cluster-wide
+	// attach/identifier allocation, batched wire steering, live
+	// add/remove rebalancing and checkpoint-based node recovery
+	// (DESIGN.md §4.15).
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes a cluster.
+	ClusterConfig = cluster.Config
+	// ClusterSteerer is the cluster's batched, allocation-free wire
+	// steering path: classify once, one Maglev batch pick, run-coalesced
+	// hand-off to the owning node's demux.
+	ClusterSteerer = cluster.Steerer
+	// RebalanceReport summarizes one AddNode/RemoveNode migration.
+	RebalanceReport = cluster.RebalanceReport
+	// NodeRecoveryReport summarizes a RecoverNode rebuild: slices
+	// restored from checkpoints, queued updates replayed, users
+	// scattered to their current owners, orphans forgotten.
+	NodeRecoveryReport = cluster.RecoveryReport
 )
+
+// NewCluster creates a cluster of in-process PEPC nodes behind a Maglev
+// table.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
 // Injectable failure classes, re-exported for soak drivers.
 const (

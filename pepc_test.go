@@ -47,7 +47,7 @@ func TestFacadeUnknownSubscriberRejected(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := pepc.ExperimentNames()
-	if len(names) != 16 { // 2 tables + 12 figures + the faults soak + the sockio sweep
+	if len(names) != 17 { // 2 tables + 12 figures + faults + sockio + cluster
 		t.Fatalf("experiments = %d: %v", len(names), names)
 	}
 	if names[0] != "table1" || names[2] != "fig4" {

@@ -20,6 +20,14 @@ go test ./...
 echo "== go test -race internal/core internal/state internal/sockio"
 go test -race ./internal/core/ ./internal/state/ ./internal/sockio/
 
+# Cluster e2e under the race detector: a 2-node cluster taking an attach
+# storm and live steering concurrently with add/remove/kill/recover
+# membership changes, plus the checkpoint-restore conservation drill —
+# the cross-node locking discipline (balancer flip, per-member attach
+# serialization, directory) is machine-checked end to end.
+echo "== cluster e2e (-race: churn + kill/recover conservation)"
+go test -race -run 'TestClusterConcurrentChurn|TestKillRecoverConservation' -count=1 ./internal/cluster/
+
 # Multi-queue daemon smoke: pepcd's -rxqueues 2 wiring end to end under
 # the race detector — per-queue rx and egress loops sharing only the
 # copy-on-write PeerTable and the per-conn atomic stats.
