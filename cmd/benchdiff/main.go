@@ -1,18 +1,21 @@
 // Command benchdiff compares freshly generated BENCH_<name>.json results
 // (pepcbench -json) against a checked-in baseline directory and fails when
-// any series point regresses by more than the threshold. All tracked
-// figures report throughput (higher is better), so a regression is a drop
-// in Y at the same X.
+// any series point regresses by more than the threshold. Each series
+// declares its gating direction: the default (Direction "" or "up") is
+// throughput-style, where a regression is a drop in Y at the same X;
+// Direction "down" is latency-style, where a regression is a rise.
 //
 // Usage:
 //
 //	benchdiff -baseline bench/baseline -fresh /tmp/bench [-threshold 0.10] [-series PEPC]
 //	benchdiff -baseline bench/baseline -fresh /tmp/bench -update
 //
-// -update ratchets the baseline DOWN: each point becomes the minimum of
-// the existing baseline and the fresh run (a missing baseline file is
-// copied). Running several times builds a conservative floor, which is
-// what makes a fixed threshold usable on noisy shared-CPU hosts.
+// -update ratchets the baseline toward its conservative side: each
+// higher-is-better point becomes the minimum of the existing baseline
+// and the fresh run, each lower-is-better point the maximum (a missing
+// baseline file is copied). Running several times builds a floor (or
+// ceiling) honest noise does not cross, which is what makes a fixed
+// threshold usable on noisy shared-CPU hosts.
 //
 // Points present only on one side are reported but do not fail the run
 // (scale overrides legitimately change the swept X values); a series
@@ -38,8 +41,9 @@ type result struct {
 }
 
 type series struct {
-	Name   string
-	Points []point
+	Name      string
+	Points    []point
+	Direction string `json:",omitempty"` // "", "up": higher is better; "down": lower is better
 }
 
 type point struct {
@@ -146,9 +150,9 @@ func main() {
 				if bp.Y <= 0 {
 					continue
 				}
-				delta := (fp - bp.Y) / bp.Y
+				delta, fail := regression(bs.Direction, bp.Y, fp, *threshold)
 				status := "ok  "
-				if delta < -*threshold {
+				if fail {
 					status = "FAIL"
 					failures++
 				}
@@ -164,9 +168,37 @@ func main() {
 	fmt.Println("benchdiff: no regressions")
 }
 
-// ratchet folds a fresh run into the baselines, keeping the per-point
-// minimum so repeated runs converge to a floor that honest noise does
-// not dip more than the threshold below.
+// regression reports the fractional change of fresh against base and
+// whether it is a failure for the series direction: higher-is-better
+// series ("" or "up") fail on a drop beyond threshold, lower-is-better
+// series ("down") on a rise beyond it.
+func regression(direction string, base, fresh, threshold float64) (delta float64, fail bool) {
+	delta = (fresh - base) / base
+	if direction == "down" {
+		return delta, delta > threshold
+	}
+	return delta, delta < -threshold
+}
+
+// ratchetY folds a fresh Y into a baseline point, moving it only toward
+// the conservative side: down (minimum) for higher-is-better series, up
+// (maximum) for lower-is-better ones. Reports whether the point moved.
+func ratchetY(direction string, base, fresh float64) (float64, bool) {
+	if direction == "down" {
+		if fresh > base {
+			return fresh, true
+		}
+		return base, false
+	}
+	if fresh < base {
+		return fresh, true
+	}
+	return base, false
+}
+
+// ratchet folds a fresh run into the baselines via ratchetY so repeated
+// runs converge to a bound that honest noise does not cross by more
+// than the threshold.
 func ratchet(baseDir, freshDir string) error {
 	paths, err := filepath.Glob(filepath.Join(freshDir, "BENCH_*.json"))
 	if err != nil || len(paths) == 0 {
@@ -192,7 +224,7 @@ func ratchet(baseDir, freshDir string) error {
 		} else if err != nil {
 			return fmt.Errorf("%s: %w", basePath, err)
 		}
-		lowered := 0
+		moved := 0
 		for i := range base.Series {
 			fs := findSeries(fresh.Series, base.Series[i].Name)
 			if fs == nil {
@@ -200,16 +232,18 @@ func ratchet(baseDir, freshDir string) error {
 			}
 			for j := range base.Series[i].Points {
 				p := &base.Series[i].Points[j]
-				if y, ok := findPoint(fs.Points, p.X); ok && y < p.Y {
-					p.Y = y
-					lowered++
+				if y, ok := findPoint(fs.Points, p.X); ok {
+					if ny, changed := ratchetY(base.Series[i].Direction, p.Y, y); changed {
+						p.Y = ny
+						moved++
+					}
 				}
 			}
 		}
 		if err := save(basePath, base); err != nil {
 			return err
 		}
-		fmt.Printf("benchdiff: %s: %d point(s) ratcheted down\n", name, lowered)
+		fmt.Printf("benchdiff: %s: %d point(s) ratcheted\n", name, moved)
 	}
 	return nil
 }

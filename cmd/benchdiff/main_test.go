@@ -38,3 +38,57 @@ func TestMatchAnyEmptyTokens(t *testing.T) {
 		}
 	}
 }
+
+// TestRegressionDirections pins the gate's sign convention in both
+// directions: throughput series fail only on drops, latency series
+// ("down") only on rises, each beyond the threshold.
+func TestRegressionDirections(t *testing.T) {
+	cases := []struct {
+		direction   string
+		base, fresh float64
+		fail        bool
+	}{
+		// Higher is better (default and explicit "up"): drops fail.
+		{"", 10, 8.5, true},   // −15% beyond 10%
+		{"", 10, 9.5, false},  // −5% within threshold
+		{"", 10, 15, false},   // improvement never fails
+		{"up", 10, 8.5, true}, // explicit "up" behaves like default
+		{"up", 10, 12, false}, //
+		// Lower is better: rises fail, drops are improvements.
+		{"down", 10, 11.5, true}, // +15% beyond 10%
+		{"down", 10, 10.5, false},
+		{"down", 10, 5, false}, // faster tail never fails
+	}
+	for _, c := range cases {
+		_, fail := regression(c.direction, c.base, c.fresh, 0.10)
+		if fail != c.fail {
+			t.Errorf("regression(%q, %g, %g, 0.10) fail = %v, want %v",
+				c.direction, c.base, c.fresh, fail, c.fail)
+		}
+	}
+}
+
+// TestRatchetYDirections pins the -update semantics: baselines only move
+// toward the conservative side — down to the floor for throughput, up to
+// the ceiling for latency.
+func TestRatchetYDirections(t *testing.T) {
+	cases := []struct {
+		direction   string
+		base, fresh float64
+		want        float64
+		moved       bool
+	}{
+		{"", 10, 8, 8, true},       // throughput floor lowers
+		{"", 10, 12, 10, false},    // a faster run never raises the floor
+		{"up", 10, 9, 9, true},     //
+		{"down", 10, 12, 12, true}, // latency ceiling rises
+		{"down", 10, 8, 10, false}, // a faster tail never tightens the gate
+	}
+	for _, c := range cases {
+		got, moved := ratchetY(c.direction, c.base, c.fresh)
+		if got != c.want || moved != c.moved {
+			t.Errorf("ratchetY(%q, %g, %g) = (%g, %v), want (%g, %v)",
+				c.direction, c.base, c.fresh, got, moved, c.want, c.moved)
+		}
+	}
+}

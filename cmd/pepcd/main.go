@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"pepc"
+	"pepc/internal/hdr"
 	"pepc/internal/pkt"
 	"pepc/internal/sctp"
 	"pepc/internal/sockio"
@@ -82,6 +83,7 @@ func main() {
 	txBatch := flag.Int("txbatch", sockio.DefaultBatch, "egress burst size (datagrams per sendmmsg)")
 	linger := flag.Duration("linger", sockio.DefaultLinger, "max time a partial egress burst waits for companions")
 	rxQueues := flag.Int("rxqueues", 1, "GTP-U rx/tx queues: SO_REUSEPORT sockets, one rx loop and one egress loop each (1 = single socket)")
+	recordLat := flag.Bool("lat", false, "record wire-to-wire latency (rx stamp to egress flush) and report p50/p99/p999 in the stats line")
 	pprofAddr := flag.String("pprof", "", "net/http/pprof listen address (empty disables)")
 	flag.Parse()
 
@@ -151,7 +153,7 @@ func main() {
 	for i := 0; i < node.NumSlices(); i++ {
 		go node.Slice(i).RunData(stop)
 	}
-	startWirePlanes(node, group, pool, peers, sgi, *rxBatch, *txBatch, *linger, stats, stop)
+	lats := startWirePlanes(node, group, pool, peers, sgi, *rxBatch, *txBatch, *linger, *recordLat, stats, stop)
 
 	// Signaling listener: each new peer address becomes one SCTP
 	// association served by an S1AP server bound round-robin to a slice.
@@ -190,10 +192,11 @@ func main() {
 			}
 			st := group.Stats()
 			log.Printf("wire: rx=%d pkts/%d calls tx=%d pkts/%d calls peers=%d "+
-				"egress sent=%d noroute=%d errs=%d s1ap-drops=%d%s",
+				"egress sent=%d noroute=%d errs=%d s1ap-drops=%d%s%s",
 				st.RxPackets, st.RxCalls, st.TxPackets, st.TxCalls, peers.Len(),
 				stats.egressSent.Load(), stats.egressNoRoute.Load(),
-				stats.egressErrs.Load(), stats.s1apDrops.Load(), queueStatsSuffix(group))
+				stats.egressErrs.Load(), stats.s1apDrops.Load(), queueStatsSuffix(group),
+				latStatsSuffix(lats))
 		}
 	}
 }
@@ -202,20 +205,56 @@ func main() {
 // group: one rx loop per queue, and one egress loop per queue draining
 // the egress rings of the slices assigned to it (slice i → queue i mod
 // Q). Each queue owns its Receiver, PoolCache, WireSteer, and Sender;
-// the PeerTable and per-conn stats are the only cross-queue state.
+// the PeerTable and per-conn stats are the only cross-queue state. With
+// recordLat set, each queue's receiver stamps its rx bursts and each
+// queue's sender records rx-stamp→egress-flush latency into a per-queue
+// histogram (single writer: the egress loop); the returned slice holds
+// one histogram per egress queue for merged readout, nil when disabled.
 func startWirePlanes(node *pepc.Node, group *sockio.Group, pool *pkt.Pool, peers *sockio.PeerTable,
-	sgi netip.AddrPort, rxBatch, txBatch int, linger time.Duration, stats *wireStats, stop <-chan struct{}) {
+	sgi netip.AddrPort, rxBatch, txBatch int, linger time.Duration, recordLat bool,
+	stats *wireStats, stop <-chan struct{}) []*hdr.Histogram {
 	q := group.Size()
+	var lats []*hdr.Histogram
+	if recordLat {
+		lats = make([]*hdr.Histogram, q)
+		for i := range lats {
+			lats[i] = hdr.New()
+		}
+	}
 	for qi := 0; qi < q; qi++ {
 		var own []*pepc.Slice
 		for i := qi; i < node.NumSlices(); i += q {
 			own = append(own, node.Slice(i))
 		}
-		if len(own) > 0 {
-			go runQueueEgress(own, group.Queue(qi), peers, sgi, txBatch, linger, stats, stop)
+		var lat *hdr.Histogram
+		if lats != nil {
+			lat = lats[qi]
 		}
-		go runGTPURx(node, group.Queue(qi), pool, peers, rxBatch, stop)
+		if len(own) > 0 {
+			go runQueueEgress(own, group.Queue(qi), peers, sgi, txBatch, linger, lat, stats, stop)
+		}
+		go runGTPURx(node, group.Queue(qi), pool, peers, rxBatch, recordLat, stop)
 	}
+	return lats
+}
+
+// latStatsSuffix renders the merged wire-to-wire latency tail appended
+// to the wire stats line: " lat p50=… p99=… p999=…" in microseconds.
+// Empty when -lat is off or nothing has been recorded yet.
+func latStatsSuffix(lats []*hdr.Histogram) string {
+	if len(lats) == 0 {
+		return ""
+	}
+	m := hdr.New()
+	for _, h := range lats {
+		m.Merge(h)
+	}
+	if m.Empty() {
+		return ""
+	}
+	us := func(v uint64) float64 { return float64(v) / 1e3 }
+	return fmt.Sprintf(" lat p50=%.1fµs p99=%.1fµs p999=%.1fµs",
+		us(m.Percentile(50)), us(m.Percentile(99)), us(m.Percentile(99.9)))
 }
 
 // queueStatsSuffix renders the per-queue rx/tx packet breakdown appended
@@ -242,8 +281,9 @@ func queueStatsSuffix(group *sockio.Group) string {
 // flow steering attached, every packet this loop receives belongs to a
 // flow pinned to this queue, so the queue's PoolCache and steer scratch
 // never see another queue's traffic.
-func runGTPURx(node *pepc.Node, conn *sockio.Conn, pool *pkt.Pool, peers *sockio.PeerTable, batch int, stop <-chan struct{}) {
+func runGTPURx(node *pepc.Node, conn *sockio.Conn, pool *pkt.Pool, peers *sockio.PeerTable, batch int, stamp bool, stop <-chan struct{}) {
 	rcv := sockio.NewReceiver(conn, pool, batch)
+	rcv.StampRx(stamp)
 	defer rcv.Close()
 	ws := node.NewWireSteer(batch, rcv.Cache())
 	scratch := make([]*pkt.Buf, 0, batch)
@@ -292,8 +332,9 @@ func learnPeer(peers *sockio.PeerTable, data []byte, from netip.AddrPort) {
 // read per pass — not one per slice — and the read is skipped entirely
 // while nothing is pending.
 func runQueueEgress(slices []*pepc.Slice, conn *sockio.Conn, peers *sockio.PeerTable, sgi netip.AddrPort,
-	batch int, linger time.Duration, stats *wireStats, stop <-chan struct{}) {
+	batch int, linger time.Duration, lat *hdr.Histogram, stats *wireStats, stop <-chan struct{}) {
 	snd := sockio.NewSender(conn, batch, linger)
+	snd.SetLatency(lat)
 	defer snd.Close()
 	var prevSent, prevErrs uint64
 	account := func() {
@@ -365,7 +406,13 @@ func runQueueEgress(slices []*pepc.Slice, conn *sockio.Conn, peers *sockio.PeerT
 			snd.FlushExpired(time.Now())
 		}
 		account()
-		if idle++; idle >= 4 {
+		// Never take the long park while a partial burst lingers: a
+		// 200µs sleep on top of the 100µs linger budget triples the
+		// worst-case wait of an already-staged packet, and that is
+		// exactly where it shows up — the p99.9 of wire-to-wire
+		// latency, not the mean. Yield instead so the next pass can
+		// flush the expired batch on time.
+		if idle++; idle >= 4 && snd.Pending() == 0 {
 			time.Sleep(idlePark)
 		} else {
 			runtime.Gosched()

@@ -6,8 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"strings"
+
 	"pepc"
 	"pepc/internal/gtp"
+	"pepc/internal/hdr"
 	"pepc/internal/pkt"
 	"pepc/internal/sctp"
 	"pepc/internal/sockio"
@@ -50,8 +53,9 @@ func TestPepcdOverRealUDP(t *testing.T) {
 	}
 	pool := pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
 	peers := sockio.NewPeerTable()
-	go runQueueEgress([]*pepc.Slice{node.Slice(0)}, gtpuIO, peers, sgi, 8, time.Millisecond, stats, stop)
-	go runGTPURx(node, gtpuIO, pool, peers, 16, stop)
+	lat := hdr.New()
+	go runQueueEgress([]*pepc.Slice{node.Slice(0)}, gtpuIO, peers, sgi, 8, time.Millisecond, lat, stats, stop)
+	go runGTPURx(node, gtpuIO, pool, peers, 16, true, stop)
 
 	s1apConn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
@@ -170,6 +174,19 @@ func TestPepcdOverRealUDP(t *testing.T) {
 		break
 	}
 
+	// With -lat armed, the rx stamp must have flowed through the slice
+	// to the egress flush: the wire-to-wire histogram is populated and
+	// the stats-line suffix renders the tail.
+	if lat.Count() == 0 {
+		t.Fatal("wire-to-wire latency histogram recorded nothing despite rx stamping")
+	}
+	if suffix := latStatsSuffix([]*hdr.Histogram{lat}); !strings.Contains(suffix, "p99=") {
+		t.Fatalf("latStatsSuffix = %q, want p50/p99/p999 rendering", suffix)
+	}
+	if latStatsSuffix(nil) != "" || latStatsSuffix([]*hdr.Histogram{hdr.New()}) != "" {
+		t.Fatal("latStatsSuffix must be empty when -lat is off or nothing recorded")
+	}
+
 	// Clean shutdown: stop everything and let the rx loop close the
 	// socket; a second burst must not panic anything.
 	close(stop)
@@ -209,7 +226,7 @@ func TestPepcdMultiQueue(t *testing.T) {
 	}
 	pool := pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
 	peers := sockio.NewPeerTable()
-	startWirePlanes(node, group, pool, peers, sgi, 16, 8, time.Millisecond, stats, stop)
+	lats := startWirePlanes(node, group, pool, peers, sgi, 16, 8, time.Millisecond, true, stats, stop)
 
 	// Users on both slices, demux-registered, as AttachUser wires them.
 	const perSlice = 4
@@ -292,6 +309,16 @@ func TestPepcdMultiQueue(t *testing.T) {
 	if _, _, err := sgiSink.ReadFrom(buf); err != nil {
 		t.Fatalf("nothing reached the SGi sink: %v (egress sent=%d errs=%d noroute=%d)",
 			err, stats.egressSent.Load(), stats.egressErrs.Load(), stats.egressNoRoute.Load())
+	}
+
+	// The per-queue histograms together must have seen the forwarded
+	// traffic (whichever queues it landed on).
+	merged := hdr.New()
+	for _, h := range lats {
+		merged.Merge(h)
+	}
+	if merged.Count() == 0 {
+		t.Fatal("no wire-to-wire latency recorded across any queue")
 	}
 
 	// With flow steering, sequential TEID allocation spans both residues,

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pepc"
+	"pepc/internal/hdr"
 	"pepc/internal/pkt"
 	"pepc/internal/sim"
 	"pepc/internal/state"
@@ -117,9 +118,11 @@ func main() {
 	ue.ReadCounters(func(c *state.CounterState) { pkts = c.UplinkPackets })
 	fmt.Printf("counters survived %d migrations: UplinkPackets=%d\n", migrations, pkts)
 
-	lat := sim.NewHistogram()
-	lat.Merge(node.Slice(0).Data().Latency())
-	lat.Merge(node.Slice(1).Data().Latency())
+	lat := hdr.New()
+	for i := 0; i < 2; i++ {
+		lat.Merge(node.Slice(i).Data().LatencyUplink())
+		lat.Merge(node.Slice(i).Data().LatencyDownlink())
+	}
 	fmt.Printf("per-packet latency: %s\n", lat.Summary())
 	fmt.Println("(latencies here include ring queueing on a shared CPU; Figure 9's")
 	fmt.Println(" harness isolates the migration delta — the paper reports ≤ +4µs)")

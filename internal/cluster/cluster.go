@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"pepc/internal/core"
+	"pepc/internal/hdr"
 	"pepc/internal/lb"
 )
 
@@ -99,6 +100,10 @@ type Config struct {
 	// (default 256); between chunks the target slices sync their update
 	// queues so migrated users become steerable promptly.
 	MigrateChunk int
+	// RecordLatency arms per-packet latency recording on every slice's
+	// verdict stage (see core.SliceConfig.RecordLatency); pair it with
+	// Steerer ingress stamping and read the merged tail via Latency.
+	RecordLatency bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -197,9 +202,10 @@ func (c *Cluster) sliceConfigs() []core.SliceConfig {
 	cfgs := make([]core.SliceConfig, c.cfg.SlicesPerNode)
 	for i := range cfgs {
 		cfgs[i] = core.SliceConfig{
-			ID:          i + 1,
-			UserHint:    c.cfg.UserHint,
-			StateLayout: c.cfg.StateLayout,
+			ID:            i + 1,
+			UserHint:      c.cfg.UserHint,
+			StateLayout:   c.cfg.StateLayout,
+			RecordLatency: c.cfg.RecordLatency,
 		}
 	}
 	return cfgs
@@ -438,6 +444,31 @@ func (c *Cluster) Stats() Stats {
 		st.Unknown += m.node.Demux().Unknown.Load()
 	}
 	return st
+}
+
+// Latency merges ingress-to-verdict latency histograms from every live
+// member's slices into one cluster-wide readout snapshot (populated
+// when Config.RecordLatency is set and the feeding Steerers stamp
+// ingress). Lock-free against running data workers — each slice's
+// per-direction recorders are merged atomically; dead members are
+// skipped, so a readout spanning a failure reflects only what survivors
+// measured.
+func (c *Cluster) Latency() *hdr.Histogram {
+	c.mu.RLock()
+	members := append([]*member(nil), c.members...)
+	c.mu.RUnlock()
+	m := hdr.New()
+	for _, mb := range members {
+		if mb.dead.Load() {
+			continue
+		}
+		for i := 0; i < mb.node.NumSlices(); i++ {
+			dp := mb.node.Slice(i).Data()
+			m.Merge(dp.LatencyUplink())
+			m.Merge(dp.LatencyDownlink())
+		}
+	}
+	return m
 }
 
 // TotalAttached sums Users() over every live node's slices — the

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"pepc/internal/gtp"
+	"pepc/internal/hdr"
 	"pepc/internal/nf"
 	"pepc/internal/pkt"
 	"pepc/internal/ring"
@@ -151,6 +152,19 @@ func (sd *ShardedData) DrainEgress() int {
 // FlushCaches returns the driver-side cached buffers to the shared pool;
 // call after a measurement run.
 func (sd *ShardedData) FlushCaches() { sd.egressCache.Flush() }
+
+// Latency merges every shard's per-worker, per-direction latency
+// histograms into one readout snapshot. Lock-free against running
+// workers: each worker records into its own slice's histograms and the
+// merge reads them atomically.
+func (sd *ShardedData) Latency() *hdr.Histogram {
+	m := hdr.New()
+	for _, s := range sd.slices {
+		m.Merge(s.Data().LatencyUplink())
+		m.Merge(s.Data().LatencyDownlink())
+	}
+	return m
+}
 
 // Terminal returns the total number of packets the shards have brought
 // to a terminal state (forwarded or dropped); the driver uses the delta

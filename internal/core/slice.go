@@ -12,6 +12,7 @@ import (
 
 	"pepc/internal/fault"
 	"pepc/internal/gtp"
+	"pepc/internal/hdr"
 	"pepc/internal/nf"
 	"pepc/internal/pcef"
 	"pepc/internal/pkt"
@@ -256,8 +257,26 @@ type DataPlane struct {
 	// planes) and is skipped.
 	running atomic.Bool
 
-	// Latency histogram (single-writer: data thread).
-	lat *sim.Histogram
+	// Per-direction latency histograms (data-thread written; any thread
+	// may merge or query them live — hdr records are atomic). Recording
+	// is gated by cfg.RecordLatency and a packet carrying Meta.TSNanos;
+	// the clock is read once per batch by the caller, not per packet.
+	latUp hdr.Histogram
+	latDn hdr.Histogram
+
+	// latPend accumulates the current same-valued latency run per
+	// direction (0 = downlink, 1 = uplink): packets of one batch share
+	// one ingress stamp and one processing clock read, so their
+	// latencies are identical and the whole run settles in one atomic
+	// RecordN at the batch boundary instead of one atomic add per
+	// packet — the difference between ~4% and well under 1% of the
+	// per-packet budget. Data-thread private (unsynchronized by design);
+	// flushed at the end of every Process*Batch, so a quiesced readout
+	// sees exact counts.
+	latPend [2]struct {
+		v int64
+		n uint64
+	}
 
 	// cache is the data thread's level of the two-level buffer pool:
 	// drops and tail-drops release into it so a batch of frees costs one
@@ -318,17 +337,35 @@ func (sc *dpScratch) ensure(n int) {
 }
 
 func newDataPlane(s *Slice) *DataPlane {
-	dp := &DataPlane{
-		s:   s,
-		lat: sim.NewHistogram(),
-	}
+	dp := &DataPlane{s: s}
 	dp.initPaging()
 	return dp
 }
 
-// Latency returns the data plane's latency histogram (valid when
-// RecordLatency is set; single-writer, read between runs).
-func (dp *DataPlane) Latency() *sim.Histogram { return dp.lat }
+// Latency returns a merged snapshot of both directions' latency
+// histograms. Safe while the data thread is recording (lock-free
+// merge); allocates the snapshot, so it is a readout call, not a
+// fast-path one.
+func (dp *DataPlane) Latency() *hdr.Histogram {
+	m := hdr.New()
+	m.Merge(&dp.latUp)
+	m.Merge(&dp.latDn)
+	return m
+}
+
+// LatencyUplink returns the live uplink latency histogram (valid when
+// RecordLatency is set). Merge it elsewhere rather than mutating it.
+func (dp *DataPlane) LatencyUplink() *hdr.Histogram { return &dp.latUp }
+
+// LatencyDownlink is LatencyUplink for the downlink direction.
+func (dp *DataPlane) LatencyDownlink() *hdr.Histogram { return &dp.latDn }
+
+// ResetLatency clears both directions' histograms; call between
+// measurement runs with the data thread quiesced.
+func (dp *DataPlane) ResetLatency() {
+	dp.latUp.Reset()
+	dp.latDn.Reset()
+}
 
 // SyncUpdates drains the control→data update queue into the data-plane
 // indexes. Called automatically every SyncEvery packets; exposed for
@@ -384,6 +421,9 @@ func (dp *DataPlane) ProcessUplinkBatch(batch []*pkt.Buf, now int64) {
 			dp.sinceSync = 0
 		}
 		batch = batch[chunk:]
+	}
+	if dp.s.cfg.RecordLatency {
+		dp.flushLat()
 	}
 }
 
@@ -621,6 +661,9 @@ func (dp *DataPlane) ProcessDownlinkBatch(batch []*pkt.Buf, now int64) {
 		}
 		batch = batch[chunk:]
 	}
+	if dp.s.cfg.RecordLatency {
+		dp.flushLat()
+	}
 }
 
 func (dp *DataPlane) downlinkChunk(batch []*pkt.Buf, now int64) {
@@ -796,13 +839,51 @@ func (dp *DataPlane) isIoT(teid uint32) bool {
 func (dp *DataPlane) forward(b *pkt.Buf, now int64) {
 	dp.Forwarded.Add(1)
 	if dp.s.cfg.RecordLatency && b.Meta.TSNanos != 0 {
-		dp.lat.Record(now - b.Meta.TSNanos)
+		dp.recordLat(b.Meta.Uplink, now-b.Meta.TSNanos)
 	}
 	if !dp.s.Egress.Enqueue(b) {
 		// Egress backpressure: account and release, like a NIC tail
 		// drop.
 		dp.Dropped.Add(1)
 		dp.cache.Put(b)
+	}
+}
+
+// recordLat extends or flushes the direction's pending same-valued run.
+// The common case — another packet of the batch with the same stamp —
+// is a compare and a non-atomic increment.
+func (dp *DataPlane) recordLat(uplink bool, v int64) {
+	idx := 0
+	if uplink {
+		idx = 1
+	}
+	p := &dp.latPend[idx]
+	if p.n > 0 && p.v == v {
+		p.n++
+		return
+	}
+	if p.n > 0 {
+		dp.histFor(idx).RecordN(p.v, p.n)
+	}
+	p.v, p.n = v, 1
+}
+
+func (dp *DataPlane) histFor(idx int) *hdr.Histogram {
+	if idx == 1 {
+		return &dp.latUp
+	}
+	return &dp.latDn
+}
+
+// flushLat settles both directions' pending latency runs into the
+// histograms; called at every Process*Batch boundary (and is a no-op
+// when recording is off or nothing is pending).
+func (dp *DataPlane) flushLat() {
+	for idx := range dp.latPend {
+		if p := &dp.latPend[idx]; p.n > 0 {
+			dp.histFor(idx).RecordN(p.v, p.n)
+			p.n = 0
+		}
 	}
 }
 

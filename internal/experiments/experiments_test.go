@@ -293,3 +293,36 @@ func TestClusterSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestLatFigSmoke covers the gated tail-latency figure: every scenario
+// must produce a populated latency distribution, the quantile series
+// must be ordered (p50 ≤ p99 ≤ p99.9 at every scenario), and the series
+// must declare the lower-is-better direction benchdiff gates on.
+func TestLatFigSmoke(t *testing.T) {
+	r, err := LatFig(micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesNonEmpty(t, r)
+	if len(r.Series) != 3 {
+		t.Fatalf("quantile series = %d, want p50/p99/p99.9", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if s.Direction != "down" {
+			t.Fatalf("series %q direction = %q, want down", s.Name, s.Direction)
+		}
+		if len(s.Points) != 5 {
+			t.Fatalf("series %q scenarios = %d, want 5", s.Name, len(s.Points))
+		}
+	}
+	p50, p99, p999 := r.Series[0].Points, r.Series[1].Points, r.Series[2].Points
+	for i := range p50 {
+		if p50[i].Y <= 0 {
+			t.Fatalf("scenario %d: p50 = %f, want > 0", i+1, p50[i].Y)
+		}
+		if p99[i].Y < p50[i].Y || p999[i].Y < p99[i].Y {
+			t.Fatalf("scenario %d: quantiles not ordered: p50=%f p99=%f p99.9=%f",
+				i+1, p50[i].Y, p99[i].Y, p999[i].Y)
+		}
+	}
+}

@@ -26,6 +26,7 @@ var registry = map[string]runner{
 	"faults":  Faults,
 	"sockio":  Sockio,
 	"cluster": ClusterFig,
+	"lat":     LatFig,
 }
 
 // Run regenerates the named table or figure.

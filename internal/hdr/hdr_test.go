@@ -1,0 +1,226 @@
+package hdr
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketInverse pins BucketLow/BucketHigh as the exact inverse of
+// BucketOf: every bucket's edges map back to it, and neighbors do not.
+func TestBucketInverse(t *testing.T) {
+	for i := 0; i < NumBuckets; i++ {
+		lo := BucketLow(i)
+		if got := BucketOf(lo); got != i {
+			t.Fatalf("BucketOf(BucketLow(%d)=%d) = %d", i, lo, got)
+		}
+		hi := BucketHigh(i)
+		if got := BucketOf(hi); got != i {
+			t.Fatalf("BucketOf(BucketHigh(%d)=%d) = %d", i, hi, got)
+		}
+		if i+1 < NumBuckets {
+			if got := BucketOf(hi + 1); got != i+1 {
+				t.Fatalf("BucketOf(BucketHigh(%d)+1) = %d, want %d", i, got, i+1)
+			}
+		}
+	}
+}
+
+// TestExactSmallValues pins the unit buckets: values below 16 are
+// recorded and reported exactly at every percentile.
+func TestExactSmallValues(t *testing.T) {
+	h := New()
+	for v := int64(0); v < 16; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 16 {
+		t.Fatalf("Count = %d, want 16", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 15 {
+		t.Fatalf("Min/Max = %d/%d, want 0/15", h.Min(), h.Max())
+	}
+	if p := h.Percentile(50); p != 7 {
+		t.Fatalf("p50 = %d, want 7", p)
+	}
+	if p := h.Percentile(100); p != 15 {
+		t.Fatalf("p100 = %d, want 15", p)
+	}
+}
+
+// TestQuantileOracleBounds checks the package's quantile contract
+// against a sorted-sample oracle over heavy-tailed random data: for
+// the true rank sample v, Percentile returns r with v ≤ r ≤
+// v·(1+1/16)+1.
+func TestQuantileOracleBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		h := New()
+		n := 10_000
+		samples := make([]uint64, n)
+		for i := range samples {
+			// Log-uniform over ~9 decades, the shape of a latency tail.
+			v := uint64(1) << uint(rng.Intn(30))
+			v += uint64(rng.Int63n(int64(v)))
+			samples[i] = v
+			h.Record(int64(v))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+			rank := int(float64(n)*p/100) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			want := samples[rank]
+			got := h.Percentile(p)
+			if got < want {
+				t.Fatalf("trial %d p%.1f: got %d below oracle %d", trial, p, got, want)
+			}
+			if limit := want + want/16 + 1; got > limit {
+				t.Fatalf("trial %d p%.1f: got %d beyond error bound %d (oracle %d)",
+					trial, p, got, limit, want)
+			}
+		}
+	}
+}
+
+// TestRecordNEquivalence pins RecordN(v, k) ≡ k×Record(v), the per-run
+// recording contract.
+func TestRecordNEquivalence(t *testing.T) {
+	a, b := New(), New()
+	vals := []int64{3, 900, 1500, 2_000_000, -5}
+	for _, v := range vals {
+		a.RecordN(v, 7)
+		for i := 0; i < 7; i++ {
+			b.Record(v)
+		}
+	}
+	a.RecordN(99, 0) // no-op
+	if a.Count() != b.Count() {
+		t.Fatalf("counts diverge: %d vs %d", a.Count(), b.Count())
+	}
+	for _, p := range []float64{50, 99, 100} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("p%g diverges: %d vs %d", p, a.Percentile(p), b.Percentile(p))
+		}
+	}
+}
+
+// TestMergeAndReset covers merge arithmetic (including nil and the
+// exact-count contract) and reset.
+func TestMergeAndReset(t *testing.T) {
+	a, b := New(), New()
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i * 1000)
+		b.Record(i * 2000)
+	}
+	m := New()
+	m.Merge(a)
+	m.Merge(b)
+	m.Merge(nil)
+	if m.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", m.Count())
+	}
+	if m.Max() < b.Max() || m.Min() > a.Min() {
+		t.Fatalf("merge lost extremes: min=%d max=%d", m.Min(), m.Max())
+	}
+	m.Reset()
+	if !m.Empty() || m.Count() != 0 || m.Percentile(99) != 0 {
+		t.Fatal("reset did not empty the histogram")
+	}
+}
+
+// TestConcurrentRecordMerge is the -race guard for the lock-free
+// readout contract: per-worker recorders run flat out while a reader
+// repeatedly merges them into readout histograms and queries
+// quantiles. Total count must be exact once recorders quiesce.
+func TestConcurrentRecordMerge(t *testing.T) {
+	const workers = 4
+	const perWorker = 20_000
+	recorders := make([]*Histogram, workers)
+	for i := range recorders {
+		recorders[i] = New()
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Reader: merge-and-query loop over live recorders.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			m := New()
+			for _, r := range recorders {
+				m.Merge(r)
+			}
+			_ = m.Percentile(99)
+			_ = m.Summary()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var rec sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec.Add(1)
+		go func(w int) {
+			defer rec.Done()
+			for i := 0; i < perWorker; i++ {
+				recorders[w].Record(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	rec.Wait()
+	close(stop)
+	wg.Wait()
+	final := New()
+	for _, r := range recorders {
+		final.Merge(r)
+	}
+	if got := final.Count(); got != workers*perWorker {
+		t.Fatalf("count after quiesce = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestZeroAllocRecord guards the fast-path contract wired into ci.sh:
+// Record, RecordN and Merge allocate nothing.
+func TestZeroAllocRecord(t *testing.T) {
+	h := New()
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Record(1234)
+	}); n != 0 {
+		t.Fatalf("Record allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		h.RecordN(987654, 32)
+	}); n != 0 {
+		t.Fatalf("RecordN allocates %v/op, want 0", n)
+	}
+	dst := New()
+	if n := testing.AllocsPerRun(100, func() {
+		dst.Merge(h)
+	}); n != 0 {
+		t.Fatalf("Merge allocates %v/op, want 0", n)
+	}
+}
+
+// TestSummaryRenders sanity-checks the human-readable surface.
+func TestSummaryRenders(t *testing.T) {
+	h := New()
+	for i := 0; i < 1000; i++ {
+		h.Record(int64(i) * 1000)
+	}
+	s := h.Summary()
+	if len(s) == 0 || s[0] != 'n' {
+		t.Fatalf("unexpected summary %q", s)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i&0xffff) + 100)
+	}
+}

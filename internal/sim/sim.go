@@ -1,12 +1,11 @@
 // Package sim provides the measurement substrate the experiment harness
-// uses: a monotonic nanosecond clock, an HDR-style log-bucketed latency
-// histogram, a token-bucket event pacer for offered-load control, and a
-// throughput meter.
+// uses: a monotonic nanosecond clock, a token-bucket event pacer for
+// offered-load control, and a throughput meter. (Latency histograms
+// live in internal/hdr, shared with the fast path.)
 package sim
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"time"
@@ -17,146 +16,6 @@ var epoch = time.Now()
 // Now returns monotonic nanoseconds since process start. All latency
 // measurement and token buckets use this scale.
 func Now() int64 { return int64(time.Since(epoch)) }
-
-// Histogram records durations into logarithmic buckets: 64 major octaves
-// × 16 linear sub-buckets, covering 1ns to ~500s with ≤6.25% relative
-// error — the HDR-histogram trade-off without the dependency. Not
-// internally synchronized: one recorder per thread, merge for reporting.
-type Histogram struct {
-	counts [64 * 16]uint64
-	n      uint64
-	sum    uint64
-	max    uint64
-	min    uint64
-}
-
-// NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram {
-	return &Histogram{min: math.MaxUint64}
-}
-
-// Record adds one duration in nanoseconds.
-func (h *Histogram) Record(ns int64) {
-	if ns < 0 {
-		ns = 0
-	}
-	v := uint64(ns)
-	h.counts[bucketOf(v)]++
-	h.n++
-	h.sum += v
-	if v > h.max {
-		h.max = v
-	}
-	if v < h.min {
-		h.min = v
-	}
-}
-
-func bucketOf(v uint64) int {
-	if v < 16 {
-		return int(v)
-	}
-	// Major = position of the highest set bit; minor = next 4 bits.
-	major := 63 - leadingZeros(v)
-	minor := (v >> (uint(major) - 4)) & 0xf
-	return int(major-3)*16 + int(minor)
-}
-
-// bucketLow returns the smallest value mapping to bucket i (inverse of
-// bucketOf for reporting).
-func bucketLow(i int) uint64 {
-	if i < 16 {
-		return uint64(i)
-	}
-	major := uint(i/16 + 3)
-	minor := uint64(i % 16)
-	return (1 << major) | minor<<(major-4)
-}
-
-func leadingZeros(v uint64) int {
-	n := 0
-	if v == 0 {
-		return 64
-	}
-	for v&(1<<63) == 0 {
-		v <<= 1
-		n++
-	}
-	return n
-}
-
-// Count returns the number of recorded samples.
-func (h *Histogram) Count() uint64 { return h.n }
-
-// Mean returns the average in nanoseconds.
-func (h *Histogram) Mean() float64 {
-	if h.n == 0 {
-		return 0
-	}
-	return float64(h.sum) / float64(h.n)
-}
-
-// Max returns the largest recorded value.
-func (h *Histogram) Max() uint64 { return h.max }
-
-// Min returns the smallest recorded value (0 when empty).
-func (h *Histogram) Min() uint64 {
-	if h.n == 0 {
-		return 0
-	}
-	return h.min
-}
-
-// Percentile returns the value at or below which p percent (0-100) of
-// samples fall, to bucket resolution.
-func (h *Histogram) Percentile(p float64) uint64 {
-	if h.n == 0 {
-		return 0
-	}
-	if p >= 100 {
-		return h.max
-	}
-	target := uint64(math.Ceil(float64(h.n) * p / 100))
-	if target == 0 {
-		target = 1
-	}
-	var cum uint64
-	for i, c := range h.counts {
-		cum += c
-		if cum >= target {
-			return bucketLow(i)
-		}
-	}
-	return h.max
-}
-
-// Merge adds other's samples into h.
-func (h *Histogram) Merge(other *Histogram) {
-	for i, c := range other.counts {
-		h.counts[i] += c
-	}
-	h.n += other.n
-	h.sum += other.sum
-	if other.max > h.max {
-		h.max = other.max
-	}
-	if other.n > 0 && other.min < h.min {
-		h.min = other.min
-	}
-}
-
-// Reset clears the histogram.
-func (h *Histogram) Reset() {
-	*h = Histogram{min: math.MaxUint64}
-}
-
-// Summary renders p50/p90/p99/p99.9/max in microseconds.
-func (h *Histogram) Summary() string {
-	us := func(v uint64) float64 { return float64(v) / 1e3 }
-	return fmt.Sprintf("n=%d p50=%.1fµs p90=%.1fµs p99=%.1fµs p99.9=%.1fµs max=%.1fµs",
-		h.n, us(h.Percentile(50)), us(h.Percentile(90)), us(h.Percentile(99)),
-		us(h.Percentile(99.9)), us(h.max))
-}
 
 // Pacer releases events at a fixed rate against the sim clock: Take(n)
 // reports how many of n requested events may fire now. Single-threaded.
@@ -229,9 +88,14 @@ func (m *Meter) Elapsed() float64 { return float64(Now()-m.start) / 1e9 }
 
 // Series is a labelled result column for figure output: a sequence of
 // (x, y) points with a name, rendered as aligned text by Table.
+// Direction declares which way is better for gating: "" or "up" means
+// higher values win (throughput), "down" means lower values win
+// (latency) — benchdiff flips its ratchet and regression test
+// accordingly.
 type Series struct {
-	Name   string
-	Points []Point
+	Name      string
+	Points    []Point
+	Direction string `json:",omitempty"`
 }
 
 // Point is one measurement.

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -13,86 +12,6 @@ func TestNowMonotonic(t *testing.T) {
 	b := Now()
 	if b <= a {
 		t.Fatalf("clock not monotonic: %d then %d", a, b)
-	}
-}
-
-func TestHistogramExactSmallValues(t *testing.T) {
-	h := NewHistogram()
-	for i := int64(0); i < 16; i++ {
-		h.Record(i)
-	}
-	if h.Count() != 16 || h.Min() != 0 || h.Max() != 15 {
-		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
-	}
-	// Median of 0..15 with ceil semantics: the 8th sample is value 7.
-	if got := h.Percentile(50); got != 7 {
-		t.Fatalf("p50 = %d", got)
-	}
-}
-
-func TestHistogramPercentileAccuracy(t *testing.T) {
-	h := NewHistogram()
-	rng := rand.New(rand.NewSource(3))
-	// Uniform 0..100µs: p50 ≈ 50µs within bucket error (6.25%).
-	for i := 0; i < 100000; i++ {
-		h.Record(rng.Int63n(100_000))
-	}
-	p50 := float64(h.Percentile(50))
-	if p50 < 45_000 || p50 > 55_000 {
-		t.Fatalf("p50 = %.0f, want ~50000", p50)
-	}
-	p99 := float64(h.Percentile(99))
-	if p99 < 92_000 || p99 > 105_000 {
-		t.Fatalf("p99 = %.0f, want ~99000", p99)
-	}
-	mean := h.Mean()
-	if mean < 45_000 || mean > 55_000 {
-		t.Fatalf("mean = %.0f", mean)
-	}
-}
-
-func TestHistogramBucketInverse(t *testing.T) {
-	// bucketLow(bucketOf(v)) <= v for all v, and relative error < 1/16.
-	for _, v := range []uint64{1, 15, 16, 17, 100, 1000, 123456, 1 << 30, 1 << 40} {
-		b := bucketOf(v)
-		low := bucketLow(b)
-		if low > v {
-			t.Fatalf("bucketLow(%d)=%d > v=%d", b, low, v)
-		}
-		if v > 16 && float64(v-low)/float64(v) > 1.0/16 {
-			t.Fatalf("bucket error too large for %d: low=%d", v, low)
-		}
-	}
-}
-
-func TestHistogramMerge(t *testing.T) {
-	a, b := NewHistogram(), NewHistogram()
-	a.Record(100)
-	b.Record(1000)
-	b.Record(10)
-	a.Merge(b)
-	if a.Count() != 3 || a.Min() != 10 || a.Max() != 1000 {
-		t.Fatalf("merged: n=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
-	}
-}
-
-func TestHistogramResetAndNegative(t *testing.T) {
-	h := NewHistogram()
-	h.Record(-5) // clamped to 0
-	if h.Max() != 0 {
-		t.Fatalf("negative clamp: %d", h.Max())
-	}
-	h.Reset()
-	if h.Count() != 0 || h.Percentile(50) != 0 {
-		t.Fatal("reset failed")
-	}
-}
-
-func TestHistogramSummaryRenders(t *testing.T) {
-	h := NewHistogram()
-	h.Record(1500)
-	if !strings.Contains(h.Summary(), "n=1") {
-		t.Fatalf("summary: %s", h.Summary())
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"net/netip"
 	"time"
 
+	"pepc/internal/hdr"
 	"pepc/internal/pkt"
+	"pepc/internal/sim"
 )
 
 // Receiver scatters rx bursts from a Conn directly into pool-backed
@@ -19,6 +21,7 @@ type Receiver struct {
 	msgs  []Message
 	bufs  []*pkt.Buf
 	n     int
+	stamp bool
 }
 
 // NewReceiver builds a receiver reading bursts of up to batch datagrams
@@ -47,6 +50,15 @@ func (r *Receiver) Conn() *Conn { return r.conn }
 // come from.
 func (r *Receiver) Cache() *pkt.PoolCache { return r.cache }
 
+// StampRx enables ingress timestamping: every datagram of a Recv burst
+// gets its Meta.TSNanos set from one clock read per burst (not per
+// packet), arming downstream wire-to-wire latency recording. The
+// sub-burst error this batching introduces is bounded by the burst's
+// own kernel-copy time — far below the histogram's bucket width at
+// realistic rates — and errs toward over-reporting latency, never
+// under.
+func (r *Receiver) StampRx(on bool) { r.stamp = on }
+
 // Recv performs one batched read and returns the number of datagrams
 // landed. Each datagram i is in Buf(i) (length set, headroom intact) with
 // its source address at From(i). Buffers not taken with Take before the
@@ -64,6 +76,12 @@ func (r *Receiver) Recv() (int, error) {
 			// Datagram larger than the buffer (truncated by the kernel):
 			// drop it rather than forward a clipped packet.
 			r.bufs[i].SetRecvLen(0)
+		}
+	}
+	if r.stamp && n > 0 {
+		now := sim.Now()
+		for i := 0; i < n; i++ {
+			r.bufs[i].Meta.TSNanos = now
 		}
 	}
 	r.n = n
@@ -119,6 +137,7 @@ type Sender struct {
 	linger time.Duration
 	since  time.Time // when the oldest pending message was queued
 	cache  pkt.PoolCache
+	lat    *hdr.Histogram
 
 	// Sent and Errs count transmitted datagrams and failed flushes
 	// (single-writer; read between runs or via the owner's stats hook).
@@ -162,6 +181,13 @@ func (s *Sender) Cache() *pkt.PoolCache { return &s.cache }
 // Pending returns the number of staged, unflushed datagrams.
 func (s *Sender) Pending() int { return s.n }
 
+// SetLatency arms wire-to-wire latency recording: each Flush records
+// now − Meta.TSNanos for every stamped datagram it transmits, with one
+// clock read per flushed burst. Recording at flush (not at Queue)
+// deliberately charges the linger wait to the packet — the tail a
+// coalescing egress actually imposes on the wire. Pass nil to disable.
+func (s *Sender) SetLatency(h *hdr.Histogram) { s.lat = h }
+
 // Queue stages b for transmission to dst, taking ownership. A zero dst
 // sends on the connected socket's peer. The batch flushes when full (or
 // immediately when lingering is disabled).
@@ -193,6 +219,14 @@ func (s *Sender) Flush() error {
 	s.Sent += uint64(n)
 	if err != nil {
 		s.Errs++
+	}
+	if s.lat != nil {
+		now := sim.Now()
+		for i := 0; i < s.n; i++ {
+			if ts := s.bufs[i].Meta.TSNanos; ts != 0 {
+				s.lat.Record(now - ts)
+			}
+		}
 	}
 	for i := 0; i < s.n; i++ {
 		s.cache.Put(s.bufs[i])

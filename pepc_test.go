@@ -47,10 +47,10 @@ func TestFacadeUnknownSubscriberRejected(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := pepc.ExperimentNames()
-	if len(names) != 17 { // 2 tables + 12 figures + faults + sockio + cluster
+	if len(names) != 18 { // 2 tables + 12 figures + faults + sockio + cluster + lat
 		t.Fatalf("experiments = %d: %v", len(names), names)
 	}
-	if names[0] != "table1" || names[2] != "fig4" {
+	if names[0] != "table1" || names[2] != "lat" || names[3] != "fig4" {
 		t.Fatalf("ordering: %v", names)
 	}
 	if _, err := pepc.RunExperiment("fig99", pepc.QuickScale); err == nil {

@@ -14,8 +14,9 @@
 #   BENCHDIFF_SOCKIO_THRESHOLD=0.35 sockio's own (wider) tolerance
 #   BENCHDIFF_SOCKIOQ_THRESHOLD=0.35 sockio multi-queue series tolerance
 #   BENCHDIFF_CLUSTER_THRESHOLD=0.35 cluster aggregate-Mpps tolerance
+#   BENCHDIFF_LAT_THRESHOLD=0.50    tail-latency ceiling tolerance
 #   BENCHDIFF_SERIES=""             gate every series, not just PEPC*
-#   BENCHDIFF_FIGS="5 6 7 8 14 sockio cluster"  which figures to regenerate
+#   BENCHDIFF_FIGS="5 6 7 8 14 sockio cluster lat"  which figures to regenerate
 #   BENCHDIFF_RUNS=3                runs folded into the baseline on --update
 #
 # Figures 8 and 14 are gated separately at wider thresholds. Figure 14
@@ -40,8 +41,9 @@ FIG14_THRESHOLD="${BENCHDIFF_FIG14_THRESHOLD:-0.35}"
 SOCKIO_THRESHOLD="${BENCHDIFF_SOCKIO_THRESHOLD:-0.35}"
 SOCKIOQ_THRESHOLD="${BENCHDIFF_SOCKIOQ_THRESHOLD:-0.35}"
 CLUSTER_THRESHOLD="${BENCHDIFF_CLUSTER_THRESHOLD:-0.35}"
+LAT_THRESHOLD="${BENCHDIFF_LAT_THRESHOLD:-0.50}"
 SERIES="${BENCHDIFF_SERIES-PEPC}"
-FIGS="${BENCHDIFF_FIGS:-5 6 7 8 14 sockio cluster}"
+FIGS="${BENCHDIFF_FIGS:-5 6 7 8 14 sockio cluster lat}"
 RUNS="${BENCHDIFF_RUNS:-3}"
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
@@ -65,6 +67,8 @@ run_figs() {
             (cd "$OUT" && ./pepcbench -fig sockio -json >/dev/null)
         elif [ "$f" = cluster ]; then
             (cd "$OUT" && ./pepcbench -fig cluster -json >/dev/null)
+        elif [ "$f" = lat ]; then
+            (cd "$OUT" && ./pepcbench -fig lat -json >/dev/null)
         else
             (cd "$OUT" && ./pepcbench -fig "$f" -json >/dev/null)
         fi
@@ -75,7 +79,7 @@ if [ "${1:-}" = "--update" ]; then
     # Only drop the baselines being regenerated, so a subset update
     # (BENCHDIFF_FIGS="8" ... --update) leaves the others ratcheted.
     for f in $FIGS; do
-        if [ "$f" = sockio ] || [ "$f" = cluster ]; then
+        if [ "$f" = sockio ] || [ "$f" = cluster ] || [ "$f" = lat ]; then
             rm -f "bench/baseline/BENCH_$f.json"
         else
             rm -f "bench/baseline/BENCH_fig$f.json"
@@ -99,7 +103,7 @@ run_figs
 MAIN_ONLY=""
 for f in $FIGS; do
     case "$f" in
-    8 | 14 | sockio | cluster) ;;
+    8 | 14 | sockio | cluster | lat) ;;
     *) MAIN_ONLY="$MAIN_ONLY,BENCH_fig$f.json" ;;
     esac
 done
@@ -176,6 +180,25 @@ case " $FIGS " in
         (cd "$OUT" && ./pepcbench -fig cluster -json >/dev/null)
         "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
             -threshold "$CLUSTER_THRESHOLD" -series "$SERIES" -only BENCH_cluster.json
+    fi
+    ;;
+esac
+# The tail-latency figure is the one lower-is-better gate: its series
+# (p50/p99/p99.9 across the interference scenarios) carry Direction
+# "down", so the ratcheted baseline is a ceiling and benchdiff fails on
+# a rise beyond the threshold. Tail quantiles are the noisiest numbers
+# this harness tracks — a single stray scheduler preemption lands
+# directly in the p99.9 — hence the widest threshold and the same
+# confirm-on-failure retry as the other wire-clocked figures. Gated
+# with -series "" because the quantile series are not PEPC-prefixed.
+case " $FIGS " in
+*" lat "*)
+    if ! "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
+        -threshold "$LAT_THRESHOLD" -series "" -only BENCH_lat.json; then
+        echo "== lat gate failed, regenerating to confirm"
+        (cd "$OUT" && ./pepcbench -fig lat -json >/dev/null)
+        "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
+            -threshold "$LAT_THRESHOLD" -series "" -only BENCH_lat.json
     fi
     ;;
 esac

@@ -17,8 +17,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race internal/core internal/state internal/sockio"
-go test -race ./internal/core/ ./internal/state/ ./internal/sockio/
+echo "== go test -race internal/core internal/state internal/sockio internal/hdr"
+go test -race ./internal/core/ ./internal/state/ ./internal/sockio/ ./internal/hdr/
 
 # Cluster e2e under the race detector: a 2-node cluster taking an attach
 # storm and live steering concurrently with add/remove/kill/recover
@@ -45,7 +45,14 @@ echo "== soak smoke (scripts/soak.sh -short)"
 # Run them apart from the main suite with -count=1 so a cached pass can't
 # mask a fresh allocation, and without -race (the race runtime allocates).
 echo "== allocation guards (ZeroAlloc tests)"
-go test -run 'ZeroAlloc' -count=1 ./internal/pkt/ ./internal/gtp/ ./internal/core/ ./internal/state/ ./internal/sockio/
+go test -run 'ZeroAlloc' -count=1 ./internal/pkt/ ./internal/gtp/ ./internal/core/ ./internal/state/ ./internal/sockio/ ./internal/hdr/
+
+# Tail-latency smoke: the lat figure's five interference scenarios at
+# micro scale, asserting the quantile series are present, ordered and
+# lower-is-better gated. benchdiff.sh gates the absolute ceilings
+# against bench/baseline/BENCH_lat.json.
+echo "== tail-latency smoke (lat figure, micro scale)"
+go test -run 'TestLatFigSmoke' -count=1 ./internal/experiments/
 
 # Socket I/O smoke: the vectorized loopback sweep end to end (recvmmsg ->
 # batched steer -> inline pipeline -> sendmmsg), asserting syscalls/packet
