@@ -19,13 +19,17 @@
 //
 // Points present only on one side are reported but do not fail the run
 // (scale overrides legitimately change the swept X values); a series
-// present in the baseline but missing from the fresh results does fail.
+// present on only one side fails — missing from the fresh results means
+// a figure stopped producing it, missing from the baseline means a new
+// series nothing gates (ratchet it in with -update, which appends
+// fresh-only series to the baseline).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -131,41 +135,61 @@ func main() {
 			continue
 		}
 		fmt.Printf("== %s (%s)\n", name, base.Figure)
-		for _, bs := range base.Series {
-			if !strings.HasPrefix(bs.Name, *prefix) {
-				continue
-			}
-			fs := findSeries(fresh.Series, bs.Name)
-			if fs == nil {
-				fmt.Printf("  FAIL %-15s series missing from fresh results\n", bs.Name)
-				failures++
-				continue
-			}
-			for _, bp := range bs.Points {
-				fp, ok := findPoint(fs.Points, bp.X)
-				if !ok {
-					fmt.Printf("  skip %-15s x=%-10g not in fresh sweep\n", bs.Name, bp.X)
-					continue
-				}
-				if bp.Y <= 0 {
-					continue
-				}
-				delta, fail := regression(bs.Direction, bp.Y, fp, *threshold)
-				status := "ok  "
-				if fail {
-					status = "FAIL"
-					failures++
-				}
-				fmt.Printf("  %s %-15s x=%-10g base=%-8.3f fresh=%-8.3f (%+.1f%%)\n",
-					status, bs.Name, bp.X, bp.Y, fp, delta*100)
-			}
-		}
+		failures += compare(base, fresh, *prefix, *threshold, os.Stdout)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", failures, *threshold*100)
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: no regressions")
+}
+
+// compare gates one fresh result against its baseline and returns the
+// failure count. Both absences fail loudly: a baseline series missing
+// from the fresh run (a figure stopped producing it), and a fresh series
+// missing from the baseline (a figure grew a series nothing gates — run
+// benchdiff -update to ratchet it in).
+func compare(base, fresh result, prefix string, threshold float64, w io.Writer) int {
+	failures := 0
+	for _, bs := range base.Series {
+		if !strings.HasPrefix(bs.Name, prefix) {
+			continue
+		}
+		fs := findSeries(fresh.Series, bs.Name)
+		if fs == nil {
+			fmt.Fprintf(w, "  FAIL %-15s series missing from fresh results\n", bs.Name)
+			failures++
+			continue
+		}
+		for _, bp := range bs.Points {
+			fp, ok := findPoint(fs.Points, bp.X)
+			if !ok {
+				fmt.Fprintf(w, "  skip %-15s x=%-10g not in fresh sweep\n", bs.Name, bp.X)
+				continue
+			}
+			if bp.Y <= 0 {
+				continue
+			}
+			delta, fail := regression(bs.Direction, bp.Y, fp, threshold)
+			status := "ok  "
+			if fail {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Fprintf(w, "  %s %-15s x=%-10g base=%-8.3f fresh=%-8.3f (%+.1f%%)\n",
+				status, bs.Name, bp.X, bp.Y, fp, delta*100)
+		}
+	}
+	for _, fs := range fresh.Series {
+		if !strings.HasPrefix(fs.Name, prefix) {
+			continue
+		}
+		if findSeries(base.Series, fs.Name) == nil {
+			fmt.Fprintf(w, "  FAIL %-15s series missing from baseline (ratchet it in with -update)\n", fs.Name)
+			failures++
+		}
+	}
+	return failures
 }
 
 // regression reports the fractional change of fresh against base and
@@ -240,10 +264,19 @@ func ratchet(baseDir, freshDir string) error {
 				}
 			}
 		}
+		// A fresh-only series enters the baseline wholesale, so the next
+		// compare gates it instead of failing it as unknown.
+		added := 0
+		for _, fs := range fresh.Series {
+			if findSeries(base.Series, fs.Name) == nil {
+				base.Series = append(base.Series, fs)
+				added++
+			}
+		}
 		if err := save(basePath, base); err != nil {
 			return err
 		}
-		fmt.Printf("benchdiff: %s: %d point(s) ratcheted\n", name, moved)
+		fmt.Printf("benchdiff: %s: %d point(s) ratcheted, %d series added\n", name, moved, added)
 	}
 	return nil
 }

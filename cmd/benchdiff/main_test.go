@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 // TestMatchAnyEmptyTokens pins the comma-glob parsing: empty tokens from
 // trailing, doubled or lone commas must be inert, not patterns. Before
@@ -66,6 +72,99 @@ func TestRegressionDirections(t *testing.T) {
 				c.direction, c.base, c.fresh, fail, c.fail)
 		}
 	}
+}
+
+// TestCompareMissingSeries pins the loud-failure contract on series
+// membership: a baseline series absent from the fresh run fails, and a
+// fresh series absent from the baseline fails too (before the fix a
+// freshly added series — e.g. a new Direction:"down" latency series —
+// was silently not gated at all).
+func TestCompareMissingSeries(t *testing.T) {
+	up := series{Name: "PEPC up", Points: []point{{X: 1, Y: 10}}}
+	down := series{Name: "PEPC p99", Direction: "down", Points: []point{{X: 1, Y: 5}}}
+
+	// Identical sides: no failures.
+	both := result{Series: []series{up, down}}
+	if got := compare(both, both, "", 0.10, io.Discard); got != 0 {
+		t.Fatalf("identical results: %d failures, want 0", got)
+	}
+	// Baseline series missing from fresh: one failure.
+	if got := compare(both, result{Series: []series{up}}, "", 0.10, io.Discard); got != 1 {
+		t.Fatalf("series missing from fresh: %d failures, want 1", got)
+	}
+	// Fresh-only series (new in the figure, not yet ratcheted): one
+	// failure, with a message pointing at -update.
+	var out strings.Builder
+	if got := compare(result{Series: []series{up}}, both, "", 0.10, &out); got != 1 {
+		t.Fatalf("series missing from baseline: %d failures, want 1", got)
+	}
+	if !strings.Contains(out.String(), "missing from baseline") || !strings.Contains(out.String(), "-update") {
+		t.Fatalf("fresh-only failure message does not point at the fix:\n%s", out.String())
+	}
+	// The series prefix filter applies to both directions of the check.
+	if got := compare(result{Series: []series{up}}, both, "other", 0.10, io.Discard); got != 0 {
+		t.Fatalf("prefix-filtered compare: %d failures, want 0", got)
+	}
+}
+
+// TestRatchetAddsFreshOnlySeries pins the -update half of the contract:
+// a series present only in the fresh results is appended to the baseline
+// (direction and points intact) instead of being dropped, while existing
+// series still only ratchet toward the conservative side.
+func TestRatchetAddsFreshOnlySeries(t *testing.T) {
+	baseDir, freshDir := t.TempDir(), t.TempDir()
+	write := func(dir string, r result) {
+		if err := save(filepath.Join(dir, "BENCH_x.json"), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(baseDir, result{Figure: "x", Series: []series{
+		{Name: "PEPC up", Points: []point{{X: 1, Y: 10}}},
+	}})
+	write(freshDir, result{Figure: "x", Series: []series{
+		{Name: "PEPC up", Points: []point{{X: 1, Y: 8}}},
+		{Name: "PEPC p99", Direction: "down", Points: []point{{X: 1, Y: 5}, {X: 2, Y: 7}}},
+	}})
+	if err := ratchet(baseDir, freshDir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(filepath.Join(baseDir, "BENCH_x.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 2 {
+		t.Fatalf("baseline has %d series after ratchet, want 2", len(got.Series))
+	}
+	if y, ok := findPoint(got.Series[0].Points, 1); !ok || y != 8 {
+		t.Fatalf("existing series did not ratchet down: y=%g ok=%v", y, ok)
+	}
+	ns := findSeries(got.Series, "PEPC p99")
+	if ns == nil {
+		t.Fatal("fresh-only series was not appended to the baseline")
+	}
+	if ns.Direction != "down" || len(ns.Points) != 2 || ns.Points[1].Y != 7 {
+		t.Fatalf("appended series lost data: %+v", ns)
+	}
+	// A second ratchet of the same fresh run is a no-op (idempotent).
+	if err := ratchet(baseDir, freshDir); err != nil {
+		t.Fatal(err)
+	}
+	again, err := load(filepath.Join(baseDir, "BENCH_x.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Series) != 2 {
+		t.Fatalf("re-ratchet duplicated series: %d", len(again.Series))
+	}
+	// And the appended series now gates: compare passes clean.
+	fresh, err := load(filepath.Join(freshDir, "BENCH_x.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := compare(again, fresh, "", 0.10, io.Discard); got != 0 {
+		t.Fatalf("post-ratchet compare: %d failures, want 0", got)
+	}
+	_ = os.Remove(filepath.Join(freshDir, "BENCH_x.json"))
 }
 
 // TestRatchetYDirections pins the -update semantics: baselines only move

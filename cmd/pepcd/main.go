@@ -74,6 +74,7 @@ type wireStats struct {
 func main() {
 	slices := flag.Int("slices", 1, "number of PEPC slices")
 	s1apAddr := flag.String("s1ap", ":36412", "UDP listen address for S1AP-over-SCTP signaling")
+	n4Addr := flag.String("n4", "", "UDP listen address for N4 (PFCP) SMF signaling, e.g. :8805 (empty disables)")
 	gtpuAddr := flag.String("gtpu", ":2152", "UDP listen address for GTP-U user traffic")
 	subscribers := flag.Int("subscribers", 100_000, "subscribers to provision in the HSS (IMSIs from 1)")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
@@ -163,6 +164,19 @@ func main() {
 	}
 	go serveS1AP(node, s1apConn, stats, stop)
 
+	// N4 listener: the 5G SMF drives sessions over PFCP; the UPF maps
+	// them onto the same slices the 4G procedures use.
+	var upf *pepc.UPF
+	if *n4Addr != "" {
+		n4Conn, err := net.ListenPacket("udp", *n4Addr)
+		if err != nil {
+			log.Fatalf("pepcd: n4 listen: %v", err)
+		}
+		upf = pepc.NewUPF(node, localIPv4(n4Conn))
+		go serveN4(upf, n4Conn, stop)
+		log.Printf("pepcd: N4 (PFCP) on %s", *n4Addr)
+	}
+
 	mode := "fallback (one datagram per syscall)"
 	if sockio.Batched() {
 		mode = "recvmmsg/sendmmsg"
@@ -189,6 +203,11 @@ func main() {
 				s := node.Slice(i)
 				log.Printf("slice %d: users=%d forwarded=%d dropped=%d missed=%d",
 					i, s.Users(), s.Data().Forwarded.Load(), s.Data().Dropped.Load(), s.Data().Missed.Load())
+			}
+			if upf != nil {
+				ns := upf.Stats()
+				log.Printf("n4: sessions=%d established=%d modified=%d deleted=%d heartbeats=%d rejected=%d",
+					upf.Sessions(), ns.Established, ns.Modified, ns.Deleted, ns.Heartbeats, ns.Rejected)
 			}
 			st := group.Stats()
 			log.Printf("wire: rx=%d pkts/%d calls tx=%d pkts/%d calls peers=%d "+
@@ -416,6 +435,71 @@ func runQueueEgress(slices []*pepc.Slice, conn *sockio.Conn, peers *sockio.PeerT
 			time.Sleep(idlePark)
 		} else {
 			runtime.Gosched()
+		}
+	}
+}
+
+// n4Batch bounds how many PFCP datagrams one serveN4 pass processes
+// before flushing the batched signaling and answering: N modifications
+// landing together drain as one grouped procedure batch.
+const n4Batch = 64
+
+// localIPv4 extracts the listener's IPv4 as the UPF node identity,
+// falling back to loopback for wildcard binds.
+func localIPv4(pc net.PacketConn) uint32 {
+	if ua, ok := pc.LocalAddr().(*net.UDPAddr); ok {
+		if ip4 := ua.IP.To4(); ip4 != nil && !ip4.IsUnspecified() {
+			return binary.BigEndian.Uint32(ip4)
+		}
+	}
+	return pkt.IPv4Addr(127, 0, 0, 1)
+}
+
+// serveN4 is the PFCP service loop: it gathers a burst of datagrams
+// (blocking for the first, then draining whatever is immediately
+// queued), handles each, flushes the batched signaling of every touched
+// slice once, and only then sends the responses — so a response never
+// races the state change it reports.
+func serveN4(upf *pepc.UPF, pc net.PacketConn, stop <-chan struct{}) {
+	type reply struct {
+		to   net.Addr
+		resp []byte
+	}
+	rd := make([]byte, 64*1024)
+	replies := make([]reply, 0, n4Batch)
+	var respBuf []byte
+	for {
+		select {
+		case <-stop:
+			pc.Close()
+			return
+		default:
+		}
+		pc.SetReadDeadline(time.Now().Add(time.Second))
+		n, from, err := pc.ReadFrom(rd)
+		if err != nil {
+			continue
+		}
+		replies = replies[:0]
+		respBuf = respBuf[:0]
+		for {
+			mark := len(respBuf)
+			respBuf = upf.Handle(rd[:n], respBuf)
+			if len(respBuf) > mark {
+				replies = append(replies, reply{to: from, resp: respBuf[mark:]})
+			}
+			if len(replies) >= n4Batch {
+				break
+			}
+			// Drain whatever else already landed without blocking.
+			pc.SetReadDeadline(time.Now())
+			if n, from, err = pc.ReadFrom(rd); err != nil {
+				break
+			}
+		}
+		upf.Flush()
+		for i := range replies {
+			pc.WriteTo(replies[i].resp, replies[i].to)
 		}
 	}
 }

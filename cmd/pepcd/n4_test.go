@@ -1,0 +1,264 @@
+package main
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"pepc"
+	"pepc/internal/gtp"
+	"pepc/internal/pfcp"
+	"pepc/internal/pkt"
+	"pepc/internal/sockio"
+	"pepc/internal/workload"
+)
+
+// TestPepcdN4 is the UPF-mode integration test: pepcd's N4 listener and
+// wire planes on real loopback UDP, driven by a pfcp.Client the way
+// cmd/smfsim drives it. The SMF establishes a session (PDR/FAR/QER);
+// uplink GTP-U to the PDR's F-TEID decapsulates out to the SGi sink;
+// downlink to the UE address comes back wrapped in the FAR's tunnel; a
+// modification rewrites the tunnel TEID and drops the QER rate until
+// policing bites; deletion makes the F-TEID unroutable again.
+func TestPepcdN4(t *testing.T) {
+	node := pepc.NewNode(pepc.SliceConfig{ID: 1, UserHint: 64})
+	stop := make(chan struct{})
+	stats := &wireStats{}
+	go node.Slice(0).RunData(stop)
+
+	// SGi sink for decapped uplink.
+	sgiSink, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	defer sgiSink.Close()
+	sgi := sgiSink.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	// GTP-U wire planes, as main() runs them.
+	gtpuConn, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	gtpuIO, err := sockio.NewConn(gtpuConn.(*net.UDPConn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := pkt.NewPool(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+	peers := sockio.NewPeerTable()
+	go runQueueEgress([]*pepc.Slice{node.Slice(0)}, gtpuIO, peers, sgi, 8, time.Millisecond, nil, stats, stop)
+	go runGTPURx(node, gtpuIO, pool, peers, 16, false, stop)
+
+	// N4 listener, as main() runs it.
+	n4Conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	upf := pepc.NewUPF(node, localIPv4(n4Conn))
+	go serveN4(upf, n4Conn, stop)
+
+	// SMF side: associate, establish.
+	smf, err := pfcp.Dial(n4Conn.LocalAddr().String(), pkt.IPv4Addr(10, 255, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer smf.Close()
+	smf.SetRetransmit(200*time.Millisecond, 5)
+	if err := smf.Associate(); err != nil {
+		t.Fatalf("associate: %v", err)
+	}
+	if err := smf.Heartbeat(); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+
+	const (
+		teid    = 0x5E10_0001
+		gnbTEID = 0xD000_0001
+	)
+	ueAddr := pkt.IPv4Addr(45, 1, 0, 1)
+	gnbAddr := uint32(0xC0A83201) // 192.168.50.1, the outer src our gNB socket claims
+	seid, err := smf.Establish(&pfcp.SessionRequest{
+		CreatePDRs: []pfcp.PDR{
+			{ID: 1, Precedence: 100, SourceInterface: pfcp.InterfaceAccess,
+				TEID: teid, TEIDAddr: pkt.IPv4Addr(127, 0, 0, 1),
+				OuterHeaderRemoval: true, FARID: 2, QERID: 1},
+			{ID: 2, Precedence: 100, SourceInterface: pfcp.InterfaceCore,
+				UEAddr: ueAddr, FARID: 1, QERID: 1},
+		},
+		CreateFARs: []pfcp.FAR{
+			{ID: 1, DestinationInterface: pfcp.InterfaceAccess,
+				OuterHeaderCreation: true, TEID: gnbTEID, Addr: gnbAddr},
+			{ID: 2, DestinationInterface: pfcp.InterfaceCore},
+		},
+		CreateQERs: []pfcp.QER{{ID: 1, MBRUplinkKbps: 50_000, MBRDownlinkKbps: 100_000}},
+	})
+	if err != nil {
+		t.Fatalf("establish: %v", err)
+	}
+	if got := upf.Sessions(); got != 1 {
+		t.Fatalf("sessions = %d", got)
+	}
+
+	// gNB side: uplink GTP-U bursts to the PDR's F-TEID, outer src = the
+	// FAR's tunnel address so the rx path learns where downlink goes.
+	dconn, err := net.Dial("udp4", gtpuIO.LocalAddrPort().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dconn.Close()
+	dio, err := sockio.NewConn(dconn.(*net.UDPConn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd := sockio.NewSender(dio, 16, time.Hour)
+	defer snd.Close()
+	users := []workload.User{{IMSI: 1, UplinkTEID: teid, UEAddr: ueAddr}}
+	gen := workload.NewTrafficGen(workload.TrafficConfig{ENBAddr: gnbAddr}, users)
+
+	// Closed loop: loopback UDP drops silently under contention, so offer
+	// bursts until the data plane has forwarded enough.
+	want := uint64(100)
+	if testing.Short() {
+		want = 20
+	}
+	deadline := time.After(20 * time.Second)
+	for node.Slice(0).Data().Forwarded.Load() < want {
+		select {
+		case <-deadline:
+			t.Fatalf("forwarded only %d of %d (missed=%d dropped=%d unknown=%d)",
+				node.Slice(0).Data().Forwarded.Load(), want,
+				node.Slice(0).Data().Missed.Load(), node.Slice(0).Data().Dropped.Load(),
+				node.Demux().Unknown.Load())
+		default:
+		}
+		for i := 0; i < 16; i++ {
+			if err := snd.Queue(gen.NextUplink(), netip.AddrPort{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := snd.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Decapped uplink reaches the SGi sink as plain IP from the UE.
+	buf := make([]byte, 2048)
+	sgiSink.SetReadDeadline(time.Now().Add(10 * time.Second))
+	n, _, err := sgiSink.ReadFrom(buf)
+	if err != nil {
+		t.Fatalf("nothing reached the SGi sink: %v (egress sent=%d errs=%d noroute=%d)",
+			err, stats.egressSent.Load(), stats.egressErrs.Load(), stats.egressNoRoute.Load())
+	}
+	var ip pkt.IPv4
+	if err := ip.DecodeFromBytes(buf[:n]); err != nil {
+		t.Fatalf("SGi sink got a non-IP datagram: %v", err)
+	}
+	if ip.Src != ueAddr {
+		t.Fatalf("SGi sink datagram src %08x, want UE %08x", ip.Src, ueAddr)
+	}
+
+	// Downlink injected at the SGi side comes back wrapped in the FAR's
+	// tunnel toward this socket (the rx path learned gnbAddr → here).
+	readDownlinkTEID := func() uint32 {
+		t.Helper()
+		down := gen.DownlinkFor(users[0])
+		if _, err := sgiSink.WriteTo(down.Bytes(), gtpuConn.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+		down.Free()
+		dl := make([]byte, 2048)
+		dconn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		for {
+			n, err := dconn.Read(dl)
+			if err != nil {
+				t.Fatalf("downlink never reached the gNB endpoint: %v (noroute=%d)", err, stats.egressNoRoute.Load())
+			}
+			teid, _, perr := gtp.ParseOuter(dl[:n])
+			if perr != nil {
+				continue // stray uplink echo
+			}
+			return teid
+		}
+	}
+	if got := readDownlinkTEID(); got != gnbTEID {
+		t.Fatalf("downlink TEID %#x, want the FAR's %#x", got, gnbTEID)
+	}
+
+	// Modification: rewrite the tunnel TEID (same endpoint) and slash the
+	// uplink rate so policing becomes observable.
+	if err := smf.Modify(&pfcp.SessionRequest{
+		SEID: seid,
+		UpdateFARs: []pfcp.FAR{{ID: 1, DestinationInterface: pfcp.InterfaceAccess,
+			OuterHeaderCreation: true, TEID: gnbTEID + 1, Addr: gnbAddr}},
+		UpdateQERs: []pfcp.QER{{ID: 1, MBRUplinkKbps: 64, MBRDownlinkKbps: 64}},
+	}); err != nil {
+		t.Fatalf("modify: %v", err)
+	}
+
+	// The new tunnel shows on the next downlink. The data plane applies
+	// the epoch bump on its next sync, so poll briefly.
+	modDeadline := time.After(10 * time.Second)
+	for {
+		if got := readDownlinkTEID(); got == gnbTEID+1 {
+			break
+		}
+		select {
+		case <-modDeadline:
+			t.Fatalf("downlink TEID never switched to the updated FAR's %#x", gnbTEID+1)
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Policing: at 64 kbps the uplink bursts must start dying in the
+	// token bucket.
+	dropped0 := node.Slice(0).Data().Dropped.Load()
+	polDeadline := time.After(10 * time.Second)
+	for node.Slice(0).Data().Dropped.Load() == dropped0 {
+		select {
+		case <-polDeadline:
+			t.Fatalf("no policing drops at 64 kbps (forwarded=%d)", node.Slice(0).Data().Forwarded.Load())
+		default:
+		}
+		for i := 0; i < 16; i++ {
+			if err := snd.Queue(gen.NextUplink(), netip.AddrPort{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := snd.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Deletion: the session, its user and its steering entry are gone;
+	// further uplink for the old F-TEID is unknown at the demux.
+	if err := smf.Delete(seid); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if got := upf.Sessions(); got != 0 {
+		t.Fatalf("sessions after delete = %d", got)
+	}
+	unknown0 := node.Demux().Unknown.Load()
+	delDeadline := time.After(10 * time.Second)
+	for node.Demux().Unknown.Load() == unknown0 {
+		select {
+		case <-delDeadline:
+			t.Fatal("uplink for a deleted session still routed")
+		default:
+		}
+		for i := 0; i < 8; i++ {
+			if err := snd.Queue(gen.NextUplink(), netip.AddrPort{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := snd.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	close(stop)
+	time.Sleep(50 * time.Millisecond)
+}

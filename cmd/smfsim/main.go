@@ -1,0 +1,176 @@
+// Command smfsim is the SMF-side N4 load generator: it associates with a
+// UPF (pepcd -n4), then drives PFCP session churn — establishment with
+// PDR/FAR/QER rules, optional mid-life modification (gNB tunnel rewrite
+// plus a QER rate change), deletion — from concurrent workers, each a
+// PFCP endpoint with its own sequence space and retransmission timers. A
+// dedicated association keeps heartbeats flowing while the workers
+// churn, so keepalive and procedures never contend for one socket.
+//
+// Usage:
+//
+//	smfsim -n4 127.0.0.1:8805 -workers 4 -duration 10s
+//	smfsim -n4 127.0.0.1:8805 -rate 5000 -modify=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pepc/internal/pfcp"
+	"pepc/internal/pkt"
+)
+
+func main() {
+	n4Addr := flag.String("n4", "127.0.0.1:8805", "UPF N4 (PFCP) address")
+	workers := flag.Int("workers", 2, "concurrent SMF workers (one PFCP endpoint each)")
+	duration := flag.Duration("duration", 10*time.Second, "churn duration")
+	rate := flag.Float64("rate", 0, "target session cycles/sec across all workers (0 = unlimited)")
+	modify := flag.Bool("modify", true, "send a session modification (FAR tunnel rewrite + QER rate change) per cycle")
+	heartbeat := flag.Duration("heartbeat", time.Second, "keepalive heartbeat interval (0 disables)")
+	rto := flag.Duration("rto", pfcp.DefaultRetransmit, "request retransmission timeout")
+	retries := flag.Int("retries", pfcp.DefaultRetries, "request retries before declaring the UPF down")
+	flag.Parse()
+
+	var cycles, retransmits atomic.Uint64
+	stop := make(chan struct{})
+	time.AfterFunc(*duration, func() { close(stop) })
+
+	// Keepalive on its own association endpoint.
+	if *heartbeat > 0 {
+		hb, err := pfcp.Dial(*n4Addr, pkt.IPv4Addr(10, 255, 0, 0))
+		if err != nil {
+			log.Fatalf("smfsim: %v", err)
+		}
+		hb.SetRetransmit(*rto, *retries)
+		if err := hb.Associate(); err != nil {
+			log.Fatalf("smfsim: associate: %v", err)
+		}
+		go func() {
+			if err := hb.KeepAlive(stop, *heartbeat); err != nil {
+				log.Printf("smfsim: association lost: %v", err)
+			}
+		}()
+	}
+
+	perWorker := time.Duration(0)
+	if *rate > 0 {
+		perWorker = time.Duration(float64(time.Second) * float64(*workers) / *rate)
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 1; w <= *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := pfcp.Dial(*n4Addr, pkt.IPv4Addr(10, 255, 0, uint8(w)))
+			if err != nil {
+				log.Printf("smfsim: worker %d: %v", w, err)
+				return
+			}
+			defer c.Close()
+			c.SetRetransmit(*rto, *retries)
+			if err := c.Associate(); err != nil {
+				log.Printf("smfsim: worker %d associate: %v", w, err)
+				return
+			}
+			n, err := churn(c, w, *modify, perWorker, stop, &cycles)
+			if err != nil {
+				log.Printf("smfsim: worker %d stopped after %d cycles: %v", w, n, err)
+			}
+			retransmits.Add(c.Retransmits)
+		}(w)
+	}
+	wg.Wait()
+	el := time.Since(start)
+
+	total := cycles.Load()
+	fmt.Printf("smfsim: %d session cycles in %v (%.0f sessions/s, %d workers, modify=%v, %d retransmits)\n",
+		total, el.Round(time.Millisecond), float64(total)/el.Seconds(), *workers, *modify, retransmits.Load())
+	if total == 0 {
+		os.Exit(1)
+	}
+}
+
+// churn runs establish → (modify) → delete cycles until stop closes,
+// pacing each cycle by gap when nonzero.
+func churn(c *pfcp.Client, w int, modify bool, gap time.Duration, stop <-chan struct{}, cycles *atomic.Uint64) (uint64, error) {
+	var n uint64
+	for i := uint32(0); ; i++ {
+		select {
+		case <-stop:
+			return n, nil
+		default:
+		}
+		next := time.Now().Add(gap)
+		req := sessionSpec(w, i)
+		seid, err := c.Establish(req)
+		if err != nil {
+			return n, fmt.Errorf("establish: %w", err)
+		}
+		if modify {
+			mod := &pfcp.SessionRequest{
+				SEID: seid,
+				UpdateFARs: []pfcp.FAR{{
+					ID: 1, DestinationInterface: pfcp.InterfaceAccess,
+					OuterHeaderCreation: true,
+					TEID:                0xD100_0000 | i,
+					Addr:                pkt.IPv4Addr(192, 168, 51, uint8(w)),
+				}},
+				UpdateQERs: []pfcp.QER{{ID: 1, MBRUplinkKbps: 20_000, MBRDownlinkKbps: 40_000}},
+			}
+			if err := c.Modify(mod); err != nil {
+				return n, fmt.Errorf("modify: %w", err)
+			}
+		}
+		if err := c.Delete(seid); err != nil {
+			return n, fmt.Errorf("delete: %w", err)
+		}
+		n++
+		cycles.Add(1)
+		if gap > 0 {
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-stop:
+					return n, nil
+				case <-time.After(d):
+				}
+			}
+		}
+	}
+}
+
+// sessionSpec builds one session's rules: an Access PDR detecting uplink
+// by F-TEID (outer header removed), a Core PDR detecting downlink by the
+// UE address, a FAR wrapping downlink toward the gNB, and a QER bounding
+// the session aggregate. Identifiers embed the worker id so concurrent
+// workers never collide; the 16-bit iteration window recycles ids long
+// after their sessions were deleted.
+func sessionSpec(w int, i uint32) *pfcp.SessionRequest {
+	teid := 0x5E00_0000 | uint32(w)<<20 | i&0xFFFFF
+	ueAddr := pkt.IPv4Addr(45, uint8(w), uint8(i>>8), uint8(i))
+	return &pfcp.SessionRequest{
+		CreatePDRs: []pfcp.PDR{
+			{ID: 1, Precedence: 100, SourceInterface: pfcp.InterfaceAccess,
+				TEID: teid, TEIDAddr: pkt.IPv4Addr(127, 0, 0, 1),
+				OuterHeaderRemoval: true, FARID: 2, QERID: 1},
+			{ID: 2, Precedence: 100, SourceInterface: pfcp.InterfaceCore,
+				UEAddr: ueAddr, FARID: 1, QERID: 1},
+		},
+		CreateFARs: []pfcp.FAR{
+			{ID: 1, DestinationInterface: pfcp.InterfaceAccess,
+				OuterHeaderCreation: true,
+				TEID:                0xD000_0000 | i,
+				Addr:                pkt.IPv4Addr(192, 168, 50, uint8(w))},
+			{ID: 2, DestinationInterface: pfcp.InterfaceCore},
+		},
+		CreateQERs: []pfcp.QER{
+			{ID: 1, MBRUplinkKbps: 50_000, MBRDownlinkKbps: 100_000},
+		},
+	}
+}

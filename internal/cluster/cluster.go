@@ -62,8 +62,12 @@ var (
 	// ErrNoCheckpoint is returned when recovery finds no stored
 	// checkpoint for a dead node.
 	ErrNoCheckpoint = errors.New("cluster: no checkpoint for node")
-	// ErrLastNode is returned when removing the only member.
-	ErrLastNode = errors.New("cluster: cannot remove the last node")
+	// ErrLastNode is returned when removing the only member. It wraps
+	// lb.ErrNoBackends: removing the last node would rebuild the Maglev
+	// table over an empty backend set, leaving the Steerer a stale
+	// table, so the refusal surfaces the same typed cause the balancer
+	// itself reports for an empty set (errors.Is works for both).
+	ErrLastNode = fmt.Errorf("cluster: cannot remove the last node: %w", lb.ErrNoBackends)
 )
 
 // UplinkTEIDFor returns the uplink TEID the cluster assigns to seq.

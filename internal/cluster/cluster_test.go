@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"errors"
 	"testing"
 
 	"pepc/internal/core"
+	"pepc/internal/lb"
 	"pepc/internal/pkt"
 	"pepc/internal/workload"
 )
@@ -297,5 +299,63 @@ func TestDetachRecyclesSeq(t *testing.T) {
 	if res2.UplinkTEID != res1.UplinkTEID || res2.UEAddr != res1.UEAddr {
 		t.Fatalf("seq not recycled: %#x/%#x then %#x/%#x",
 			res1.UplinkTEID, res1.UEAddr, res2.UplinkTEID, res2.UEAddr)
+	}
+}
+
+// TestLastNodeRemovalFailsClosed pins both halves of the empty-backend
+// contract. Refusal: RemoveNode down to zero nodes returns ErrLastNode,
+// which errors.Is-matches lb.ErrNoBackends — the typed cause an empty
+// Maglev rebuild would surface — and leaves the population routable.
+// Fail-closed: if the balancer nonetheless goes empty under in-flight
+// steering, every buffer of the burst is freed and counted as a drop;
+// nothing is delivered off a stale table.
+func TestLastNodeRemovalFailsClosed(t *testing.T) {
+	c, err := New(Config{Nodes: 1, UserHint: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := attachN(t, c, 4)
+
+	_, rmErr := c.RemoveNode(c.Names()[0])
+	if rmErr != ErrLastNode {
+		t.Fatalf("removing the last node: %v, want ErrLastNode", rmErr)
+	}
+	if !errors.Is(rmErr, lb.ErrNoBackends) {
+		t.Fatalf("ErrLastNode does not wrap lb.ErrNoBackends: %v", rmErr)
+	}
+	if c.Users() != len(users) {
+		t.Fatalf("refused removal lost users: %d", c.Users())
+	}
+	checkRoutable(t, c, users)
+
+	// Steering still works after the refused removal.
+	gen := workload.NewTrafficGen(workload.TrafficConfig{ENBAddr: 1, CoreAddr: 2, Burst: 4}, users)
+	st := c.NewSteerer(16, nil)
+	var burst [16]*pkt.Buf
+	for i := range burst {
+		burst[i], _ = gen.Next()
+	}
+	st.Steer(burst[:])
+	if st.Drops != 0 {
+		t.Fatalf("drops on a healthy single-node cluster: %d", st.Drops)
+	}
+	if queued := drainAll(c); queued != len(burst) {
+		t.Fatalf("queued %d of %d on a healthy cluster", queued, len(burst))
+	}
+
+	// Force the hazard the refusal guards against: an empty backend set
+	// under a live Steerer. The in-flight burst must fail closed.
+	if err := c.bal.Remove(c.Names()[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := range burst {
+		burst[i], _ = gen.Next()
+	}
+	st.Steer(burst[:])
+	if st.Drops != uint64(len(burst)) {
+		t.Fatalf("empty-balancer burst: %d drops, want %d", st.Drops, len(burst))
+	}
+	if queued := drainAll(c); queued != 0 {
+		t.Fatalf("%d packet(s) delivered off a stale table", queued)
 	}
 }

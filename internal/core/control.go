@@ -77,6 +77,7 @@ type ControlPlane struct {
 	Attaches   atomic.Uint64
 	Handovers  atomic.Uint64
 	Detaches   atomic.Uint64
+	QoSUpdates atomic.Uint64
 	Promotions atomic.Uint64
 	Evictions  atomic.Uint64
 	// PromoteDrops counts promotion requests discarded because promoteQ
@@ -151,6 +152,7 @@ type CtrlStats struct {
 	Attaches         uint64
 	Handovers        uint64
 	Detaches         uint64
+	QoSUpdates       uint64
 	Promotions       uint64
 	PromoteDrops     uint64
 	Evictions        uint64
@@ -167,6 +169,7 @@ func (cp *ControlPlane) Stats() CtrlStats {
 		Attaches:         cp.Attaches.Load(),
 		Handovers:        cp.Handovers.Load(),
 		Detaches:         cp.Detaches.Load(),
+		QoSUpdates:       cp.QoSUpdates.Load(),
 		Promotions:       cp.Promotions.Load(),
 		PromoteDrops:     cp.PromoteDrops.Load(),
 		Evictions:        cp.Evictions.Load(),
@@ -207,6 +210,13 @@ type AttachSpec struct {
 	// only one of the two is an error (ErrBadAssignment).
 	AssignedUplinkTEID uint32
 	AssignedUEAddr     uint32
+	// Preauthorized marks a user whose authentication and policy
+	// decisions already happened on a separate control plane (the CUPS
+	// split: an SMF drives this slice as a pure user-plane function over
+	// N4 and is itself the authority on subscription state). The
+	// HSS/PCRF proxy round-trips are skipped; QoS comes entirely from
+	// the spec.
+	Preauthorized bool
 }
 
 // AttachResult reports the identifiers the network assigned.
@@ -226,7 +236,7 @@ func (cp *ControlPlane) Attach(spec AttachSpec) (AttachResult, error) {
 		return res, ErrUserExists
 	}
 	var kasme [32]byte
-	if cp.proxy != nil {
+	if cp.proxy != nil && !spec.Preauthorized {
 		vec, err := cp.proxy.Authenticate(spec.IMSI)
 		if err != nil {
 			return res, err
@@ -282,7 +292,7 @@ func (cp *ControlPlane) Attach(spec AttachSpec) (AttachResult, error) {
 		c.KASME = kasme
 	})
 
-	if cp.proxy != nil {
+	if cp.proxy != nil && !spec.Preauthorized {
 		rules, err := cp.proxy.EstablishGxSessionInto(spec.IMSI, cp.ruleScratch[:0])
 		if err != nil {
 			// Graceful degradation: a dark PCRF must not fail the attach

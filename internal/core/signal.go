@@ -30,16 +30,23 @@ const (
 	SigS1Handover
 	// SigDetach removes the user (ControlPlane.Detach).
 	SigDetach
+	// SigQoSUpdate rewrites the user's aggregate rate bounds (the N4
+	// Update QER procedure; the data plane reconfigures the token
+	// buckets from the new AMBR at its next packet via the epoch bump).
+	SigQoSUpdate
 )
 
 // SigEvent is one signaling procedure request. Fields beyond IMSI are
-// interpreted per kind (handover: the new tunnel endpoint).
+// interpreted per kind (handover: the new tunnel endpoint; QoS update:
+// the new aggregate rate bounds in bits/s).
 type SigEvent struct {
 	Kind         SigKind
 	IMSI         uint64
 	ENBAddr      uint32
 	DownlinkTEID uint32
 	ECGI         uint32
+	AMBRUplink   uint64
+	AMBRDownlink uint64
 }
 
 // EnqueueSignal submits a signaling event to the control thread's ring,
@@ -87,6 +94,8 @@ func (cp *ControlPlane) DrainSignaling(max int) int {
 			cp.s1HandoverBatch(run)
 		case SigDetach:
 			cp.detachBatch(run)
+		case SigQoSUpdate:
+			cp.qosUpdateBatch(run)
 		}
 		i = j
 	}
@@ -166,6 +175,33 @@ func (cp *ControlPlane) s1HandoverBatch(run []SigEvent) {
 		done++
 	}
 	cp.Handovers.Add(uint64(done))
+}
+
+// qosUpdateBatch executes a run of QoS updates: one batched IMSI
+// lookup, then per-user AMBR rewrites. Like handovers these touch no
+// index; the control-write epoch bump makes the data plane rebuild the
+// user's token buckets from the new bounds at its next packet.
+func (cp *ControlPlane) qosUpdateBatch(run []SigEvent) {
+	for i := range run {
+		cp.sigIMSIs[i] = run[i].IMSI
+	}
+	cp.s.cp.LookupIMSIBatch(cp.sigIMSIs[:len(run)], cp.sigUEs[:len(run)])
+	now := sim.Now()
+	done := 0
+	for i := range run {
+		ue := cp.sigUEs[i]
+		if ue == nil {
+			continue
+		}
+		ev := &run[i]
+		ue.WriteCtrl(func(c *state.ControlState) {
+			c.AMBRUplink = ev.AMBRUplink
+			c.AMBRDownlink = ev.AMBRDownlink
+			c.LastActive = now
+		})
+		done++
+	}
+	cp.QoSUpdates.Add(uint64(done))
 }
 
 // detachBatch executes a run of detaches: one batched index removal,

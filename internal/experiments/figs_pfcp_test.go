@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"net"
+	"testing"
+)
+
+// TestPFCPFigSmoke runs the N4 churn sweep at a tiny scale end to end:
+// both series must produce a nonzero rate at every worker count, and
+// skipping the modification exchange must never be slower than the full
+// cycle at the single-worker point (it is a strict subset of the work).
+func TestPFCPFigSmoke(t *testing.T) {
+	if pc, err := net.ListenPacket("udp", "127.0.0.1:0"); err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	} else {
+		pc.Close()
+	}
+	sc := Quick
+	sc.EventsPerPoint = 256
+	res, err := PFCPFig(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("series %q: want 4 points, got %d", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("series %q: zero rate at %v workers", s.Name, p.X)
+			}
+		}
+	}
+	full, nomod := res.Series[0], res.Series[1]
+	if full.Name != "establish+modify+delete" || nomod.Name != "establish+delete" {
+		t.Fatalf("unexpected series names %q, %q", full.Name, nomod.Name)
+	}
+	// One-worker comparison is deterministic enough to assert even on a
+	// noisy host: the no-modify cycle does strictly less work and one
+	// fewer round trip per session.
+	if nomod.Points[0].Y < full.Points[0].Y*0.8 {
+		t.Errorf("establish+delete (%.0f/s) slower than the full cycle (%.0f/s) at 1 worker",
+			nomod.Points[0].Y, full.Points[0].Y)
+	}
+}

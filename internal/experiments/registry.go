@@ -27,6 +27,7 @@ var registry = map[string]runner{
 	"sockio":  Sockio,
 	"cluster": ClusterFig,
 	"lat":     LatFig,
+	"pfcp":    PFCPFig,
 }
 
 // Run regenerates the named table or figure.

@@ -1,0 +1,80 @@
+package gtp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"pepc/internal/pkt"
+)
+
+// refragment patches the outer IPv4 fragment field of an encapsulated
+// packet and rewrites the header checksum, so fragmentation is the only
+// thing wrong with the envelope.
+func refragment(p []byte, flags uint8, off uint16) []byte {
+	binary.BigEndian.PutUint16(p[6:8], uint16(flags)<<13|off&0x1fff)
+	binary.BigEndian.PutUint16(p[10:12], 0)
+	binary.BigEndian.PutUint16(p[10:12], pkt.Checksum(p[:pkt.IPv4HeaderLen]))
+	return p
+}
+
+// TestParseOuterRejectsFragments pins the envelope-fragmentation fix: a
+// fragmented outer IPv4 datagram must be rejected by all three parse
+// entry points (ParseOuter, PeekTEID, DecapGPDU). Before the guard, the
+// first fragment of a fragmented envelope decapped into a silently
+// truncated inner packet.
+func TestParseOuterRejectsFragments(t *testing.T) {
+	mk := func() []byte {
+		b := pkt.NewBuf(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+		inner := innerPacket("fragment-me")
+		b.SetBytes(inner.Bytes())
+		if err := EncapGPDU(b, 0x4242, pkt.IPv4Addr(10, 0, 0, 1), pkt.IPv4Addr(10, 0, 0, 2)); err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), b.Bytes()...)
+	}
+
+	// The unfragmented baseline parses; checksum stays valid after the
+	// no-op refragment so the helper itself is sound.
+	base := refragment(mk(), 0, 0)
+	if !pkt.VerifyChecksum(base[:pkt.IPv4HeaderLen]) {
+		t.Fatal("refragment corrupted the header checksum")
+	}
+	if teid, _, err := ParseOuter(base); err != nil || teid != 0x4242 {
+		t.Fatalf("unfragmented baseline: teid %#x err %v", teid, err)
+	}
+
+	cases := []struct {
+		name  string
+		flags uint8
+		off   uint16
+	}{
+		{"MF-flagged first fragment", pkt.IPv4MoreFragments, 0},
+		{"non-initial fragment", 0, 185},
+		{"MF-flagged middle fragment", pkt.IPv4MoreFragments, 64},
+		{"last fragment", 0, 0x1fff},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := refragment(mk(), c.flags, c.off)
+			if _, _, err := ParseOuter(p); !errors.Is(err, ErrFragmented) {
+				t.Fatalf("ParseOuter err = %v, want ErrFragmented", err)
+			}
+			if _, err := PeekTEID(p); !errors.Is(err, ErrFragmented) {
+				t.Fatalf("PeekTEID err = %v, want ErrFragmented", err)
+			}
+			buf := pkt.NewBuf(pkt.DefaultBufSize, pkt.DefaultHeadroom)
+			if err := buf.SetBytes(p); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := DecapGPDU(buf); !errors.Is(err, ErrFragmented) {
+				t.Fatalf("DecapGPDU err = %v, want ErrFragmented", err)
+			}
+			// A failed decap must not consume bytes.
+			if !bytes.Equal(buf.Bytes(), p) {
+				t.Fatal("DecapGPDU modified the buffer on rejection")
+			}
+		})
+	}
+}

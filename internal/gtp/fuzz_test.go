@@ -41,6 +41,13 @@ func FuzzOuterParse(f *testing.F) {
 	// Truncations and non-GTP traffic.
 	f.Add(seed(7, "x")[:10])
 	f.Add([]byte{0x45, 0, 0, 20})
+	// Fragmented outer envelopes: an MF-flagged first fragment, a
+	// non-initial fragment, and a middle fragment of an otherwise valid
+	// encapsulated G-PDU (checksum fixed so fragmentation is the only
+	// defect). All three must be rejected by the whole surface.
+	f.Add(refragment(seed(9, "frag-first"), pkt.IPv4MoreFragments, 0))
+	f.Add(refragment(seed(9, "frag-tail"), 0, 185))
+	f.Add(refragment(seed(9, "frag-middle"), pkt.IPv4MoreFragments, 64))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > pkt.DefaultBufSize-pkt.DefaultHeadroom {

@@ -1,0 +1,245 @@
+package pfcp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// This file is the SMF side of N4: a client that associates with a UPF,
+// keeps the association alive with heartbeats, and drives session
+// establishment/modification/deletion — each request retransmitted on a
+// timer until its response arrives or the peer is declared dead, per
+// 29.244 §6 (PFCP runs over UDP; reliability is the endpoints' job).
+//
+// A Client is single-goroutine: one outstanding request at a time, with
+// responses paired to requests by (type, sequence number). Load
+// generators wanting concurrency run one Client per worker — PFCP
+// sequence spaces are per-association pair, and the UPF treats every
+// source port as its own peer transport.
+
+// Client defaults.
+const (
+	// DefaultRetransmit is the retransmission timeout (29.244 calls it
+	// N1/T1; real deployments run ~1-5s, loopback wants much less).
+	DefaultRetransmit = 500 * time.Millisecond
+	// DefaultRetries is how many times a request is re-sent before the
+	// peer is declared unreachable.
+	DefaultRetries = 3
+)
+
+// ErrTimeout reports a request whose every (re)transmission went
+// unanswered.
+var ErrTimeout = errors.New("pfcp: request timed out after retries")
+
+// ErrRejected wraps a non-accepted cause in a response.
+type ErrRejected struct {
+	Cause uint8
+}
+
+func (e *ErrRejected) Error() string {
+	return fmt.Sprintf("pfcp: request rejected, cause %d", e.Cause)
+}
+
+// Client is one SMF-side PFCP endpoint speaking to a single UPF.
+type Client struct {
+	conn     *net.UDPConn
+	nodeAddr uint32
+	recovery uint32
+
+	seq      uint32
+	nextSEID uint64
+
+	rto     time.Duration
+	retries int
+
+	rx  []byte
+	out []byte
+
+	// Retransmits counts re-sent requests; Transactions completed
+	// request/response exchanges.
+	Retransmits  uint64
+	Transactions uint64
+}
+
+// Dial connects a client to the UPF at raddr. nodeAddr is this SMF's
+// node identity (IPv4, host order), carried in Node ID IEs and F-SEIDs.
+func Dial(raddr string, nodeAddr uint32) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", raddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn:     conn,
+		nodeAddr: nodeAddr,
+		recovery: uint32(time.Now().Unix()),
+		rto:      DefaultRetransmit,
+		retries:  DefaultRetries,
+		rx:       make([]byte, 64*1024),
+	}, nil
+}
+
+// SetRetransmit overrides the retransmission timeout and retry budget.
+func (c *Client) SetRetransmit(rto time.Duration, retries int) {
+	if rto > 0 {
+		c.rto = rto
+	}
+	if retries >= 0 {
+		c.retries = retries
+	}
+}
+
+// Close releases the client's socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// LocalAddr returns the client's bound UDP address.
+func (c *Client) LocalAddr() net.Addr { return c.conn.LocalAddr() }
+
+// transact sends req and waits for the response of type wantType with
+// req's sequence number, retransmitting on timeout. Responses that do
+// not pair (stale retransmission answers) are discarded; heartbeat
+// requests from the UPF arriving between responses are answered inline
+// so a keepalive probe from the peer never kills a transaction.
+func (c *Client) transact(req Message, wantType uint8) (Message, error) {
+	c.seq = c.seq&0xffffff + 1
+	req.Seq = c.seq
+	c.out = req.Marshal(c.out[:0])
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.Retransmits++
+		}
+		if _, err := c.conn.Write(c.out); err != nil {
+			return Message{}, err
+		}
+		deadline := time.Now().Add(c.rto)
+		c.conn.SetReadDeadline(deadline)
+		for {
+			n, err := c.conn.Read(c.rx)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break // retransmit
+				}
+				return Message{}, err
+			}
+			m, err := Unmarshal(c.rx[:n])
+			if err != nil {
+				continue // garbage on the wire; keep waiting
+			}
+			if m.Type == MsgHeartbeatRequest {
+				hb := BuildHeartbeatResponse(m.Seq, c.recovery)
+				c.conn.Write(hb.Marshal(nil))
+				continue
+			}
+			if m.Type != wantType || m.Seq != req.Seq {
+				continue // stale response from an earlier retransmission
+			}
+			c.Transactions++
+			return m, nil
+		}
+	}
+	return Message{}, ErrTimeout
+}
+
+// Associate sets up (or refreshes) the node-level association the UPF
+// requires before accepting session requests.
+func (c *Client) Associate() error {
+	m, err := c.transact(BuildAssociationSetupRequest(0, c.nodeAddr, c.recovery), MsgAssociationSetupResponse)
+	if err != nil {
+		return err
+	}
+	return causeOf(&m)
+}
+
+// Heartbeat probes the association once; ErrTimeout after the retry
+// budget means the UPF should be considered down.
+func (c *Client) Heartbeat() error {
+	_, err := c.transact(BuildHeartbeatRequest(0, c.recovery), MsgHeartbeatResponse)
+	return err
+}
+
+// KeepAlive sends heartbeats every interval until stop closes or a probe
+// exhausts its retries, returning nil on stop and the probe error when
+// the association died. Run it on a dedicated Client: a keepalive and a
+// session procedure sharing one socket would steal each other's
+// responses.
+func (c *Client) KeepAlive(stop <-chan struct{}, interval time.Duration) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-t.C:
+			if err := c.Heartbeat(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Establish creates a session from req's Create rules. The client fills
+// in its node identity and, when req.FSEID is zero, allocates the SMF
+// side's session id. It returns the UPF's session id, which addresses
+// every later request against this session.
+func (c *Client) Establish(req *SessionRequest) (upfSEID uint64, err error) {
+	req.NodeID = c.nodeAddr
+	if req.FSEID == 0 {
+		c.nextSEID++
+		req.FSEID = c.nextSEID
+	}
+	if req.FSEIDAddr == 0 {
+		req.FSEIDAddr = c.nodeAddr
+	}
+	m, err := c.transact(BuildSessionEstablishment(0, req), MsgSessionEstablishmentResponse)
+	if err != nil {
+		return 0, err
+	}
+	r, err := ParseSessionResponse(&m)
+	if err != nil {
+		return 0, err
+	}
+	if r.Cause != CauseAccepted {
+		return 0, &ErrRejected{Cause: r.Cause}
+	}
+	if r.FSEID == 0 {
+		return 0, ErrMissingIE
+	}
+	return r.FSEID, nil
+}
+
+// Modify applies req's Update rules to the session req.SEID (the UPF
+// session id returned by Establish).
+func (c *Client) Modify(req *SessionRequest) error {
+	m, err := c.transact(BuildSessionModification(0, req), MsgSessionModificationResponse)
+	if err != nil {
+		return err
+	}
+	return causeOf(&m)
+}
+
+// Delete tears down the session upfSEID.
+func (c *Client) Delete(upfSEID uint64) error {
+	m, err := c.transact(BuildSessionDeletion(0, upfSEID), MsgSessionDeletionResponse)
+	if err != nil {
+		return err
+	}
+	return causeOf(&m)
+}
+
+// causeOf extracts the response cause, mapping non-accepted to
+// ErrRejected.
+func causeOf(m *Message) error {
+	r, err := ParseSessionResponse(m)
+	if err != nil {
+		return err
+	}
+	if r.Cause != CauseAccepted {
+		return &ErrRejected{Cause: r.Cause}
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package pfcp
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeUPF is a scriptable PFCP responder on a loopback UDP socket. Its
+// behavior function sees every datagram and decides what (if anything)
+// goes back.
+type fakeUPF struct {
+	pc   *net.UDPConn
+	done chan struct{}
+}
+
+// newFakeUPF starts a responder; behave returns the datagrams to send
+// back for each request (nil = stay silent).
+func newFakeUPF(t *testing.T, behave func(m Message) []Message) *fakeUPF {
+	t.Helper()
+	pc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	f := &fakeUPF{pc: pc, done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		buf := make([]byte, 64*1024)
+		for {
+			n, raddr, err := pc.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			m, err := Unmarshal(buf[:n])
+			if err != nil {
+				continue
+			}
+			for _, r := range behave(m) {
+				pc.WriteToUDP(r.Marshal(nil), raddr)
+			}
+		}
+	}()
+	t.Cleanup(func() { pc.Close(); <-f.done })
+	return f
+}
+
+func (f *fakeUPF) addr() string { return f.pc.LocalAddr().String() }
+
+// accept answers any request affirmatively — the baseline behavior.
+func accept(m Message) []Message {
+	switch m.Type {
+	case MsgHeartbeatRequest:
+		return []Message{BuildHeartbeatResponse(m.Seq, 1)}
+	case MsgAssociationSetupRequest:
+		return []Message{BuildAssociationSetupResponse(m.Seq, 1, CauseAccepted, 1)}
+	case MsgSessionEstablishmentRequest:
+		return []Message{BuildSessionResponse(MsgSessionEstablishmentResponse, m.Seq, 0, CauseAccepted, 0x99, 1)}
+	case MsgSessionModificationRequest:
+		return []Message{BuildSessionResponse(MsgSessionModificationResponse, m.Seq, 0, CauseAccepted, 0, 0)}
+	case MsgSessionDeletionRequest:
+		return []Message{BuildSessionResponse(MsgSessionDeletionResponse, m.Seq, 0, CauseAccepted, 0, 0)}
+	}
+	return nil
+}
+
+func dialFake(t *testing.T, f *fakeUPF) *Client {
+	t.Helper()
+	c, err := Dial(f.addr(), 0x0AFF_0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetRetransmit(50*time.Millisecond, 3)
+	return c
+}
+
+// TestClientSessionCycle runs the full procedure set against an
+// always-accepting responder.
+func TestClientSessionCycle(t *testing.T) {
+	f := newFakeUPF(t, accept)
+	c := dialFake(t, f)
+
+	if err := c.Associate(); err != nil {
+		t.Fatalf("associate: %v", err)
+	}
+	if err := c.Heartbeat(); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	seid, err := c.Establish(&SessionRequest{
+		CreatePDRs: []PDR{{ID: 1, SourceInterface: InterfaceAccess, TEID: 5, TEIDAddr: 1}},
+	})
+	if err != nil || seid != 0x99 {
+		t.Fatalf("establish: seid %#x err %v", seid, err)
+	}
+	if err := c.Modify(&SessionRequest{SEID: seid}); err != nil {
+		t.Fatalf("modify: %v", err)
+	}
+	if err := c.Delete(seid); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if c.Transactions != 5 || c.Retransmits != 0 {
+		t.Fatalf("counters: %d transactions, %d retransmits", c.Transactions, c.Retransmits)
+	}
+}
+
+// TestClientRetransmit drops the first copy of every request: each
+// procedure succeeds on the retransmission and the counter shows it.
+func TestClientRetransmit(t *testing.T) {
+	var n atomic.Uint64
+	f := newFakeUPF(t, func(m Message) []Message {
+		if n.Add(1)%2 == 1 {
+			return nil // lose the first copy
+		}
+		return accept(m)
+	})
+	c := dialFake(t, f)
+
+	if err := c.Associate(); err != nil {
+		t.Fatalf("associate through loss: %v", err)
+	}
+	if err := c.Heartbeat(); err != nil {
+		t.Fatalf("heartbeat through loss: %v", err)
+	}
+	if c.Retransmits != 2 {
+		t.Fatalf("retransmits = %d, want 2", c.Retransmits)
+	}
+}
+
+// TestClientTimeout verifies a silent peer is declared dead after the
+// retry budget, and quickly.
+func TestClientTimeout(t *testing.T) {
+	f := newFakeUPF(t, func(Message) []Message { return nil })
+	c := dialFake(t, f)
+	c.SetRetransmit(20*time.Millisecond, 2)
+
+	start := time.Now()
+	err := c.Heartbeat()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("silent peer: %v", err)
+	}
+	// 1 try + 2 retries at 20ms each: well under a second.
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("timeout took %v", el)
+	}
+	if c.Retransmits != 2 {
+		t.Fatalf("retransmits = %d, want 2", c.Retransmits)
+	}
+}
+
+// TestClientRejectedCause maps a non-accepted cause to ErrRejected.
+func TestClientRejectedCause(t *testing.T) {
+	f := newFakeUPF(t, func(m Message) []Message {
+		if m.Type == MsgSessionEstablishmentRequest {
+			return []Message{BuildSessionResponse(MsgSessionEstablishmentResponse, m.Seq, 0, CauseNoEstablishedAssociation, 0, 0)}
+		}
+		return accept(m)
+	})
+	c := dialFake(t, f)
+
+	_, err := c.Establish(&SessionRequest{})
+	var rej *ErrRejected
+	if !errors.As(err, &rej) || rej.Cause != CauseNoEstablishedAssociation {
+		t.Fatalf("establish: %v", err)
+	}
+}
+
+// TestClientDiscardsStale feeds the client a stale answer (wrong seq)
+// and garbage before the real response; the transaction still pairs.
+func TestClientDiscardsStale(t *testing.T) {
+	f := newFakeUPF(t, func(m Message) []Message {
+		if m.Type == MsgHeartbeatRequest {
+			return []Message{
+				BuildHeartbeatResponse(m.Seq+7, 1),             // stale sequence
+				{Type: MsgSessionDeletionResponse, Seq: m.Seq}, // wrong type
+				BuildHeartbeatResponse(m.Seq, 1),               // the real one
+			}
+		}
+		return accept(m)
+	})
+	c := dialFake(t, f)
+	if err := c.Heartbeat(); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if c.Retransmits != 0 {
+		t.Fatalf("stale traffic caused %d retransmits", c.Retransmits)
+	}
+}
+
+// TestClientAnswersPeerHeartbeat verifies a heartbeat request from the
+// UPF arriving mid-transaction is answered inline and does not kill the
+// transaction.
+func TestClientAnswersPeerHeartbeat(t *testing.T) {
+	gotHB := make(chan struct{}, 1)
+	f := newFakeUPF(t, func(m Message) []Message {
+		switch m.Type {
+		case MsgAssociationSetupRequest:
+			return []Message{
+				BuildHeartbeatRequest(42, 1), // probe the SMF first
+				BuildAssociationSetupResponse(m.Seq, 1, CauseAccepted, 1),
+			}
+		case MsgHeartbeatResponse:
+			select {
+			case gotHB <- struct{}{}:
+			default:
+			}
+		}
+		return nil
+	})
+	c := dialFake(t, f)
+	if err := c.Associate(); err != nil {
+		t.Fatalf("associate with interleaved heartbeat: %v", err)
+	}
+	select {
+	case <-gotHB:
+	case <-time.After(time.Second):
+		t.Fatal("client never answered the peer's heartbeat request")
+	}
+}
+
+// TestClientKeepAlive runs the keepalive loop against a live responder,
+// then kills the responder and expects the loop to report the death.
+func TestClientKeepAlive(t *testing.T) {
+	var beats atomic.Uint64
+	f := newFakeUPF(t, func(m Message) []Message {
+		if m.Type == MsgHeartbeatRequest {
+			beats.Add(1)
+		}
+		return accept(m)
+	})
+	c := dialFake(t, f)
+	c.SetRetransmit(20*time.Millisecond, 1)
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.KeepAlive(stop, 10*time.Millisecond) }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for beats.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if beats.Load() < 3 {
+		t.Fatal("keepalive never beat")
+	}
+
+	// Silence the UPF: the next probe exhausts its budget and the loop
+	// exits with the probe error.
+	f.pc.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrTimeout) && err == nil {
+			t.Fatalf("keepalive exit: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("keepalive did not notice the dead peer")
+	}
+	close(stop)
+}

@@ -1,0 +1,117 @@
+package pfcp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds returns marshaled real messages — the corpus the fuzzer
+// mutates — plus a few byte-level corruptions.
+func fuzzSeeds() [][]byte {
+	est := BuildSessionEstablishment(9, &SessionRequest{
+		FSEID: 7, FSEIDAddr: 0x0AFF_0001, NodeID: 0x0AFF_0001,
+		CreatePDRs: []PDR{
+			{ID: 1, Precedence: 100, SourceInterface: InterfaceAccess,
+				TEID: 0x5E00_0001, TEIDAddr: 0x7F00_0001, OuterHeaderRemoval: true, FARID: 2, QERID: 1},
+			{ID: 2, Precedence: 100, SourceInterface: InterfaceCore,
+				UEAddr: 0x2D01_0001, SDF: "permit out 17 from 8.8.8.8/32 5060 to assigned", FARID: 1, QERID: 1},
+		},
+		CreateFARs: []FAR{
+			{ID: 1, DestinationInterface: InterfaceAccess, OuterHeaderCreation: true, TEID: 0xD000_0001, Addr: 0xC0A8_3201},
+			{ID: 2, DestinationInterface: InterfaceCore},
+		},
+		CreateQERs: []QER{{ID: 1, GateClosedDL: true, MBRUplinkKbps: 50_000, MBRDownlinkKbps: 100_000}},
+	})
+	mod := BuildSessionModification(10, &SessionRequest{
+		SEID:       0x1234,
+		UpdateFARs: []FAR{{ID: 1, DestinationInterface: InterfaceAccess, OuterHeaderCreation: true, TEID: 5, Addr: 6}},
+		UpdateQERs: []QER{{ID: 1, MBRUplinkKbps: 20_000}},
+	})
+	del := BuildSessionDeletion(11, 0x1234)
+	hb := BuildHeartbeatRequest(1, 42)
+	assoc := BuildAssociationSetupRequest(2, 0x0AFF_0001, 42)
+	resp := BuildSessionResponse(MsgSessionEstablishmentResponse, 9, 7, CauseAccepted, 99, 0x7F00_0001)
+
+	seeds := [][]byte{
+		est.Marshal(nil), mod.Marshal(nil), del.Marshal(nil),
+		hb.Marshal(nil), assoc.Marshal(nil), resp.Marshal(nil),
+		{}, {0x20}, {0x21, 50, 0xFF, 0xFF},
+	}
+	// A truncated establishment and one with a corrupted IE length.
+	e := est.Marshal(nil)
+	seeds = append(seeds, e[:len(e)/2])
+	c := append([]byte(nil), e...)
+	if len(c) > 20 {
+		c[18], c[19] = 0xFF, 0xFF
+	}
+	seeds = append(seeds, c)
+	return seeds
+}
+
+// FuzzUnmarshal asserts the decoder never panics, and that anything it
+// accepts survives a marshal → unmarshal round trip byte-identically —
+// the property the UPF's response path and the client's retransmit
+// matching both rely on.
+func FuzzUnmarshal(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Re-marshal and re-parse: the decoded form must be stable.
+		out := m.Marshal(nil)
+		m2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshal does not parse: %v", err)
+		}
+		if m2.Type != m.Type || m2.SEID != m.SEID || m2.Seq != m.Seq || len(m2.IEs) != len(m.IEs) {
+			t.Fatalf("round trip diverged: %+v != %+v", m2, m)
+		}
+		out2 := m2.Marshal(nil)
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("marshal not stable:\n%x\n%x", out, out2)
+		}
+		// The semantic layer must also hold up on whatever parses.
+		if m.Type == MsgSessionEstablishmentRequest || m.Type == MsgSessionModificationRequest {
+			req, err := ParseSessionRequest(&m)
+			if err == nil {
+				for i := range req.CreatePDRs {
+					if req.CreatePDRs[i].SDF != "" {
+						_, _ = ParseFlowDesc(req.CreatePDRs[i].SDF)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseFlowDesc asserts the SDF grammar parser never panics and
+// that accepted specs re-parse identically.
+func FuzzParseFlowDesc(f *testing.F) {
+	for _, s := range []string{
+		"permit out 17 from 8.8.8.8/32 5060 to assigned",
+		"permit out ip from any to assigned",
+		"permit out 6 from 10.0.0.0/8 to assigned 8000-9000",
+		"permit out 6 from 1.2.3.4 80 to 5.6.7.8 443",
+		"permit out ip from 255.255.255.255/0 to any 0-65535",
+		"deny in garbage",
+		"",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, flow string) {
+		fs, err := ParseFlowDesc(flow)
+		if err != nil {
+			return
+		}
+		if fs.SrcPortLo > fs.SrcPortHi || fs.DstPortLo > fs.DstPortHi {
+			t.Fatalf("inverted port range accepted: %+v", fs)
+		}
+		if fs.SrcPrefix > 32 || fs.DstPrefix > 32 {
+			t.Fatalf("prefix > 32 accepted: %+v", fs)
+		}
+	})
+}

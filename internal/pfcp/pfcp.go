@@ -1,0 +1,466 @@
+// Package pfcp implements the Packet Forwarding Control Protocol (3GPP
+// 29.244), the N4 reference point of the 5G CUPS split: an SMF drives a
+// user-plane function by installing Packet Detection Rules, Forwarding
+// Action Rules and QoS Enforcement Rules into per-session contexts. The
+// package has three layers: this file is the wire codec (header + TLV
+// information elements, grouped IEs nesting); rules.go is the semantic
+// layer mapping IE trees to PDR/FAR/QER structs and session messages;
+// client.go is the SMF side (association, heartbeat keepalive, session
+// procedures with retransmit). The UPF side lives in internal/core,
+// where sessions map onto PEPC's slice state machinery.
+package pfcp
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Port is the well-known PFCP UDP port.
+const Port = 8805
+
+// PFCP message types (29.244 §7.3): node-level messages carry no SEID,
+// session-level messages (type >= 50) carry the 8-byte SEID of the
+// receiver's session context.
+const (
+	MsgHeartbeatRequest             uint8 = 1
+	MsgHeartbeatResponse            uint8 = 2
+	MsgAssociationSetupRequest      uint8 = 5
+	MsgAssociationSetupResponse     uint8 = 6
+	MsgSessionEstablishmentRequest  uint8 = 50
+	MsgSessionEstablishmentResponse uint8 = 51
+	MsgSessionModificationRequest   uint8 = 52
+	MsgSessionModificationResponse  uint8 = 53
+	MsgSessionDeletionRequest       uint8 = 54
+	MsgSessionDeletionResponse      uint8 = 55
+)
+
+// HasSEID reports whether a message type carries a session endpoint id
+// in its header (the S flag).
+func HasSEID(t uint8) bool { return t >= 50 }
+
+// Information element types (29.244 §8.1).
+const (
+	IECreatePDR              uint16 = 1
+	IEPDI                    uint16 = 2
+	IECreateFAR              uint16 = 3
+	IEForwardingParams       uint16 = 4
+	IECreateQER              uint16 = 7
+	IEUpdateFAR              uint16 = 10
+	IEUpdateForwardingParams uint16 = 11
+	IEUpdateQER              uint16 = 14
+	IERemovePDR              uint16 = 15
+	IERemoveFAR              uint16 = 16
+	IECause                  uint16 = 19
+	IESourceInterface        uint16 = 20
+	IEFTEID                  uint16 = 21
+	IESDFFilter              uint16 = 23
+	IEGateStatus             uint16 = 25
+	IEMBR                    uint16 = 26
+	IEPrecedence             uint16 = 29
+	IEDestinationInterface   uint16 = 42
+	IEApplyAction            uint16 = 44
+	IEPDRID                  uint16 = 56
+	IEFSEID                  uint16 = 57
+	IENodeID                 uint16 = 60
+	IEOuterHeaderCreation    uint16 = 84
+	IEUEIPAddress            uint16 = 93
+	IEOuterHeaderRemoval     uint16 = 95
+	IERecoveryTimeStamp      uint16 = 96
+	IEFARID                  uint16 = 108
+	IEQERID                  uint16 = 109
+)
+
+// Cause values (29.244 §8.2.1).
+const (
+	CauseAccepted                 uint8 = 1
+	CauseRequestRejected          uint8 = 64
+	CauseSessionContextNotFound   uint8 = 65
+	CauseMandatoryIEMissing       uint8 = 66
+	CauseNoEstablishedAssociation uint8 = 72
+)
+
+// Source/Destination Interface values (29.244 §8.2.2/§8.2.24): Access is
+// the RAN side (uplink arrives here), Core the SGi/N6 side.
+const (
+	InterfaceAccess uint8 = 0
+	InterfaceCore   uint8 = 1
+)
+
+// Apply Action bits (29.244 §8.2.26).
+const (
+	ApplyActionDrop    uint8 = 0x1
+	ApplyActionForward uint8 = 0x2
+)
+
+// Gate Status bits (29.244 §8.2.7): 1 = closed. DL gate occupies bits
+// 0-1, UL gate bits 2-3.
+const (
+	GateOpen   uint8 = 0
+	GateClosed uint8 = 1
+)
+
+// Codec errors.
+var (
+	ErrShort       = errors.New("pfcp: message too short")
+	ErrVersion     = errors.New("pfcp: unsupported PFCP version")
+	ErrTruncated   = errors.New("pfcp: length field exceeds available bytes")
+	ErrMalformedIE = errors.New("pfcp: malformed information element")
+	ErrMissingIE   = errors.New("pfcp: mandatory information element missing")
+)
+
+// IE is one information element: a type and its raw value. Grouped IEs
+// carry nested marshaled IEs as their value.
+type IE struct {
+	Type  uint16
+	Value []byte
+}
+
+// Message is a decoded PFCP message. SEID is meaningful only for
+// session-level types (HasSEID); Seq is the 24-bit sequence number that
+// pairs responses to requests.
+type Message struct {
+	Type uint8
+	SEID uint64
+	Seq  uint32
+	IEs  []IE
+}
+
+const (
+	headerLenNode    = 8
+	headerLenSession = 16
+	version1         = 1 << 5
+	flagSEID         = 1 << 0
+)
+
+// headerLen returns the wire header length of the message.
+func (m *Message) headerLen() int {
+	if HasSEID(m.Type) {
+		return headerLenSession
+	}
+	return headerLenNode
+}
+
+// Marshal encodes the message, appending to dst (pass nil for a fresh
+// buffer) and returning the extended slice.
+func (m *Message) Marshal(dst []byte) []byte {
+	hdr := m.headerLen()
+	body := 0
+	for i := range m.IEs {
+		body += 4 + len(m.IEs[i].Value)
+	}
+	total := hdr + body
+	off := len(dst)
+	dst = append(dst, make([]byte, total)...)
+	b := dst[off:]
+	flags := byte(version1)
+	if HasSEID(m.Type) {
+		flags |= flagSEID
+	}
+	b[0] = flags
+	b[1] = m.Type
+	// Length excludes the first 4 octets (flags, type, length itself).
+	binary.BigEndian.PutUint16(b[2:4], uint16(total-4))
+	p := 4
+	if HasSEID(m.Type) {
+		binary.BigEndian.PutUint64(b[4:12], m.SEID)
+		p = 12
+	}
+	b[p] = byte(m.Seq >> 16)
+	b[p+1] = byte(m.Seq >> 8)
+	b[p+2] = byte(m.Seq)
+	// b[p+3] is the spare octet.
+	p += 4
+	for i := range m.IEs {
+		ie := &m.IEs[i]
+		binary.BigEndian.PutUint16(b[p:], ie.Type)
+		binary.BigEndian.PutUint16(b[p+2:], uint16(len(ie.Value)))
+		copy(b[p+4:], ie.Value)
+		p += 4 + len(ie.Value)
+	}
+	return dst
+}
+
+// Unmarshal decodes a PFCP message from data.
+func Unmarshal(data []byte) (Message, error) {
+	var m Message
+	if len(data) < headerLenNode {
+		return m, ErrShort
+	}
+	flags := data[0]
+	if flags&0xe0 != version1 {
+		return m, ErrVersion
+	}
+	m.Type = data[1]
+	length := int(binary.BigEndian.Uint16(data[2:4]))
+	if length+4 > len(data) {
+		return m, ErrTruncated
+	}
+	data = data[:length+4]
+	p := 4
+	if flags&flagSEID != 0 {
+		if len(data) < headerLenSession {
+			return m, ErrShort
+		}
+		m.SEID = binary.BigEndian.Uint64(data[4:12])
+		p = 12
+	}
+	if len(data) < p+4 {
+		return m, ErrShort
+	}
+	m.Seq = uint32(data[p])<<16 | uint32(data[p+1])<<8 | uint32(data[p+2])
+	p += 4
+	ies, err := ParseIEs(data[p:])
+	if err != nil {
+		return m, err
+	}
+	m.IEs = ies
+	return m, nil
+}
+
+// ParseIEs walks a TLV region into its information elements. It is also
+// the decoder for grouped IE values.
+func ParseIEs(data []byte) ([]IE, error) {
+	var ies []IE
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, ErrMalformedIE
+		}
+		t := binary.BigEndian.Uint16(data[0:2])
+		l := int(binary.BigEndian.Uint16(data[2:4]))
+		if len(data) < 4+l {
+			return nil, ErrMalformedIE
+		}
+		ies = append(ies, IE{Type: t, Value: data[4 : 4+l]})
+		data = data[4+l:]
+	}
+	return ies, nil
+}
+
+// FindIE returns the first IE of the given type, or nil.
+func FindIE(ies []IE, t uint16) *IE {
+	for i := range ies {
+		if ies[i].Type == t {
+			return &ies[i]
+		}
+	}
+	return nil
+}
+
+// Fixed-width IE value constructors.
+
+// NewIEUint8 builds a 1-byte IE.
+func NewIEUint8(t uint16, v uint8) IE { return IE{Type: t, Value: []byte{v}} }
+
+// NewIEUint16 builds a 2-byte big-endian IE.
+func NewIEUint16(t uint16, v uint16) IE {
+	b := make([]byte, 2)
+	binary.BigEndian.PutUint16(b, v)
+	return IE{Type: t, Value: b}
+}
+
+// NewIEUint32 builds a 4-byte big-endian IE.
+func NewIEUint32(t uint16, v uint32) IE {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, v)
+	return IE{Type: t, Value: b}
+}
+
+// NewGrouped builds a grouped IE whose value is the concatenation of the
+// nested IEs.
+func NewGrouped(t uint16, sub ...IE) IE {
+	n := 0
+	for i := range sub {
+		n += 4 + len(sub[i].Value)
+	}
+	b := make([]byte, n)
+	p := 0
+	for i := range sub {
+		binary.BigEndian.PutUint16(b[p:], sub[i].Type)
+		binary.BigEndian.PutUint16(b[p+2:], uint16(len(sub[i].Value)))
+		copy(b[p+4:], sub[i].Value)
+		p += 4 + len(sub[i].Value)
+	}
+	return IE{Type: t, Value: b}
+}
+
+// IE value accessors with bounds checks.
+
+func (ie *IE) uint8() (uint8, error) {
+	if len(ie.Value) < 1 {
+		return 0, ErrMalformedIE
+	}
+	return ie.Value[0], nil
+}
+
+func (ie *IE) uint16() (uint16, error) {
+	if len(ie.Value) < 2 {
+		return 0, ErrMalformedIE
+	}
+	return binary.BigEndian.Uint16(ie.Value), nil
+}
+
+func (ie *IE) uint32() (uint32, error) {
+	if len(ie.Value) < 4 {
+		return 0, ErrMalformedIE
+	}
+	return binary.BigEndian.Uint32(ie.Value), nil
+}
+
+// Node ID (29.244 §8.2.38): type octet (0 = IPv4) + address.
+
+// NewNodeID builds an IPv4 Node ID IE from a host-order address.
+func NewNodeID(addr uint32) IE {
+	b := make([]byte, 5)
+	binary.BigEndian.PutUint32(b[1:], addr)
+	return IE{Type: IENodeID, Value: b}
+}
+
+// ParseNodeID extracts the IPv4 address of a Node ID IE.
+func ParseNodeID(ie *IE) (uint32, error) {
+	if len(ie.Value) < 5 || ie.Value[0] != 0 {
+		return 0, ErrMalformedIE
+	}
+	return binary.BigEndian.Uint32(ie.Value[1:5]), nil
+}
+
+// F-SEID (29.244 §8.2.37): flags (0x2 = V4) + SEID + IPv4 address.
+
+// NewFSEID builds an IPv4 F-SEID IE.
+func NewFSEID(seid uint64, addr uint32) IE {
+	b := make([]byte, 13)
+	b[0] = 0x2 // V4
+	binary.BigEndian.PutUint64(b[1:9], seid)
+	binary.BigEndian.PutUint32(b[9:13], addr)
+	return IE{Type: IEFSEID, Value: b}
+}
+
+// ParseFSEID extracts the SEID and IPv4 address of an F-SEID IE.
+func ParseFSEID(ie *IE) (seid uint64, addr uint32, err error) {
+	if len(ie.Value) < 9 || ie.Value[0]&0x2 == 0 {
+		return 0, 0, ErrMalformedIE
+	}
+	seid = binary.BigEndian.Uint64(ie.Value[1:9])
+	if len(ie.Value) < 13 {
+		return 0, 0, ErrMalformedIE
+	}
+	return seid, binary.BigEndian.Uint32(ie.Value[9:13]), nil
+}
+
+// F-TEID (29.244 §8.2.3): flags (0x1 = V4) + TEID + IPv4 address.
+
+// NewFTEID builds an IPv4 F-TEID IE.
+func NewFTEID(teid, addr uint32) IE {
+	b := make([]byte, 9)
+	b[0] = 0x1 // V4
+	binary.BigEndian.PutUint32(b[1:5], teid)
+	binary.BigEndian.PutUint32(b[5:9], addr)
+	return IE{Type: IEFTEID, Value: b}
+}
+
+// ParseFTEID extracts the TEID and IPv4 address of an F-TEID IE.
+func ParseFTEID(ie *IE) (teid, addr uint32, err error) {
+	if len(ie.Value) < 9 || ie.Value[0]&0x1 == 0 {
+		return 0, 0, ErrMalformedIE
+	}
+	return binary.BigEndian.Uint32(ie.Value[1:5]), binary.BigEndian.Uint32(ie.Value[5:9]), nil
+}
+
+// UE IP Address (29.244 §8.2.62): flags (0x2 = V4) + address.
+
+// NewUEIPAddress builds an IPv4 UE IP Address IE.
+func NewUEIPAddress(addr uint32) IE {
+	b := make([]byte, 5)
+	b[0] = 0x2 // V4
+	binary.BigEndian.PutUint32(b[1:], addr)
+	return IE{Type: IEUEIPAddress, Value: b}
+}
+
+// ParseUEIPAddress extracts the IPv4 address of a UE IP Address IE.
+func ParseUEIPAddress(ie *IE) (uint32, error) {
+	if len(ie.Value) < 5 || ie.Value[0]&0x2 == 0 {
+		return 0, ErrMalformedIE
+	}
+	return binary.BigEndian.Uint32(ie.Value[1:5]), nil
+}
+
+// Outer Header Creation (29.244 §8.2.56): 2-byte description (0x0100 =
+// GTP-U/UDP/IPv4) + TEID + IPv4 address.
+
+// OuterHeaderCreationGTPUUDPIPv4 is the description bitmask for a
+// GTP-U/UDP/IPv4 outer header.
+const OuterHeaderCreationGTPUUDPIPv4 uint16 = 0x0100
+
+// NewOuterHeaderCreation builds a GTP-U/UDP/IPv4 Outer Header Creation IE.
+func NewOuterHeaderCreation(teid, addr uint32) IE {
+	b := make([]byte, 10)
+	binary.BigEndian.PutUint16(b[0:2], OuterHeaderCreationGTPUUDPIPv4)
+	binary.BigEndian.PutUint32(b[2:6], teid)
+	binary.BigEndian.PutUint32(b[6:10], addr)
+	return IE{Type: IEOuterHeaderCreation, Value: b}
+}
+
+// ParseOuterHeaderCreation extracts the TEID and IPv4 address of a
+// GTP-U/UDP/IPv4 Outer Header Creation IE.
+func ParseOuterHeaderCreation(ie *IE) (teid, addr uint32, err error) {
+	if len(ie.Value) < 10 {
+		return 0, 0, ErrMalformedIE
+	}
+	if binary.BigEndian.Uint16(ie.Value[0:2])&OuterHeaderCreationGTPUUDPIPv4 == 0 {
+		return 0, 0, ErrMalformedIE
+	}
+	return binary.BigEndian.Uint32(ie.Value[2:6]), binary.BigEndian.Uint32(ie.Value[6:10]), nil
+}
+
+// MBR (29.244 §8.2.8): two 40-bit kbps values (UL then DL).
+
+// NewMBR builds an MBR IE from kbps values.
+func NewMBR(ulKbps, dlKbps uint64) IE {
+	b := make([]byte, 10)
+	put40(b[0:5], ulKbps)
+	put40(b[5:10], dlKbps)
+	return IE{Type: IEMBR, Value: b}
+}
+
+// ParseMBR extracts the UL and DL kbps of an MBR IE.
+func ParseMBR(ie *IE) (ulKbps, dlKbps uint64, err error) {
+	if len(ie.Value) < 10 {
+		return 0, 0, ErrMalformedIE
+	}
+	return get40(ie.Value[0:5]), get40(ie.Value[5:10]), nil
+}
+
+func put40(b []byte, v uint64) {
+	b[0] = byte(v >> 32)
+	b[1] = byte(v >> 24)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 8)
+	b[4] = byte(v)
+}
+
+func get40(b []byte) uint64 {
+	return uint64(b[0])<<32 | uint64(b[1])<<24 | uint64(b[2])<<16 | uint64(b[3])<<8 | uint64(b[4])
+}
+
+// SDF Filter (29.244 §8.2.5): flags (0x1 = FD) + spare + 2-byte flow
+// description length + flow description.
+
+// NewSDFFilter builds an SDF Filter IE from a flow description.
+func NewSDFFilter(flow string) IE {
+	b := make([]byte, 4+len(flow))
+	b[0] = 0x1 // FD
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(flow)))
+	copy(b[4:], flow)
+	return IE{Type: IESDFFilter, Value: b}
+}
+
+// ParseSDFFilter extracts the flow description of an SDF Filter IE.
+func ParseSDFFilter(ie *IE) (string, error) {
+	if len(ie.Value) < 4 || ie.Value[0]&0x1 == 0 {
+		return "", ErrMalformedIE
+	}
+	n := int(binary.BigEndian.Uint16(ie.Value[2:4]))
+	if len(ie.Value) < 4+n {
+		return "", ErrMalformedIE
+	}
+	return string(ie.Value[4 : 4+n]), nil
+}

@@ -1,0 +1,357 @@
+package pfcp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestHeaderRoundTrip pins the wire header for both header shapes: the
+// 8-byte node form and the 16-byte session form with SEID and the S
+// flag.
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []Message{
+		{Type: MsgHeartbeatRequest, Seq: 1},
+		{Type: MsgAssociationSetupRequest, Seq: 0xFFFFFF},
+		{Type: MsgSessionEstablishmentRequest, SEID: 0, Seq: 7},
+		{Type: MsgSessionModificationRequest, SEID: 0xDEAD_BEEF_CAFE_F00D, Seq: 123456},
+		{Type: MsgSessionDeletionResponse, SEID: 1, Seq: 42},
+	}
+	for _, m := range cases {
+		b := m.Marshal(nil)
+		wantHdr := headerLenNode
+		if HasSEID(m.Type) {
+			wantHdr = headerLenSession
+		}
+		if len(b) != wantHdr {
+			t.Errorf("type %d: marshaled %d bytes, want %d", m.Type, len(b), wantHdr)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("type %d: %v", m.Type, err)
+		}
+		if got.Type != m.Type || got.SEID != m.SEID || got.Seq != m.Seq {
+			t.Errorf("type %d: round trip %+v != %+v", m.Type, got, m)
+		}
+	}
+}
+
+// TestMarshalAppends verifies Marshal appends to dst rather than
+// clobbering it, the contract the client's retransmit buffer relies on.
+func TestMarshalAppends(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	m := BuildHeartbeatRequest(5, 99)
+	b := m.Marshal(prefix)
+	if b[0] != 0xAA || b[1] != 0xBB {
+		t.Fatal("Marshal clobbered the existing prefix")
+	}
+	if _, err := Unmarshal(b[2:]); err != nil {
+		t.Fatalf("appended message does not parse: %v", err)
+	}
+}
+
+// TestUnmarshalErrors pins the codec's failure modes: short input, a
+// wrong version nibble, a length field past the buffer, and torn IEs.
+func TestUnmarshalErrors(t *testing.T) {
+	hb := BuildHeartbeatRequest(1, 2)
+	good := hb.Marshal(nil)
+
+	short := good[:3]
+	if _, err := Unmarshal(short); !errors.Is(err, ErrShort) {
+		t.Errorf("short: %v", err)
+	}
+
+	vers := append([]byte(nil), good...)
+	vers[0] = 0x40 | (vers[0] & 0x1f) // version 2
+	if _, err := Unmarshal(vers); !errors.Is(err, ErrVersion) {
+		t.Errorf("version: %v", err)
+	}
+
+	trunc := append([]byte(nil), good...)
+	trunc[2], trunc[3] = 0xFF, 0xFF
+	if _, err := Unmarshal(trunc); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+
+	torn := append([]byte(nil), good...)
+	// Shrink the header length so the trailing IE region ends mid-TLV.
+	torn[3] -= 2
+	if _, err := Unmarshal(torn[:len(torn)-2]); !errors.Is(err, ErrMalformedIE) {
+		t.Errorf("torn IE: %v", err)
+	}
+
+	// A session header cut off before the SEID.
+	del := BuildSessionDeletion(1, 5)
+	sess := del.Marshal(nil)
+	cut := append([]byte(nil), sess[:10]...)
+	cut[2], cut[3] = 0, 6
+	if _, err := Unmarshal(cut); !errors.Is(err, ErrShort) {
+		t.Errorf("cut session header: %v", err)
+	}
+}
+
+// TestPDRRoundTrip encodes every PDR shape the UPF consumes and decodes
+// it back to an identical struct.
+func TestPDRRoundTrip(t *testing.T) {
+	cases := []PDR{
+		{ID: 1, Precedence: 100, SourceInterface: InterfaceAccess,
+			TEID: 0x5E00_0001, TEIDAddr: 0x7F00_0001, OuterHeaderRemoval: true, FARID: 2, QERID: 1},
+		{ID: 2, Precedence: 100, SourceInterface: InterfaceCore,
+			UEAddr: 0x2D01_0001, FARID: 1, QERID: 1},
+		{ID: 3, Precedence: 50, SourceInterface: InterfaceCore,
+			UEAddr: 0x2D01_0001, SDF: "permit out 17 from 8.8.8.8/32 5060 to assigned", FARID: 1, QERID: 2},
+		{ID: 4, SourceInterface: InterfaceAccess, TEID: 9, TEIDAddr: 1},
+	}
+	for _, p := range cases {
+		ie := p.Encode()
+		got, err := DecodePDR(&ie)
+		if err != nil {
+			t.Fatalf("PDR %d: %v", p.ID, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("PDR %d: round trip\n got %+v\nwant %+v", p.ID, got, p)
+		}
+	}
+}
+
+// TestFARRoundTrip covers create and update forms, forward and drop
+// actions, with and without outer header creation.
+func TestFARRoundTrip(t *testing.T) {
+	cases := []FAR{
+		{ID: 1, DestinationInterface: InterfaceAccess, OuterHeaderCreation: true, TEID: 0xD000_0001, Addr: 0xC0A8_3201},
+		{ID: 2, DestinationInterface: InterfaceCore},
+		{ID: 3, Drop: true, DestinationInterface: InterfaceCore},
+	}
+	for _, update := range []bool{false, true} {
+		for _, f := range cases {
+			ie := f.Encode(update)
+			wantType := IECreateFAR
+			if update {
+				wantType = IEUpdateFAR
+			}
+			if ie.Type != wantType {
+				t.Fatalf("FAR %d update=%v: IE type %d", f.ID, update, ie.Type)
+			}
+			got, err := DecodeFAR(&ie)
+			if err != nil {
+				t.Fatalf("FAR %d update=%v: %v", f.ID, update, err)
+			}
+			if !reflect.DeepEqual(got, f) {
+				t.Errorf("FAR %d update=%v: round trip\n got %+v\nwant %+v", f.ID, update, got, f)
+			}
+		}
+	}
+}
+
+// TestQERRoundTrip covers gate combinations and the 40-bit MBR field.
+func TestQERRoundTrip(t *testing.T) {
+	cases := []QER{
+		{ID: 1, MBRUplinkKbps: 50_000, MBRDownlinkKbps: 100_000},
+		{ID: 2, GateClosedUL: true, GateClosedDL: true},
+		{ID: 3, GateClosedDL: true, MBRUplinkKbps: 1, MBRDownlinkKbps: 1},
+		// 40-bit boundary: the largest encodable rate.
+		{ID: 4, MBRUplinkKbps: 1<<40 - 1, MBRDownlinkKbps: 1<<40 - 1},
+	}
+	for _, update := range []bool{false, true} {
+		for _, q := range cases {
+			ie := q.Encode(update)
+			got, err := DecodeQER(&ie)
+			if err != nil {
+				t.Fatalf("QER %d update=%v: %v", q.ID, update, err)
+			}
+			if !reflect.DeepEqual(got, q) {
+				t.Errorf("QER %d update=%v: round trip\n got %+v\nwant %+v", q.ID, update, got, q)
+			}
+		}
+	}
+}
+
+// TestSessionRequestRoundTrip builds the canonical establishment and
+// modification messages and parses them back whole.
+func TestSessionRequestRoundTrip(t *testing.T) {
+	est := &SessionRequest{
+		FSEID: 7, FSEIDAddr: 0x0AFF_0001, NodeID: 0x0AFF_0001,
+		CreatePDRs: []PDR{
+			{ID: 1, Precedence: 100, SourceInterface: InterfaceAccess,
+				TEID: 0x5E00_0001, TEIDAddr: 0x7F00_0001, OuterHeaderRemoval: true, FARID: 2, QERID: 1},
+			{ID: 2, Precedence: 100, SourceInterface: InterfaceCore, UEAddr: 0x2D01_0001, FARID: 1, QERID: 1},
+		},
+		CreateFARs: []FAR{
+			{ID: 1, DestinationInterface: InterfaceAccess, OuterHeaderCreation: true, TEID: 0xD000_0001, Addr: 0xC0A8_3201},
+			{ID: 2, DestinationInterface: InterfaceCore},
+		},
+		CreateQERs: []QER{{ID: 1, MBRUplinkKbps: 50_000, MBRDownlinkKbps: 100_000}},
+	}
+	estMsg := BuildSessionEstablishment(9, est)
+	m, err := Unmarshal(estMsg.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSessionRequest(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, *est) {
+		t.Errorf("establishment round trip\n got %+v\nwant %+v", got, *est)
+	}
+
+	mod := &SessionRequest{
+		SEID:       0x1234,
+		UpdateFARs: []FAR{{ID: 1, DestinationInterface: InterfaceAccess, OuterHeaderCreation: true, TEID: 5, Addr: 6}},
+		UpdateQERs: []QER{{ID: 1, MBRUplinkKbps: 20_000, MBRDownlinkKbps: 40_000}},
+	}
+	modMsg := BuildSessionModification(10, mod)
+	m, err = Unmarshal(modMsg.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ParseSessionRequest(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, *mod) {
+		t.Errorf("modification round trip\n got %+v\nwant %+v", got, *mod)
+	}
+}
+
+// TestSessionResponseRoundTrip covers accepted-with-FSEID and
+// rejected-without.
+func TestSessionResponseRoundTrip(t *testing.T) {
+	ok := BuildSessionResponse(MsgSessionEstablishmentResponse, 3, 7, CauseAccepted, 99, 0x7F00_0001)
+	m, err := Unmarshal(ok.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ParseSessionResponse(&m)
+	if err != nil || r.Cause != CauseAccepted || r.FSEID != 99 || r.FSEIDAddr != 0x7F00_0001 {
+		t.Fatalf("accepted: %+v err %v", r, err)
+	}
+	if m.SEID != 7 || m.Seq != 3 {
+		t.Fatalf("header: %+v", m)
+	}
+
+	rej := BuildSessionResponse(MsgSessionEstablishmentResponse, 4, 0, CauseNoEstablishedAssociation, 0, 0)
+	m, err = Unmarshal(rej.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = ParseSessionResponse(&m)
+	if err != nil || r.Cause != CauseNoEstablishedAssociation || r.FSEID != 0 {
+		t.Fatalf("rejected: %+v err %v", r, err)
+	}
+
+	// A response with no Cause at all is a protocol violation.
+	bad := Message{Type: MsgSessionEstablishmentResponse, Seq: 5}
+	m, _ = Unmarshal(bad.Marshal(nil))
+	if _, err := ParseSessionResponse(&m); !errors.Is(err, ErrMissingIE) {
+		t.Fatalf("missing cause: %v", err)
+	}
+}
+
+// TestNodeMessages pins the node-level builders (heartbeat, association)
+// and their IE payloads.
+func TestNodeMessages(t *testing.T) {
+	asr := BuildAssociationSetupRequest(1, 0x0AFF_0001, 1234)
+	m, err := Unmarshal(asr.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr, err := ParseNodeID(FindIE(m.IEs, IENodeID)); err != nil || addr != 0x0AFF_0001 {
+		t.Fatalf("association node id: %#x err %v", addr, err)
+	}
+	if rec := FindIE(m.IEs, IERecoveryTimeStamp); rec == nil || len(rec.Value) != 4 {
+		t.Fatal("association recovery timestamp missing")
+	}
+
+	hbr := BuildHeartbeatResponse(2, 1234)
+	m, err = Unmarshal(hbr.Marshal(nil))
+	if err != nil || m.Type != MsgHeartbeatResponse || m.Seq != 2 {
+		t.Fatalf("heartbeat response: %+v err %v", m, err)
+	}
+}
+
+// TestIEValueCodecs pins the per-IE codecs against malformed values the
+// fuzzer likes to find: wrong flags, short payloads.
+func TestIEValueCodecs(t *testing.T) {
+	fseid := NewFSEID(5, 6)
+	if s, a, err := ParseFSEID(&fseid); err != nil || s != 5 || a != 6 {
+		t.Fatalf("fseid: %d %d %v", s, a, err)
+	}
+	noV4 := IE{Type: IEFSEID, Value: append([]byte{0x1}, fseid.Value[1:]...)}
+	if _, _, err := ParseFSEID(&noV4); err == nil {
+		t.Fatal("fseid without V4 flag accepted")
+	}
+	shortF := IE{Type: IEFSEID, Value: fseid.Value[:9]}
+	if _, _, err := ParseFSEID(&shortF); err == nil {
+		t.Fatal("fseid without address accepted")
+	}
+
+	fteid := NewFTEID(7, 8)
+	if te, a, err := ParseFTEID(&fteid); err != nil || te != 7 || a != 8 {
+		t.Fatalf("fteid: %d %d %v", te, a, err)
+	}
+	ohc := NewOuterHeaderCreation(9, 10)
+	if te, a, err := ParseOuterHeaderCreation(&ohc); err != nil || te != 9 || a != 10 {
+		t.Fatalf("ohc: %d %d %v", te, a, err)
+	}
+	badDesc := IE{Type: IEOuterHeaderCreation, Value: make([]byte, 10)}
+	if _, _, err := ParseOuterHeaderCreation(&badDesc); err == nil {
+		t.Fatal("non-GTP-U outer header description accepted")
+	}
+
+	sdf := NewSDFFilter("permit out ip from any to assigned")
+	if s, err := ParseSDFFilter(&sdf); err != nil || s != "permit out ip from any to assigned" {
+		t.Fatalf("sdf: %q %v", s, err)
+	}
+	lying := IE{Type: IESDFFilter, Value: []byte{0x1, 0, 0xFF, 0xFF, 'x'}}
+	if _, err := ParseSDFFilter(&lying); err == nil {
+		t.Fatal("sdf with lying length accepted")
+	}
+}
+
+// TestParseFlowDesc walks the SDF grammar: full specs, wildcards,
+// assigned endpoints, port ranges, and the rejects.
+func TestParseFlowDesc(t *testing.T) {
+	good := []struct {
+		flow string
+		want FlowSpec
+	}{
+		{"permit out 17 from 8.8.8.8/32 5060 to assigned",
+			FlowSpec{Proto: 17, SrcAddr: 0x0808_0808, SrcPrefix: 32, SrcPortLo: 5060, SrcPortHi: 5060, DstAssigned: true, DstPrefix: 32}},
+		{"permit out ip from any to assigned",
+			FlowSpec{DstAssigned: true, DstPrefix: 32}},
+		{"permit out 6 from 10.0.0.0/8 to assigned 8000-9000",
+			FlowSpec{Proto: 6, SrcAddr: 0x0A00_0000, SrcPrefix: 8, DstAssigned: true, DstPrefix: 32, DstPortLo: 8000, DstPortHi: 9000}},
+		{"permit out 6 from 1.2.3.4 80 to 5.6.7.8 443",
+			FlowSpec{Proto: 6, SrcAddr: 0x0102_0304, SrcPrefix: 32, SrcPortLo: 80, SrcPortHi: 80,
+				DstAddr: 0x0506_0708, DstPrefix: 32, DstPortLo: 443, DstPortHi: 443}},
+	}
+	for _, c := range good {
+		got, err := ParseFlowDesc(c.flow)
+		if err != nil {
+			t.Errorf("%q: %v", c.flow, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q:\n got %+v\nwant %+v", c.flow, got, c.want)
+		}
+	}
+
+	bad := []string{
+		"",
+		"deny out ip from any to any",
+		"permit in ip from any to any",
+		"permit out ip from any",
+		"permit out 256 from any to any",
+		"permit out ip from 1.2.3 to any",
+		"permit out ip from 1.2.3.4/40 to any",
+		"permit out ip from any 99999 to any",
+		"permit out ip from any 90-80 to any",
+		"permit out ip from any to any trailing",
+	}
+	for _, flow := range bad {
+		if _, err := ParseFlowDesc(flow); err == nil {
+			t.Errorf("%q: accepted", flow)
+		}
+	}
+}

@@ -1,0 +1,586 @@
+package pfcp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the semantic layer over the TLV codec: PDR/FAR/QER rule
+// structs encoded to (and decoded from) grouped IEs, whole session
+// messages, and the SDF flow-description grammar. It is deliberately the
+// minimal UPF subset — one F-TEID/UE-IP PDI per PDR, GTP-U/UDP/IPv4
+// outer headers, MBR-only QERs — matching what a PEPC slice enforces.
+
+// PDR is a Packet Detection Rule: which packets belong to the session,
+// and which FAR/QER apply to them. An Access-side PDR detects uplink by
+// local F-TEID (and usually requests outer header removal); a Core-side
+// PDR detects downlink by UE IP address.
+type PDR struct {
+	ID              uint16
+	Precedence      uint32
+	SourceInterface uint8
+
+	// PDI: TEID/TEIDAddr for Access (uplink tunnel endpoint), UEAddr
+	// for Core, SDF an optional flow-description filter.
+	TEID     uint32
+	TEIDAddr uint32
+	UEAddr   uint32
+	SDF      string
+
+	OuterHeaderRemoval bool
+	FARID              uint32
+	QERID              uint32
+}
+
+// FAR is a Forwarding Action Rule: drop or forward, and for forwarded
+// downlink traffic the GTP-U outer header to create toward the RAN.
+type FAR struct {
+	ID                   uint32
+	Drop                 bool
+	DestinationInterface uint8
+
+	// OuterHeaderCreation, when set, wraps matching packets in a
+	// GTP-U/UDP/IPv4 header toward TEID@Addr (the eNodeB/gNB endpoint).
+	OuterHeaderCreation bool
+	TEID                uint32
+	Addr                uint32
+}
+
+// QER is a QoS Enforcement Rule: per-direction gates and maximum bit
+// rates (kbps, per 29.244).
+type QER struct {
+	ID              uint32
+	GateClosedUL    bool
+	GateClosedDL    bool
+	MBRUplinkKbps   uint64
+	MBRDownlinkKbps uint64
+}
+
+// Encode renders the PDR as a Create PDR grouped IE.
+func (p *PDR) Encode() IE {
+	pdi := []IE{NewIEUint8(IESourceInterface, p.SourceInterface)}
+	if p.TEID != 0 {
+		pdi = append(pdi, NewFTEID(p.TEID, p.TEIDAddr))
+	}
+	if p.UEAddr != 0 {
+		pdi = append(pdi, NewUEIPAddress(p.UEAddr))
+	}
+	if p.SDF != "" {
+		pdi = append(pdi, NewSDFFilter(p.SDF))
+	}
+	sub := []IE{
+		NewIEUint16(IEPDRID, p.ID),
+		NewIEUint32(IEPrecedence, p.Precedence),
+		NewGrouped(IEPDI, pdi...),
+	}
+	if p.OuterHeaderRemoval {
+		sub = append(sub, NewIEUint8(IEOuterHeaderRemoval, 0)) // 0 = GTP-U/UDP/IPv4
+	}
+	if p.FARID != 0 {
+		sub = append(sub, NewIEUint32(IEFARID, p.FARID))
+	}
+	if p.QERID != 0 {
+		sub = append(sub, NewIEUint32(IEQERID, p.QERID))
+	}
+	return NewGrouped(IECreatePDR, sub...)
+}
+
+// DecodePDR parses a Create PDR grouped IE.
+func DecodePDR(ie *IE) (PDR, error) {
+	var p PDR
+	sub, err := ParseIEs(ie.Value)
+	if err != nil {
+		return p, err
+	}
+	id := FindIE(sub, IEPDRID)
+	if id == nil {
+		return p, ErrMissingIE
+	}
+	if p.ID, err = id.uint16(); err != nil {
+		return p, err
+	}
+	for i := range sub {
+		s := &sub[i]
+		switch s.Type {
+		case IEPrecedence:
+			if p.Precedence, err = s.uint32(); err != nil {
+				return p, err
+			}
+		case IEPDI:
+			pdi, err := ParseIEs(s.Value)
+			if err != nil {
+				return p, err
+			}
+			for j := range pdi {
+				d := &pdi[j]
+				switch d.Type {
+				case IESourceInterface:
+					if p.SourceInterface, err = d.uint8(); err != nil {
+						return p, err
+					}
+				case IEFTEID:
+					if p.TEID, p.TEIDAddr, err = ParseFTEID(d); err != nil {
+						return p, err
+					}
+				case IEUEIPAddress:
+					if p.UEAddr, err = ParseUEIPAddress(d); err != nil {
+						return p, err
+					}
+				case IESDFFilter:
+					if p.SDF, err = ParseSDFFilter(d); err != nil {
+						return p, err
+					}
+				}
+			}
+		case IEOuterHeaderRemoval:
+			p.OuterHeaderRemoval = true
+		case IEFARID:
+			if p.FARID, err = s.uint32(); err != nil {
+				return p, err
+			}
+		case IEQERID:
+			if p.QERID, err = s.uint32(); err != nil {
+				return p, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// Encode renders the FAR as a Create FAR (or, with update, Update FAR)
+// grouped IE.
+func (f *FAR) Encode(update bool) IE {
+	action := ApplyActionForward
+	if f.Drop {
+		action = ApplyActionDrop
+	}
+	fpType, farType := IEForwardingParams, IECreateFAR
+	if update {
+		fpType, farType = IEUpdateForwardingParams, IEUpdateFAR
+	}
+	fp := []IE{NewIEUint8(IEDestinationInterface, f.DestinationInterface)}
+	if f.OuterHeaderCreation {
+		fp = append(fp, NewOuterHeaderCreation(f.TEID, f.Addr))
+	}
+	return NewGrouped(farType,
+		NewIEUint32(IEFARID, f.ID),
+		NewIEUint8(IEApplyAction, action),
+		NewGrouped(fpType, fp...),
+	)
+}
+
+// DecodeFAR parses a Create/Update FAR grouped IE.
+func DecodeFAR(ie *IE) (FAR, error) {
+	var f FAR
+	sub, err := ParseIEs(ie.Value)
+	if err != nil {
+		return f, err
+	}
+	id := FindIE(sub, IEFARID)
+	if id == nil {
+		return f, ErrMissingIE
+	}
+	if f.ID, err = id.uint32(); err != nil {
+		return f, err
+	}
+	for i := range sub {
+		s := &sub[i]
+		switch s.Type {
+		case IEApplyAction:
+			a, err := s.uint8()
+			if err != nil {
+				return f, err
+			}
+			f.Drop = a&ApplyActionDrop != 0
+		case IEForwardingParams, IEUpdateForwardingParams:
+			fp, err := ParseIEs(s.Value)
+			if err != nil {
+				return f, err
+			}
+			for j := range fp {
+				d := &fp[j]
+				switch d.Type {
+				case IEDestinationInterface:
+					if f.DestinationInterface, err = d.uint8(); err != nil {
+						return f, err
+					}
+				case IEOuterHeaderCreation:
+					if f.TEID, f.Addr, err = ParseOuterHeaderCreation(d); err != nil {
+						return f, err
+					}
+					f.OuterHeaderCreation = true
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// Encode renders the QER as a Create QER (or Update QER) grouped IE.
+func (q *QER) Encode(update bool) IE {
+	qerType := IECreateQER
+	if update {
+		qerType = IEUpdateQER
+	}
+	gate := uint8(0)
+	if q.GateClosedUL {
+		gate |= GateClosed << 2
+	}
+	if q.GateClosedDL {
+		gate |= GateClosed
+	}
+	sub := []IE{
+		NewIEUint32(IEQERID, q.ID),
+		NewIEUint8(IEGateStatus, gate),
+	}
+	if q.MBRUplinkKbps != 0 || q.MBRDownlinkKbps != 0 {
+		sub = append(sub, NewMBR(q.MBRUplinkKbps, q.MBRDownlinkKbps))
+	}
+	return NewGrouped(qerType, sub...)
+}
+
+// DecodeQER parses a Create/Update QER grouped IE.
+func DecodeQER(ie *IE) (QER, error) {
+	var q QER
+	sub, err := ParseIEs(ie.Value)
+	if err != nil {
+		return q, err
+	}
+	id := FindIE(sub, IEQERID)
+	if id == nil {
+		return q, ErrMissingIE
+	}
+	if q.ID, err = id.uint32(); err != nil {
+		return q, err
+	}
+	for i := range sub {
+		s := &sub[i]
+		switch s.Type {
+		case IEGateStatus:
+			g, err := s.uint8()
+			if err != nil {
+				return q, err
+			}
+			q.GateClosedUL = g>>2&0x3 != GateOpen
+			q.GateClosedDL = g&0x3 != GateOpen
+		case IEMBR:
+			if q.MBRUplinkKbps, q.MBRDownlinkKbps, err = ParseMBR(s); err != nil {
+				return q, err
+			}
+		}
+	}
+	return q, nil
+}
+
+// SessionRequest is a decoded session establishment or modification
+// request (and the deletion request, which carries no rules).
+type SessionRequest struct {
+	// SEID is the header SEID: zero on establishment (the UPF has not
+	// yet assigned one), the UPF-local session id afterwards.
+	SEID uint64
+	// FSEID/FSEIDAddr identify the SMF's side of the session
+	// (establishment only).
+	FSEID     uint64
+	FSEIDAddr uint32
+	NodeID    uint32
+
+	CreatePDRs []PDR
+	CreateFARs []FAR
+	CreateQERs []QER
+	UpdateFARs []FAR
+	UpdateQERs []QER
+}
+
+// BuildSessionEstablishment encodes an establishment request.
+func BuildSessionEstablishment(seq uint32, req *SessionRequest) Message {
+	m := Message{Type: MsgSessionEstablishmentRequest, SEID: 0, Seq: seq}
+	m.IEs = append(m.IEs, NewNodeID(req.NodeID), NewFSEID(req.FSEID, req.FSEIDAddr))
+	m.IEs = appendRules(m.IEs, req)
+	return m
+}
+
+// BuildSessionModification encodes a modification request against the
+// UPF-local session req.SEID.
+func BuildSessionModification(seq uint32, req *SessionRequest) Message {
+	m := Message{Type: MsgSessionModificationRequest, SEID: req.SEID, Seq: seq}
+	m.IEs = appendRules(m.IEs, req)
+	return m
+}
+
+// BuildSessionDeletion encodes a deletion request for the UPF-local
+// session seid.
+func BuildSessionDeletion(seq uint32, seid uint64) Message {
+	return Message{Type: MsgSessionDeletionRequest, SEID: seid, Seq: seq}
+}
+
+func appendRules(ies []IE, req *SessionRequest) []IE {
+	for i := range req.CreatePDRs {
+		ies = append(ies, req.CreatePDRs[i].Encode())
+	}
+	for i := range req.CreateFARs {
+		ies = append(ies, req.CreateFARs[i].Encode(false))
+	}
+	for i := range req.CreateQERs {
+		ies = append(ies, req.CreateQERs[i].Encode(false))
+	}
+	for i := range req.UpdateFARs {
+		ies = append(ies, req.UpdateFARs[i].Encode(true))
+	}
+	for i := range req.UpdateQERs {
+		ies = append(ies, req.UpdateQERs[i].Encode(true))
+	}
+	return ies
+}
+
+// ParseSessionRequest decodes the rules of a session-level request
+// message (the UPF side of Build*).
+func ParseSessionRequest(m *Message) (SessionRequest, error) {
+	req := SessionRequest{SEID: m.SEID}
+	for i := range m.IEs {
+		ie := &m.IEs[i]
+		var err error
+		switch ie.Type {
+		case IENodeID:
+			req.NodeID, err = ParseNodeID(ie)
+		case IEFSEID:
+			req.FSEID, req.FSEIDAddr, err = ParseFSEID(ie)
+		case IECreatePDR:
+			var p PDR
+			if p, err = DecodePDR(ie); err == nil {
+				req.CreatePDRs = append(req.CreatePDRs, p)
+			}
+		case IECreateFAR:
+			var f FAR
+			if f, err = DecodeFAR(ie); err == nil {
+				req.CreateFARs = append(req.CreateFARs, f)
+			}
+		case IECreateQER:
+			var q QER
+			if q, err = DecodeQER(ie); err == nil {
+				req.CreateQERs = append(req.CreateQERs, q)
+			}
+		case IEUpdateFAR:
+			var f FAR
+			if f, err = DecodeFAR(ie); err == nil {
+				req.UpdateFARs = append(req.UpdateFARs, f)
+			}
+		case IEUpdateQER:
+			var q QER
+			if q, err = DecodeQER(ie); err == nil {
+				req.UpdateQERs = append(req.UpdateQERs, q)
+			}
+		}
+		if err != nil {
+			return req, err
+		}
+	}
+	return req, nil
+}
+
+// SessionResponse is a decoded session-level response.
+type SessionResponse struct {
+	Cause     uint8
+	FSEID     uint64 // the responder's session id (establishment)
+	FSEIDAddr uint32
+}
+
+// BuildSessionResponse encodes a session-level response. seid is the
+// header SEID (the requester's session id, zero when unknown); fseid,
+// when nonzero, reports the responder's own session id.
+func BuildSessionResponse(respType uint8, seq uint32, seid uint64, cause uint8, fseid uint64, fseidAddr uint32) Message {
+	m := Message{Type: respType, SEID: seid, Seq: seq}
+	m.IEs = append(m.IEs, NewIEUint8(IECause, cause))
+	if fseid != 0 {
+		m.IEs = append(m.IEs, NewFSEID(fseid, fseidAddr))
+	}
+	return m
+}
+
+// ParseSessionResponse decodes a session-level response.
+func ParseSessionResponse(m *Message) (SessionResponse, error) {
+	var r SessionResponse
+	c := FindIE(m.IEs, IECause)
+	if c == nil {
+		return r, ErrMissingIE
+	}
+	var err error
+	if r.Cause, err = c.uint8(); err != nil {
+		return r, err
+	}
+	if f := FindIE(m.IEs, IEFSEID); f != nil {
+		if r.FSEID, r.FSEIDAddr, err = ParseFSEID(f); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// Node-level message builders.
+
+// BuildHeartbeatRequest encodes a heartbeat request.
+func BuildHeartbeatRequest(seq, recovery uint32) Message {
+	return Message{Type: MsgHeartbeatRequest, Seq: seq,
+		IEs: []IE{NewIEUint32(IERecoveryTimeStamp, recovery)}}
+}
+
+// BuildHeartbeatResponse encodes a heartbeat response.
+func BuildHeartbeatResponse(seq, recovery uint32) Message {
+	return Message{Type: MsgHeartbeatResponse, Seq: seq,
+		IEs: []IE{NewIEUint32(IERecoveryTimeStamp, recovery)}}
+}
+
+// BuildAssociationSetupRequest encodes an association setup request.
+func BuildAssociationSetupRequest(seq, nodeAddr, recovery uint32) Message {
+	return Message{Type: MsgAssociationSetupRequest, Seq: seq,
+		IEs: []IE{NewNodeID(nodeAddr), NewIEUint32(IERecoveryTimeStamp, recovery)}}
+}
+
+// BuildAssociationSetupResponse encodes an association setup response.
+func BuildAssociationSetupResponse(seq, nodeAddr uint32, cause uint8, recovery uint32) Message {
+	return Message{Type: MsgAssociationSetupResponse, Seq: seq,
+		IEs: []IE{NewNodeID(nodeAddr), NewIEUint8(IECause, cause),
+			NewIEUint32(IERecoveryTimeStamp, recovery)}}
+}
+
+// FlowSpec is a parsed SDF flow description in its 3GPP downlink
+// orientation (network → UE): Src is the remote end, Dst the UE side.
+// The UPF resolves Assigned endpoints to the session's UE address and
+// mirrors the spec for uplink-direction PDRs.
+type FlowSpec struct {
+	Proto uint8 // 0 = any
+
+	SrcAddr     uint32
+	SrcPrefix   uint8
+	SrcAssigned bool
+	SrcPortLo   uint16
+	SrcPortHi   uint16
+
+	DstAddr     uint32
+	DstPrefix   uint8
+	DstAssigned bool
+	DstPortLo   uint16
+	DstPortHi   uint16
+}
+
+// ParseFlowDesc parses the IPFilterRule-style flow description grammar
+// of 29.244 §8.2.5 (the subset a PEPC slice enforces):
+//
+//	permit out <proto|ip> from <addr>[/<len>]|any|assigned [<port>[-<port>]]
+//	                      to   <addr>[/<len>]|any|assigned [<port>[-<port>]]
+func ParseFlowDesc(flow string) (FlowSpec, error) {
+	var fs FlowSpec
+	tok := strings.Fields(flow)
+	if len(tok) < 6 || tok[0] != "permit" || tok[1] != "out" {
+		return fs, fmt.Errorf("pfcp: flow description %q: want \"permit out ...\"", flow)
+	}
+	if tok[2] != "ip" {
+		p, err := strconv.ParseUint(tok[2], 10, 8)
+		if err != nil {
+			return fs, fmt.Errorf("pfcp: flow description %q: bad protocol %q", flow, tok[2])
+		}
+		fs.Proto = uint8(p)
+	}
+	if tok[3] != "from" {
+		return fs, fmt.Errorf("pfcp: flow description %q: want \"from\"", flow)
+	}
+	rest, err := parseEndpoint(tok[4:], &fs.SrcAddr, &fs.SrcPrefix, &fs.SrcAssigned, &fs.SrcPortLo, &fs.SrcPortHi)
+	if err != nil {
+		return fs, fmt.Errorf("pfcp: flow description %q: %w", flow, err)
+	}
+	if len(rest) < 2 || rest[0] != "to" {
+		return fs, fmt.Errorf("pfcp: flow description %q: want \"to\"", flow)
+	}
+	rest, err = parseEndpoint(rest[1:], &fs.DstAddr, &fs.DstPrefix, &fs.DstAssigned, &fs.DstPortLo, &fs.DstPortHi)
+	if err != nil {
+		return fs, fmt.Errorf("pfcp: flow description %q: %w", flow, err)
+	}
+	if len(rest) != 0 {
+		return fs, fmt.Errorf("pfcp: flow description %q: trailing tokens", flow)
+	}
+	return fs, nil
+}
+
+// parseEndpoint consumes "<addr spec> [ports]" and returns the remaining
+// tokens.
+func parseEndpoint(tok []string, addr *uint32, prefix *uint8, assigned *bool, portLo, portHi *uint16) ([]string, error) {
+	if len(tok) == 0 {
+		return nil, fmt.Errorf("missing address")
+	}
+	switch a := tok[0]; a {
+	case "any":
+	case "assigned":
+		*assigned = true
+		*prefix = 32
+	default:
+		spec := a
+		if i := strings.IndexByte(spec, '/'); i >= 0 {
+			n, err := strconv.ParseUint(spec[i+1:], 10, 8)
+			if err != nil || n > 32 {
+				return nil, fmt.Errorf("bad prefix length %q", spec[i+1:])
+			}
+			*prefix = uint8(n)
+			spec = spec[:i]
+		} else {
+			*prefix = 32
+		}
+		ip, err := parseIPv4(spec)
+		if err != nil {
+			return nil, err
+		}
+		*addr = ip
+	}
+	tok = tok[1:]
+	if len(tok) == 0 || tok[0] == "to" {
+		return tok, nil
+	}
+	lo, hi, ok := parsePorts(tok[0])
+	if !ok {
+		return nil, fmt.Errorf("bad port spec %q", tok[0])
+	}
+	*portLo, *portHi = lo, hi
+	return tok[1:], nil
+}
+
+func parsePorts(s string) (lo, hi uint16, ok bool) {
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		l, err1 := strconv.ParseUint(s[:i], 10, 16)
+		h, err2 := strconv.ParseUint(s[i+1:], 10, 16)
+		if err1 != nil || err2 != nil || l > h {
+			return 0, 0, false
+		}
+		return uint16(l), uint16(h), true
+	}
+	p, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return 0, 0, false
+	}
+	return uint16(p), uint16(p), true
+}
+
+func parseIPv4(s string) (uint32, error) {
+	var ip uint32
+	part := 0
+	acc, digits := 0, 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if digits == 0 || acc > 255 || part > 3 {
+				return 0, fmt.Errorf("bad IPv4 address %q", s)
+			}
+			ip = ip<<8 | uint32(acc)
+			part++
+			acc, digits = 0, 0
+			continue
+		}
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad IPv4 address %q", s)
+		}
+		acc = acc*10 + int(c-'0')
+		digits++
+	}
+	if part != 4 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	return ip, nil
+}

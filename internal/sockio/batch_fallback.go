@@ -4,9 +4,10 @@ package sockio
 
 // This is the portable substrate: no vectorized syscalls, so each batch
 // call degenerates to one datagram per kernel crossing through the
-// standard net package. The batch API shape (and the Receiver/Sender
-// machinery above it) is unchanged, so callers are oblivious — they just
-// measure syscalls/packet ≈ 1.
+// standard net package (the tag-free logic in batch_portable.go). The
+// batch API shape (and the Receiver/Sender machinery above it) is
+// unchanged, so callers are oblivious — they just measure
+// syscalls/packet ≈ 1.
 
 // Batched reports whether this platform performs true vectorized I/O.
 func Batched() bool { return false }
@@ -17,28 +18,9 @@ type txState struct{}
 func (c *Conn) initOS() {}
 
 func (c *Conn) readBatch(ms []Message) (int, error) {
-	n, ap, err := c.uc.ReadFromUDPAddrPort(ms[0].Buf)
-	c.stats.RxCalls.Add(1)
-	if err != nil {
-		return 0, err
-	}
-	ms[0].N = n
-	ms[0].Addr = ap
-	return 1, nil
+	return c.fallbackReadBatch(ms)
 }
 
 func (c *Conn) writeBatch(ms []Message) (int, error) {
-	for i := range ms {
-		var err error
-		if ms[i].Addr.IsValid() {
-			_, err = c.uc.WriteToUDPAddrPort(ms[i].Buf[:ms[i].N], ms[i].Addr)
-		} else {
-			_, err = c.uc.Write(ms[i].Buf[:ms[i].N])
-		}
-		c.stats.TxCalls.Add(1)
-		if err != nil {
-			return i, err
-		}
-	}
-	return len(ms), nil
+	return c.fallbackWriteBatch(ms)
 }

@@ -1,0 +1,90 @@
+package sockio
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestFallbackBatchIO exercises the portable one-datagram substrate
+// (batch_portable.go) directly — no build tags, so it runs on the Linux
+// CI hosts whose Conn otherwise always takes the vectorized path. It
+// pins the fallback's whole contract: payload/address fidelity in both
+// the connected-send and explicit-address cases, one datagram per call,
+// and one kernel crossing counted per datagram (syscalls/packet == 1,
+// the number the Stats exist to expose).
+func TestFallbackBatchIO(t *testing.T) {
+	rx, tx := pairConns(t)
+
+	const n = 8
+	ms := make([]Message, n)
+	for i := range ms {
+		p := []byte(fmt.Sprintf("fallback-datagram-%d", i))
+		ms[i].Buf = p
+		ms[i].N = len(p)
+	}
+	tx0 := tx.Stats()
+	sent, err := tx.fallbackWriteBatch(ms)
+	if err != nil || sent != n {
+		t.Fatalf("fallbackWriteBatch: sent %d err %v", sent, err)
+	}
+	if d := tx.Stats().TxCalls - tx0.TxCalls; d != n {
+		t.Fatalf("fallback write made %d kernel crossings for %d datagrams, want %d", d, n, n)
+	}
+
+	rx0 := rx.Stats()
+	rx.UDPConn().SetReadDeadline(time.Now().Add(5 * time.Second))
+	rms := make([]Message, 4) // larger than 1: the fallback must still fill only ms[0]
+	for i := range rms {
+		rms[i].Buf = make([]byte, 2048)
+	}
+	for i := 0; i < n; i++ {
+		got, err := rx.fallbackReadBatch(rms)
+		if err != nil {
+			t.Fatalf("fallbackReadBatch %d: %v", i, err)
+		}
+		if got != 1 {
+			t.Fatalf("fallback read returned %d datagrams in one call, want 1", got)
+		}
+		want := fmt.Sprintf("fallback-datagram-%d", i)
+		if string(rms[0].Buf[:rms[0].N]) != want {
+			t.Fatalf("datagram %d: got %q want %q", i, rms[0].Buf[:rms[0].N], want)
+		}
+		if rms[0].Addr != tx.LocalAddrPort() {
+			t.Fatalf("datagram %d: source %v, want %v", i, rms[0].Addr, tx.LocalAddrPort())
+		}
+	}
+	if d := rx.Stats().RxCalls - rx0.RxCalls; d != n {
+		t.Fatalf("fallback read made %d kernel crossings for %d datagrams, want %d", d, n, n)
+	}
+
+	// The explicit-address send arm: the unconnected (bound) socket
+	// routes each datagram by its Message.Addr — the Sender-side shape
+	// egress uses when replying toward learned peers.
+	back := Message{Buf: []byte("fallback-reply"), N: 14, Addr: tx.LocalAddrPort()}
+	if sent, err := rx.fallbackWriteBatch([]Message{back}); err != nil || sent != 1 {
+		t.Fatalf("explicit-addr fallback write: sent %d err %v", sent, err)
+	}
+	tx.UDPConn().SetReadDeadline(time.Now().Add(5 * time.Second))
+	if got, err := tx.fallbackReadBatch(rms); err != nil || got != 1 {
+		t.Fatalf("reply read: got %d err %v", got, err)
+	} else if string(rms[0].Buf[:rms[0].N]) != "fallback-reply" {
+		t.Fatalf("reply payload %q", rms[0].Buf[:rms[0].N])
+	}
+
+	// Error path: a closed socket fails the batch with the partial count
+	// and still tallies the attempted crossing, so accounting can't
+	// drift on shutdown.
+	tx1 := tx.Stats()
+	tx.Close()
+	if sent, err := tx.fallbackWriteBatch(ms[:2]); err == nil || sent != 0 {
+		t.Fatalf("write on closed socket: sent %d err %v", sent, err)
+	}
+	if d := tx.Stats().TxCalls - tx1.TxCalls; d != 1 {
+		t.Fatalf("closed-socket write counted %d crossings, want 1", d)
+	}
+	rx.UDPConn().SetReadDeadline(time.Now()) // expired: the read must error, not block
+	if got, err := rx.fallbackReadBatch(rms); err == nil || got != 0 {
+		t.Fatalf("read past the deadline: got %d err %v", got, err)
+	}
+}

@@ -107,6 +107,12 @@ type (
 	// slice crash: checkpointed users restored, queued updates replayed,
 	// detaches completed, signaling events adopted.
 	RecoveryReport = core.RecoveryReport
+	// UPF is the node's N4 (PFCP) endpoint: an SMF's sessions mapped
+	// onto slice users, with modification/deletion riding the batched
+	// signaling path. Serve it from a UDP listener with Handle + Flush.
+	UPF = core.UPF
+	// N4Stats snapshots the UPF's PFCP message counters.
+	N4Stats = core.N4Stats
 	// FaultInjector is the deterministic, seedable fault injector the
 	// chaos soak drives; arm it on a Proxy (SetS6aFaults/SetGxFaults) or
 	// a Slice (SetFaults).
@@ -170,6 +176,10 @@ const (
 
 // NewNode creates a PEPC node with the given slices.
 func NewNode(cfgs ...SliceConfig) *Node { return core.NewNode(cfgs...) }
+
+// NewUPF creates the node's N4 endpoint with the given node identity
+// (IPv4, host order).
+func NewUPF(node *Node, nodeAddr uint32) *UPF { return core.NewUPF(node, nodeAddr) }
 
 // NewSlice creates a standalone slice (no node wrapper).
 func NewSlice(cfg SliceConfig) *Slice { return core.NewSlice(cfg) }

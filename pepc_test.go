@@ -47,7 +47,7 @@ func TestFacadeUnknownSubscriberRejected(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := pepc.ExperimentNames()
-	if len(names) != 18 { // 2 tables + 12 figures + faults + sockio + cluster + lat
+	if len(names) != 19 { // 2 tables + 12 figures + faults + sockio + cluster + lat + pfcp
 		t.Fatalf("experiments = %d: %v", len(names), names)
 	}
 	if names[0] != "table1" || names[2] != "lat" || names[3] != "fig4" {

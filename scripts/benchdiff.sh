@@ -15,8 +15,9 @@
 #   BENCHDIFF_SOCKIOQ_THRESHOLD=0.35 sockio multi-queue series tolerance
 #   BENCHDIFF_CLUSTER_THRESHOLD=0.35 cluster aggregate-Mpps tolerance
 #   BENCHDIFF_LAT_THRESHOLD=0.50    tail-latency ceiling tolerance
+#   BENCHDIFF_PFCP_THRESHOLD=0.35   N4 churn (sessions/s) tolerance
 #   BENCHDIFF_SERIES=""             gate every series, not just PEPC*
-#   BENCHDIFF_FIGS="5 6 7 8 14 sockio cluster lat"  which figures to regenerate
+#   BENCHDIFF_FIGS="5 6 7 8 14 sockio cluster lat pfcp"  which figures to regenerate
 #   BENCHDIFF_RUNS=3                runs folded into the baseline on --update
 #
 # Figures 8 and 14 are gated separately at wider thresholds. Figure 14
@@ -42,8 +43,9 @@ SOCKIO_THRESHOLD="${BENCHDIFF_SOCKIO_THRESHOLD:-0.35}"
 SOCKIOQ_THRESHOLD="${BENCHDIFF_SOCKIOQ_THRESHOLD:-0.35}"
 CLUSTER_THRESHOLD="${BENCHDIFF_CLUSTER_THRESHOLD:-0.35}"
 LAT_THRESHOLD="${BENCHDIFF_LAT_THRESHOLD:-0.50}"
+PFCP_THRESHOLD="${BENCHDIFF_PFCP_THRESHOLD:-0.35}"
 SERIES="${BENCHDIFF_SERIES-PEPC}"
-FIGS="${BENCHDIFF_FIGS:-5 6 7 8 14 sockio cluster lat}"
+FIGS="${BENCHDIFF_FIGS:-5 6 7 8 14 sockio cluster lat pfcp}"
 RUNS="${BENCHDIFF_RUNS:-3}"
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
@@ -69,6 +71,8 @@ run_figs() {
             (cd "$OUT" && ./pepcbench -fig cluster -json >/dev/null)
         elif [ "$f" = lat ]; then
             (cd "$OUT" && ./pepcbench -fig lat -json >/dev/null)
+        elif [ "$f" = pfcp ]; then
+            (cd "$OUT" && ./pepcbench -fig pfcp -json >/dev/null)
         else
             (cd "$OUT" && ./pepcbench -fig "$f" -json >/dev/null)
         fi
@@ -79,7 +83,7 @@ if [ "${1:-}" = "--update" ]; then
     # Only drop the baselines being regenerated, so a subset update
     # (BENCHDIFF_FIGS="8" ... --update) leaves the others ratcheted.
     for f in $FIGS; do
-        if [ "$f" = sockio ] || [ "$f" = cluster ] || [ "$f" = lat ]; then
+        if [ "$f" = sockio ] || [ "$f" = cluster ] || [ "$f" = lat ] || [ "$f" = pfcp ]; then
             rm -f "bench/baseline/BENCH_$f.json"
         else
             rm -f "bench/baseline/BENCH_fig$f.json"
@@ -103,7 +107,7 @@ run_figs
 MAIN_ONLY=""
 for f in $FIGS; do
     case "$f" in
-    8 | 14 | sockio | cluster | lat) ;;
+    8 | 14 | sockio | cluster | lat | pfcp) ;;
     *) MAIN_ONLY="$MAIN_ONLY,BENCH_fig$f.json" ;;
     esac
 done
@@ -199,6 +203,23 @@ case " $FIGS " in
         (cd "$OUT" && ./pepcbench -fig lat -json >/dev/null)
         "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
             -threshold "$LAT_THRESHOLD" -series "" -only BENCH_lat.json
+    fi
+    ;;
+esac
+# The N4 churn figure clocks full PFCP round trips over loopback UDP —
+# every cycle is request/response wire latency plus a signaling flush —
+# so its sessions/s carry the same scheduler noise as the other
+# wire-clocked figures and get the wide threshold with the
+# confirm-on-failure retry. Gated with -series "" because its series
+# (establish+modify+delete, establish+delete) are not PEPC-prefixed.
+case " $FIGS " in
+*" pfcp "*)
+    if ! "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
+        -threshold "$PFCP_THRESHOLD" -series "" -only BENCH_pfcp.json; then
+        echo "== pfcp gate failed, regenerating to confirm"
+        (cd "$OUT" && ./pepcbench -fig pfcp -json >/dev/null)
+        "$OUT/benchdiff" -baseline bench/baseline -fresh "$OUT" \
+            -threshold "$PFCP_THRESHOLD" -series "" -only BENCH_pfcp.json
     fi
     ;;
 esac

@@ -17,8 +17,8 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race internal/core internal/state internal/sockio internal/hdr"
-go test -race ./internal/core/ ./internal/state/ ./internal/sockio/ ./internal/hdr/
+echo "== go test -race internal/core internal/state internal/sockio internal/hdr internal/pfcp"
+go test -race ./internal/core/ ./internal/state/ ./internal/sockio/ ./internal/hdr/ ./internal/pfcp/
 
 # Cluster e2e under the race detector: a 2-node cluster taking an attach
 # storm and live steering concurrently with add/remove/kill/recover
@@ -61,10 +61,19 @@ go test -run 'TestLatFigSmoke' -count=1 ./internal/experiments/
 echo "== sockio loopback smoke"
 go test -run 'TestSockioSmoke' -count=1 ./internal/experiments/
 
+# N4 churn smoke: the pfcp figure at micro scale — concurrent SMF
+# workers running establish/modify/delete cycles against a live UPF
+# service loop over loopback. See DESIGN.md §4.17; benchdiff.sh gates
+# the absolute rates against bench/baseline/BENCH_pfcp.json.
+echo "== pfcp churn smoke"
+go test -run 'TestPFCPFigSmoke' -count=1 ./internal/experiments/
+
 # Fuzz seed corpora: run every fuzz target's checked-in seeds once as
 # plain tests (no -fuzz exploration in CI; a failing seed is a
-# regression in the parse-once codec surface).
+# regression in the parse-once codec surface). Covers the GTP-U outer
+# parser (incl. the fragmented-outer rejection seeds) and the PFCP
+# message/IE/flow-description codecs.
 echo "== fuzz seeds"
-go test -run 'Fuzz' -count=1 ./internal/gtp/
+go test -run 'Fuzz' -count=1 ./internal/gtp/ ./internal/pfcp/
 
 echo "CI green"
